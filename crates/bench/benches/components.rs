@@ -1,0 +1,146 @@
+//! Component micro-benchmarks: the building blocks whose throughput
+//! determines how fast the paper-scale (10 M cycle) reproductions run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use razorbus_bench::REPRO_SEED;
+use razorbus_core::{DvsBusDesign, TraceSummary};
+use razorbus_ctrl::{ThresholdController, VoltageGovernor};
+use razorbus_process::{ProcessCorner, PvtCorner};
+use razorbus_tables::BusTables;
+use razorbus_traces::{Benchmark, TraceSource};
+use razorbus_units::{Picoseconds, VoltageGrid};
+use razorbus_wire::BusPhysical;
+use std::hint::black_box;
+
+fn bench_analyze_cycle(c: &mut Criterion) {
+    let bus = BusPhysical::paper_default();
+    let mut trace = Benchmark::Vortex.trace(REPRO_SEED);
+    let words: Vec<u32> = trace.take_words(4_096);
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(words.len() as u64 - 1));
+    group.bench_function("analyze_cycle_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for pair in words.windows(2) {
+                let a = bus.analyze_cycle(pair[0], pair[1]);
+                acc += a.worst_ceff_per_mm;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traces");
+    group.throughput(Throughput::Elements(4_096));
+    for bench in [Benchmark::Crafty, Benchmark::Mgrid] {
+        group.bench_function(format!("generate_4k_{bench}"), |b| {
+            let mut t = bench.trace(REPRO_SEED);
+            b.iter(|| {
+                let mut acc = 0u32;
+                for _ in 0..4_096 {
+                    acc ^= t.next_word();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let bus = BusPhysical::paper_default();
+    c.bench_function("tables/build_full", |b| {
+        b.iter(|| {
+            let t = BusTables::build(
+                black_box(&bus),
+                VoltageGrid::paper_default(),
+                Picoseconds::new(215.0),
+            );
+            black_box(t.grid().len())
+        });
+    });
+}
+
+fn bench_design_build(c: &mut Criterion) {
+    c.bench_function("design/paper_default", |b| {
+        b.iter(|| {
+            let d = DvsBusDesign::paper_default();
+            black_box(d.bus().repeater_width())
+        });
+    });
+}
+
+fn bench_summary_collect_and_sweep(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    let mut group = c.benchmark_group("summary");
+    group.throughput(Throughput::Elements(16_384));
+    group.bench_function("collect_16k", |b| {
+        b.iter(|| {
+            let mut trace = Benchmark::Swim.trace(REPRO_SEED);
+            let s = TraceSummary::collect(&design, &mut trace, 16_384);
+            black_box(s.cycles())
+        });
+    });
+    let mut trace = Benchmark::Swim.trace(REPRO_SEED);
+    let summary = TraceSummary::collect(&design, &mut trace, 16_384);
+    group.bench_function("voltage_sweep_23_points", |b| {
+        b.iter(|| {
+            let total: f64 = design
+                .grid()
+                .iter()
+                .map(|v| summary.error_rate(&design, PvtCorner::TYPICAL, v))
+                .sum();
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+fn bench_closed_loop_throughput(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("closed_loop_50k_cycles", |b| {
+        b.iter(|| {
+            let ctrl =
+                ThresholdController::new(design.controller_config(ProcessCorner::Typical));
+            let mut sim = razorbus_core::BusSimulator::new(
+                &design,
+                PvtCorner::TYPICAL,
+                Benchmark::Gap.trace(REPRO_SEED),
+                ctrl,
+            );
+            let r = sim.run(50_000);
+            black_box(r.errors)
+        });
+    });
+    group.finish();
+}
+
+fn bench_controller_step(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    let mut group = c.benchmark_group("ctrl");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("threshold_10k_cycles", |b| {
+        b.iter(|| {
+            let mut ctrl =
+                ThresholdController::new(design.controller_config(ProcessCorner::Typical));
+            for i in 0..10_000u32 {
+                ctrl.record_cycle(i % 97 == 0);
+            }
+            black_box(ctrl.voltage())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyze_cycle, bench_trace_generation, bench_table_build,
+              bench_design_build, bench_summary_collect_and_sweep,
+              bench_closed_loop_throughput, bench_controller_step
+}
+criterion_main!(components);

@@ -1,0 +1,127 @@
+//! Criterion benches — one per table/figure of the paper (reduced cycle
+//! counts so `cargo bench` completes in minutes). Each bench times the
+//! full regeneration of its artifact and prints the headline numbers
+//! once, so `cargo bench` output doubles as a smoke reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use razorbus_bench::REPRO_SEED;
+use razorbus_core::{experiments, DvsBusDesign};
+use razorbus_process::PvtCorner;
+use std::hint::black_box;
+
+const CYCLES: u64 = 20_000;
+
+fn bench_fig4(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    let once = experiments::fig4::run(&design, PvtCorner::TYPICAL, CYCLES, REPRO_SEED);
+    println!(
+        "[fig4] typical corner: first failure at {:?}, floor-energy {:.3}",
+        once.first_failure_voltage(),
+        once.points[0].bus_energy_norm
+    );
+    c.bench_function("fig4_typical_panel", |b| {
+        b.iter(|| {
+            let data =
+                experiments::fig4::run(&design, PvtCorner::TYPICAL, black_box(CYCLES), REPRO_SEED);
+            black_box(data.points.len())
+        });
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    let once = experiments::fig5::run(&design, CYCLES, REPRO_SEED);
+    println!(
+        "[fig5] gains@2%: worst {:.1}% .. best {:.1}%",
+        once.rows[0].gain[1] * 100.0,
+        once.rows[4].gain[1] * 100.0
+    );
+    c.bench_function("fig5_five_corners", |b| {
+        b.iter(|| {
+            let data = experiments::fig5::run(&design, black_box(CYCLES), REPRO_SEED);
+            black_box(data.rows.len())
+        });
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    c.bench_function("fig6_oracle_residency", |b| {
+        b.iter(|| {
+            let data = experiments::fig6::run(&design, 10, black_box(5_000), REPRO_SEED);
+            black_box(data.entries.len())
+        });
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    let once = experiments::fig8::run(&design, PvtCorner::TYPICAL, CYCLES, REPRO_SEED);
+    println!(
+        "[fig8] total gain {:.1}%, err {:.2}%",
+        once.total_energy_gain() * 100.0,
+        once.total_error_rate() * 100.0
+    );
+    c.bench_function("fig8_closed_loop_10_programs", |b| {
+        b.iter(|| {
+            let data =
+                experiments::fig8::run(&design, PvtCorner::TYPICAL, black_box(CYCLES), REPRO_SEED);
+            black_box(data.samples.len())
+        });
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    let once = experiments::table1::run(&design, CYCLES, REPRO_SEED);
+    println!(
+        "[table1] totals: worst corner DVS {:.1}%, typical DVS {:.1}%",
+        once.corners[0].total.dvs_gain * 100.0,
+        once.corners[1].total.dvs_gain * 100.0
+    );
+    c.bench_function("table1_both_corners", |b| {
+        b.iter(|| {
+            let data = experiments::table1::run(&design, black_box(CYCLES), REPRO_SEED);
+            black_box(data.corners.len())
+        });
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let base = DvsBusDesign::paper_default();
+    let modified = DvsBusDesign::modified_paper_bus();
+    let once = experiments::fig10::run(&base, &modified, CYCLES, REPRO_SEED);
+    println!(
+        "[fig10] worst-corner DVS gain {:.1}% -> {:.1}%",
+        once.worst_corner_dvs_gain.0 * 100.0,
+        once.worst_corner_dvs_gain.1 * 100.0
+    );
+    c.bench_function("fig10_modified_bus", |b| {
+        b.iter(|| {
+            let data = experiments::fig10::run(&base, &modified, black_box(CYCLES), REPRO_SEED);
+            black_box(data.modified.len())
+        });
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let once = experiments::scaling::run(CYCLES / 2, REPRO_SEED);
+    println!(
+        "[scaling] R*Cc {:.1} -> {:.1} ps/mm2 across nodes",
+        once.rows[0].pattern_spread_per_mm2,
+        once.rows[3].pattern_spread_per_mm2
+    );
+    c.bench_function("scaling_four_nodes", |b| {
+        b.iter(|| {
+            let data = experiments::scaling::run(black_box(CYCLES / 2), REPRO_SEED);
+            black_box(data.rows.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig8, bench_table1, bench_fig10, bench_scaling
+}
+criterion_main!(figures);

@@ -1,0 +1,97 @@
+//! `repro` — regenerates every table and figure of Kaul et al., DATE 2005.
+//!
+//! ```sh
+//! cargo run -p razorbus-bench --bin repro --release -- all
+//! cargo run -p razorbus-bench --bin repro --release -- table1
+//! RAZORBUS_CYCLES=10000000 cargo run -p razorbus-bench --bin repro --release -- fig8
+//! ```
+//!
+//! Artifacts: `fig4`, `fig5`, `fig6`, `fig8`, `table1`, `fig10`,
+//! `scaling`, `ablations`, or `all`. `RAZORBUS_CYCLES` sets the cycles
+//! per benchmark (default 2,000,000; the paper uses 10,000,000 — expect
+//! a few minutes at full scale).
+
+use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
+use razorbus_core::{experiments, DvsBusDesign};
+use razorbus_process::PvtCorner;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let cycles = cycles_from_env(2_000_000);
+    eprintln!("# razorbus repro: {what} ({cycles} cycles/benchmark, seed {REPRO_SEED})");
+
+    let design = DvsBusDesign::paper_default();
+    let run_all = what == "all";
+
+    if run_all || what == "fig4" {
+        banner("Fig. 4 (energy & error rate vs. static VDD)");
+        // Parallelize the two panels with crossbeam (each panel already
+        // fans out across benchmarks internally).
+        let (a, b) = crossbeam::thread::scope(|s| {
+            let design = &design;
+            let ha = s.spawn(move |_| experiments::fig4::run(design, PvtCorner::WORST, cycles, REPRO_SEED));
+            let hb = s.spawn(move |_| experiments::fig4::run(design, PvtCorner::TYPICAL, cycles, REPRO_SEED));
+            (ha.join().expect("fig4a"), hb.join().expect("fig4b"))
+        })
+        .expect("fig4 scope");
+        a.print();
+        println!();
+        b.print();
+    }
+
+    if run_all || what == "fig5" {
+        banner("Fig. 5 (gains vs. PVT delay spread)");
+        experiments::fig5::run(&design, cycles, REPRO_SEED).print();
+    }
+
+    if run_all || what == "fig6" {
+        banner("Fig. 6 (optimal supply residency)");
+        let windows = (cycles / 10_000).max(10) as usize;
+        experiments::fig6::run(&design, windows, 10_000, REPRO_SEED).print();
+    }
+
+    if run_all || what == "fig8" {
+        banner("Fig. 8 (closed-loop trajectory, typical corner)");
+        experiments::fig8::run(&design, PvtCorner::TYPICAL, cycles, REPRO_SEED).print();
+    }
+
+    if run_all || what == "table1" {
+        banner("Table 1 (fixed VS vs. proposed DVS)");
+        experiments::table1::run(&design, cycles, REPRO_SEED).print();
+    }
+
+    if run_all || what == "fig10" {
+        banner("Fig. 10 / §6 (modified bus)");
+        let modified = DvsBusDesign::modified_paper_bus();
+        experiments::fig10::run(&design, &modified, cycles, REPRO_SEED).print();
+    }
+
+    if run_all || what == "scaling" {
+        banner("§6 technology scaling");
+        experiments::scaling::run(cycles / 4, REPRO_SEED).print();
+    }
+
+    if run_all || what == "ablations" {
+        banner("Ablations (DESIGN.md §6)");
+        ablations::run_all(cycles / 4);
+    }
+
+    if !run_all
+        && ![
+            "fig4", "fig5", "fig6", "fig8", "table1", "fig10", "scaling", "ablations",
+        ]
+        .contains(&what)
+    {
+        eprintln!(
+            "unknown artifact '{what}'; expected one of fig4 fig5 fig6 fig8 table1 fig10 scaling ablations all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}

@@ -1,0 +1,38 @@
+//! Shared plumbing for the razorbus benchmark harness: cycle budgets and
+//! the ablation studies referenced by DESIGN.md §6.
+//!
+//! The `repro` binary (`cargo run -p razorbus-bench --bin repro --release`)
+//! regenerates every table and figure of the paper; the Criterion benches
+//! (`cargo bench`) time reduced-scale versions of the same drivers plus
+//! component micro-benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+
+/// Cycles per benchmark for full reproductions: the paper's 10 M unless
+/// `RAZORBUS_CYCLES` overrides (the `repro` binary defaults lower; see
+/// its `--help`).
+#[must_use]
+pub fn cycles_from_env(default: u64) -> u64 {
+    std::env::var("RAZORBUS_CYCLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Seed used across the harness so reproduction runs are comparable.
+pub const REPRO_SEED: u64 = 2005;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_parses() {
+        // Not setting the variable: default wins.
+        std::env::remove_var("RAZORBUS_CYCLES_TEST_SENTINEL");
+        assert_eq!(cycles_from_env(123), 123);
+    }
+}

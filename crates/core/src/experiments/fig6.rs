@@ -1,0 +1,151 @@
+//! Fig. 6: distribution of the *optimal* (oracle) supply voltage over
+//! time for three programs at fixed target error rates, typical corner.
+
+use crate::design::DvsBusDesign;
+use crate::summary::WindowedSummary;
+use razorbus_process::PvtCorner;
+use razorbus_traces::Benchmark;
+use razorbus_units::Millivolts;
+
+/// The programs the paper plots.
+pub const PROGRAMS: [Benchmark; 3] = [Benchmark::Crafty, Benchmark::Vortex, Benchmark::Mgrid];
+
+/// The two target error rates of the figure's panels.
+pub const TARGETS: [f64; 2] = [0.02, 0.05];
+
+/// One (program, target) residency histogram.
+#[derive(Debug, Clone)]
+pub struct Fig6Entry {
+    /// Program.
+    pub benchmark: Benchmark,
+    /// Target error rate for the oracle.
+    pub target: f64,
+    /// (voltage, fraction of time) pairs, ascending voltage.
+    pub residency: Vec<(Millivolts, f64)>,
+}
+
+impl Fig6Entry {
+    /// Time-weighted mean voltage.
+    #[must_use]
+    pub fn mean_voltage_mv(&self) -> f64 {
+        self.residency
+            .iter()
+            .map(|(v, f)| f64::from(v.mv()) * f)
+            .sum()
+    }
+
+    /// The modal (most-visited) voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residency is empty (cannot happen for a collected
+    /// entry).
+    #[must_use]
+    pub fn mode_voltage(&self) -> Millivolts {
+        self.residency
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty residency")
+            .0
+    }
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig6Data {
+    /// The analyzed corner (typical process, 100 °C, no IR in the paper).
+    pub corner: PvtCorner,
+    /// One entry per (program, target).
+    pub entries: Vec<Fig6Entry>,
+}
+
+/// Runs the oracle analysis: `windows` windows of `window_len` cycles per
+/// program.
+#[must_use]
+pub fn run(design: &DvsBusDesign, windows: usize, window_len: u64, seed: u64) -> Fig6Data {
+    let corner = PvtCorner::TYPICAL;
+    let entries = std::thread::scope(|scope| {
+        let handles: Vec<_> = PROGRAMS
+            .iter()
+            .map(|&benchmark| {
+                scope.spawn(move || {
+                    let mut trace = benchmark.trace(seed);
+                    let w = WindowedSummary::collect(design, &mut trace, windows, window_len);
+                    TARGETS
+                        .iter()
+                        .map(|&target| Fig6Entry {
+                            benchmark,
+                            target,
+                            residency: w.oracle_residency(design, corner, target),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fig6 worker"))
+            .collect()
+    });
+    Fig6Data { corner, entries }
+}
+
+impl Fig6Data {
+    /// Prints both panels.
+    pub fn print(&self) {
+        println!("Fig. 6 — optimal supply residency ({})", self.corner);
+        for &target in &TARGETS {
+            println!("  target error rate {:.0}%:", target * 100.0);
+            for e in self.entries.iter().filter(|e| e.target == target) {
+                let cells: Vec<String> = e
+                    .residency
+                    .iter()
+                    .map(|(v, f)| format!("{}:{:.0}%", v.mv(), f * 100.0))
+                    .collect();
+                println!("    {:<8} {}", e.benchmark.name(), cells.join("  "));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_program_separation() {
+        let d = DvsBusDesign::paper_default();
+        let data = run(&d, 12, 5_000, 3);
+        assert_eq!(data.entries.len(), 6);
+        let mean = |b: Benchmark, t: f64| {
+            data.entries
+                .iter()
+                .find(|e| e.benchmark == b && e.target == t)
+                .unwrap()
+                .mean_voltage_mv()
+        };
+        // The paper's separation: crafty runs well below mgrid at 2%.
+        assert!(
+            mean(Benchmark::Crafty, 0.02) + 20.0 < mean(Benchmark::Mgrid, 0.02),
+            "crafty {} vs mgrid {}",
+            mean(Benchmark::Crafty, 0.02),
+            mean(Benchmark::Mgrid, 0.02)
+        );
+        // Looser target never raises the mean voltage.
+        for b in PROGRAMS {
+            assert!(mean(b, 0.05) <= mean(b, 0.02) + 1e-9, "{b}");
+        }
+    }
+
+    #[test]
+    fn residency_fractions_are_distributions() {
+        let d = DvsBusDesign::paper_default();
+        let data = run(&d, 8, 4_000, 9);
+        for e in &data.entries {
+            let total: f64 = e.residency.iter().map(|(_, f)| f).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{e:?}");
+            assert!(!e.residency.is_empty());
+            let _ = e.mode_voltage();
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! One driver per table/figure of the paper's evaluation.
+//!
+//! | Paper artifact | Function | Output |
+//! |---|---|---|
+//! | Fig. 4a/4b | [`fig4::run`] | energy & error rate vs. VDD |
+//! | Fig. 5 | [`fig5::run`] | energy gain vs. delay@1.2 V per corner/target |
+//! | Fig. 6 | [`fig6::run`] | oracle voltage residency per program |
+//! | Fig. 8 | [`fig8::run`] | closed-loop VDD / error-rate trajectory |
+//! | Table 1 | [`table1::run`] | fixed-VS vs. proposed-DVS gains per program |
+//! | Fig. 10 + §6 | [`fig10::run`] | modified-bus gains |
+//! | §6 scaling | [`scaling::run`] | technology-node trends |
+//!
+//! Every driver returns a printable data structure; the `razorbus-bench`
+//! crate exposes them as Criterion benches and the `repro` binary.
+
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod scaling;
+pub mod table1;
+
+use crate::design::DvsBusDesign;
+use crate::summary::TraceSummary;
+use razorbus_traces::Benchmark;
+
+/// Collects per-benchmark summaries (all ten programs) in parallel.
+#[must_use]
+pub fn per_benchmark_summaries(
+    design: &DvsBusDesign,
+    cycles_per_benchmark: u64,
+    seed: u64,
+) -> Vec<(Benchmark, TraceSummary)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = Benchmark::ALL
+            .iter()
+            .map(|&b| {
+                scope.spawn(move || {
+                    let mut trace = b.trace(seed);
+                    (b, TraceSummary::collect(design, &mut trace, cycles_per_benchmark))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("summary worker")).collect()
+    })
+}
+
+/// Merges all ten benchmarks into one combined summary (the "running all
+/// the benchmark programs" aggregation of Figs. 4/5).
+#[must_use]
+pub fn combined_summary(design: &DvsBusDesign, cycles_per_benchmark: u64, seed: u64) -> TraceSummary {
+    let per = per_benchmark_summaries(design, cycles_per_benchmark, seed);
+    let mut iter = per.into_iter();
+    let (_, mut merged) = iter.next().expect("at least one benchmark");
+    for (_, s) in iter {
+        merged.merge(&s);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_summary_spans_all_benchmarks() {
+        let d = DvsBusDesign::paper_default();
+        let s = combined_summary(&d, 2_000, 1);
+        assert_eq!(s.cycles(), 20_000);
+    }
+}

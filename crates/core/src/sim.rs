@@ -1,0 +1,331 @@
+//! Streaming closed-loop simulation: trace → bus → error detection →
+//! governor, cycle by cycle, with full energy accounting.
+
+use crate::design::DvsBusDesign;
+use razorbus_ctrl::VoltageGovernor;
+use razorbus_process::PvtCorner;
+use razorbus_tables::EnvCondition;
+use razorbus_traces::TraceSource;
+use razorbus_units::{Femtojoules, Millivolts};
+
+/// One sampled point of the supply/error trajectory (Fig. 8 material).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageSample {
+    /// Cycle index at the *end* of the sampled window.
+    pub cycle: u64,
+    /// Supply set-point at the sample instant.
+    pub voltage: Millivolts,
+    /// Error rate over the sampled window.
+    pub window_error_rate: f64,
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Error (recovery) cycles.
+    pub errors: u64,
+    /// Silent-corruption cycles — must be zero for a sound design.
+    pub shadow_violations: u64,
+    /// Total energy with DVS (bus + flops + leakage + recovery).
+    pub energy: Femtojoules,
+    /// Energy the same trace would draw at the fixed nominal supply.
+    pub baseline_energy: Femtojoules,
+    /// Cycle-weighted mean supply (mV).
+    pub mean_voltage_mv: f64,
+    /// Lowest supply visited.
+    pub min_voltage: Millivolts,
+    /// Window-sampled trajectory (empty unless sampling was enabled).
+    pub samples: Vec<VoltageSample>,
+}
+
+impl SimReport {
+    /// Average error rate.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.cycles as f64
+        }
+    }
+
+    /// Energy gain over the nominal-supply baseline.
+    #[must_use]
+    pub fn energy_gain(&self) -> f64 {
+        1.0 - self.energy / self.baseline_energy
+    }
+
+    /// IPC degradation under the paper's 1-cycle-penalty model (§3:
+    /// "translate this to a reduction in performance (IPC) that is the
+    /// same as the error-rate").
+    #[must_use]
+    pub fn performance_loss(&self) -> f64 {
+        self.error_rate()
+    }
+}
+
+/// The closed-loop simulator.
+///
+/// Generic over the trace source and the governor so the same loop runs
+/// static sweeps ([`razorbus_ctrl::FixedVoltage`]), the paper controller
+/// ([`razorbus_ctrl::ThresholdController`]) and the proportional variant.
+#[derive(Debug)]
+pub struct BusSimulator<'d, S, G> {
+    design: &'d DvsBusDesign,
+    pvt: PvtCorner,
+    trace: S,
+    governor: G,
+    prev_word: u32,
+    sample_every: Option<u64>,
+}
+
+impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
+    /// Creates a simulator at the true environment `pvt`.
+    #[must_use]
+    pub fn new(design: &'d DvsBusDesign, pvt: PvtCorner, mut trace: S, governor: G) -> Self {
+        let prev_word = trace.next_word();
+        Self {
+            design,
+            pvt,
+            trace,
+            governor,
+            prev_word,
+            sample_every: None,
+        }
+    }
+
+    /// Enables trajectory sampling every `window` cycles (Fig. 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_sampling(mut self, window: u64) -> Self {
+        assert!(window > 0, "sampling window must be positive");
+        self.sample_every = Some(window);
+        self
+    }
+
+    /// Access to the governor (e.g. to read controller statistics).
+    #[must_use]
+    pub fn governor(&self) -> &G {
+        &self.governor
+    }
+
+    /// Consumes the simulator, returning the governor.
+    #[must_use]
+    pub fn into_governor(self) -> G {
+        self.governor
+    }
+
+    /// Runs `cycles` cycles and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the governor commands a voltage off the design grid.
+    pub fn run(&mut self, cycles: u64) -> SimReport {
+        let design = self.design;
+        let grid = design.grid();
+        let tables = design.tables();
+        let cond = EnvCondition::from_pvt(self.pvt);
+        let matrix = tables.threshold_matrix(cond, self.pvt.ir);
+        let shadow_matrix = tables.shadow_threshold_matrix(cond, self.pvt.ir);
+        let energy_table = tables.energy_table(cond);
+        let bus = design.bus();
+        let fe = design.flop_energy();
+
+        let n_flops = tables.n_bits();
+        let length_mm = bus.line().total_length().mm();
+        let rep_cap = tables.repeater_cap_per_toggle().ff();
+        let clock_cap = fe.clock_capacitance(n_flops).ff();
+        let data_cap = fe.data_capacitance().ff();
+        // Recovery ~ one extra bank clock + one restored bit (paper: the
+        // extra clocking dominates).
+        let recovery_cap = clock_cap + data_cap;
+
+        let nominal_idx = grid.index_of(design.nominal()).expect("nominal on grid");
+        let v2_nominal = energy_table.v_squared_at(nominal_idx);
+        let leak_nominal = energy_table.leakage_per_cycle_at(nominal_idx).fj();
+
+        let mut errors = 0u64;
+        let mut shadow_violations = 0u64;
+        let mut energy_fj = 0.0f64;
+        let mut baseline_fj = 0.0f64;
+        let mut mv_sum = 0.0f64;
+        let mut min_v = self.governor.voltage();
+        let mut samples = Vec::new();
+        let mut window_errors = 0u64;
+        let mut window_cycles = 0u64;
+
+        for cycle in 0..cycles {
+            let v = self.governor.voltage();
+            let vi = grid
+                .index_of(v)
+                .unwrap_or_else(|| panic!("governor voltage {v} off grid"));
+            let cur = self.trace.next_word();
+            let analysis = bus.analyze_cycle(self.prev_word, cur);
+            self.prev_word = cur;
+
+            let bucket = (analysis.toggled_wires / 4).min(8) as usize;
+            // Quantized exactly like the histogram engine (1 fF/mm bins)
+            // so the two agree cycle-for-cycle.
+            let error = analysis.toggled_wires > 0
+                && crate::summary::ceff_bin_floor(analysis.worst_ceff_per_mm)
+                    > matrix.pass_limit_at(vi, bucket);
+            if error {
+                errors += 1;
+                if crate::summary::ceff_bin_floor(analysis.worst_ceff_per_mm)
+                    > shadow_matrix.pass_limit_at(vi, bucket)
+                {
+                    shadow_violations += 1;
+                }
+            }
+
+            let v2 = energy_table.v_squared_at(vi);
+            let toggles = f64::from(analysis.toggled_wires);
+            let switched = analysis.switched_cap_per_mm * length_mm
+                + toggles * (rep_cap + data_cap)
+                + clock_cap;
+            energy_fj += switched * v2 + energy_table.leakage_per_cycle_at(vi).fj();
+            if error {
+                energy_fj += recovery_cap * v2;
+            }
+            baseline_fj += switched * v2_nominal + leak_nominal;
+
+            mv_sum += f64::from(v.mv());
+            min_v = min_v.min(v);
+            self.governor.record_cycle(error);
+
+            if let Some(window) = self.sample_every {
+                window_errors += u64::from(error);
+                window_cycles += 1;
+                if window_cycles == window {
+                    samples.push(VoltageSample {
+                        cycle: cycle + 1,
+                        voltage: self.governor.voltage(),
+                        window_error_rate: window_errors as f64 / window as f64,
+                    });
+                    window_errors = 0;
+                    window_cycles = 0;
+                }
+            }
+        }
+
+        SimReport {
+            cycles,
+            errors,
+            shadow_violations,
+            energy: Femtojoules::new(energy_fj),
+            baseline_energy: Femtojoules::new(baseline_fj),
+            mean_voltage_mv: if cycles == 0 { 0.0 } else { mv_sum / cycles as f64 },
+            min_voltage: min_v,
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use razorbus_ctrl::{FixedVoltage, ThresholdController};
+    use razorbus_process::ProcessCorner;
+    use razorbus_traces::Benchmark;
+
+    fn design() -> DvsBusDesign {
+        DvsBusDesign::paper_default()
+    }
+
+    #[test]
+    fn nominal_fixed_run_is_error_free_everywhere() {
+        let d = design();
+        for pvt in PvtCorner::FIG5 {
+            let mut sim = BusSimulator::new(
+                &d,
+                pvt,
+                Benchmark::Swim.trace(3),
+                FixedVoltage::new(Millivolts::new(1_200)),
+            );
+            let r = sim.run(20_000);
+            assert_eq!(r.errors, 0, "{pvt}");
+            assert_eq!(r.shadow_violations, 0);
+            // At nominal with no errors, DVS energy == baseline.
+            assert!((r.energy_gain()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn controller_run_keeps_error_rate_near_band() {
+        let d = design();
+        let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Typical));
+        let mut sim = BusSimulator::new(&d, PvtCorner::TYPICAL, Benchmark::Crafty.trace(5), ctrl);
+        let r = sim.run(300_000);
+        assert_eq!(r.shadow_violations, 0);
+        assert!(r.error_rate() < 0.03, "rate {}", r.error_rate());
+        assert!(r.energy_gain() > 0.15, "gain {}", r.energy_gain());
+        assert!(r.min_voltage < Millivolts::new(1_100));
+    }
+
+    #[test]
+    fn sim_matches_summary_for_fixed_voltage() {
+        // The streaming simulator and the histogram engine must agree on
+        // error counts and (closely) on energy for a fixed supply.
+        let d = design();
+        let v = Millivolts::new(940);
+        let mut sim = BusSimulator::new(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Vortex.trace(11),
+            FixedVoltage::new(v),
+        );
+        let r = sim.run(50_000);
+        let mut trace = Benchmark::Vortex.trace(11);
+        let s = crate::TraceSummary::collect(&d, &mut trace, 50_000);
+        assert_eq!(r.errors, s.error_cycles(&d, PvtCorner::TYPICAL, v));
+        let e_summary = s.energy(&d, PvtCorner::TYPICAL, v, true);
+        let rel = (r.energy.fj() - e_summary.fj()).abs() / e_summary.fj();
+        assert!(rel < 1e-9, "energy mismatch {rel}");
+    }
+
+    #[test]
+    fn sampling_produces_expected_window_count() {
+        let d = design();
+        let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Typical));
+        let mut sim = BusSimulator::new(&d, PvtCorner::TYPICAL, Benchmark::Gap.trace(1), ctrl)
+            .with_sampling(10_000);
+        let r = sim.run(100_000);
+        assert_eq!(r.samples.len(), 10);
+        assert!(r.samples.iter().all(|s| s.voltage >= Millivolts::new(760)));
+    }
+
+    #[test]
+    fn worst_corner_nominal_baseline_sane() {
+        // At the design corner with a fixed 1.2 V supply, gain is ~0 and
+        // errors are impossible.
+        let d = design();
+        let mut sim = BusSimulator::new(
+            &d,
+            PvtCorner::WORST,
+            Benchmark::Mgrid.trace(2),
+            FixedVoltage::new(Millivolts::new(1_200)),
+        );
+        let r = sim.run(20_000);
+        assert_eq!(r.errors, 0);
+        assert!(r.energy.fj() > 0.0);
+    }
+
+    #[test]
+    fn performance_loss_equals_error_rate() {
+        let d = design();
+        let mut sim = BusSimulator::new(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Mgrid.trace(8),
+            FixedVoltage::new(Millivolts::new(900)),
+        );
+        let r = sim.run(20_000);
+        assert!(r.errors > 0, "expected errors at 900 mV for mgrid");
+        assert!((r.performance_loss() - r.error_rate()).abs() < 1e-15);
+    }
+}

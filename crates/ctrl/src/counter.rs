@@ -1,0 +1,110 @@
+//! The windowed error counter of Fig. 7 ("Error Counter" block: counts
+//! bank error assertions, reset every window).
+
+/// Counts bank errors over fixed windows of cycles.
+///
+/// ```
+/// use razorbus_ctrl::ErrorCounter;
+/// let mut c = ErrorCounter::new(4);
+/// assert_eq!(c.record(true), None);
+/// assert_eq!(c.record(false), None);
+/// assert_eq!(c.record(true), None);
+/// // Window closes on the 4th cycle: rate = 2/4.
+/// assert_eq!(c.record(false), Some(0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorCounter {
+    window: u64,
+    in_window: u64,
+    errors: u64,
+    windows_closed: u64,
+}
+
+impl ErrorCounter {
+    /// Creates a counter with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            in_window: 0,
+            errors: 0,
+            windows_closed: 0,
+        }
+    }
+
+    /// Window length in cycles.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of completed windows.
+    #[must_use]
+    pub fn windows_closed(&self) -> u64 {
+        self.windows_closed
+    }
+
+    /// Errors accumulated in the current (open) window.
+    #[must_use]
+    pub fn open_window_errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Records one cycle. Returns `Some(rate)` when this cycle closes a
+    /// window (the counter then resets, as in Fig. 7).
+    pub fn record(&mut self, error: bool) -> Option<f64> {
+        self.errors += u64::from(error);
+        self.in_window += 1;
+        if self.in_window == self.window {
+            let rate = self.errors as f64 / self.window as f64;
+            self.in_window = 0;
+            self.errors = 0;
+            self.windows_closed += 1;
+            Some(rate)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let mut c = ErrorCounter::new(10);
+        for i in 0..9 {
+            assert_eq!(c.record(i % 3 == 0), None);
+        }
+        let rate = c.record(false).unwrap();
+        assert!((rate - 0.3).abs() < 1e-12);
+        assert_eq!(c.windows_closed(), 1);
+        assert_eq!(c.open_window_errors(), 0);
+    }
+
+    #[test]
+    fn consecutive_windows_are_independent() {
+        let mut c = ErrorCounter::new(5);
+        for _ in 0..4 {
+            c.record(true);
+        }
+        assert_eq!(c.record(true), Some(1.0));
+        for _ in 0..4 {
+            c.record(false);
+        }
+        assert_eq!(c.record(false), Some(0.0));
+        assert_eq!(c.windows_closed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let _ = ErrorCounter::new(0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Static-supply governors, including the Table 1 fixed-VS baseline.
+
+use crate::governor::VoltageGovernor;
+use razorbus_units::Millivolts;
+
+/// A governor that never moves: used for static voltage sweeps (Figs.
+/// 4/5/10) and as the "Fixed VS" baseline of Table 1 (a conventional
+/// corner-aware scheme that must guarantee zero errors and therefore
+/// assumes worst-case temperature, IR drop and switching).
+///
+/// ```
+/// use razorbus_ctrl::{FixedVoltage, VoltageGovernor};
+/// use razorbus_units::Millivolts;
+/// let mut g = FixedVoltage::new(Millivolts::new(1_100));
+/// g.record_cycle(true);
+/// assert_eq!(g.voltage(), Millivolts::new(1_100));
+/// assert_eq!(g.errors(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedVoltage {
+    voltage: Millivolts,
+    cycles: u64,
+    errors: u64,
+}
+
+impl FixedVoltage {
+    /// Creates a fixed-supply governor.
+    #[must_use]
+    pub fn new(voltage: Millivolts) -> Self {
+        Self {
+            voltage,
+            cycles: 0,
+            errors: 0,
+        }
+    }
+}
+
+impl VoltageGovernor for FixedVoltage {
+    fn voltage(&self) -> Millivolts {
+        self.voltage
+    }
+
+    fn record_cycle(&mut self, error: bool) {
+        self.cycles += 1;
+        self.errors += u64::from(error);
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_never_moves() {
+        let mut g = FixedVoltage::new(Millivolts::new(980));
+        for i in 0..100 {
+            g.record_cycle(i % 7 == 0);
+        }
+        assert_eq!(g.voltage(), Millivolts::new(980));
+        assert_eq!(g.cycles(), 100);
+        assert_eq!(g.errors(), 15);
+    }
+}

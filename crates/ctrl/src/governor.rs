@@ -1,0 +1,71 @@
+//! The cycle-level governor interface.
+
+use razorbus_units::Millivolts;
+
+/// A supply-voltage governor driven by the per-cycle error signal.
+///
+/// The simulator calls [`VoltageGovernor::voltage`] to learn the supply
+/// in force for the *current* cycle, evaluates the cycle at that supply,
+/// then reports whether the flop bank raised an error via
+/// [`VoltageGovernor::record_cycle`]. Implementations keep their own
+/// cycle counters, windows and regulator ramp state.
+pub trait VoltageGovernor {
+    /// Supply set-point in force for the current cycle.
+    fn voltage(&self) -> Millivolts;
+
+    /// Records the outcome of the current cycle and advances time by one
+    /// cycle (possibly triggering window decisions or completing ramps).
+    fn record_cycle(&mut self, error: bool);
+
+    /// Total cycles recorded.
+    fn cycles(&self) -> u64;
+
+    /// Total error cycles recorded.
+    fn errors(&self) -> u64;
+
+    /// Lifetime average error rate.
+    fn average_error_rate(&self) -> f64 {
+        if self.cycles() == 0 {
+            0.0
+        } else {
+            self.errors() as f64 / self.cycles() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        cycles: u64,
+        errors: u64,
+    }
+    impl VoltageGovernor for Dummy {
+        fn voltage(&self) -> Millivolts {
+            Millivolts::new(1_000)
+        }
+        fn record_cycle(&mut self, error: bool) {
+            self.cycles += 1;
+            self.errors += u64::from(error);
+        }
+        fn cycles(&self) -> u64 {
+            self.cycles
+        }
+        fn errors(&self) -> u64 {
+            self.errors
+        }
+    }
+
+    #[test]
+    fn default_average_error_rate() {
+        let mut d = Dummy {
+            cycles: 0,
+            errors: 0,
+        };
+        assert_eq!(d.average_error_rate(), 0.0);
+        d.record_cycle(true);
+        d.record_cycle(false);
+        assert!((d.average_error_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Error-rate telemetry: the observability side of Fig. 7's control
+//! system.
+//!
+//! The paper's analysis repeatedly distinguishes *average* error rates
+//! (Table 1) from *instantaneous* window rates (Fig. 8, spiking to ~6 %
+//! while the regulator ramps). [`ErrorRateMonitor`] tracks both: an
+//! exponentially-weighted moving average of window rates, the extremes,
+//! and a histogram of window rates for Fig. 8-style distribution
+//! reporting.
+
+/// Windowed error-rate telemetry.
+///
+/// ```
+/// use razorbus_ctrl::ErrorRateMonitor;
+/// let mut mon = ErrorRateMonitor::new(100, 0.2);
+/// for i in 0..1_000 {
+///     mon.record(i % 50 == 0); // 2% error rate
+/// }
+/// assert!((mon.average_rate() - 0.02).abs() < 1e-9);
+/// assert!(mon.ewma_rate() > 0.0);
+/// assert_eq!(mon.windows_observed(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErrorRateMonitor {
+    window: u64,
+    ewma_alpha: f64,
+    in_window: u64,
+    window_errors: u64,
+    total_cycles: u64,
+    total_errors: u64,
+    windows: u64,
+    ewma: f64,
+    peak_window_rate: f64,
+    min_window_rate: f64,
+    /// Histogram of window rates in 0.5 % bins up to 16 % (last bin is
+    /// open-ended).
+    histogram: [u64; 33],
+}
+
+impl ErrorRateMonitor {
+    /// Creates a monitor with the given window length and EWMA smoothing
+    /// factor (weight of the newest window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `ewma_alpha` outside `(0, 1]`.
+    #[must_use]
+    pub fn new(window: u64, ewma_alpha: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(
+            ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+            "EWMA weight out of range"
+        );
+        Self {
+            window,
+            ewma_alpha,
+            in_window: 0,
+            window_errors: 0,
+            total_cycles: 0,
+            total_errors: 0,
+            windows: 0,
+            ewma: 0.0,
+            peak_window_rate: 0.0,
+            min_window_rate: f64::INFINITY,
+            histogram: [0; 33],
+        }
+    }
+
+    /// The paper's telemetry: 10 000-cycle windows, light smoothing.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(10_000, 0.25)
+    }
+
+    /// Records one cycle.
+    pub fn record(&mut self, error: bool) {
+        self.total_cycles += 1;
+        self.total_errors += u64::from(error);
+        self.window_errors += u64::from(error);
+        self.in_window += 1;
+        if self.in_window == self.window {
+            let rate = self.window_errors as f64 / self.window as f64;
+            self.windows += 1;
+            self.ewma = if self.windows == 1 {
+                rate
+            } else {
+                self.ewma_alpha * rate + (1.0 - self.ewma_alpha) * self.ewma
+            };
+            self.peak_window_rate = self.peak_window_rate.max(rate);
+            self.min_window_rate = self.min_window_rate.min(rate);
+            let bin = ((rate / 0.005) as usize).min(32);
+            self.histogram[bin] += 1;
+            self.in_window = 0;
+            self.window_errors = 0;
+        }
+    }
+
+    /// Lifetime average error rate.
+    #[must_use]
+    pub fn average_rate(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.total_errors as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// EWMA of window rates (0 before the first window closes).
+    #[must_use]
+    pub fn ewma_rate(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Highest window rate seen (the Fig. 8 spike amplitude).
+    #[must_use]
+    pub fn peak_window_rate(&self) -> f64 {
+        self.peak_window_rate
+    }
+
+    /// Lowest window rate seen, or 0 before any window closed.
+    #[must_use]
+    pub fn min_window_rate(&self) -> f64 {
+        if self.min_window_rate.is_finite() {
+            self.min_window_rate
+        } else {
+            0.0
+        }
+    }
+
+    /// Completed windows.
+    #[must_use]
+    pub fn windows_observed(&self) -> u64 {
+        self.windows
+    }
+
+    /// Fraction of windows whose rate exceeded `threshold` — e.g. how
+    /// often the instantaneous rate broke the 2 % band (paper Fig. 8
+    /// commentary).
+    #[must_use]
+    pub fn fraction_of_windows_above(&self, threshold: f64) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        let bin = ((threshold / 0.005).ceil() as usize).min(32);
+        let above: u64 = self.histogram[bin..].iter().sum();
+        above as f64 / self.windows as f64
+    }
+
+    /// The window-rate histogram (0.5 % bins, last bin open).
+    #[must_use]
+    pub fn histogram(&self) -> &[u64; 33] {
+        &self.histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_and_windows() {
+        let mut m = ErrorRateMonitor::new(10, 0.5);
+        for i in 0..100 {
+            m.record(i % 10 == 0);
+        }
+        assert!((m.average_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(m.windows_observed(), 10);
+        assert!((m.ewma_rate() - 0.1).abs() < 1e-12);
+        assert!((m.peak_window_rate() - 0.1).abs() < 1e-12);
+        assert!((m.min_window_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_tracks_changes_faster_than_average() {
+        let mut m = ErrorRateMonitor::new(10, 0.5);
+        // 10 quiet windows, then 5 windows at 50%.
+        for _ in 0..100 {
+            m.record(false);
+        }
+        for i in 0..50 {
+            m.record(i % 2 == 0);
+        }
+        assert!(m.ewma_rate() > m.average_rate());
+        assert!((m.peak_window_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(m.min_window_rate(), 0.0);
+    }
+
+    #[test]
+    fn histogram_and_exceedance() {
+        let mut m = ErrorRateMonitor::new(100, 0.5);
+        // 5 windows at 0%, 5 windows at 4%.
+        for w in 0..10 {
+            for i in 0..100 {
+                m.record(w >= 5 && i < 4);
+            }
+        }
+        assert!((m.fraction_of_windows_above(0.02) - 0.5).abs() < 1e-12);
+        assert!((m.fraction_of_windows_above(0.10) - 0.0).abs() < 1e-12);
+        let total: u64 = m.histogram().iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn incomplete_window_counts_toward_average_only() {
+        let mut m = ErrorRateMonitor::new(1_000, 0.5);
+        for _ in 0..500 {
+            m.record(true);
+        }
+        assert_eq!(m.windows_observed(), 0);
+        assert_eq!(m.ewma_rate(), 0.0);
+        assert!((m.average_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight out of range")]
+    fn rejects_bad_alpha() {
+        let _ = ErrorRateMonitor::new(10, 0.0);
+    }
+}

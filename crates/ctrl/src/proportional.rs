@@ -1,0 +1,197 @@
+//! The proportional controller §5 mentions and declines to build:
+//! "A more sophisticated proportional control system could have been used
+//! that results in voltage changes proportional to the magnitude of error
+//! difference between the target and sampled error rates. … the simpler
+//! system that we have simulated is shown to work reasonably well without
+//! the hardware overhead of a more sophisticated system."
+//!
+//! Implemented here so the ablation benches can quantify that claim.
+
+use crate::counter::ErrorCounter;
+use crate::governor::VoltageGovernor;
+use crate::threshold::ControllerConfig;
+use razorbus_units::Millivolts;
+
+/// A proportional controller: the step is proportional to the distance
+/// between the sampled window error rate and the target rate, quantized
+/// to the regulator grid and capped. Larger steps take proportionally
+/// longer to ramp (1 µs/10 mV).
+#[derive(Debug, Clone)]
+pub struct ProportionalController {
+    config: ControllerConfig,
+    /// Target error rate (center of the paper's 1–2 % band).
+    target: f64,
+    /// Step in mV per unit error-rate deviation (e.g. 2000 mV/1.0).
+    gain_mv_per_unit: f64,
+    /// Cap on a single step.
+    max_step: Millivolts,
+    counter: ErrorCounter,
+    current: Millivolts,
+    pending: Option<(Millivolts, u64)>,
+    cycles: u64,
+    errors: u64,
+}
+
+impl ProportionalController {
+    /// Creates a proportional controller sharing the threshold
+    /// controller's window/limits, with a target rate, gain and step cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is outside `[0, 1]`, the gain is negative, or
+    /// `max_step` is not a positive multiple of the grid step.
+    #[must_use]
+    pub fn new(
+        config: ControllerConfig,
+        target: f64,
+        gain_mv_per_unit: f64,
+        max_step: Millivolts,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&target), "target rate out of range");
+        assert!(gain_mv_per_unit >= 0.0, "gain must be non-negative");
+        assert!(
+            max_step.mv() > 0 && max_step.mv() % config.step.mv() == 0,
+            "max step must be a positive multiple of the grid step"
+        );
+        Self {
+            counter: ErrorCounter::new(config.window),
+            current: config.start,
+            config,
+            target,
+            gain_mv_per_unit,
+            max_step,
+            pending: None,
+            cycles: 0,
+            errors: 0,
+        }
+    }
+
+    /// The paper-band default: target 1.5 %, gain tuned so a 1 % rate
+    /// deviation commands one 20 mV step, capped at 3 steps.
+    #[must_use]
+    pub fn paper_band(config: ControllerConfig) -> Self {
+        Self::new(config, 0.015, 2_000.0, Millivolts::new(60))
+    }
+
+    /// Voltage delta commanded for a sampled `rate`: negative when the
+    /// rate is below target (lower the supply), positive above it.
+    #[must_use]
+    pub fn step_for_rate(&self, rate: f64) -> Millivolts {
+        // Rate below target -> negative delta (scale down).
+        let raw_mv = (rate - self.target) * self.gain_mv_per_unit;
+        let grid = f64::from(self.config.step.mv());
+        let quantized = (raw_mv / grid).round() * grid;
+        let capped = quantized.clamp(
+            -f64::from(self.max_step.mv()),
+            f64::from(self.max_step.mv()),
+        );
+        Millivolts::new(capped as i32)
+    }
+
+    fn decide(&mut self, rate: f64) {
+        if self.pending.is_some() {
+            return;
+        }
+        let step = self.step_for_rate(rate);
+        let target = (self.current + step).clamp(self.config.floor, self.config.ceiling);
+        if target != self.current {
+            let delay = self.config.regulator.ramp_cycles(target - self.current);
+            if delay == 0 {
+                self.current = target;
+            } else {
+                self.pending = Some((target, delay));
+            }
+        }
+    }
+}
+
+impl VoltageGovernor for ProportionalController {
+    fn voltage(&self) -> Millivolts {
+        self.current
+    }
+
+    fn record_cycle(&mut self, error: bool) {
+        self.cycles += 1;
+        self.errors += u64::from(error);
+        if let Some((target, remaining)) = self.pending {
+            if remaining <= 1 {
+                self.pending = None;
+                self.current = target;
+            } else {
+                self.pending = Some((target, remaining - 1));
+            }
+        }
+        if let Some(rate) = self.counter.record(error) {
+            self.decide(rate);
+        }
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> ProportionalController {
+        ProportionalController::paper_band(ControllerConfig::paper_default(Millivolts::new(860)))
+    }
+
+    #[test]
+    fn step_magnitude_tracks_deviation() {
+        let c = controller();
+        // Zero errors, target 1.5%: deviation 0.015 * 2000 = 30 mV -> 40 on grid...
+        // (30/20 rounds to 2 steps = 40 mV downward command).
+        let big_down = c.step_for_rate(0.0);
+        assert_eq!(big_down, Millivolts::new(-40));
+        // On-target: no move.
+        assert_eq!(c.step_for_rate(0.015), Millivolts::ZERO);
+        // 5% rate: (0.015-0.05)*2000 = -70 -> -60 capped -> +60 up.
+        assert_eq!(c.step_for_rate(0.05), Millivolts::new(60));
+    }
+
+    #[test]
+    fn converges_faster_than_threshold_from_cold_start() {
+        // The proportional controller commands 40 mV per window when
+        // error-free; after 3 windows it must sit lower than the 20 mV
+        // threshold controller would.
+        let mut c = controller();
+        for _ in 0..3 {
+            for _ in 0..10_000 {
+                c.record_cycle(false);
+            }
+        }
+        // 3 windows, each -40 mV decided with 6000-cycle ramps -> at
+        // least two applied.
+        assert!(c.voltage() <= Millivolts::new(1_120), "{}", c.voltage());
+    }
+
+    #[test]
+    fn respects_floor_and_ceiling() {
+        let cfg = ControllerConfig::paper_default(Millivolts::new(1_160));
+        let mut c = ProportionalController::paper_band(cfg);
+        for _ in 0..20 {
+            for _ in 0..10_000 {
+                c.record_cycle(false);
+            }
+        }
+        assert_eq!(c.voltage(), Millivolts::new(1_160));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the grid step")]
+    fn rejects_off_grid_cap() {
+        let _ = ProportionalController::new(
+            ControllerConfig::paper_default(Millivolts::new(900)),
+            0.015,
+            2_000.0,
+            Millivolts::new(30),
+        );
+    }
+}

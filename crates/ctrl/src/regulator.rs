@@ -1,0 +1,90 @@
+//! The voltage regulator ramp model.
+//!
+//! §5: "voltage regulators take time to adjust the voltage (typically
+//! around 1µs/10mV), the supply voltage on the bus is changed by 20mV
+//! only after a delay of 2µs (3000 cycles at 1.5GHz operation)".
+
+use razorbus_units::{Gigahertz, Millivolts, Nanoseconds, Picoseconds};
+
+/// Converts a requested voltage step into a cycle-count latency.
+///
+/// ```
+/// use razorbus_ctrl::RegulatorModel;
+/// use razorbus_units::{Gigahertz, Millivolts};
+/// let reg = RegulatorModel::paper_default(Gigahertz::PAPER_CLOCK);
+/// // The paper's number: 20 mV at 1.5 GHz = 3000 cycles.
+/// assert_eq!(reg.ramp_cycles(Millivolts::new(20)), 3_000);
+/// assert_eq!(reg.ramp_cycles(Millivolts::new(-20)), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RegulatorModel {
+    /// Ramp rate: nanoseconds per 10 mV of change.
+    ns_per_10mv: f64,
+    clock: Gigahertz,
+}
+
+impl RegulatorModel {
+    /// Creates a regulator model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ramp rate is negative.
+    #[must_use]
+    pub fn new(ns_per_10mv: f64, clock: Gigahertz) -> Self {
+        assert!(ns_per_10mv >= 0.0, "ramp rate must be non-negative");
+        Self {
+            ns_per_10mv,
+            clock,
+        }
+    }
+
+    /// The paper's regulator: 1 µs per 10 mV.
+    #[must_use]
+    pub fn paper_default(clock: Gigahertz) -> Self {
+        Self::new(1_000.0, clock)
+    }
+
+    /// An ideal regulator with no ramp delay (ablation baseline).
+    #[must_use]
+    pub fn instant(clock: Gigahertz) -> Self {
+        Self::new(0.0, clock)
+    }
+
+    /// Ramp rate in ns per 10 mV.
+    #[must_use]
+    pub fn ns_per_10mv(&self) -> f64 {
+        self.ns_per_10mv
+    }
+
+    /// Cycles between deciding a step of `step` and the new voltage
+    /// taking effect.
+    #[must_use]
+    pub fn ramp_cycles(&self, step: Millivolts) -> u64 {
+        let ns = self.ns_per_10mv * f64::from(step.mv().abs()) / 10.0;
+        Picoseconds::from(Nanoseconds::new(ns)).cycles_ceil(self.clock.period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_steps_take_longer() {
+        let reg = RegulatorModel::paper_default(Gigahertz::PAPER_CLOCK);
+        assert_eq!(reg.ramp_cycles(Millivolts::new(40)), 6_000);
+        assert!(reg.ramp_cycles(Millivolts::new(60)) > reg.ramp_cycles(Millivolts::new(20)));
+    }
+
+    #[test]
+    fn instant_regulator_has_zero_latency() {
+        let reg = RegulatorModel::instant(Gigahertz::PAPER_CLOCK);
+        assert_eq!(reg.ramp_cycles(Millivolts::new(20)), 0);
+    }
+
+    #[test]
+    fn zero_step_is_free() {
+        let reg = RegulatorModel::paper_default(Gigahertz::PAPER_CLOCK);
+        assert_eq!(reg.ramp_cycles(Millivolts::ZERO), 0);
+    }
+}

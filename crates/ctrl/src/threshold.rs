@@ -1,0 +1,289 @@
+//! The paper's threshold (hysteresis) controller — Fig. 7's "Voltage
+//! Controller" block.
+
+use crate::counter::ErrorCounter;
+use crate::governor::VoltageGovernor;
+use crate::regulator::RegulatorModel;
+use razorbus_units::{Gigahertz, Millivolts};
+
+/// Configuration of the window/threshold controller.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControllerConfig {
+    /// Error-counting window (10 000 cycles in the paper).
+    pub window: u64,
+    /// Error rate below which the supply is lowered (1 %).
+    pub low_threshold: f64,
+    /// Error rate above which the supply is raised (2 %).
+    pub high_threshold: f64,
+    /// Regulator step size (20 mV).
+    pub step: Millivolts,
+    /// Start voltage (the 1.2 V nominal).
+    pub start: Millivolts,
+    /// Regulator ceiling (nominal supply).
+    pub ceiling: Millivolts,
+    /// Regulator floor — the §5 "minimum voltage allowed by the
+    /// regulator", tuned from the process corner so the shadow latch is
+    /// always safe.
+    pub floor: Millivolts,
+    /// Ramp model.
+    pub regulator: RegulatorModel,
+}
+
+impl ControllerConfig {
+    /// The paper's configuration for a given regulator floor: 10 k-cycle
+    /// window, 1–2 % band, ±20 mV steps from 1.2 V, 1 µs/10 mV ramp at
+    /// 1.5 GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` exceeds 1.2 V.
+    #[must_use]
+    pub fn paper_default(floor: Millivolts) -> Self {
+        let nominal = Millivolts::new(1_200);
+        assert!(floor <= nominal, "floor above nominal");
+        Self {
+            window: 10_000,
+            low_threshold: 0.01,
+            high_threshold: 0.02,
+            step: Millivolts::new(20),
+            start: nominal,
+            ceiling: nominal,
+            floor,
+            regulator: RegulatorModel::paper_default(Gigahertz::PAPER_CLOCK),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.window > 0, "window must be positive");
+        assert!(
+            0.0 <= self.low_threshold && self.low_threshold <= self.high_threshold,
+            "thresholds must satisfy 0 <= low <= high"
+        );
+        assert!(self.step.mv() > 0, "step must be positive");
+        assert!(self.floor <= self.ceiling, "floor above ceiling");
+        assert!(
+            self.start >= self.floor && self.start <= self.ceiling,
+            "start voltage outside [floor, ceiling]"
+        );
+    }
+}
+
+/// The hysteresis controller: error rate below the band → step down;
+/// above the band → step up; inside → hold. Steps take regulator-ramp
+/// cycles to take effect, during which no new decision is issued.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct ThresholdController {
+    config: ControllerConfig,
+    counter: ErrorCounter,
+    current: Millivolts,
+    /// A decided-but-not-yet-effective step: (target, cycles remaining).
+    pending: Option<(Millivolts, u64)>,
+    cycles: u64,
+    errors: u64,
+    steps_down: u64,
+    steps_up: u64,
+}
+
+impl ThresholdController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`ControllerConfig`] field docs).
+    #[must_use]
+    pub fn new(config: ControllerConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            counter: ErrorCounter::new(config.window),
+            current: config.start,
+            pending: None,
+            cycles: 0,
+            errors: 0,
+            steps_down: 0,
+            steps_up: 0,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Number of downward steps taken so far.
+    #[must_use]
+    pub fn steps_down(&self) -> u64 {
+        self.steps_down
+    }
+
+    /// Number of upward steps taken so far.
+    #[must_use]
+    pub fn steps_up(&self) -> u64 {
+        self.steps_up
+    }
+
+    /// Whether a ramp is currently in flight.
+    #[must_use]
+    pub fn ramping(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    fn decide(&mut self, rate: f64) {
+        if self.pending.is_some() {
+            // Regulator still ramping: Fig. 7 issues no overlapping moves.
+            return;
+        }
+        let target = if rate < self.config.low_threshold {
+            (self.current - self.config.step).max(self.config.floor)
+        } else if rate > self.config.high_threshold {
+            (self.current + self.config.step).min(self.config.ceiling)
+        } else {
+            self.current
+        };
+        if target != self.current {
+            let delay = self.config.regulator.ramp_cycles(target - self.current);
+            if delay == 0 {
+                self.apply(target);
+            } else {
+                self.pending = Some((target, delay));
+            }
+        }
+    }
+
+    fn apply(&mut self, target: Millivolts) {
+        if target < self.current {
+            self.steps_down += 1;
+        } else if target > self.current {
+            self.steps_up += 1;
+        }
+        self.current = target;
+    }
+}
+
+impl VoltageGovernor for ThresholdController {
+    fn voltage(&self) -> Millivolts {
+        self.current
+    }
+
+    fn record_cycle(&mut self, error: bool) {
+        self.cycles += 1;
+        self.errors += u64::from(error);
+        if let Some((target, remaining)) = self.pending {
+            if remaining <= 1 {
+                self.pending = None;
+                self.apply(target);
+            } else {
+                self.pending = Some((target, remaining - 1));
+            }
+        }
+        if let Some(rate) = self.counter.record(error) {
+            self.decide(rate);
+        }
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(floor: i32) -> ThresholdController {
+        ThresholdController::new(ControllerConfig::paper_default(Millivolts::new(floor)))
+    }
+
+    fn run_window(c: &mut ThresholdController, error_cycles: u64) {
+        let window = c.config().window;
+        for i in 0..window {
+            c.record_cycle(i < error_cycles);
+        }
+    }
+
+    #[test]
+    fn error_free_windows_walk_down_to_floor() {
+        let mut c = controller(1_140);
+        // Each window decides -20 mV; ramps complete mid-window.
+        for _ in 0..8 {
+            run_window(&mut c, 0);
+        }
+        assert_eq!(c.voltage(), Millivolts::new(1_140));
+        assert_eq!(c.steps_down(), 3);
+        // Never below the floor no matter how long it runs.
+        for _ in 0..5 {
+            run_window(&mut c, 0);
+        }
+        assert_eq!(c.voltage(), Millivolts::new(1_140));
+    }
+
+    #[test]
+    fn in_band_rate_holds_voltage() {
+        let mut c = controller(900);
+        run_window(&mut c, 0); // decide down
+        run_window(&mut c, 150); // 1.5%: in band -> hold
+        run_window(&mut c, 150);
+        assert_eq!(c.voltage(), Millivolts::new(1_180));
+        assert_eq!(c.steps_down(), 1);
+    }
+
+    #[test]
+    fn high_rate_steps_back_up() {
+        let mut c = controller(900);
+        run_window(&mut c, 0); // -> 1180 (after ramp)
+        run_window(&mut c, 0); // -> 1160
+        run_window(&mut c, 300); // 3% -> step up
+        run_window(&mut c, 0); // let the ramp complete, then decides again
+        assert!(c.steps_up() >= 1);
+        assert!(c.voltage() <= Millivolts::new(1_180));
+    }
+
+    #[test]
+    fn ceiling_is_never_exceeded() {
+        let mut c = controller(900);
+        for _ in 0..6 {
+            run_window(&mut c, 500); // 5% everywhere: always wants up
+        }
+        assert_eq!(c.voltage(), Millivolts::new(1_200));
+        assert_eq!(c.steps_up(), 0, "no step possible above the ceiling");
+    }
+
+    #[test]
+    fn ramp_latency_is_respected() {
+        let mut c = controller(900);
+        run_window(&mut c, 0);
+        // Decision made at window close; not yet applied.
+        assert_eq!(c.voltage(), Millivolts::new(1_200));
+        assert!(c.ramping());
+        for _ in 0..2_999 {
+            c.record_cycle(false);
+        }
+        assert_eq!(c.voltage(), Millivolts::new(1_200));
+        c.record_cycle(false);
+        assert_eq!(c.voltage(), Millivolts::new(1_180));
+        assert!(!c.ramping());
+    }
+
+    #[test]
+    fn lifetime_counters() {
+        let mut c = controller(900);
+        run_window(&mut c, 100);
+        assert_eq!(c.cycles(), 10_000);
+        assert_eq!(c.errors(), 100);
+        assert!((c.average_error_rate() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor above nominal")]
+    fn rejects_floor_above_nominal() {
+        let _ = controller(1_300);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the governors: bounds, ramp discipline and
+//! hysteresis behaviour under arbitrary error streams.
+
+use proptest::prelude::*;
+use razorbus_ctrl::{
+    ControllerConfig, FixedVoltage, ProportionalController, ThresholdController, VoltageGovernor,
+};
+use razorbus_units::Millivolts;
+
+fn arbitrary_error_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    // (windows, window error rate) segments.
+    proptest::collection::vec((1u64..6, 0.0f64..0.08), 1..12)
+}
+
+fn drive<G: VoltageGovernor>(g: &mut G, segments: &[(u64, f64)], window: u64, seed: u64) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for &(windows, rate) in segments {
+        for _ in 0..windows * window {
+            // xorshift for a cheap deterministic Bernoulli draw
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let err = (state as f64 / u64::MAX as f64) < rate;
+            g.record_cycle(err);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn threshold_controller_stays_in_bounds(
+        segments in arbitrary_error_stream(),
+        floor_steps in 0i32..17,
+        seed in any::<u64>(),
+    ) {
+        let floor = Millivolts::new(860 + 20 * floor_steps);
+        let cfg = ControllerConfig::paper_default(floor);
+        let mut c = ThresholdController::new(cfg);
+        let mut min_seen = c.voltage();
+        let mut max_seen = c.voltage();
+        for &(windows, rate) in &segments {
+            for _ in 0..windows * cfg.window {
+                // piecewise-constant deterministic stream
+                let err = rate > 0.04;
+                c.record_cycle(err);
+                min_seen = min_seen.min(c.voltage());
+                max_seen = max_seen.max(c.voltage());
+            }
+        }
+        prop_assert!(min_seen >= floor);
+        prop_assert!(max_seen <= Millivolts::new(1_200));
+        let _ = seed;
+    }
+
+    #[test]
+    fn voltage_moves_in_grid_steps_only(
+        segments in arbitrary_error_stream(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ControllerConfig::paper_default(Millivolts::new(880));
+        let mut c = ThresholdController::new(cfg);
+        let mut last = c.voltage();
+        let mut deltas = vec![];
+        for &(windows, rate) in &segments {
+            for i in 0..windows * cfg.window {
+                let draw = ((seed ^ i).wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64
+                    / ((1u64 << 24) as f64);
+                let err = draw < rate;
+                c.record_cycle(err);
+                if c.voltage() != last {
+                    deltas.push((c.voltage() - last).mv());
+                    last = c.voltage();
+                }
+            }
+        }
+        for d in deltas {
+            prop_assert_eq!(d.abs(), 20, "non-grid move of {} mV", d);
+        }
+    }
+
+    #[test]
+    fn zero_error_stream_reaches_floor_eventually(
+        floor_steps in 0i32..10,
+    ) {
+        let floor = Millivolts::new(1_000 + 20 * floor_steps);
+        let cfg = ControllerConfig::paper_default(floor);
+        let mut c = ThresholdController::new(cfg);
+        // Enough windows to walk the whole range with ramp delays.
+        for _ in 0..(2 * (1_200 - floor.mv()) / 20 + 4) {
+            for _ in 0..cfg.window {
+                c.record_cycle(false);
+            }
+        }
+        prop_assert_eq!(c.voltage(), floor);
+    }
+
+    #[test]
+    fn saturated_error_stream_returns_to_ceiling(
+        start_windows in 2u64..6,
+    ) {
+        let cfg = ControllerConfig::paper_default(Millivolts::new(900));
+        let mut c = ThresholdController::new(cfg);
+        // Walk down for a few windows.
+        for _ in 0..start_windows * cfg.window {
+            c.record_cycle(false);
+        }
+        // A decided-but-unapplied down-step may still land: let any
+        // in-flight ramp complete during one saturated window first.
+        for _ in 0..cfg.window {
+            c.record_cycle(true);
+        }
+        let lowest = c.voltage();
+        // From here every window errors: must climb monotonically back up.
+        let mut prev = c.voltage();
+        for _ in 0..12 * cfg.window {
+            c.record_cycle(true);
+            prop_assert!(c.voltage() >= prev, "dropped while saturated");
+            prev = c.voltage();
+        }
+        prop_assert!(c.voltage() >= lowest);
+        prop_assert_eq!(c.voltage(), Millivolts::new(1_200));
+    }
+
+    #[test]
+    fn proportional_and_threshold_share_bounds(
+        segments in arbitrary_error_stream(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ControllerConfig::paper_default(Millivolts::new(880));
+        let mut p = ProportionalController::paper_band(cfg);
+        drive(&mut p, &segments, cfg.window, seed);
+        prop_assert!(p.voltage() >= Millivolts::new(880));
+        prop_assert!(p.voltage() <= Millivolts::new(1_200));
+    }
+
+    #[test]
+    fn fixed_governor_counts_faithfully(
+        errors in proptest::collection::vec(any::<bool>(), 1..500),
+    ) {
+        let mut g = FixedVoltage::new(Millivolts::new(1_000));
+        for &e in &errors {
+            g.record_cycle(e);
+        }
+        prop_assert_eq!(g.cycles(), errors.len() as u64);
+        prop_assert_eq!(g.errors(), errors.iter().filter(|&&e| e).count() as u64);
+    }
+}

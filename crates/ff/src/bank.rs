@@ -1,0 +1,264 @@
+//! A bank of double-sampling flops at the receiving end of the bus.
+//!
+//! §2: "The local error signals (Error_L) of all the individual
+//! flip-flops in a bank that lie between two pipeline stages are ORed to
+//! produce an error signal that indicates a timing error in the previous
+//! pipeline stage. … Error correction requires at least a one cycle
+//! penalty since the incorrect data that was sent to the next stage needs
+//! to be flushed out before the correct data from the shadow latch is
+//! re-transmitted."
+
+use crate::flop::{DoubleSamplingFlop, SampleOutcome};
+use razorbus_units::Picoseconds;
+
+/// Result of clocking the bank for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankOutcome {
+    /// OR of all flops' `Error_L`.
+    pub error: bool,
+    /// Word committed to the next pipeline stage this cycle, or `None`
+    /// when the cycle errored (the wrong word is flushed and recovery
+    /// must run).
+    pub committed: Option<u32>,
+    /// Bitmask of flops that individually raised `Error_L`.
+    pub error_bits: u32,
+    /// True if any flop missed even its shadow window — silent corruption
+    /// that a correctly-floored DVS system must never produce.
+    pub shadow_violation: bool,
+}
+
+/// A bus-width bank of [`DoubleSamplingFlop`]s with OR-ed error output and
+/// the one-cycle recovery protocol.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone)]
+pub struct FlopBank {
+    flops: Vec<DoubleSamplingFlop>,
+    errors_seen: u64,
+    cycles: u64,
+    shadow_violations: u64,
+}
+
+impl FlopBank {
+    /// Creates a bank of `n_bits` flops (≤ 32) with common timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits` is 0 or exceeds 32.
+    #[must_use]
+    pub fn new(n_bits: usize, setup: Picoseconds, skew: Picoseconds) -> Self {
+        assert!(n_bits > 0 && n_bits <= 32, "bank supports 1..=32 bits");
+        Self {
+            flops: vec![DoubleSamplingFlop::new(setup, skew); n_bits],
+            errors_seen: 0,
+            cycles: 0,
+            shadow_violations: 0,
+        }
+    }
+
+    /// Number of flops.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        self.flops.len()
+    }
+
+    /// Cycles clocked so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Error cycles seen so far.
+    #[must_use]
+    pub fn errors_seen(&self) -> u64 {
+        self.errors_seen
+    }
+
+    /// Shadow violations seen so far (must stay 0 in a correct design).
+    #[must_use]
+    pub fn shadow_violations(&self) -> u64 {
+        self.shadow_violations
+    }
+
+    /// Architectural word currently on the slave latches.
+    #[must_use]
+    pub fn q_word(&self) -> u32 {
+        self.flops
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, f)| acc | (u32::from(f.q()) << i))
+    }
+
+    /// Word held by the shadow latches.
+    #[must_use]
+    pub fn shadow_word(&self) -> u32 {
+        self.flops
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, f)| acc | (u32::from(f.shadow()) << i))
+    }
+
+    /// Clocks every flop with its bit of `word` and its `arrival` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len() != n_bits`.
+    pub fn clock_cycle(&mut self, word: u32, arrivals: &[Picoseconds]) -> BankOutcome {
+        assert_eq!(arrivals.len(), self.flops.len(), "one arrival per bit");
+        self.cycles += 1;
+        let mut error_bits = 0u32;
+        let mut shadow_violation = false;
+        for (i, (flop, &arrival)) in self.flops.iter_mut().zip(arrivals).enumerate() {
+            let bit = (word >> i) & 1 == 1;
+            match flop.sample(bit, arrival) {
+                SampleOutcome::Clean => {}
+                SampleOutcome::ErrorRecoverable => error_bits |= 1 << i,
+                SampleOutcome::ShadowViolation => shadow_violation = true,
+            }
+        }
+        let error = error_bits != 0 || shadow_violation;
+        if error {
+            self.errors_seen += 1;
+        }
+        if shadow_violation {
+            self.shadow_violations += 1;
+        }
+        BankOutcome {
+            error,
+            committed: (!error).then(|| self.q_word()),
+            error_bits,
+            shadow_violation,
+        }
+    }
+
+    /// Runs the recovery cycle: restores every flop from its shadow latch
+    /// and returns the corrected word (the one the next stage consumes
+    /// after the bubble).
+    pub fn recover(&mut self) -> u32 {
+        for flop in &mut self.flops {
+            flop.restore();
+        }
+        self.q_word()
+    }
+
+    /// Observed error rate (error cycles / cycles).
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.errors_seen as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals(n: usize, ps: f64) -> Vec<Picoseconds> {
+        vec![Picoseconds::new(ps); n]
+    }
+
+    fn bank() -> FlopBank {
+        FlopBank::new(32, Picoseconds::new(600.0), Picoseconds::new(220.0))
+    }
+
+    #[test]
+    fn clean_cycle_commits_word() {
+        let mut b = bank();
+        let out = b.clock_cycle(0xABCD_1234, &arrivals(32, 400.0));
+        assert!(!out.error);
+        assert_eq!(out.committed, Some(0xABCD_1234));
+        assert_eq!(b.q_word(), 0xABCD_1234);
+        assert_eq!(b.shadow_word(), 0xABCD_1234);
+    }
+
+    #[test]
+    fn one_late_bit_raises_bank_error() {
+        let mut b = bank();
+        b.clock_cycle(0, &arrivals(32, 100.0));
+        let mut a = arrivals(32, 100.0);
+        a[7] = Picoseconds::new(777.0);
+        let out = b.clock_cycle(1 << 7, &a);
+        assert!(out.error);
+        assert_eq!(out.error_bits, 1 << 7);
+        assert_eq!(out.committed, None);
+        assert!(!out.shadow_violation);
+        // Architectural word is stale on bit 7 until recovery.
+        assert_eq!(b.q_word() & (1 << 7), 0);
+        assert_eq!(b.recover(), 1 << 7);
+    }
+
+    #[test]
+    fn multiple_late_bits_one_bank_error() {
+        // "A single bus timing error represents the assertion of the
+        // error signal by one or more error detecting flip-flops in the
+        // bank in a single cycle." (§3)
+        let mut b = bank();
+        b.clock_cycle(0, &arrivals(32, 100.0));
+        let mut a = arrivals(32, 100.0);
+        a[0] = Picoseconds::new(650.0);
+        a[1] = Picoseconds::new(700.0);
+        let out = b.clock_cycle(0b11, &a);
+        assert_eq!(out.error_bits, 0b11);
+        assert_eq!(b.errors_seen(), 1, "one bank error, not two");
+        assert_eq!(b.recover(), 0b11);
+    }
+
+    #[test]
+    fn recovery_preserves_clean_bits() {
+        let mut b = bank();
+        b.clock_cycle(0xFFFF_0000, &arrivals(32, 100.0));
+        let mut a = arrivals(32, 100.0);
+        a[0] = Picoseconds::new(650.0);
+        let out = b.clock_cycle(0xFFFF_0001, &a);
+        assert!(out.error);
+        assert_eq!(b.recover(), 0xFFFF_0001);
+    }
+
+    #[test]
+    fn shadow_violation_flagged() {
+        let mut b = bank();
+        b.clock_cycle(0, &arrivals(32, 100.0));
+        let mut a = arrivals(32, 100.0);
+        a[5] = Picoseconds::new(900.0); // beyond 820 ps shadow window
+        let out = b.clock_cycle(1 << 5, &a);
+        assert!(out.shadow_violation);
+        assert_eq!(b.shadow_violations(), 1);
+        // Recovery CANNOT fix this: shadow is stale too.
+        assert_eq!(b.recover() & (1 << 5), 0);
+    }
+
+    #[test]
+    fn error_rate_accounting() {
+        let mut b = bank();
+        for i in 0..10 {
+            let word = u32::from(i % 2 == 0);
+            let mut a = arrivals(32, 100.0);
+            if i == 4 {
+                a[0] = Picoseconds::new(650.0);
+            }
+            let out = b.clock_cycle(word, &a);
+            if out.error {
+                b.recover();
+            }
+        }
+        assert_eq!(b.cycles(), 10);
+        assert_eq!(b.errors_seen(), 1);
+        assert!((b.error_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one arrival per bit")]
+    fn wrong_arrival_count_panics() {
+        let mut b = bank();
+        let _ = b.clock_cycle(0, &arrivals(31, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32 bits")]
+    fn rejects_oversized_bank() {
+        let _ = FlopBank::new(33, Picoseconds::new(600.0), Picoseconds::new(220.0));
+    }
+}

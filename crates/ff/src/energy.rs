@@ -1,0 +1,159 @@
+//! Flip-flop clocking, data and error-recovery energy.
+//!
+//! §4: "For every error, there is an energy overhead involved in
+//! re-transmitting the correct data to the processor pipeline. Since only
+//! a small fraction of the flops in a bank typically result in errors,
+//! most of the extra energy consumption usually comes from clocking all
+//! the flip-flops for an extra cycle."
+
+use razorbus_units::{Femtofarads, Femtojoules, Volts};
+
+/// Capacitance-based flop energy model.
+///
+/// ```
+/// use razorbus_ff::FlopEnergyModel;
+/// use razorbus_units::Volts;
+///
+/// let m = FlopEnergyModel::l130_default();
+/// let clocking = m.clock_energy_per_cycle(32, Volts::new(1.2));
+/// let recovery = m.recovery_energy(32, 3, Volts::new(1.2));
+/// // Recovery costs at least one extra full-bank clock cycle.
+/// assert!(recovery >= clocking);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlopEnergyModel {
+    /// Clock-network + internal clocking capacitance per flop.
+    clock_cap_per_flop: Femtofarads,
+    /// Data-path capacitance switched when a flop's value changes.
+    data_cap_per_flop: Femtofarads,
+    /// Multiplier covering the double-sampling additions (shadow latch,
+    /// delayed clock buffer, XOR, mux) relative to a plain flop.
+    razor_overhead: f64,
+}
+
+impl FlopEnergyModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitances are non-positive or `razor_overhead < 1`.
+    #[must_use]
+    pub fn new(
+        clock_cap_per_flop: Femtofarads,
+        data_cap_per_flop: Femtofarads,
+        razor_overhead: f64,
+    ) -> Self {
+        assert!(
+            clock_cap_per_flop.ff() > 0.0 && data_cap_per_flop.ff() > 0.0,
+            "flop capacitances must be positive"
+        );
+        assert!(
+            razor_overhead >= 1.0,
+            "double sampling cannot cost less than a plain flop"
+        );
+        Self {
+            clock_cap_per_flop,
+            data_cap_per_flop,
+            razor_overhead,
+        }
+    }
+
+    /// Representative 0.13 µm values: 12 fF clocking and 8 fF data
+    /// capacitance per flop, 30 % Razor overhead.
+    #[must_use]
+    pub fn l130_default() -> Self {
+        Self::new(Femtofarads::new(12.0), Femtofarads::new(8.0), 1.3)
+    }
+
+    /// Effective clocking capacitance of an `n_flops` bank (including the
+    /// double-sampling overhead): the `C` in the per-cycle `C·V²`.
+    #[must_use]
+    pub fn clock_capacitance(&self, n_flops: usize) -> Femtofarads {
+        self.clock_cap_per_flop * (n_flops as f64 * self.razor_overhead)
+    }
+
+    /// Data capacitance switched per toggling flop.
+    #[must_use]
+    pub fn data_capacitance(&self) -> Femtofarads {
+        self.data_cap_per_flop
+    }
+
+    /// Energy to clock a bank of `n_flops` for one cycle at supply `v`
+    /// (paid every cycle, errors or not).
+    #[must_use]
+    pub fn clock_energy_per_cycle(&self, n_flops: usize, v: Volts) -> Femtojoules {
+        self.clock_cap_per_flop * (n_flops as f64 * self.razor_overhead) * v * v
+    }
+
+    /// Energy of `toggled` flops capturing new data values.
+    #[must_use]
+    pub fn data_energy(&self, toggled: u32, v: Volts) -> Femtojoules {
+        self.data_cap_per_flop * f64::from(toggled) * v * v
+    }
+
+    /// Energy of one error-recovery event: the whole bank is clocked for
+    /// an extra cycle and the `error_bits` flops flip through the restore
+    /// mux. No bus retransmission is charged — that is the headline
+    /// advantage of the scheme (§1).
+    #[must_use]
+    pub fn recovery_energy(&self, n_flops: usize, error_bits: u32, v: Volts) -> Femtojoules {
+        self.clock_energy_per_cycle(n_flops, v) + self.data_energy(error_bits, v)
+    }
+}
+
+impl Default for FlopEnergyModel {
+    fn default() -> Self {
+        Self::l130_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_energy_scales_with_bank_and_v2() {
+        let m = FlopEnergyModel::l130_default();
+        let e16 = m.clock_energy_per_cycle(16, Volts::new(1.0));
+        let e32 = m.clock_energy_per_cycle(32, Volts::new(1.0));
+        assert!((e32.fj() / e16.fj() - 2.0).abs() < 1e-12);
+        let half_v = m.clock_energy_per_cycle(32, Volts::new(0.5));
+        assert!((e32.fj() / half_v.fj() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_dominates_by_clocking() {
+        // The paper's observation: few erroring bits, so recovery cost is
+        // mostly one extra bank clock.
+        let m = FlopEnergyModel::l130_default();
+        let rec = m.recovery_energy(32, 1, Volts::new(1.2));
+        let clk = m.clock_energy_per_cycle(32, Volts::new(1.2));
+        assert!(rec.fj() / clk.fj() < 1.05);
+    }
+
+    #[test]
+    fn recovery_small_next_to_bus_cycle_energy() {
+        // §4/Fig. 4: recovery overhead is "very small compared to the
+        // energy savings on the bus". A typical bus cycle switches
+        // several pF; the bank recovery is under 1 pF.
+        let m = FlopEnergyModel::l130_default();
+        let rec = m.recovery_energy(32, 4, Volts::new(1.2));
+        assert!(rec.fj() < 1_000.0, "recovery = {rec}");
+    }
+
+    #[test]
+    fn razor_overhead_present() {
+        let plain = FlopEnergyModel::new(Femtofarads::new(12.0), Femtofarads::new(8.0), 1.0);
+        let razor = FlopEnergyModel::l130_default();
+        assert!(
+            razor.clock_energy_per_cycle(32, Volts::new(1.2))
+                > plain.clock_energy_per_cycle(32, Volts::new(1.2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cost less")]
+    fn rejects_sub_unity_overhead() {
+        let _ = FlopEnergyModel::new(Femtofarads::new(12.0), Femtofarads::new(8.0), 0.9);
+    }
+}

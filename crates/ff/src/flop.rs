@@ -1,0 +1,212 @@
+//! One double-sampling flip-flop (the paper's Fig. 2).
+
+use razorbus_units::Picoseconds;
+
+/// What one flop observed in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// Data met the main setup window; main and shadow agree.
+    Clean,
+    /// Data missed the main edge but met the shadow window: `Error_L`
+    /// asserted, recovery possible.
+    ErrorRecoverable,
+    /// Data missed even the shadow window — the shadow latch holds stale
+    /// data and recovery would propagate garbage. The DVS floor must make
+    /// this unreachable; the bank reports it so tests can prove it never
+    /// fires.
+    ShadowViolation,
+}
+
+/// A single Razor-style double-sampling flip-flop.
+///
+/// The flop is clocked once per cycle. Its data input is described by the
+/// *final* value on the wire this cycle and the time that value settled
+/// (arrival). Sampling semantics:
+///
+/// * `arrival ≤ setup` — both latches capture the new value.
+/// * `setup < arrival ≤ setup + skew` — the main (slave) latch keeps the
+///   wire's previous value; the shadow latch captures the new one;
+///   `Error_L = main XOR shadow` asserts whenever they differ.
+/// * `arrival > setup + skew` — the shadow latch is stale too
+///   ([`SampleOutcome::ShadowViolation`]).
+///
+/// ```
+/// use razorbus_ff::{DoubleSamplingFlop, SampleOutcome};
+/// use razorbus_units::Picoseconds;
+///
+/// let mut ff = DoubleSamplingFlop::new(Picoseconds::new(600.0), Picoseconds::new(220.0));
+/// assert_eq!(ff.sample(true, Picoseconds::new(500.0)), SampleOutcome::Clean);
+/// assert!(ff.q());
+/// // Next cycle the value flips but arrives late:
+/// assert_eq!(ff.sample(false, Picoseconds::new(700.0)), SampleOutcome::ErrorRecoverable);
+/// assert!(ff.q());          // main still holds the stale `true`
+/// assert!(ff.error());      // Error_L asserted
+/// ff.restore();             // mux feeds shadow back into the master
+/// assert!(!ff.q());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoubleSamplingFlop {
+    setup: Picoseconds,
+    skew: Picoseconds,
+    /// Slave (architectural) latch.
+    main: bool,
+    /// Shadow latch.
+    shadow: bool,
+    /// Value the wire held before the current cycle's transition.
+    wire_prev: bool,
+}
+
+impl DoubleSamplingFlop {
+    /// Creates a flop with the given main setup budget and shadow clock
+    /// skew, initialized to logic 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `setup` or `skew` is negative.
+    #[must_use]
+    pub fn new(setup: Picoseconds, skew: Picoseconds) -> Self {
+        assert!(setup.ps() >= 0.0, "setup budget must be non-negative");
+        assert!(skew.ps() >= 0.0, "shadow skew must be non-negative");
+        Self {
+            setup,
+            skew,
+            main: false,
+            shadow: false,
+            wire_prev: false,
+        }
+    }
+
+    /// Main setup budget (time the data must settle by).
+    #[must_use]
+    pub fn setup(&self) -> Picoseconds {
+        self.setup
+    }
+
+    /// Shadow clock skew after the main edge.
+    #[must_use]
+    pub fn skew(&self) -> Picoseconds {
+        self.skew
+    }
+
+    /// Architectural output Q (the slave latch).
+    #[must_use]
+    pub fn q(&self) -> bool {
+        self.main
+    }
+
+    /// Shadow latch content.
+    #[must_use]
+    pub fn shadow(&self) -> bool {
+        self.shadow
+    }
+
+    /// `Error_L`: XOR of slave and shadow latches.
+    #[must_use]
+    pub fn error(&self) -> bool {
+        self.main != self.shadow
+    }
+
+    /// Clocks the flop for one cycle. `value` is the final wire value this
+    /// cycle; `arrival` the time it settled after the launching edge.
+    pub fn sample(&mut self, value: bool, arrival: Picoseconds) -> SampleOutcome {
+        let outcome = if value == self.wire_prev || arrival <= self.setup {
+            // No transition, or transition met the main window.
+            self.main = value;
+            self.shadow = value;
+            SampleOutcome::Clean
+        } else if arrival <= self.setup + self.skew {
+            self.main = self.wire_prev;
+            self.shadow = value;
+            SampleOutcome::ErrorRecoverable
+        } else {
+            // Even the shadow missed: both latches stale.
+            self.main = self.wire_prev;
+            self.shadow = self.wire_prev;
+            SampleOutcome::ShadowViolation
+        };
+        self.wire_prev = value;
+        outcome
+    }
+
+    /// Drives the master-latch feedback multiplexer: copies the shadow
+    /// latch into the slave, clearing `Error_L`.
+    pub fn restore(&mut self) {
+        self.main = self.shadow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ff() -> DoubleSamplingFlop {
+        DoubleSamplingFlop::new(Picoseconds::new(600.0), Picoseconds::new(220.0))
+    }
+
+    #[test]
+    fn clean_capture_updates_both_latches() {
+        let mut f = ff();
+        assert_eq!(f.sample(true, Picoseconds::new(599.9)), SampleOutcome::Clean);
+        assert!(f.q() && f.shadow() && !f.error());
+    }
+
+    #[test]
+    fn boundary_arrival_is_clean() {
+        let mut f = ff();
+        assert_eq!(f.sample(true, Picoseconds::new(600.0)), SampleOutcome::Clean);
+        assert!(f.q());
+    }
+
+    #[test]
+    fn late_arrival_detected_and_recoverable() {
+        let mut f = ff();
+        f.sample(true, Picoseconds::new(100.0));
+        let out = f.sample(false, Picoseconds::new(601.0));
+        assert_eq!(out, SampleOutcome::ErrorRecoverable);
+        assert!(f.q(), "main keeps stale value");
+        assert!(!f.shadow(), "shadow has the real value");
+        assert!(f.error());
+        f.restore();
+        assert!(!f.q() && !f.error());
+    }
+
+    #[test]
+    fn no_transition_never_errors_even_if_late() {
+        // A wire that does not toggle has no "arrival"; late timestamps
+        // for an unchanged value must not fault.
+        let mut f = ff();
+        f.sample(true, Picoseconds::new(100.0));
+        assert_eq!(f.sample(true, Picoseconds::new(10_000.0)), SampleOutcome::Clean);
+        assert!(!f.error());
+    }
+
+    #[test]
+    fn shadow_window_boundary() {
+        let mut f = ff();
+        f.sample(true, Picoseconds::new(100.0));
+        assert_eq!(
+            f.sample(false, Picoseconds::new(820.0)),
+            SampleOutcome::ErrorRecoverable
+        );
+        f.restore();
+        assert_eq!(
+            f.sample(true, Picoseconds::new(820.1)),
+            SampleOutcome::ShadowViolation
+        );
+        // Both latches stale: silent corruption (which the floor prevents).
+        assert!(!f.q() && !f.shadow() && !f.error());
+    }
+
+    #[test]
+    fn error_is_xor_of_latches() {
+        let mut f = ff();
+        f.sample(true, Picoseconds::new(650.0)); // first transition late
+        assert_eq!(f.q() != f.shadow(), f.error());
+    }
+
+    #[test]
+    #[should_panic(expected = "setup budget must be non-negative")]
+    fn rejects_negative_setup() {
+        let _ = DoubleSamplingFlop::new(Picoseconds::new(-1.0), Picoseconds::new(100.0));
+    }
+}

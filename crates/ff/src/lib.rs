@@ -1,0 +1,57 @@
+//! Double-sampling (Razor-style) flip-flop models for the razorbus DVS bus.
+//!
+//! §2 of the paper describes the error-detecting flip-flop (its Fig. 2):
+//! a conventional master–slave flop sampled at the clock edge plus a
+//! *shadow latch* clocked `skew` later. When the bus data arrives after
+//! the main edge but before the shadow edge, the main flop holds a stale
+//! value, the shadow latch holds the correct one, and their XOR raises
+//! `Error_L`; a multiplexer in the master feedback path then restores the
+//! correct value at a one-cycle penalty, *without retransmitting on the
+//! bus*. Per-bank `Error_L` signals are OR-ed into the error signal the
+//! DVS controller polls.
+//!
+//! This crate models that machinery at the bit level:
+//!
+//! * [`DoubleSamplingFlop`] — one flop: main/shadow sampling windows,
+//!   error detection, restore.
+//! * [`FlopBank`] — a bus-width bank with OR-ed error, the recovery FSM
+//!   and the 1-cycle penalty accounting.
+//! * [`ShadowSkewAnalysis`] — the §2 hold-time (short-path) constraint:
+//!   how far the shadow clock may be delayed before the *next* cycle's
+//!   data races through; the paper found 33 % of the cycle is safe for
+//!   its bus.
+//! * [`FlopEnergyModel`] — clocking/data/recovery energy (the paper:
+//!   "most of the extra energy consumption usually comes from clocking
+//!   all the flip-flops for an extra cycle").
+//!
+//! # Example
+//!
+//! ```
+//! use razorbus_ff::FlopBank;
+//! use razorbus_units::Picoseconds;
+//!
+//! let mut bank = FlopBank::new(32, Picoseconds::new(600.0), Picoseconds::new(220.0));
+//! // Bit 3 arrives late (650 ps > 600 ps setup) - the main flop misses it.
+//! let mut arrivals = vec![Picoseconds::new(300.0); 32];
+//! arrivals[3] = Picoseconds::new(650.0);
+//! let out = bank.clock_cycle(0x0000_0008, &arrivals);
+//! assert!(out.error);              // detected
+//! assert_eq!(out.committed, None); // wrong data flushed
+//! let fixed = bank.recover();
+//! assert_eq!(fixed, 0x0000_0008);  // restored from the shadow latch
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod energy;
+mod flop;
+mod pipeline;
+mod timing;
+
+pub use bank::{BankOutcome, FlopBank};
+pub use energy::FlopEnergyModel;
+pub use flop::{DoubleSamplingFlop, SampleOutcome};
+pub use pipeline::{PipelineEvent, RecoveryPipeline};
+pub use timing::ShadowSkewAnalysis;

@@ -1,0 +1,252 @@
+//! The consumer-side recovery protocol: how the pipeline stage fed by the
+//! bus absorbs a timing error.
+//!
+//! §1–§2 of the paper: "The bus feeds into the memory unit of the
+//! execution core, where load data is typically held in a buffer before
+//! being committed to an architectural state. The original flip-flops …
+//! can be replaced by the double-sampling flip-flops and timing errors can
+//! be handled in a manner similar to cache misses and speculative loads,
+//! with a one cycle penalty for error recovery. … the incorrect data that
+//! was sent to the next stage needs to be flushed out before the correct
+//! data from the shadow latch is re-transmitted."
+//!
+//! [`RecoveryPipeline`] models exactly that: a receive stage (the
+//! [`FlopBank`]) feeding a commit buffer. On an error cycle the
+//! speculatively-forwarded word is *squashed* before commit, the bank
+//! restores from its shadow latches, and the corrected word commits one
+//! cycle late. Downstream always observes the exact transmitted sequence,
+//! just with bubbles — the invariant the tests pin down.
+
+use crate::bank::FlopBank;
+use razorbus_units::Picoseconds;
+
+/// What the pipeline did in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineEvent {
+    /// A word committed normally.
+    Commit(u32),
+    /// The cycle was a recovery bubble: the previous word was squashed
+    /// and the corrected value shown here committed instead.
+    RecoveryCommit(u32),
+    /// Unrecoverable: even the shadow latch was stale (must never happen
+    /// above the DVS floor).
+    Corrupted(u32),
+}
+
+impl PipelineEvent {
+    /// The word the architectural state received.
+    #[must_use]
+    pub fn committed_word(self) -> u32 {
+        match self {
+            Self::Commit(w) | Self::RecoveryCommit(w) | Self::Corrupted(w) => w,
+        }
+    }
+
+    /// Whether this cycle carried a recovery penalty.
+    #[must_use]
+    pub fn is_recovery(self) -> bool {
+        matches!(self, Self::RecoveryCommit(_))
+    }
+}
+
+/// A bus-fed pipeline stage with Razor error recovery.
+///
+/// ```
+/// use razorbus_ff::{PipelineEvent, RecoveryPipeline};
+/// use razorbus_units::Picoseconds;
+///
+/// let mut pipe = RecoveryPipeline::new(32, Picoseconds::new(600.0), Picoseconds::new(220.0));
+/// let on_time = vec![Picoseconds::new(300.0); 32];
+/// assert_eq!(pipe.cycle(0x1234, &on_time), PipelineEvent::Commit(0x1234));
+///
+/// let mut late = on_time.clone();
+/// late[2] = Picoseconds::new(700.0); // bit 2 misses the main edge
+/// let ev = pipe.cycle(0x1234 ^ 0b100, &late);
+/// assert_eq!(ev, PipelineEvent::RecoveryCommit(0x1234 ^ 0b100));
+/// assert_eq!(pipe.penalty_cycles(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecoveryPipeline {
+    bank: FlopBank,
+    committed: Vec<u32>,
+    penalty_cycles: u64,
+    corrupted: u64,
+}
+
+impl RecoveryPipeline {
+    /// Creates a pipeline behind a bank of `n_bits` double-sampling flops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits` is 0 or exceeds 32 (see [`FlopBank::new`]).
+    #[must_use]
+    pub fn new(n_bits: usize, setup: Picoseconds, skew: Picoseconds) -> Self {
+        Self {
+            bank: FlopBank::new(n_bits, setup, skew),
+            committed: Vec::new(),
+            penalty_cycles: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Runs one bus cycle: `word` arrives with per-bit `arrivals`. On an
+    /// error the stage stalls one cycle (counted in
+    /// [`RecoveryPipeline::penalty_cycles`]) while the bank restores, and
+    /// the corrected word commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len()` differs from the bank width.
+    pub fn cycle(&mut self, word: u32, arrivals: &[Picoseconds]) -> PipelineEvent {
+        let outcome = self.bank.clock_cycle(word, arrivals);
+        let event = if let Some(clean) = outcome.committed {
+            PipelineEvent::Commit(clean)
+        } else {
+            // Flush the speculative word, burn the bubble, restore.
+            self.penalty_cycles += 1;
+            let fixed = self.bank.recover();
+            if outcome.shadow_violation {
+                self.corrupted += 1;
+                PipelineEvent::Corrupted(fixed)
+            } else {
+                PipelineEvent::RecoveryCommit(fixed)
+            }
+        };
+        self.committed.push(event.committed_word());
+        event
+    }
+
+    /// Every word committed so far, in order.
+    #[must_use]
+    pub fn committed(&self) -> &[u32] {
+        &self.committed
+    }
+
+    /// Total recovery bubbles (the paper's 1-cycle penalties).
+    #[must_use]
+    pub fn penalty_cycles(&self) -> u64 {
+        self.penalty_cycles
+    }
+
+    /// Silent-corruption commits (0 in any legal operating regime).
+    #[must_use]
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
+    /// The effective IPC under the paper's model: useful cycles over
+    /// total cycles (§3: each instruction is one cycle; each error adds
+    /// one).
+    #[must_use]
+    pub fn effective_ipc(&self) -> f64 {
+        let useful = self.committed.len() as u64;
+        if useful == 0 {
+            return 1.0;
+        }
+        useful as f64 / (useful + self.penalty_cycles) as f64
+    }
+
+    /// The underlying flop bank (statistics, inspection).
+    #[must_use]
+    pub fn bank(&self) -> &FlopBank {
+        &self.bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SETUP: f64 = 600.0;
+    const SKEW: f64 = 220.0;
+
+    fn pipe() -> RecoveryPipeline {
+        RecoveryPipeline::new(32, Picoseconds::new(SETUP), Picoseconds::new(SKEW))
+    }
+
+    fn on_time() -> Vec<Picoseconds> {
+        vec![Picoseconds::new(250.0); 32]
+    }
+
+    #[test]
+    fn clean_stream_commits_in_order() {
+        let mut p = pipe();
+        for w in [1u32, 2, 3, 4] {
+            assert_eq!(p.cycle(w, &on_time()), PipelineEvent::Commit(w));
+        }
+        assert_eq!(p.committed(), &[1, 2, 3, 4]);
+        assert_eq!(p.penalty_cycles(), 0);
+        assert!((p.effective_ipc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_add_bubbles_but_never_reorder_or_drop() {
+        let mut p = pipe();
+        // Bit 0 toggles on every odd cycle so the late arrival matters.
+        let words = [0xFF, 0x00, 0xAB, 0xCC, 0x12];
+        for (i, &w) in words.iter().enumerate() {
+            let mut arr = on_time();
+            if i % 2 == 1 {
+                // Every other word arrives late on some toggling bit.
+                arr[0] = Picoseconds::new(SETUP + 50.0);
+            }
+            let ev = p.cycle(w, &arr);
+            assert_eq!(ev.committed_word(), w, "word {i} corrupted");
+        }
+        assert_eq!(p.committed(), &words);
+        assert_eq!(p.penalty_cycles(), 2);
+        assert_eq!(p.corrupted(), 0);
+        // 5 useful cycles + 2 bubbles: IPC = 5/7.
+        assert!((p.effective_ipc() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_event_flags_penalty() {
+        let mut p = pipe();
+        p.cycle(0, &on_time());
+        let mut arr = on_time();
+        arr[7] = Picoseconds::new(SETUP + 1.0);
+        let ev = p.cycle(1 << 7, &arr);
+        assert!(ev.is_recovery());
+        assert_eq!(ev, PipelineEvent::RecoveryCommit(1 << 7));
+    }
+
+    #[test]
+    fn shadow_violation_surfaces_as_corruption() {
+        let mut p = pipe();
+        p.cycle(0, &on_time());
+        let mut arr = on_time();
+        arr[3] = Picoseconds::new(SETUP + SKEW + 10.0);
+        let ev = p.cycle(1 << 3, &arr);
+        match ev {
+            PipelineEvent::Corrupted(w) => {
+                // The stale value committed - and was *reported*.
+                assert_eq!(w & (1 << 3), 0);
+            }
+            other => panic!("expected corruption report, got {other:?}"),
+        }
+        assert_eq!(p.corrupted(), 1);
+    }
+
+    #[test]
+    fn ipc_matches_error_rate_model() {
+        // §3: "a 1 cycle penalty for error recovery ... a reduction in
+        // performance (IPC) that is the same as the error-rate".
+        let mut p = pipe();
+        let n = 1_000u32;
+        let mut toggler = 0u32;
+        for i in 0..n {
+            toggler ^= 1; // bit 0 toggles every cycle
+            let mut arr = on_time();
+            if i % 20 == 7 {
+                arr[0] = Picoseconds::new(SETUP + 25.0); // 5% of cycles late
+            }
+            p.cycle(toggler, &arr);
+        }
+        let err_rate = p.bank().error_rate();
+        let ipc_loss = 1.0 - p.effective_ipc();
+        assert!((err_rate - 0.05).abs() < 0.01, "err {err_rate}");
+        // IPC loss ~ err/(1+err) under the bubble model.
+        assert!((ipc_loss - err_rate / (1.0 + err_rate)).abs() < 1e-3);
+    }
+}

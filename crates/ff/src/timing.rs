@@ -1,0 +1,183 @@
+//! The §2 hold-time (short-path) constraint on the shadow clock skew.
+//!
+//! "This error detection and correction capability comes at the cost of a
+//! much increased hold-time constraint … it needs to be ensured that the
+//! delays of short paths that feed into a shadow latch never violate the
+//! increased hold-time constraint. This hold constraint limits the amount
+//! of clock delay that can be accommodated on the shadow latch and hence
+//! the degree of voltage scaling below the point of first failure. …
+//! In our analysis, it was found that the shadow latch clock could be
+//! delayed by as much as 33% of the clock cycle without violating the
+//! short-path constraint."
+//!
+//! The *next* cycle's data leaves its launching flop `clk→q` after the
+//! edge and races down the bus in at least `min_path`; the shadow latch
+//! must close `hold` before it can arrive:
+//!
+//! ```text
+//! skew_max = clk_to_q + min_path − hold
+//! ```
+//!
+//! evaluated at the fastest condition (fast corner, cold, full supply,
+//! best-case switching pattern).
+
+use razorbus_units::Picoseconds;
+
+/// Shadow-skew derivation from the short-path analysis.
+///
+/// ```
+/// use razorbus_ff::ShadowSkewAnalysis;
+/// use razorbus_units::Picoseconds;
+///
+/// let analysis = ShadowSkewAnalysis::new(
+///     Picoseconds::new(145.0), // fastest bus transit
+///     Picoseconds::new(95.0),  // launching flop clk->q
+///     Picoseconds::new(25.0),  // shadow latch hold
+///     Picoseconds::new(666.7), // clock period
+///     0.33,                    // paper's skew cap
+/// );
+/// let skew = analysis.chosen_skew();
+/// assert!(skew <= analysis.max_safe_skew());
+/// assert!(skew.ps() <= 0.33 * 666.7 + 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShadowSkewAnalysis {
+    min_path: Picoseconds,
+    clk_to_q: Picoseconds,
+    hold: Picoseconds,
+    period: Picoseconds,
+    skew_fraction_cap: f64,
+}
+
+impl ShadowSkewAnalysis {
+    /// Creates an analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is negative, the period is non-positive, or
+    /// the cap is outside `(0, 0.5]` (beyond half a cycle the "delayed
+    /// clock" stops being meaningful).
+    #[must_use]
+    pub fn new(
+        min_path: Picoseconds,
+        clk_to_q: Picoseconds,
+        hold: Picoseconds,
+        period: Picoseconds,
+        skew_fraction_cap: f64,
+    ) -> Self {
+        assert!(min_path.ps() >= 0.0, "min path must be non-negative");
+        assert!(clk_to_q.ps() >= 0.0, "clk-to-q must be non-negative");
+        assert!(hold.ps() >= 0.0, "hold time must be non-negative");
+        assert!(period.ps() > 0.0, "period must be positive");
+        assert!(
+            skew_fraction_cap > 0.0 && skew_fraction_cap <= 0.5,
+            "skew cap must lie in (0, 0.5]"
+        );
+        Self {
+            min_path,
+            clk_to_q,
+            hold,
+            period,
+            skew_fraction_cap,
+        }
+    }
+
+    /// The paper's constants: 1.5 GHz clock, 33 % skew cap, with flop
+    /// `clk→q` = 95 ps and `hold` = 25 ps (representative 0.13 µm flop),
+    /// for a given fastest bus transit.
+    #[must_use]
+    pub fn paper_default(min_path: Picoseconds) -> Self {
+        Self::new(
+            min_path,
+            Picoseconds::new(95.0),
+            Picoseconds::new(25.0),
+            razorbus_units::Gigahertz::PAPER_CLOCK.period(),
+            0.33,
+        )
+    }
+
+    /// Largest skew the short-path constraint allows.
+    #[must_use]
+    pub fn max_safe_skew(&self) -> Picoseconds {
+        (self.clk_to_q + self.min_path - self.hold).max(Picoseconds::ZERO)
+    }
+
+    /// The cap expressed in time (33 % of the period for the paper).
+    #[must_use]
+    pub fn fraction_cap_skew(&self) -> Picoseconds {
+        self.period * self.skew_fraction_cap
+    }
+
+    /// The skew the design adopts: the safe bound, but never more than
+    /// the fraction cap.
+    #[must_use]
+    pub fn chosen_skew(&self) -> Picoseconds {
+        self.max_safe_skew().min(self.fraction_cap_skew())
+    }
+
+    /// Whether the short-path constraint (not the cap) is binding — §6
+    /// notes this happens when the modified bus's fastest path shrinks.
+    #[must_use]
+    pub fn hold_constrained(&self) -> bool {
+        self.max_safe_skew() < self.fraction_cap_skew()
+    }
+
+    /// Skew as a fraction of the clock period.
+    #[must_use]
+    pub fn skew_fraction(&self) -> f64 {
+        self.chosen_skew() / self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_bus_is_hold_constrained() {
+        let a = ShadowSkewAnalysis::paper_default(Picoseconds::new(100.0));
+        // 95 + 100 - 25 = 170 ps < 220 ps cap.
+        assert!(a.hold_constrained());
+        assert!((a.chosen_skew().ps() - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_min_path_hits_the_cap() {
+        let a = ShadowSkewAnalysis::paper_default(Picoseconds::new(300.0));
+        assert!(!a.hold_constrained());
+        assert!((a.chosen_skew().ps() - 0.33 * 666.666_666_7).abs() < 1e-3);
+        assert!((a.skew_fraction() - 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_zero_path_gives_zero_safe_skew() {
+        let a = ShadowSkewAnalysis::new(
+            Picoseconds::ZERO,
+            Picoseconds::new(10.0),
+            Picoseconds::new(30.0),
+            Picoseconds::new(667.0),
+            0.33,
+        );
+        assert_eq!(a.max_safe_skew(), Picoseconds::ZERO);
+        assert_eq!(a.chosen_skew(), Picoseconds::ZERO);
+    }
+
+    #[test]
+    fn shorter_min_path_never_increases_skew() {
+        let long = ShadowSkewAnalysis::paper_default(Picoseconds::new(200.0));
+        let short = ShadowSkewAnalysis::paper_default(Picoseconds::new(120.0));
+        assert!(short.chosen_skew() <= long.chosen_skew());
+    }
+
+    #[test]
+    #[should_panic(expected = "skew cap must lie in (0, 0.5]")]
+    fn rejects_big_cap() {
+        let _ = ShadowSkewAnalysis::new(
+            Picoseconds::new(100.0),
+            Picoseconds::new(95.0),
+            Picoseconds::new(25.0),
+            Picoseconds::new(667.0),
+            0.8,
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the double-sampling flop and bank: detection
+//! completeness, recovery correctness, and counting invariants.
+
+use proptest::prelude::*;
+use razorbus_ff::{FlopBank, ShadowSkewAnalysis};
+use razorbus_units::Picoseconds;
+
+const SETUP: f64 = 600.0;
+const SKEW: f64 = 220.0;
+
+/// Arrival strategies per bit: always within the shadow window.
+fn arrivals_within_shadow(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(50.0f64..(SETUP + SKEW), n)
+}
+
+proptest! {
+    /// Whatever mix of on-time and late (but shadow-safe) arrivals occurs,
+    /// after at most one recovery the bank holds exactly the transmitted
+    /// word — the core correctness claim of the Razor scheme.
+    #[test]
+    fn recovery_always_restores_transmitted_word(
+        words in proptest::collection::vec(any::<u32>(), 1..40),
+        arrival_seqs in proptest::collection::vec(arrivals_within_shadow(32), 40),
+    ) {
+        let mut bank = FlopBank::new(32, Picoseconds::new(SETUP), Picoseconds::new(SKEW));
+        for (word, arr) in words.iter().zip(&arrival_seqs) {
+            let arrivals: Vec<Picoseconds> = arr.iter().map(|&a| Picoseconds::new(a)).collect();
+            let out = bank.clock_cycle(*word, &arrivals);
+            prop_assert!(!out.shadow_violation);
+            let settled = if out.error {
+                prop_assert_eq!(out.committed, None);
+                bank.recover()
+            } else {
+                out.committed.unwrap()
+            };
+            prop_assert_eq!(settled, *word, "word corrupted despite recovery");
+        }
+    }
+
+    /// A cycle errors iff some *toggling* bit arrived after the setup
+    /// budget: on-time and non-toggling bits never raise Error_L.
+    #[test]
+    fn error_iff_toggling_bit_is_late(
+        prev in any::<u32>(),
+        cur in any::<u32>(),
+        arr in arrivals_within_shadow(32),
+    ) {
+        let mut bank = FlopBank::new(32, Picoseconds::new(SETUP), Picoseconds::new(SKEW));
+        let on_time = vec![Picoseconds::new(100.0); 32];
+        let first = bank.clock_cycle(prev, &on_time);
+        prop_assert!(!first.error);
+
+        let arrivals: Vec<Picoseconds> = arr.iter().map(|&a| Picoseconds::new(a)).collect();
+        let out = bank.clock_cycle(cur, &arrivals);
+        let expect = (0..32).any(|i| {
+            let toggles = ((prev ^ cur) >> i) & 1 == 1;
+            toggles && arr[i] > SETUP
+        });
+        prop_assert_eq!(out.error, expect);
+        if out.error {
+            bank.recover();
+        }
+        prop_assert_eq!(bank.q_word(), cur);
+    }
+
+    /// Error bits are always a subset of toggling bits.
+    #[test]
+    fn error_bits_subset_of_toggles(
+        prev in any::<u32>(),
+        cur in any::<u32>(),
+        arr in arrivals_within_shadow(32),
+    ) {
+        let mut bank = FlopBank::new(32, Picoseconds::new(SETUP), Picoseconds::new(SKEW));
+        bank.clock_cycle(prev, &vec![Picoseconds::new(100.0); 32]);
+        let arrivals: Vec<Picoseconds> = arr.iter().map(|&a| Picoseconds::new(a)).collect();
+        let out = bank.clock_cycle(cur, &arrivals);
+        prop_assert_eq!(out.error_bits & !(prev ^ cur), 0);
+        if out.error { bank.recover(); }
+    }
+
+    /// Bank error counting matches the number of erroring cycles, never
+    /// the number of erroring bits.
+    #[test]
+    fn error_count_is_per_cycle(
+        lates in proptest::collection::vec(0u32..32, 1..20),
+    ) {
+        let mut bank = FlopBank::new(32, Picoseconds::new(SETUP), Picoseconds::new(SKEW));
+        let mut expected_errors = 0;
+        let mut word = 0u32;
+        for (cycle, &n_late) in lates.iter().enumerate() {
+            word = !word; // toggle every bit every cycle
+            let mut arrivals = vec![Picoseconds::new(100.0); 32];
+            for a in arrivals.iter_mut().take(n_late as usize) {
+                *a = Picoseconds::new(SETUP + 10.0);
+            }
+            let out = bank.clock_cycle(word, &arrivals);
+            if n_late > 0 {
+                expected_errors += 1;
+                prop_assert!(out.error, "cycle {cycle} should error");
+                bank.recover();
+            } else {
+                prop_assert!(!out.error);
+            }
+        }
+        prop_assert_eq!(bank.errors_seen(), expected_errors);
+    }
+
+    /// The chosen shadow skew never violates either the fraction cap or
+    /// the short-path bound, for any plausible timing inputs.
+    #[test]
+    fn shadow_skew_respects_both_bounds(
+        min_path in 0.0f64..500.0,
+        clk_to_q in 20.0f64..150.0,
+        hold in 0.0f64..60.0,
+        cap in 0.05f64..0.5,
+    ) {
+        let a = ShadowSkewAnalysis::new(
+            Picoseconds::new(min_path),
+            Picoseconds::new(clk_to_q),
+            Picoseconds::new(hold),
+            Picoseconds::new(666.7),
+            cap,
+        );
+        let skew = a.chosen_skew();
+        prop_assert!(skew.ps() <= cap * 666.7 + 1e-9);
+        prop_assert!(skew <= a.max_safe_skew());
+        prop_assert!(skew.ps() >= 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Process corners: global die-to-die variation buckets.
+
+/// A global process corner.
+///
+/// The paper's §4 evaluates slow, typical and fast process corners. A
+/// corner shifts the device threshold voltage, drive strength (channel
+/// resistance) and leakage together, and mildly perturbs wire resistance
+/// (metal thickness variation).
+///
+/// ```
+/// use razorbus_process::ProcessCorner;
+/// assert!(ProcessCorner::Slow.drive_resistance_multiplier()
+///     > ProcessCorner::Fast.drive_resistance_multiplier());
+/// ```
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum ProcessCorner {
+    /// Slow-slow corner: high Vth, weak drive, low leakage.
+    Slow,
+    /// Typical-typical corner: the normalization anchor.
+    Typical,
+    /// Fast-fast corner: low Vth, strong drive, high leakage.
+    Fast,
+}
+
+impl ProcessCorner {
+    /// All corners, slow to fast.
+    pub const ALL: [Self; 3] = [Self::Slow, Self::Typical, Self::Fast];
+
+    /// Threshold-voltage offset of this corner relative to typical, in
+    /// volts (at the reference temperature).
+    #[must_use]
+    pub fn vth_offset(self) -> f64 {
+        match self {
+            Self::Slow => 0.035,
+            Self::Typical => 0.0,
+            Self::Fast => -0.035,
+        }
+    }
+
+    /// Multiplier on device channel/drive resistance (mobility and
+    /// geometry variation beyond the Vth shift).
+    #[must_use]
+    pub fn drive_resistance_multiplier(self) -> f64 {
+        match self {
+            Self::Slow => 1.07,
+            Self::Typical => 1.0,
+            Self::Fast => 0.93,
+        }
+    }
+
+    /// Multiplier on wire resistance (metal thickness/etch variation).
+    /// Interconnect varies less than devices.
+    #[must_use]
+    pub fn wire_resistance_multiplier(self) -> f64 {
+        match self {
+            Self::Slow => 1.02,
+            Self::Typical => 1.0,
+            Self::Fast => 0.98,
+        }
+    }
+
+    /// Multiplier on subthreshold leakage current (beyond the exponential
+    /// Vth dependence captured by the leakage model itself).
+    #[must_use]
+    pub fn leakage_multiplier(self) -> f64 {
+        match self {
+            Self::Slow => 0.6,
+            Self::Typical => 1.0,
+            Self::Fast => 1.8,
+        }
+    }
+
+    /// Short lowercase name used in reports ("slow"/"typ"/"fast").
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::Slow => "slow",
+            Self::Typical => "typ",
+            Self::Fast => "fast",
+        }
+    }
+}
+
+impl core::fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Self::Slow => "Slow process",
+            Self::Typical => "Typical process",
+            Self::Fast => "Fast process",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_ordering_is_physical() {
+        // Slow: highest Vth, highest R, lowest leakage.
+        assert!(ProcessCorner::Slow.vth_offset() > ProcessCorner::Fast.vth_offset());
+        assert!(
+            ProcessCorner::Slow.drive_resistance_multiplier()
+                > ProcessCorner::Typical.drive_resistance_multiplier()
+        );
+        assert!(
+            ProcessCorner::Fast.leakage_multiplier() > ProcessCorner::Slow.leakage_multiplier()
+        );
+    }
+
+    #[test]
+    fn typical_is_identity() {
+        let t = ProcessCorner::Typical;
+        assert_eq!(t.vth_offset(), 0.0);
+        assert_eq!(t.drive_resistance_multiplier(), 1.0);
+        assert_eq!(t.wire_resistance_multiplier(), 1.0);
+        assert_eq!(t.leakage_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn display_and_short_names() {
+        assert_eq!(ProcessCorner::Slow.to_string(), "Slow process");
+        assert_eq!(ProcessCorner::Typical.short_name(), "typ");
+        assert_eq!(ProcessCorner::ALL.len(), 3);
+    }
+}

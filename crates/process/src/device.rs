@@ -1,0 +1,235 @@
+//! Alpha-power-law device delay model.
+//!
+//! The simulator never needs absolute transistor currents — only how gate
+//! delay *scales* with effective supply voltage, temperature and corner
+//! relative to the nominal design point. The classic alpha-power law
+//! (Sakurai–Newton) captures exactly that:
+//!
+//! ```text
+//! t_gate ∝ (V / (V - Vth)^alpha) · mobility(T) · corner_R
+//! ```
+//!
+//! with `Vth` shifting by corner and temperature, and carrier mobility
+//! degrading as `(T/T0)^1.5`. The model is normalized so the factor is
+//! exactly 1.0 at (1.2 V, typical corner, 25 °C); all absolute delays come
+//! from the RC network in `razorbus-wire` scaled by this factor.
+
+use crate::corner::ProcessCorner;
+use razorbus_units::{Celsius, Volts};
+
+/// Alpha-power-law delay-factor model for one technology generation.
+///
+/// Construct with [`DeviceModel::l130_default`] for the paper's 0.13 µm
+/// process, or with [`DeviceModel::new`] for the scaled nodes of the §6
+/// technology study.
+///
+/// ```
+/// use razorbus_process::{DeviceModel, ProcessCorner};
+/// use razorbus_units::{Celsius, Volts};
+/// let dev = DeviceModel::l130_default();
+/// let slow = dev.delay_factor(Volts::new(1.08), ProcessCorner::Slow, Celsius::HOT);
+/// let fast = dev.delay_factor(Volts::new(1.2), ProcessCorner::Fast, Celsius::ROOM);
+/// assert!(slow > 1.2 && fast < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceModel {
+    /// Velocity-saturation index (≈2 long-channel, ≈1.2–1.6 short-channel).
+    alpha: f64,
+    /// Typical-corner threshold voltage at the reference temperature (V).
+    vth_typical: f64,
+    /// Threshold-voltage temperature coefficient (V/K, negative).
+    dvth_dt: f64,
+    /// Mobility temperature exponent (delay ∝ (T/T0)^exponent).
+    mobility_exponent: f64,
+    /// Nominal supply used as the normalization anchor (V).
+    v_nominal: f64,
+    /// Reference temperature for normalization.
+    t_reference: f64,
+    /// Precomputed raw factor at the normalization point.
+    norm: f64,
+}
+
+impl DeviceModel {
+    /// Reference temperature (°C) at which `vth_typical` is specified.
+    pub const T_REF_C: f64 = 25.0;
+
+    /// Creates a device model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-physical: `alpha` outside `(1, 2.5]`,
+    /// `vth_typical` outside `(0, v_nominal)`, or non-positive nominal
+    /// voltage.
+    #[must_use]
+    pub fn new(alpha: f64, vth_typical: f64, dvth_dt: f64, mobility_exponent: f64, v_nominal: f64) -> Self {
+        assert!(alpha > 1.0 && alpha <= 2.5, "alpha out of range: {alpha}");
+        assert!(v_nominal > 0.0, "nominal voltage must be positive");
+        assert!(
+            vth_typical > 0.0 && vth_typical < v_nominal,
+            "vth must lie in (0, v_nominal)"
+        );
+        let mut model = Self {
+            alpha,
+            vth_typical,
+            dvth_dt,
+            mobility_exponent,
+            v_nominal,
+            t_reference: Self::T_REF_C,
+            norm: 1.0,
+        };
+        model.norm = model.raw_factor(
+            Volts::new(v_nominal),
+            ProcessCorner::Typical,
+            Celsius::new(Self::T_REF_C),
+        );
+        model
+    }
+
+    /// The paper's 0.13 µm process: 1.2 V nominal, Vth ≈ 0.35 V,
+    /// alpha = 2.1 (calibrated so zero-error static scaling at the typical
+    /// corner reaches ≈ 980 mV as in Fig. 4b).
+    #[must_use]
+    pub fn l130_default() -> Self {
+        Self::new(1.9, 0.35, -2.7e-4, 0.55, 1.2)
+    }
+
+    /// Velocity-saturation index.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Nominal (normalization) supply voltage.
+    #[must_use]
+    pub fn v_nominal(&self) -> Volts {
+        Volts::new(self.v_nominal)
+    }
+
+    /// Threshold voltage for `corner` at temperature `t`.
+    #[must_use]
+    pub fn vth(&self, corner: ProcessCorner, t: Celsius) -> Volts {
+        let vth = self.vth_typical
+            + corner.vth_offset()
+            + self.dvth_dt * (t.celsius() - self.t_reference);
+        Volts::new(vth)
+    }
+
+    /// Minimum effective voltage at which the model considers the device
+    /// functional (delay factor finite): `Vth + 100 mV` of overdrive.
+    #[must_use]
+    pub fn min_functional_voltage(&self, corner: ProcessCorner, t: Celsius) -> Volts {
+        Volts::new(self.vth(corner, t).volts() + 0.1)
+    }
+
+    fn raw_factor(&self, v: Volts, corner: ProcessCorner, t: Celsius) -> f64 {
+        let vth = self.vth(corner, t).volts();
+        let overdrive = v.volts() - vth;
+        if overdrive <= 0.05 {
+            return f64::INFINITY;
+        }
+        let mobility = (t.kelvin() / Celsius::new(self.t_reference).kelvin()).powf(self.mobility_exponent);
+        v.volts() / overdrive.powf(self.alpha) * mobility * corner.drive_resistance_multiplier()
+    }
+
+    /// Normalized gate-delay factor at effective voltage `v`, `corner`,
+    /// temperature `t`. Equals 1.0 at (nominal V, typical, 25 °C); larger
+    /// is slower. Returns `f64::INFINITY` when the device has less than
+    /// 50 mV of overdrive (treated as non-functional).
+    #[must_use]
+    pub fn delay_factor(&self, v: Volts, corner: ProcessCorner, t: Celsius) -> f64 {
+        self.raw_factor(v, corner, t) / self.norm
+    }
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        Self::l130_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceModel {
+        DeviceModel::l130_default()
+    }
+
+    #[test]
+    fn normalized_at_anchor() {
+        let f = dev().delay_factor(Volts::new(1.2), ProcessCorner::Typical, Celsius::ROOM);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_voltage() {
+        let d = dev();
+        let mut last = f64::INFINITY;
+        for mv in (500..=1_200).step_by(20) {
+            let f = d.delay_factor(
+                Volts::new(f64::from(mv) / 1_000.0),
+                ProcessCorner::Typical,
+                Celsius::HOT,
+            );
+            assert!(f <= last, "delay factor rose with voltage at {mv} mV");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn corner_ordering_at_fixed_point() {
+        let d = dev();
+        let v = Volts::new(1.0);
+        let t = Celsius::HOT;
+        let slow = d.delay_factor(v, ProcessCorner::Slow, t);
+        let typ = d.delay_factor(v, ProcessCorner::Typical, t);
+        let fast = d.delay_factor(v, ProcessCorner::Fast, t);
+        assert!(slow > typ && typ > fast);
+    }
+
+    #[test]
+    fn hot_is_slower_at_high_voltage() {
+        // At nominal voltage mobility dominates: 100C slower than 25C.
+        let d = dev();
+        let v = Volts::new(1.2);
+        assert!(
+            d.delay_factor(v, ProcessCorner::Typical, Celsius::HOT)
+                > d.delay_factor(v, ProcessCorner::Typical, Celsius::ROOM)
+        );
+    }
+
+    #[test]
+    fn temperature_inversion_near_threshold() {
+        // Near threshold the Vth drop with temperature wins: hot can be
+        // faster. (Known sub-threshold-region effect; the model should
+        // reproduce the crossover direction.)
+        let d = dev();
+        let v = Volts::new(0.42);
+        let hot = d.delay_factor(v, ProcessCorner::Typical, Celsius::HOT);
+        let cold = d.delay_factor(v, ProcessCorner::Typical, Celsius::ROOM);
+        assert!(hot < cold, "expected temperature inversion: hot={hot} cold={cold}");
+    }
+
+    #[test]
+    fn non_functional_below_overdrive_margin() {
+        let d = dev();
+        let vth = d.vth(ProcessCorner::Slow, Celsius::ROOM).volts();
+        let f = d.delay_factor(Volts::new(vth + 0.01), ProcessCorner::Slow, Celsius::ROOM);
+        assert!(f.is_infinite());
+        assert!(
+            d.min_functional_voltage(ProcessCorner::Slow, Celsius::ROOM).volts() > vth
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of range")]
+    fn rejects_bad_alpha() {
+        let _ = DeviceModel::new(0.9, 0.35, -8.0e-4, 1.5, 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vth must lie")]
+    fn rejects_bad_vth() {
+        let _ = DeviceModel::new(1.6, 1.4, -8.0e-4, 1.5, 1.2);
+    }
+}

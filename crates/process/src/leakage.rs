@@ -1,0 +1,166 @@
+//! Subthreshold leakage model.
+//!
+//! §3 of the paper: "Leakage current through the repeaters is also
+//! tabulated for the different supply voltages and environment conditions
+//! so as to include the contribution of leakage energy to the total bus
+//! energy." This model provides the same quantity analytically:
+//!
+//! ```text
+//! I_leak = I0 · W · corner_mult · exp((-Vth + dibl·V) / (n · kT/q))
+//! ```
+//!
+//! which yields the expected exponential growth with temperature and the
+//! DIBL-driven super-linear growth with supply voltage.
+
+use crate::corner::ProcessCorner;
+use crate::device::DeviceModel;
+use razorbus_units::{Celsius, Femtojoules, Picoseconds, Volts};
+
+/// Subthreshold + DIBL leakage model for repeaters.
+///
+/// `i0_ua_per_unit` is calibrated (not physical): it sets the leakage of a
+/// unit-width repeater at the *reference point* (typical corner, 25 °C,
+/// nominal V); everything else scales exponentially from there.
+///
+/// ```
+/// use razorbus_process::{LeakageModel, ProcessCorner};
+/// use razorbus_units::{Celsius, Volts};
+/// let leak = LeakageModel::l130_default();
+/// let cold = leak.current_ua(1.0, Volts::new(1.2), ProcessCorner::Typical, Celsius::ROOM);
+/// let hot = leak.current_ua(1.0, Volts::new(1.2), ProcessCorner::Typical, Celsius::HOT);
+/// assert!(hot > 3.0 * cold); // leakage explodes with temperature
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeakageModel {
+    /// Unit-width leakage at the reference point, in µA.
+    i0_ua_per_unit: f64,
+    /// DIBL coefficient (V of Vth reduction per V of VDS).
+    dibl: f64,
+    /// Subthreshold ideality factor.
+    ideality: f64,
+    device: DeviceModel,
+}
+
+impl LeakageModel {
+    /// Creates a leakage model tied to `device` (for Vth(corner, T)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i0_ua_per_unit` is negative or `ideality` is not ≥ 1.
+    #[must_use]
+    pub fn new(i0_ua_per_unit: f64, dibl: f64, ideality: f64, device: DeviceModel) -> Self {
+        assert!(i0_ua_per_unit >= 0.0, "leakage scale must be non-negative");
+        assert!(ideality >= 1.0, "subthreshold ideality must be >= 1");
+        Self {
+            i0_ua_per_unit,
+            dibl,
+            ideality,
+            device,
+        }
+    }
+
+    /// Default 0.13 µm leakage: calibrated so that total repeater leakage
+    /// of the paper's bus is a few percent of its dynamic energy at
+    /// (typical, 100 °C, 1.2 V) — consistent with a 2005-era process.
+    #[must_use]
+    pub fn l130_default() -> Self {
+        Self::new(0.012, 0.10, 1.4, DeviceModel::l130_default())
+    }
+
+    /// Leakage current in µA of a repeater of width `width` (in unit
+    /// inverter widths) at supply `v`, `corner`, temperature `t`.
+    #[must_use]
+    pub fn current_ua(&self, width: f64, v: Volts, corner: ProcessCorner, t: Celsius) -> f64 {
+        assert!(width >= 0.0, "width must be non-negative");
+        let vt = t.thermal_voltage();
+        let vth = self.device.vth(corner, t).volts();
+        let vth_ref = self
+            .device
+            .vth(ProcessCorner::Typical, Celsius::new(DeviceModel::T_REF_C))
+            .volts();
+        let v_ref = self.device.v_nominal().volts();
+        let vt_ref = Celsius::new(DeviceModel::T_REF_C).thermal_voltage();
+        let exponent = (-vth + self.dibl * v.volts()) / (self.ideality * vt);
+        let exponent_ref = (-vth_ref + self.dibl * v_ref) / (self.ideality * vt_ref);
+        self.i0_ua_per_unit * width * corner.leakage_multiplier() * (exponent - exponent_ref).exp()
+    }
+
+    /// Leakage *energy* drawn in one clock cycle of period `period` by a
+    /// repeater of width `width` held at supply `v`.
+    #[must_use]
+    pub fn energy_per_cycle(
+        &self,
+        width: f64,
+        v: Volts,
+        corner: ProcessCorner,
+        t: Celsius,
+        period: Picoseconds,
+    ) -> Femtojoules {
+        // P = V * I: volts * microamps = microwatts; uW * ps = fJ / 1000.
+        let microwatts = v.volts() * self.current_ua(width, v, corner, t);
+        Femtojoules::new(microwatts * period.ps() / 1_000.0)
+    }
+}
+
+impl Default for LeakageModel {
+    fn default() -> Self {
+        Self::l130_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leak() -> LeakageModel {
+        LeakageModel::l130_default()
+    }
+
+    #[test]
+    fn reference_point_is_i0() {
+        let i = leak().current_ua(1.0, Volts::new(1.2), ProcessCorner::Typical, Celsius::ROOM);
+        assert!((i - 0.012).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_linearly_with_width() {
+        let l = leak();
+        let i1 = l.current_ua(1.0, Volts::new(1.0), ProcessCorner::Typical, Celsius::HOT);
+        let i40 = l.current_ua(40.0, Volts::new(1.0), ProcessCorner::Typical, Celsius::HOT);
+        assert!((i40 / i1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grows_with_voltage_via_dibl() {
+        let l = leak();
+        let lo = l.current_ua(1.0, Volts::new(0.8), ProcessCorner::Typical, Celsius::HOT);
+        let hi = l.current_ua(1.0, Volts::new(1.2), ProcessCorner::Typical, Celsius::HOT);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn fast_corner_leaks_most() {
+        let l = leak();
+        let v = Volts::new(1.2);
+        let t = Celsius::HOT;
+        let s = l.current_ua(1.0, v, ProcessCorner::Slow, t);
+        let f = l.current_ua(1.0, v, ProcessCorner::Fast, t);
+        assert!(f > 5.0 * s, "fast {f} should dwarf slow {s}");
+    }
+
+    #[test]
+    fn energy_per_cycle_matches_power_product() {
+        let l = leak();
+        let period = Picoseconds::new(666.7);
+        let e = l.energy_per_cycle(10.0, Volts::new(1.2), ProcessCorner::Typical, Celsius::HOT, period);
+        let i = l.current_ua(10.0, Volts::new(1.2), ProcessCorner::Typical, Celsius::HOT);
+        let expect = 1.2 * i * period.ps() / 1_000.0;
+        assert!((e.fj() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be non-negative")]
+    fn rejects_negative_width() {
+        let _ = leak().current_ua(-1.0, Volts::new(1.0), ProcessCorner::Typical, Celsius::HOT);
+    }
+}

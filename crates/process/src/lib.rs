@@ -1,0 +1,55 @@
+//! Process, device and environment models for the razorbus simulator.
+//!
+//! The paper characterizes its 6 mm bus with HSPICE at every combination of
+//! process corner (slow/typical/fast), temperature (25 °C/100 °C), IR drop
+//! (none/10 %) and supply voltage (20 mV grid). This crate supplies the
+//! analytical stand-ins for those device physics:
+//!
+//! * [`ProcessCorner`] — corner-dependent threshold voltage, drive strength
+//!   and leakage multipliers.
+//! * [`DeviceModel`] — alpha-power-law delay factor vs. effective voltage
+//!   and temperature, normalized to the nominal operating point.
+//! * [`Repeater`] — a sized repeater (driver) with drive resistance, input
+//!   and parasitic capacitance and leakage.
+//! * [`LeakageModel`] — subthreshold + DIBL leakage vs. (V, T, corner).
+//! * [`IrDrop`] and [`DroopModel`] — static supply drop corners plus the
+//!   vector-dependent droop at repeater banks that §1 of the paper calls
+//!   out ("IR-drop at repeater blocks in a bus are strongly dependent on
+//!   the input vectors").
+//! * [`PvtCorner`] — the paper's named PVT corners.
+//! * [`TechnologyNode`] — 130/90/65/45 nm wire/device parameter sets for
+//!   the §6 technology-scaling study.
+//!
+//! # Example
+//!
+//! ```
+//! use razorbus_process::{DeviceModel, ProcessCorner};
+//! use razorbus_units::{Celsius, Volts};
+//!
+//! let dev = DeviceModel::l130_default();
+//! // Nominal point is the normalization anchor.
+//! let f_nom = dev.delay_factor(Volts::new(1.2), ProcessCorner::Typical, Celsius::ROOM);
+//! assert!((f_nom - 1.0).abs() < 1e-12);
+//! // Lower voltage is always slower.
+//! let f_low = dev.delay_factor(Volts::new(0.9), ProcessCorner::Typical, Celsius::ROOM);
+//! assert!(f_low > f_nom);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corner;
+mod device;
+mod leakage;
+mod pvt;
+mod repeater;
+mod supply;
+mod technology;
+
+pub use corner::ProcessCorner;
+pub use device::DeviceModel;
+pub use leakage::LeakageModel;
+pub use pvt::PvtCorner;
+pub use repeater::Repeater;
+pub use supply::{DroopModel, IrDrop, SupplyCondition};
+pub use technology::TechnologyNode;

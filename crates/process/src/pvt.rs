@@ -1,0 +1,140 @@
+//! PVT corners: the (process, voltage-drop, temperature) combinations the
+//! paper evaluates.
+
+use crate::corner::ProcessCorner;
+use crate::supply::IrDrop;
+use razorbus_units::Celsius;
+
+/// A combined process/temperature/static-IR corner.
+///
+/// §4 of the paper sweeps all combinations of {slow, typical, fast} ×
+/// {25 °C, 100 °C} × {no IR, 10 % IR}; Figs. 5/10 plot the five named
+/// corners exposed here as constants.
+///
+/// ```
+/// use razorbus_process::PvtCorner;
+/// assert_eq!(PvtCorner::FIG5.len(), 5);
+/// assert_eq!(PvtCorner::WORST.to_string(), "Slow process, 100 C, 10% IR drop");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PvtCorner {
+    /// Global process corner.
+    pub process: ProcessCorner,
+    /// Operating temperature.
+    pub temperature: Celsius,
+    /// Static IR-drop assumption.
+    pub ir: IrDrop,
+}
+
+impl PvtCorner {
+    /// Creates a PVT corner.
+    #[must_use]
+    pub const fn new(process: ProcessCorner, temperature: Celsius, ir: IrDrop) -> Self {
+        Self {
+            process,
+            temperature,
+            ir,
+        }
+    }
+
+    /// The design (sizing) corner: slow process, 100 °C, 10 % IR drop —
+    /// the bus must make 600 ps here at 1.2 V.
+    pub const WORST: Self = Self::new(ProcessCorner::Slow, Celsius::HOT, IrDrop::TenPercent);
+
+    /// Corner 2 of Fig. 5: slow process, 100 °C, no IR drop.
+    pub const SLOW_HOT: Self = Self::new(ProcessCorner::Slow, Celsius::HOT, IrDrop::None);
+
+    /// The paper's "more typical" corner: typical process, 100 °C, no IR.
+    pub const TYPICAL: Self = Self::new(ProcessCorner::Typical, Celsius::HOT, IrDrop::None);
+
+    /// Corner 4 of Fig. 5: fast process, 100 °C, no IR drop.
+    pub const FAST_HOT: Self = Self::new(ProcessCorner::Fast, Celsius::HOT, IrDrop::None);
+
+    /// The best corner of Fig. 5: fast process, 25 °C, no IR drop.
+    pub const BEST: Self = Self::new(ProcessCorner::Fast, Celsius::ROOM, IrDrop::None);
+
+    /// The five corners of Fig. 5/Fig. 10, in the paper's numbering
+    /// (1 = worst … 5 = best).
+    pub const FIG5: [Self; 5] = [
+        Self::WORST,
+        Self::SLOW_HOT,
+        Self::TYPICAL,
+        Self::FAST_HOT,
+        Self::BEST,
+    ];
+
+    /// Every combination of process × {25, 100} °C × IR corner (12 total).
+    #[must_use]
+    pub fn all_combinations() -> Vec<Self> {
+        let mut out = Vec::with_capacity(12);
+        for process in ProcessCorner::ALL {
+            for temperature in [Celsius::ROOM, Celsius::HOT] {
+                for ir in IrDrop::ALL {
+                    out.push(Self::new(process, temperature, ir));
+                }
+            }
+        }
+        out
+    }
+
+    /// The conservative tuning corner the paper's controller uses for the
+    /// regulator's minimum voltage: same *process* (which "does not change
+    /// with time", §5) but worst-case temperature and IR drop.
+    #[must_use]
+    pub fn tuning_corner(self) -> Self {
+        Self::new(self.process, Celsius::HOT, IrDrop::TenPercent)
+    }
+}
+
+impl core::fmt::Display for PvtCorner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}, {:.0}, {}",
+            self.process,
+            razorbus_units::Celsius::new(self.temperature.celsius()),
+            self.ir
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_corner_identities() {
+        assert_eq!(PvtCorner::FIG5[0], PvtCorner::WORST);
+        assert_eq!(PvtCorner::FIG5[2], PvtCorner::TYPICAL);
+        assert_eq!(PvtCorner::FIG5[4], PvtCorner::BEST);
+    }
+
+    #[test]
+    fn all_combinations_are_unique_and_complete() {
+        let all = PvtCorner::all_combinations();
+        assert_eq!(all.len(), 12);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert!(a != b, "duplicate corner {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuning_corner_pins_temp_and_ir() {
+        let tuned = PvtCorner::TYPICAL.tuning_corner();
+        assert_eq!(tuned.process, ProcessCorner::Typical);
+        assert_eq!(tuned.temperature.celsius(), 100.0);
+        assert_eq!(tuned.ir, IrDrop::TenPercent);
+        // Worst corner tunes to itself.
+        assert_eq!(PvtCorner::WORST.tuning_corner(), PvtCorner::WORST);
+    }
+
+    #[test]
+    fn display_matches_paper_phrasing() {
+        assert_eq!(
+            PvtCorner::TYPICAL.to_string(),
+            "Typical process, 100 C, no IR drop"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Sized repeater (inverter) model.
+//!
+//! A repeater of width `w` (in minimum-inverter units) presents a drive
+//! resistance `R0 / w` scaled by the device delay factor, an input
+//! capacitance `w · Cin0`, an output (self-loading) parasitic `w · Cpar0`,
+//! and leaks in proportion to `w`.
+
+use crate::corner::ProcessCorner;
+use crate::device::DeviceModel;
+use crate::leakage::LeakageModel;
+use razorbus_units::{Celsius, Femtofarads, Femtojoules, Ohms, Picoseconds, Volts};
+
+/// A repeater (driver/buffer) of a given width.
+///
+/// ```
+/// use razorbus_process::{ProcessCorner, Repeater};
+/// use razorbus_units::{Celsius, Volts};
+/// let rep = Repeater::l130(40.0);
+/// let r_nom = rep.drive_resistance(Volts::new(1.2), ProcessCorner::Typical, Celsius::ROOM);
+/// let r_low = rep.drive_resistance(Volts::new(0.9), ProcessCorner::Typical, Celsius::ROOM);
+/// assert!(r_low > r_nom);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Repeater {
+    width: f64,
+    r0: f64,
+    cin0: f64,
+    cpar0: f64,
+    device: DeviceModel,
+    leakage: LeakageModel,
+}
+
+impl Repeater {
+    /// Creates a repeater with explicit unit-device parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`, `r0`, `cin0` or `cpar0` is not strictly positive.
+    #[must_use]
+    pub fn new(
+        width: f64,
+        r0: Ohms,
+        cin0: Femtofarads,
+        cpar0: Femtofarads,
+        device: DeviceModel,
+        leakage: LeakageModel,
+    ) -> Self {
+        assert!(width > 0.0, "repeater width must be positive");
+        assert!(r0.ohms() > 0.0, "unit drive resistance must be positive");
+        assert!(
+            cin0.ff() > 0.0 && cpar0.ff() > 0.0,
+            "unit capacitances must be positive"
+        );
+        Self {
+            width,
+            r0: r0.ohms(),
+            cin0: cin0.ff(),
+            cpar0: cpar0.ff(),
+            device,
+            leakage,
+        }
+    }
+
+    /// A 0.13 µm repeater of the given width with the crate's default
+    /// unit-inverter parameters (R0 = 6 kΩ, Cin0 = 1.5 fF, Cpar0 = 1.2 fF).
+    #[must_use]
+    pub fn l130(width: f64) -> Self {
+        Self::new(
+            width,
+            Ohms::new(6_000.0),
+            Femtofarads::new(1.5),
+            Femtofarads::new(1.2),
+            DeviceModel::l130_default(),
+            LeakageModel::l130_default(),
+        )
+    }
+
+    /// Returns a copy with a different width (used by the auto-sizer).
+    #[must_use]
+    pub fn with_width(&self, width: f64) -> Self {
+        assert!(width > 0.0, "repeater width must be positive");
+        Self { width, ..*self }
+    }
+
+    /// Repeater width in unit-inverter widths.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The device model this repeater scales with.
+    #[must_use]
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Effective drive resistance at `(v, corner, t)`.
+    ///
+    /// Returns an infinite resistance when the device is below its
+    /// functional overdrive (the delay factor is infinite there).
+    #[must_use]
+    pub fn drive_resistance(&self, v: Volts, corner: ProcessCorner, t: Celsius) -> Ohms {
+        Ohms::new(self.r0 / self.width * self.device.delay_factor(v, corner, t))
+    }
+
+    /// Input (gate) capacitance presented to the previous stage.
+    #[must_use]
+    pub fn input_capacitance(&self) -> Femtofarads {
+        Femtofarads::new(self.cin0 * self.width)
+    }
+
+    /// Output self-loading (diffusion) parasitic capacitance.
+    #[must_use]
+    pub fn parasitic_capacitance(&self) -> Femtofarads {
+        Femtofarads::new(self.cpar0 * self.width)
+    }
+
+    /// Dynamic energy of switching this repeater's own capacitances once
+    /// at supply `v` (input + parasitic; the wire load is accounted
+    /// separately).
+    #[must_use]
+    pub fn switching_energy(&self, v: Volts) -> Femtojoules {
+        (self.input_capacitance() + self.parasitic_capacitance()) * v * v
+    }
+
+    /// Leakage energy over one clock period.
+    #[must_use]
+    pub fn leakage_energy_per_cycle(
+        &self,
+        v: Volts,
+        corner: ProcessCorner,
+        t: Celsius,
+        period: Picoseconds,
+    ) -> Femtojoules {
+        self.leakage
+            .energy_per_cycle(self.width, v, corner, t, period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_scales_inversely_with_width() {
+        let small = Repeater::l130(10.0);
+        let big = Repeater::l130(40.0);
+        let v = Volts::new(1.2);
+        let rs = small.drive_resistance(v, ProcessCorner::Typical, Celsius::ROOM);
+        let rb = big.drive_resistance(v, ProcessCorner::Typical, Celsius::ROOM);
+        assert!((rs.ohms() / rb.ohms() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitances_scale_with_width() {
+        let rep = Repeater::l130(20.0);
+        assert!((rep.input_capacitance().ff() - 30.0).abs() < 1e-12);
+        assert!((rep.parasitic_capacitance().ff() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_resistance_matches_r0_over_width() {
+        let rep = Repeater::l130(30.0);
+        let r = rep.drive_resistance(Volts::new(1.2), ProcessCorner::Typical, Celsius::ROOM);
+        assert!((r.ohms() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_energy_quadratic() {
+        let rep = Repeater::l130(10.0);
+        let e1 = rep.switching_energy(Volts::new(0.6));
+        let e2 = rep.switching_energy(Volts::new(1.2));
+        assert!((e2.fj() / e1.fj() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_width_preserves_models() {
+        let rep = Repeater::l130(10.0).with_width(25.0);
+        assert_eq!(rep.width(), 25.0);
+        assert!((rep.input_capacitance().ff() - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rejects_zero_width() {
+        let _ = Repeater::l130(0.0);
+    }
+}

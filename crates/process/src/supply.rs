@@ -1,0 +1,238 @@
+//! Supply-network models: static IR-drop corners and activity-dependent
+//! droop at repeater banks.
+//!
+//! The paper treats IR drop as a corner ("either no IR drop is assumed or
+//! a 10 % droop in supply voltage", §4) *and* motivates the whole approach
+//! by noting that real IR drop at bus repeaters is strongly
+//! vector-dependent (§1). [`IrDrop`] models the former; [`DroopModel`] the
+//! latter (the instantaneous droop grows with the number of bus wires
+//! switching simultaneously through the shared supply rail).
+
+use razorbus_units::Volts;
+
+/// Static IR-drop corner assumed when computing delays.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum IrDrop {
+    /// No static supply drop.
+    #[default]
+    None,
+    /// The paper's 10 % worst-case allocation.
+    TenPercent,
+}
+
+impl IrDrop {
+    /// Both corners, in increasing severity.
+    pub const ALL: [Self; 2] = [Self::None, Self::TenPercent];
+
+    /// Fraction of the supply lost to static IR drop.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        match self {
+            Self::None => 0.0,
+            Self::TenPercent => 0.10,
+        }
+    }
+
+    /// Short name used in reports.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::None => "no IR drop",
+            Self::TenPercent => "10% IR drop",
+        }
+    }
+}
+
+impl core::fmt::Display for IrDrop {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Activity-dependent (vector-dependent) supply droop at repeater banks.
+///
+/// When many of the bus's repeaters draw current in the same cycle the
+/// local rail sags; the droop seen by the *victim* wire scales with the
+/// fraction of wires switching. This is the effect that makes a
+/// replica-path or triple-latch monitor pessimistic on buses (§1) and that
+/// the in-situ Razor detection handles for free.
+///
+/// ```
+/// use razorbus_process::DroopModel;
+/// let droop = DroopModel::l130_default();
+/// assert_eq!(droop.droop_fraction(0.0), 0.0);
+/// assert!(droop.droop_fraction(1.0) <= droop.max_fraction());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DroopModel {
+    /// Droop fraction when the whole bus switches at once.
+    max_fraction: f64,
+}
+
+impl DroopModel {
+    /// Creates a droop model with the given full-bus droop fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_fraction` lies in `[0, 0.2]` (a droop beyond
+    /// 20 % would indicate a broken power grid, not a modeling corner).
+    #[must_use]
+    pub fn new(max_fraction: f64) -> Self {
+        assert!(
+            (0.0..=0.2).contains(&max_fraction),
+            "droop fraction out of range: {max_fraction}"
+        );
+        Self { max_fraction }
+    }
+
+    /// No dynamic droop (pure static-IR behaviour, as in the paper's own
+    /// look-up tables).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::new(0.0)
+    }
+
+    /// Default: up to 2.5 % droop with the whole bus switching — small
+    /// next to the 10 % static corner but enough to differentiate
+    /// program switching activity.
+    #[must_use]
+    pub fn l130_default() -> Self {
+        Self::new(0.025)
+    }
+
+    /// Full-bus droop fraction.
+    #[must_use]
+    pub fn max_fraction(self) -> f64 {
+        self.max_fraction
+    }
+
+    /// Droop fraction for a given switching-activity fraction in `[0, 1]`
+    /// (slightly super-linear: simultaneous switching compounds through
+    /// the shared rail inductance/resistance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`.
+    #[must_use]
+    pub fn droop_fraction(self, activity: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity fraction out of range: {activity}"
+        );
+        self.max_fraction * activity.powf(1.25)
+    }
+}
+
+impl Default for DroopModel {
+    fn default() -> Self {
+        Self::l130_default()
+    }
+}
+
+/// A complete supply condition: regulator set-point plus static IR corner
+/// plus instantaneous droop, yielding the effective voltage the devices
+/// see.
+///
+/// ```
+/// use razorbus_process::{DroopModel, IrDrop, SupplyCondition};
+/// use razorbus_units::Volts;
+/// let cond = SupplyCondition::new(IrDrop::TenPercent, DroopModel::disabled());
+/// let v_eff = cond.effective_voltage(Volts::new(1.2), 0.0);
+/// assert!((v_eff.volts() - 1.08).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SupplyCondition {
+    ir: IrDrop,
+    droop: DroopModel,
+}
+
+impl SupplyCondition {
+    /// Creates a supply condition.
+    #[must_use]
+    pub fn new(ir: IrDrop, droop: DroopModel) -> Self {
+        Self { ir, droop }
+    }
+
+    /// The static IR corner.
+    #[must_use]
+    pub fn ir(self) -> IrDrop {
+        self.ir
+    }
+
+    /// The droop model.
+    #[must_use]
+    pub fn droop(self) -> DroopModel {
+        self.droop
+    }
+
+    /// Effective voltage at the repeaters for a regulator set-point `v`
+    /// and a bus switching-activity fraction `activity`.
+    #[must_use]
+    pub fn effective_voltage(self, v: Volts, activity: f64) -> Volts {
+        let keep = 1.0 - self.ir.fraction() - self.droop.droop_fraction(activity);
+        v * keep.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_ir_fractions() {
+        assert_eq!(IrDrop::None.fraction(), 0.0);
+        assert_eq!(IrDrop::TenPercent.fraction(), 0.10);
+        assert_eq!(IrDrop::TenPercent.to_string(), "10% IR drop");
+    }
+
+    #[test]
+    fn droop_monotone_in_activity() {
+        let d = DroopModel::l130_default();
+        let mut last = -1.0;
+        for i in 0..=10 {
+            let a = f64::from(i) / 10.0;
+            let f = d.droop_fraction(a);
+            assert!(f >= last);
+            last = f;
+        }
+        assert!((d.droop_fraction(1.0) - d.max_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_voltage_combines_both() {
+        let cond = SupplyCondition::new(IrDrop::TenPercent, DroopModel::new(0.02));
+        let v = cond.effective_voltage(Volts::new(1.0), 1.0);
+        assert!((v.volts() - 0.88).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_droop_is_zero_everywhere() {
+        let d = DroopModel::disabled();
+        assert_eq!(d.droop_fraction(0.5), 0.0);
+        assert_eq!(d.droop_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity fraction out of range")]
+    fn rejects_bad_activity() {
+        let _ = DroopModel::l130_default().droop_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "droop fraction out of range")]
+    fn rejects_bad_droop() {
+        let _ = DroopModel::new(0.5);
+    }
+}

@@ -1,0 +1,233 @@
+//! Technology nodes for the §6 scaling study.
+//!
+//! §6 argues: "With scaled technologies, the wire capacitance does not
+//! change appreciably, while the wire resistance increases. As a result,
+//! the delay spread on wires due to neighbor switching activity increases
+//! (since the R × Cc term increases)" — so the proposed DVS bus should
+//! *gain* effectiveness with scaling. These parameter sets (wire R/mm
+//! rising steeply, per-mm capacitance nearly flat, devices getting faster
+//! and lower-voltage) reproduce that trend; absolute values follow the
+//! published ITRS/"Future of Wires" trajectories qualitatively.
+
+use crate::device::DeviceModel;
+use razorbus_units::{Femtofarads, Ohms, OhmsPerMillimeter, Volts};
+
+/// A CMOS technology node with its global-wire and unit-device parameters.
+///
+/// ```
+/// use razorbus_process::TechnologyNode;
+/// let nodes = TechnologyNode::ALL;
+/// // Wire resistance per mm increases monotonically with scaling...
+/// assert!(nodes.windows(2).all(|w| {
+///     w[1].wire_resistance_per_mm().ohms_per_mm() > w[0].wire_resistance_per_mm().ohms_per_mm()
+/// }));
+/// ```
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum TechnologyNode {
+    /// 0.13 µm — the paper's process.
+    L130,
+    /// 90 nm.
+    L90,
+    /// 65 nm.
+    L65,
+    /// 45 nm.
+    L45,
+}
+
+impl TechnologyNode {
+    /// All nodes, oldest (largest) first.
+    pub const ALL: [Self; 4] = [Self::L130, Self::L90, Self::L65, Self::L45];
+
+    /// Drawn feature size in nanometers.
+    #[must_use]
+    pub fn nanometers(self) -> u32 {
+        match self {
+            Self::L130 => 130,
+            Self::L90 => 90,
+            Self::L65 => 65,
+            Self::L45 => 45,
+        }
+    }
+
+    /// Global-layer minimum-pitch wire resistance per millimeter at 25 °C.
+    /// Rises steeply with scaling (smaller cross-section + barrier/surface
+    /// scattering).
+    #[must_use]
+    pub fn wire_resistance_per_mm(self) -> OhmsPerMillimeter {
+        let r = match self {
+            Self::L130 => 85.0,
+            Self::L90 => 190.0,
+            Self::L65 => 420.0,
+            Self::L45 => 900.0,
+        };
+        OhmsPerMillimeter::new(r)
+    }
+
+    /// Ground (area + fringe to other layers) capacitance per millimeter
+    /// at minimum pitch. Nearly flat across nodes.
+    #[must_use]
+    pub fn wire_ground_cap_per_mm(self) -> Femtofarads {
+        let c = match self {
+            Self::L130 => 40.0,
+            Self::L90 => 38.0,
+            Self::L65 => 36.0,
+            Self::L45 => 35.0,
+        };
+        Femtofarads::new(c)
+    }
+
+    /// Coupling capacitance per millimeter to *each* same-layer neighbor
+    /// at minimum pitch. Nearly flat (aspect ratios keep rising as pitch
+    /// shrinks).
+    #[must_use]
+    pub fn wire_coupling_cap_per_mm(self) -> Femtofarads {
+        let c = match self {
+            Self::L130 => 80.0,
+            Self::L90 => 82.0,
+            Self::L65 => 84.0,
+            Self::L45 => 86.0,
+        };
+        Femtofarads::new(c)
+    }
+
+    /// Unit-inverter drive resistance.
+    #[must_use]
+    pub fn unit_drive_resistance(self) -> Ohms {
+        let r = match self {
+            Self::L130 => 6_000.0,
+            Self::L90 => 5_200.0,
+            Self::L65 => 4_500.0,
+            Self::L45 => 4_000.0,
+        };
+        Ohms::new(r)
+    }
+
+    /// Unit-inverter input capacitance.
+    #[must_use]
+    pub fn unit_input_cap(self) -> Femtofarads {
+        let c = match self {
+            Self::L130 => 1.5,
+            Self::L90 => 1.1,
+            Self::L65 => 0.8,
+            Self::L45 => 0.6,
+        };
+        Femtofarads::new(c)
+    }
+
+    /// Unit-inverter parasitic (diffusion) capacitance.
+    #[must_use]
+    pub fn unit_parasitic_cap(self) -> Femtofarads {
+        let c = match self {
+            Self::L130 => 1.2,
+            Self::L90 => 0.9,
+            Self::L65 => 0.65,
+            Self::L45 => 0.5,
+        };
+        Femtofarads::new(c)
+    }
+
+    /// Nominal supply voltage.
+    #[must_use]
+    pub fn nominal_supply(self) -> Volts {
+        let v = match self {
+            Self::L130 => 1.2,
+            Self::L90 => 1.1,
+            Self::L65 => 1.0,
+            Self::L45 => 0.95,
+        };
+        Volts::new(v)
+    }
+
+    /// Device model for this node (alpha-power parameters; Vth scales
+    /// slower than VDD, which is why voltage sensitivity grows with
+    /// scaling).
+    #[must_use]
+    pub fn device_model(self) -> DeviceModel {
+        let (alpha, vth) = match self {
+            Self::L130 => (1.6, 0.35),
+            Self::L90 => (1.5, 0.33),
+            Self::L65 => (1.4, 0.32),
+            Self::L45 => (1.35, 0.31),
+        };
+        DeviceModel::new(alpha, vth, -8.0e-4, 1.5, self.nominal_supply().volts())
+    }
+
+    /// The §6 figure of merit: worst-vs-next-pattern delay spread per mm,
+    /// `R · Cc` (Elmore difference between switching patterns I and II of
+    /// Fig. 9), in picoseconds per mm².
+    #[must_use]
+    pub fn pattern_delay_spread_per_mm2(self) -> f64 {
+        let r = self.wire_resistance_per_mm().ohms_per_mm();
+        let cc = self.wire_coupling_cap_per_mm().ff();
+        r * cc * 1e-3 // ohm * fF = 1e-3 ps
+    }
+}
+
+impl core::fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::L130 => f.write_str("0.13 um"),
+            node => write!(f, "{} nm", node.nanometers()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_spread_grows_with_scaling() {
+        // The §6 claim our scaling experiment rests on.
+        let spreads: Vec<f64> = TechnologyNode::ALL
+            .iter()
+            .map(|n| n.pattern_delay_spread_per_mm2())
+            .collect();
+        assert!(spreads.windows(2).all(|w| w[1] > w[0]), "{spreads:?}");
+    }
+
+    #[test]
+    fn capacitance_roughly_flat() {
+        for node in TechnologyNode::ALL {
+            let total =
+                node.wire_ground_cap_per_mm().ff() + 2.0 * node.wire_coupling_cap_per_mm().ff();
+            assert!((190.0..=220.0).contains(&total), "{node}: {total}");
+        }
+    }
+
+    #[test]
+    fn supplies_and_devices_scale_down() {
+        let v: Vec<f64> = TechnologyNode::ALL
+            .iter()
+            .map(|n| n.nominal_supply().volts())
+            .collect();
+        assert!(v.windows(2).all(|w| w[1] < w[0]));
+        for node in TechnologyNode::ALL {
+            // Device model normalizes at the node's own nominal supply.
+            let dev = node.device_model();
+            let f = dev.delay_factor(
+                node.nominal_supply(),
+                crate::ProcessCorner::Typical,
+                razorbus_units::Celsius::ROOM,
+            );
+            assert!((f - 1.0).abs() < 1e-12, "{node}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TechnologyNode::L130.to_string(), "0.13 um");
+        assert_eq!(TechnologyNode::L45.to_string(), "45 nm");
+    }
+}

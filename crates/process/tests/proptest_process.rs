@@ -1,0 +1,125 @@
+//! Property-based tests for the process models: monotonicity of the
+//! alpha-power delay factor, leakage scaling laws, and supply composition.
+
+use proptest::prelude::*;
+use razorbus_process::{
+    DeviceModel, DroopModel, IrDrop, LeakageModel, ProcessCorner, Repeater, SupplyCondition,
+};
+use razorbus_units::{Celsius, Picoseconds, Volts};
+
+fn corners() -> impl Strategy<Value = ProcessCorner> {
+    prop_oneof![
+        Just(ProcessCorner::Slow),
+        Just(ProcessCorner::Typical),
+        Just(ProcessCorner::Fast),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn delay_factor_monotone_decreasing_in_v(
+        corner in corners(),
+        t in 0.0f64..125.0,
+        v in 0.6f64..1.19,
+        dv in 0.005f64..0.2,
+    ) {
+        let dev = DeviceModel::l130_default();
+        let t = Celsius::new(t);
+        let f_lo = dev.delay_factor(Volts::new(v), corner, t);
+        let f_hi = dev.delay_factor(Volts::new(v + dv), corner, t);
+        prop_assert!(f_hi <= f_lo, "raising V from {v} by {dv} slowed the device");
+    }
+
+    #[test]
+    fn delay_factor_slow_dominates_fast(
+        t in 0.0f64..125.0,
+        v in 0.7f64..1.2,
+    ) {
+        let dev = DeviceModel::l130_default();
+        let t = Celsius::new(t);
+        let slow = dev.delay_factor(Volts::new(v), ProcessCorner::Slow, t);
+        let fast = dev.delay_factor(Volts::new(v), ProcessCorner::Fast, t);
+        prop_assert!(slow > fast);
+    }
+
+    #[test]
+    fn delay_factor_finite_above_min_functional(
+        corner in corners(),
+        t in 0.0f64..125.0,
+        extra in 0.001f64..0.5,
+    ) {
+        let dev = DeviceModel::l130_default();
+        let t = Celsius::new(t);
+        let v = Volts::new(dev.min_functional_voltage(corner, t).volts() + extra);
+        prop_assert!(dev.delay_factor(v, corner, t).is_finite());
+    }
+
+    #[test]
+    fn leakage_monotone_in_temperature(
+        corner in corners(),
+        v in 0.6f64..1.2,
+        t in 0.0f64..99.0,
+        dt in 1.0f64..26.0,
+    ) {
+        let leak = LeakageModel::l130_default();
+        let lo = leak.current_ua(1.0, Volts::new(v), corner, Celsius::new(t));
+        let hi = leak.current_ua(1.0, Volts::new(v), corner, Celsius::new(t + dt));
+        prop_assert!(hi > lo);
+    }
+
+    #[test]
+    fn leakage_energy_linear_in_period(
+        v in 0.6f64..1.2,
+        ps in 100.0f64..2_000.0,
+        k in 1.5f64..4.0,
+    ) {
+        let leak = LeakageModel::l130_default();
+        let e1 = leak.energy_per_cycle(10.0, Volts::new(v), ProcessCorner::Typical,
+            Celsius::HOT, Picoseconds::new(ps));
+        let e2 = leak.energy_per_cycle(10.0, Volts::new(v), ProcessCorner::Typical,
+            Celsius::HOT, Picoseconds::new(ps * k));
+        prop_assert!((e2.fj() - e1.fj() * k).abs() <= 1e-9 * e2.fj().max(1e-12));
+    }
+
+    #[test]
+    fn repeater_delay_r_times_c_invariant_under_width(
+        w in 1.0f64..200.0,
+        k in 1.1f64..8.0,
+        v in 0.7f64..1.2,
+    ) {
+        // R_drv * C_in is width-invariant: the intrinsic fanout-of-1 delay.
+        let a = Repeater::l130(w);
+        let b = Repeater::l130(w * k);
+        let t = Celsius::HOT;
+        let ra = a.drive_resistance(Volts::new(v), ProcessCorner::Typical, t);
+        let rb = b.drive_resistance(Volts::new(v), ProcessCorner::Typical, t);
+        let pa = ra * a.input_capacitance();
+        let pb = rb * b.input_capacitance();
+        prop_assert!((pa.ps() - pb.ps()).abs() <= 1e-9 * pa.ps().max(1e-12));
+    }
+
+    #[test]
+    fn effective_voltage_never_exceeds_setpoint(
+        v in 0.5f64..1.3,
+        activity in 0.0f64..1.0,
+        droop in 0.0f64..0.2,
+    ) {
+        for ir in IrDrop::ALL {
+            let cond = SupplyCondition::new(ir, DroopModel::new(droop));
+            let eff = cond.effective_voltage(Volts::new(v), activity);
+            prop_assert!(eff.volts() <= v + 1e-12);
+            prop_assert!(eff.volts() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn droop_monotone_in_activity(
+        max in 0.0f64..0.2,
+        a in 0.0f64..1.0,
+        da in 0.0f64..0.5,
+    ) {
+        let d = DroopModel::new(max);
+        let a2 = (a + da).min(1.0);
+        prop_assert!(d.droop_fraction(a2) >= d.droop_fraction(a));
+    }
+}

@@ -1,0 +1,91 @@
+//! The (process corner, temperature) key the paper's tables are built
+//! against. Voltage and IR drop are separate axes.
+
+use razorbus_process::{ProcessCorner, PvtCorner};
+use razorbus_units::Celsius;
+
+/// A tabulated environment condition: process corner × temperature.
+///
+/// The paper characterizes at 25 °C and 100 °C; arbitrary temperatures are
+/// allowed but the prebuilt tables cover the six paper combinations (see
+/// [`EnvCondition::PAPER_SET`]).
+///
+/// ```
+/// use razorbus_tables::EnvCondition;
+/// assert_eq!(EnvCondition::PAPER_SET.len(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnvCondition {
+    /// Process corner.
+    pub corner: ProcessCorner,
+    /// Junction/wire temperature.
+    pub temperature: Celsius,
+}
+
+impl EnvCondition {
+    /// Creates a condition.
+    #[must_use]
+    pub const fn new(corner: ProcessCorner, temperature: Celsius) -> Self {
+        Self {
+            corner,
+            temperature,
+        }
+    }
+
+    /// All six paper conditions ({slow, typ, fast} × {25, 100} °C).
+    pub const PAPER_SET: [Self; 6] = [
+        Self::new(ProcessCorner::Slow, Celsius::ROOM),
+        Self::new(ProcessCorner::Slow, Celsius::HOT),
+        Self::new(ProcessCorner::Typical, Celsius::ROOM),
+        Self::new(ProcessCorner::Typical, Celsius::HOT),
+        Self::new(ProcessCorner::Fast, Celsius::ROOM),
+        Self::new(ProcessCorner::Fast, Celsius::HOT),
+    ];
+
+    /// The condition of a full PVT corner (dropping its IR axis).
+    #[must_use]
+    pub const fn from_pvt(pvt: PvtCorner) -> Self {
+        Self::new(pvt.process, pvt.temperature)
+    }
+
+    /// Index into [`EnvCondition::PAPER_SET`] if this condition is one of
+    /// the six tabulated ones.
+    #[must_use]
+    pub fn paper_index(self) -> Option<usize> {
+        Self::PAPER_SET.iter().position(|c| {
+            c.corner == self.corner
+                && (c.temperature.celsius() - self.temperature.celsius()).abs() < 1e-9
+        })
+    }
+}
+
+impl core::fmt::Display for EnvCondition {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}, {:.0}", self.corner, self.temperature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_unique_indices() {
+        for (i, c) in EnvCondition::PAPER_SET.iter().enumerate() {
+            assert_eq!(c.paper_index(), Some(i));
+        }
+    }
+
+    #[test]
+    fn from_pvt_strips_ir() {
+        let c = EnvCondition::from_pvt(PvtCorner::WORST);
+        assert_eq!(c.corner, ProcessCorner::Slow);
+        assert_eq!(c.temperature.celsius(), 100.0);
+    }
+
+    #[test]
+    fn non_tabulated_condition_has_no_index() {
+        let c = EnvCondition::new(ProcessCorner::Typical, Celsius::new(60.0));
+        assert_eq!(c.paper_index(), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tabulated device delay factor vs. effective voltage.
+//!
+//! The stand-in for re-running transistor-level simulation at every
+//! voltage: the alpha-power factor is sampled on a fine grid once per
+//! (corner, temperature) and interpolated linearly afterwards — the same
+//! tabulate-then-look-up structure the paper uses for its HSPICE data.
+
+use crate::condition::EnvCondition;
+use razorbus_process::DeviceModel;
+use razorbus_units::Volts;
+
+/// Sampling step of the factor table (2 mV).
+const STEP_MV: f64 = 2.0;
+/// Lowest sampled effective voltage (mV).
+const LO_MV: f64 = 300.0;
+/// Highest sampled effective voltage (mV).
+const HI_MV: f64 = 1_400.0;
+
+/// A sampled `f(V_eff)` device-factor curve with linear interpolation.
+///
+/// ```
+/// use razorbus_process::{DeviceModel, ProcessCorner};
+/// use razorbus_tables::{DeviceFactorTable, EnvCondition};
+/// use razorbus_units::{Celsius, Volts};
+///
+/// let dev = DeviceModel::l130_default();
+/// let cond = EnvCondition::new(ProcessCorner::Typical, Celsius::HOT);
+/// let table = DeviceFactorTable::build(&dev, cond);
+/// let exact = dev.delay_factor(Volts::new(0.987), cond.corner, cond.temperature);
+/// let interp = table.factor(Volts::new(0.987));
+/// assert!((exact - interp).abs() / exact < 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceFactorTable {
+    condition: EnvCondition,
+    samples: Vec<f64>,
+}
+
+impl DeviceFactorTable {
+    /// Samples `device`'s delay factor for `condition` over
+    /// 300 mV – 1.4 V in 2 mV steps.
+    #[must_use]
+    pub fn build(device: &DeviceModel, condition: EnvCondition) -> Self {
+        let n = ((HI_MV - LO_MV) / STEP_MV) as usize + 1;
+        let samples = (0..n)
+            .map(|i| {
+                let v = Volts::new((LO_MV + i as f64 * STEP_MV) / 1_000.0);
+                device.delay_factor(v, condition.corner, condition.temperature)
+            })
+            .collect();
+        Self { condition, samples }
+    }
+
+    /// The condition this table was built for.
+    #[must_use]
+    pub fn condition(&self) -> EnvCondition {
+        self.condition
+    }
+
+    /// Interpolated delay factor at `v_eff`. Clamps to the table range;
+    /// returns `f64::INFINITY` wherever either bracketing sample is
+    /// non-functional.
+    #[must_use]
+    pub fn factor(&self, v_eff: Volts) -> f64 {
+        let mv = v_eff.volts() * 1_000.0;
+        let pos = ((mv - LO_MV) / STEP_MV).clamp(0.0, (self.samples.len() - 1) as f64);
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        if i + 1 >= self.samples.len() {
+            return self.samples[i];
+        }
+        let (a, b) = (self.samples[i], self.samples[i + 1]);
+        if !a.is_finite() || !b.is_finite() {
+            // Below functional overdrive for part of the bracket: be
+            // conservative and report non-functional.
+            return f64::INFINITY;
+        }
+        a + (b - a) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use razorbus_process::ProcessCorner;
+    use razorbus_units::Celsius;
+
+    fn table() -> DeviceFactorTable {
+        DeviceFactorTable::build(
+            &DeviceModel::l130_default(),
+            EnvCondition::new(ProcessCorner::Slow, Celsius::HOT),
+        )
+    }
+
+    #[test]
+    fn interpolation_tracks_exact_model() {
+        let dev = DeviceModel::l130_default();
+        let cond = EnvCondition::new(ProcessCorner::Slow, Celsius::HOT);
+        let t = table();
+        for mv in (700..=1_250).step_by(13) {
+            let v = Volts::new(f64::from(mv) / 1_000.0);
+            let exact = dev.delay_factor(v, cond.corner, cond.temperature);
+            let interp = t.factor(v);
+            assert!(
+                (exact - interp).abs() / exact < 5e-4,
+                "at {mv} mV: exact {exact} vs interp {interp}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_functional_region_is_infinite() {
+        let t = table();
+        assert!(t.factor(Volts::new(0.35)).is_infinite());
+    }
+
+    #[test]
+    fn clamps_above_range() {
+        let t = table();
+        let top = t.factor(Volts::new(1.4));
+        assert!((t.factor(Volts::new(2.0)) - top).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_decreasing_over_functional_range() {
+        let t = table();
+        let mut last = f64::INFINITY;
+        for mv in (600..=1_400).step_by(2) {
+            let f = t.factor(Volts::new(f64::from(mv) / 1_000.0));
+            assert!(f <= last + 1e-12);
+            last = f;
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! SPICE-style look-up tables for the razorbus DVS bus.
+//!
+//! §3 of the paper: "In order to reduce the simulation complexity, while
+//! maintaining SPICE-level accuracy, the delays (for every wire) and
+//! energy consumption on the bus are tabulated for all possible data input
+//! combinations using HSPICE. Such look-up tables are created for
+//! individual supply voltages (in increments of 20 mV) … and also for
+//! different combinations of process corner and temperature. Leakage
+//! current through the repeaters is also tabulated…"
+//!
+//! This crate reproduces exactly that indexing structure on top of the
+//! analytical models in `razorbus-wire`/`razorbus-process`:
+//!
+//! * [`EnvCondition`] — the (process corner, temperature) table key.
+//! * [`DeviceFactorTable`] — sampled device delay factor vs. effective
+//!   voltage with linear interpolation (the tabulated stand-in for a
+//!   transistor-level sweep).
+//! * [`ThresholdMatrix`] — per (supply grid point, activity/droop bucket):
+//!   the largest Miller-weighted wire load that still meets the main
+//!   flip-flop's setup budget. One comparison per cycle decides "timing
+//!   error or not", which is what makes the multi-million-cycle sweeps of
+//!   §4–§5 cheap.
+//! * [`EnergyTable`] — per supply grid point: leakage energy per cycle
+//!   (per condition) and the quadratic dynamic-energy scale.
+//! * [`BusTables`] — everything bundled per bus design.
+//!
+//! # Example
+//!
+//! ```
+//! use razorbus_process::PvtCorner;
+//! use razorbus_tables::{BusTables, EnvCondition};
+//! use razorbus_units::{Millivolts, Picoseconds, VoltageGrid};
+//! use razorbus_wire::BusPhysical;
+//!
+//! let bus = BusPhysical::paper_default();
+//! let tables = BusTables::build(&bus, VoltageGrid::paper_default(), Picoseconds::new(220.0));
+//! // At nominal supply and the typical corner, even the worst pattern passes.
+//! let matrix = tables.threshold_matrix(
+//!     EnvCondition::from_pvt(PvtCorner::TYPICAL),
+//!     PvtCorner::TYPICAL.ir,
+//! );
+//! let limit = matrix.pass_limit(Millivolts::new(1_200), 32);
+//! assert!(limit > bus.worst_effective_cap_per_mm().ff());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod condition;
+mod energy;
+mod factor;
+mod tables;
+mod threshold;
+
+pub use condition::EnvCondition;
+pub use energy::EnergyTable;
+pub use factor::DeviceFactorTable;
+pub use tables::BusTables;
+pub use threshold::ThresholdMatrix;

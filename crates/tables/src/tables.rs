@@ -1,0 +1,370 @@
+//! The bundled per-design look-up tables.
+
+use crate::condition::EnvCondition;
+use crate::energy::EnergyTable;
+use crate::factor::DeviceFactorTable;
+use crate::threshold::{ThresholdMatrix, N_BUCKETS};
+use razorbus_process::{IrDrop, ProcessCorner, PvtCorner};
+use razorbus_units::{Femtofarads, Millivolts, Picoseconds, VoltageGrid, Volts};
+use razorbus_wire::BusPhysical;
+
+/// All look-up tables for one bus design: device-factor curves, timing
+/// pass-limits and energies, for every paper condition × IR corner ×
+/// supply grid point.
+///
+/// This is the contact surface between the physical models and the
+/// cycle-level simulator — the paper's HSPICE tables in crate form.
+///
+/// ```
+/// use razorbus_tables::BusTables;
+/// use razorbus_units::{Picoseconds, VoltageGrid};
+/// use razorbus_wire::BusPhysical;
+///
+/// let bus = BusPhysical::paper_default();
+/// let tables = BusTables::build(&bus, VoltageGrid::paper_default(), Picoseconds::new(220.0));
+/// tables.validate().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct BusTables {
+    grid: VoltageGrid,
+    setup: Picoseconds,
+    shadow_skew: Picoseconds,
+    n_bits: usize,
+    factor_tables: Vec<DeviceFactorTable>,
+    energy_tables: Vec<EnergyTable>,
+    /// `threshold[cond_idx][ir_idx]` main-flop pass limits.
+    thresholds: Vec<[ThresholdMatrix; 2]>,
+    /// Same, against the shadow-latch budget (setup + skew).
+    shadow_thresholds: Vec<[ThresholdMatrix; 2]>,
+    repeater_cap_per_toggle: Femtofarads,
+    worst_ceff: Femtofarads,
+}
+
+impl BusTables {
+    /// Builds every table for `bus` over `grid`, with the shadow latch
+    /// clocked `shadow_skew` after the main flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shadow_skew` is negative.
+    #[must_use]
+    pub fn build(bus: &BusPhysical, grid: VoltageGrid, shadow_skew: Picoseconds) -> Self {
+        assert!(shadow_skew.ps() >= 0.0, "shadow skew must be non-negative");
+        let setup = bus.max_path_delay();
+        let device = *bus.line().repeater().device();
+        let mut factor_tables = Vec::with_capacity(EnvCondition::PAPER_SET.len());
+        let mut energy_tables = Vec::with_capacity(EnvCondition::PAPER_SET.len());
+        let mut thresholds = Vec::with_capacity(EnvCondition::PAPER_SET.len());
+        let mut shadow_thresholds = Vec::with_capacity(EnvCondition::PAPER_SET.len());
+
+        for cond in EnvCondition::PAPER_SET {
+            factor_tables.push(DeviceFactorTable::build(&device, cond));
+            energy_tables.push(EnergyTable::build(bus, cond, grid));
+            thresholds.push([
+                build_threshold(bus, cond, IrDrop::None, grid, setup),
+                build_threshold(bus, cond, IrDrop::TenPercent, grid, setup),
+            ]);
+            let shadow_budget = setup + shadow_skew;
+            shadow_thresholds.push([
+                build_threshold(bus, cond, IrDrop::None, grid, shadow_budget),
+                build_threshold(bus, cond, IrDrop::TenPercent, grid, shadow_budget),
+            ]);
+        }
+
+        Self {
+            grid,
+            setup,
+            shadow_skew,
+            n_bits: bus.layout().n_bits(),
+            factor_tables,
+            energy_tables,
+            thresholds,
+            shadow_thresholds,
+            repeater_cap_per_toggle: bus.line().repeater_cap_per_toggle(),
+            worst_ceff: bus.worst_effective_cap_per_mm(),
+        }
+    }
+
+    fn cond_idx(condition: EnvCondition) -> usize {
+        condition
+            .paper_index()
+            .unwrap_or_else(|| panic!("condition {condition} is not tabulated"))
+    }
+
+    fn ir_idx(ir: IrDrop) -> usize {
+        match ir {
+            IrDrop::None => 0,
+            IrDrop::TenPercent => 1,
+        }
+    }
+
+    /// The supply grid.
+    #[must_use]
+    pub fn grid(&self) -> VoltageGrid {
+        self.grid
+    }
+
+    /// Main flip-flop setup budget (the 600 ps design target).
+    #[must_use]
+    pub fn setup(&self) -> Picoseconds {
+        self.setup
+    }
+
+    /// Shadow-latch clock skew after the main clock.
+    #[must_use]
+    pub fn shadow_skew(&self) -> Picoseconds {
+        self.shadow_skew
+    }
+
+    /// Bus width the tables were built for.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// All-stage repeater capacitance switched per wire toggle.
+    #[must_use]
+    pub fn repeater_cap_per_toggle(&self) -> Femtofarads {
+        self.repeater_cap_per_toggle
+    }
+
+    /// The design's worst-case Miller-weighted load.
+    #[must_use]
+    pub fn worst_ceff(&self) -> Femtofarads {
+        self.worst_ceff
+    }
+
+    /// Device-factor table for a condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `condition` is not one of the six tabulated conditions.
+    #[must_use]
+    pub fn factor_table(&self, condition: EnvCondition) -> &DeviceFactorTable {
+        &self.factor_tables[Self::cond_idx(condition)]
+    }
+
+    /// Energy table for a condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `condition` is not tabulated.
+    #[must_use]
+    pub fn energy_table(&self, condition: EnvCondition) -> &EnergyTable {
+        &self.energy_tables[Self::cond_idx(condition)]
+    }
+
+    /// Main-flop pass-limit matrix for (condition, static IR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `condition` is not tabulated.
+    #[must_use]
+    pub fn threshold_matrix(&self, condition: EnvCondition, ir: IrDrop) -> &ThresholdMatrix {
+        &self.thresholds[Self::cond_idx(condition)][Self::ir_idx(ir)]
+    }
+
+    /// Shadow-latch pass-limit matrix for (condition, static IR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `condition` is not tabulated.
+    #[must_use]
+    pub fn shadow_threshold_matrix(
+        &self,
+        condition: EnvCondition,
+        ir: IrDrop,
+    ) -> &ThresholdMatrix {
+        &self.shadow_thresholds[Self::cond_idx(condition)][Self::ir_idx(ir)]
+    }
+
+    /// Lowest grid voltage at which even the worst pattern at worst
+    /// activity is still captured correctly *by the shadow latch* under
+    /// the controller's conservative tuning assumption (the given process
+    /// corner at 100 °C with 10 % IR drop) — §5: "The minimum voltage
+    /// allowed by the regulator is chosen conservatively for the bus to
+    /// meet the setup time of the shadow latch … the only factor used for
+    /// tuning is the process corner."
+    ///
+    /// Returns `None` if no grid point qualifies (the design cannot run
+    /// DVS at this corner at all).
+    #[must_use]
+    pub fn regulator_floor(&self, process: ProcessCorner) -> Option<Millivolts> {
+        let tuning = PvtCorner::new(process, razorbus_units::Celsius::HOT, IrDrop::TenPercent);
+        let matrix =
+            self.shadow_threshold_matrix(EnvCondition::from_pvt(tuning), tuning.ir);
+        let need = self.worst_ceff.ff() * (1.0 - 1e-9);
+        self.grid
+            .iter()
+            .find(|&v| matrix.pass_limit(v, self.n_bits as u32) >= need)
+    }
+
+    /// The fixed-voltage-scaling baseline of Table 1: the lowest grid
+    /// voltage guaranteeing *zero* timing errors given only the process
+    /// corner (worst-case temperature, IR drop and switching assumed).
+    ///
+    /// Returns `None` if not even the nominal supply qualifies (cannot
+    /// happen for a correctly sized design).
+    #[must_use]
+    pub fn fixed_vs_voltage(&self, process: ProcessCorner) -> Option<Millivolts> {
+        let tuning = PvtCorner::new(process, razorbus_units::Celsius::HOT, IrDrop::TenPercent);
+        let matrix = self.threshold_matrix(EnvCondition::from_pvt(tuning), tuning.ir);
+        let need = self.worst_ceff.ff() * (1.0 - 1e-9);
+        self.grid
+            .iter()
+            .find(|&v| matrix.pass_limit(v, self.n_bits as u32) >= need)
+    }
+
+    /// Validates all component tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found in any component table.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, cond) in EnvCondition::PAPER_SET.iter().enumerate() {
+            self.energy_tables[i]
+                .validate()
+                .map_err(|e| format!("energy[{cond}]: {e}"))?;
+            for ir in [0, 1] {
+                self.thresholds[i][ir]
+                    .validate()
+                    .map_err(|e| format!("threshold[{cond}][ir={ir}]: {e}"))?;
+                self.shadow_thresholds[i][ir]
+                    .validate()
+                    .map_err(|e| format!("shadow[{cond}][ir={ir}]: {e}"))?;
+                // Shadow budget dominates the main budget pointwise.
+                for vi in 0..self.grid.len() {
+                    for b in 0..N_BUCKETS {
+                        let main = self.thresholds[i][ir].pass_limit_at(vi, b);
+                        let shadow = self.shadow_thresholds[i][ir].pass_limit_at(vi, b);
+                        if shadow + 1e-9 < main {
+                            return Err(format!(
+                                "shadow pass limit below main at [{cond}][ir={ir}] v={vi} b={b}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn build_threshold(
+    bus: &BusPhysical,
+    cond: EnvCondition,
+    ir: IrDrop,
+    grid: VoltageGrid,
+    budget: Picoseconds,
+) -> ThresholdMatrix {
+    let coeffs = bus.delay_coefficients(cond.corner, cond.temperature);
+    let device = bus.line().repeater().device();
+    let droop = bus.droop();
+    let mut limits = Vec::with_capacity(grid.len() * N_BUCKETS);
+    let n_bits = bus.layout().n_bits();
+    for v in grid.iter() {
+        for bucket in 0..N_BUCKETS {
+            let activity = ((bucket as u32 * ThresholdMatrix::TOGGLES_PER_BUCKET) as f64
+                / n_bits as f64)
+                .min(1.0);
+            let v_eff = Volts::from(v)
+                * (1.0 - ir.fraction() - droop.droop_fraction(activity));
+            let f = device.delay_factor(v_eff, cond.corner, cond.temperature);
+            let limit = coeffs
+                .ceff_at_delay(f, budget)
+                .map_or(-1.0, |c| c.ff());
+            limits.push(limit);
+        }
+    }
+    ThresholdMatrix::from_limits(grid, n_bits, limits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use razorbus_units::Celsius;
+
+    fn tables() -> BusTables {
+        BusTables::build(
+            &BusPhysical::paper_default(),
+            VoltageGrid::paper_default(),
+            Picoseconds::new(220.0),
+        )
+    }
+
+    #[test]
+    fn tables_validate() {
+        tables().validate().unwrap();
+    }
+
+    #[test]
+    fn worst_pattern_passes_at_nominal_for_all_corners_except_design() {
+        let t = tables();
+        let worst = t.worst_ceff().ff();
+        // Typical corner, no IR: passes with margin at 1.2 V.
+        let typ = t.threshold_matrix(
+            EnvCondition::new(ProcessCorner::Typical, Celsius::HOT),
+            IrDrop::None,
+        );
+        assert!(typ.pass_limit(Millivolts::new(1_200), 32) > worst);
+        // Design corner with full activity: just barely passes (sized
+        // with the droop of full activity).
+        let slow = t.threshold_matrix(
+            EnvCondition::new(ProcessCorner::Slow, Celsius::HOT),
+            IrDrop::TenPercent,
+        );
+        let margin = slow.pass_limit(Millivolts::new(1_200), 32) / worst;
+        assert!(
+            (0.99..=1.05).contains(&margin),
+            "design-corner margin {margin}"
+        );
+        // One 20 mV step below nominal, the worst pattern fails there.
+        assert!(slow.pass_limit(Millivolts::new(1_180), 32) < worst);
+    }
+
+    #[test]
+    fn regulator_floor_orders_with_corner() {
+        let t = tables();
+        let slow = t.regulator_floor(ProcessCorner::Slow).unwrap();
+        let typ = t.regulator_floor(ProcessCorner::Typical).unwrap();
+        let fast = t.regulator_floor(ProcessCorner::Fast).unwrap();
+        assert!(slow >= typ && typ >= fast, "{slow} {typ} {fast}");
+        // DVS must have real room below nominal even at the slow corner.
+        assert!(slow < Millivolts::new(1_200));
+    }
+
+    #[test]
+    fn fixed_vs_matches_paper_structure() {
+        let t = tables();
+        // Slow corner: no scaling possible (designed exactly critical).
+        assert_eq!(
+            t.fixed_vs_voltage(ProcessCorner::Slow),
+            Some(Millivolts::new(1_200))
+        );
+        // Typical corner: meaningful scaling (paper: 1.10 V -> 17%).
+        let typ = t.fixed_vs_voltage(ProcessCorner::Typical).unwrap();
+        assert!(typ < Millivolts::new(1_200) && typ > Millivolts::new(1_000), "{typ}");
+        // Fixed VS always sits above the shadow-latch floor.
+        assert!(typ >= t.regulator_floor(ProcessCorner::Typical).unwrap());
+    }
+
+    #[test]
+    fn shadow_skew_extends_scaling_range() {
+        let t = tables();
+        let floor = t.regulator_floor(ProcessCorner::Typical).unwrap();
+        let fixed = t.fixed_vs_voltage(ProcessCorner::Typical).unwrap();
+        // The whole point of Razor: the recoverable range reaches below
+        // the guaranteed-correct range.
+        assert!(floor < fixed, "floor {floor} !< fixed {fixed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not tabulated")]
+    fn untabulated_condition_panics() {
+        let t = tables();
+        let _ = t.threshold_matrix(
+            EnvCondition::new(ProcessCorner::Typical, Celsius::new(60.0)),
+            IrDrop::None,
+        );
+    }
+}

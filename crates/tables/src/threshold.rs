@@ -1,0 +1,190 @@
+//! Pass-limit threshold matrix: per (supply grid point, activity bucket),
+//! the largest Miller-weighted wire load (fF/mm) that still meets the main
+//! flip-flop setup budget.
+//!
+//! A cycle produces a timing error iff its worst wire's effective
+//! capacitance exceeds the pass limit at the current supply point and
+//! activity bucket — a single `f64` comparison, which is what lets the
+//! simulator replay tens of millions of cycles per second across a
+//! voltage sweep (the role the per-pattern HSPICE tables play in §3).
+
+use razorbus_units::{Millivolts, VoltageGrid};
+
+/// Number of activity buckets: toggles are divided by
+/// [`ThresholdMatrix::TOGGLES_PER_BUCKET`].
+pub(crate) const N_BUCKETS: usize = 9;
+
+/// Pass-limit table for one (condition, static-IR) pair.
+///
+/// Built by [`crate::BusTables::build`]; query with
+/// [`ThresholdMatrix::pass_limit`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThresholdMatrix {
+    grid: VoltageGrid,
+    n_bits: usize,
+    /// `limits[v_idx * N_BUCKETS + bucket]` in fF/mm; negative means
+    /// "every toggling wire fails".
+    limits: Vec<f64>,
+}
+
+impl ThresholdMatrix {
+    /// Bus wires per activity bucket (32-bit bus → 9 buckets).
+    pub const TOGGLES_PER_BUCKET: u32 = 4;
+
+    pub(crate) fn from_limits(grid: VoltageGrid, n_bits: usize, limits: Vec<f64>) -> Self {
+        assert_eq!(limits.len(), grid.len() * N_BUCKETS, "limit table shape");
+        Self {
+            grid,
+            n_bits,
+            limits,
+        }
+    }
+
+    /// The supply grid this matrix is indexed by.
+    #[must_use]
+    pub fn grid(&self) -> VoltageGrid {
+        self.grid
+    }
+
+    /// Activity bucket for a toggle count.
+    #[inline]
+    #[must_use]
+    pub fn bucket_of(&self, toggled_wires: u32) -> usize {
+        ((toggled_wires / Self::TOGGLES_PER_BUCKET) as usize).min(N_BUCKETS - 1)
+    }
+
+    /// Representative switching-activity fraction of `bucket` (its lower
+    /// edge; droop underestimation is bounded by one bucket's width).
+    #[must_use]
+    pub fn bucket_activity(&self, bucket: usize) -> f64 {
+        ((bucket as u32 * Self::TOGGLES_PER_BUCKET) as f64 / self.n_bits as f64).min(1.0)
+    }
+
+    /// Pass limit (fF/mm) at supply `v` for a cycle toggling
+    /// `toggled_wires` wires. A cycle errors iff its worst-wire effective
+    /// capacitance exceeds this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not on the grid.
+    #[inline]
+    #[must_use]
+    pub fn pass_limit(&self, v: Millivolts, toggled_wires: u32) -> f64 {
+        let vi = self
+            .grid
+            .index_of(v)
+            .unwrap_or_else(|| panic!("voltage {v} not on table grid"));
+        self.limits[vi * N_BUCKETS + self.bucket_of(toggled_wires)]
+    }
+
+    /// Pass limit by raw grid index and bucket (hot-loop form).
+    #[inline]
+    #[must_use]
+    pub fn pass_limit_at(&self, v_idx: usize, bucket: usize) -> f64 {
+        self.limits[v_idx * N_BUCKETS + bucket]
+    }
+
+    /// Row of pass limits (all buckets) at a grid index — used by the
+    /// sweep engine to evaluate a whole histogram at once.
+    #[must_use]
+    pub fn row(&self, v_idx: usize) -> &[f64] {
+        &self.limits[v_idx * N_BUCKETS..(v_idx + 1) * N_BUCKETS]
+    }
+
+    /// Number of activity buckets.
+    #[must_use]
+    pub fn n_buckets(&self) -> usize {
+        N_BUCKETS
+    }
+
+    /// Validates physical monotonicity: limits never decrease with
+    /// voltage and never increase with activity. Returns a description of
+    /// the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(description)` on the first monotonicity violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for b in 0..N_BUCKETS {
+            for vi in 1..self.grid.len() {
+                let lo = self.pass_limit_at(vi - 1, b);
+                let hi = self.pass_limit_at(vi, b);
+                if hi + 1e-9 < lo {
+                    return Err(format!(
+                        "pass limit fell with voltage at bucket {b}, grid index {vi}: {lo} -> {hi}"
+                    ));
+                }
+            }
+        }
+        for vi in 0..self.grid.len() {
+            for b in 1..N_BUCKETS {
+                let calm = self.pass_limit_at(vi, b - 1);
+                let busy = self.pass_limit_at(vi, b);
+                if busy > calm + 1e-9 {
+                    return Err(format!(
+                        "pass limit rose with activity at grid index {vi}, bucket {b}: {calm} -> {busy}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ThresholdMatrix {
+        let grid = VoltageGrid::new(Millivolts::new(1_000), Millivolts::new(1_040), Millivolts::new(20));
+        // 3 grid points x 9 buckets, decreasing with activity, increasing
+        // with voltage.
+        let mut limits = Vec::new();
+        for vi in 0..3 {
+            for b in 0..N_BUCKETS {
+                limits.push(200.0 + 50.0 * vi as f64 - 5.0 * b as f64);
+            }
+        }
+        ThresholdMatrix::from_limits(grid, 32, limits)
+    }
+
+    #[test]
+    fn bucket_mapping() {
+        let m = matrix();
+        assert_eq!(m.bucket_of(0), 0);
+        assert_eq!(m.bucket_of(3), 0);
+        assert_eq!(m.bucket_of(4), 1);
+        assert_eq!(m.bucket_of(32), 8);
+        assert!((m.bucket_activity(8) - 1.0).abs() < 1e-12);
+        assert_eq!(m.bucket_activity(0), 0.0);
+    }
+
+    #[test]
+    fn lookup_matches_layout() {
+        let m = matrix();
+        assert_eq!(m.pass_limit(Millivolts::new(1_000), 0), 200.0);
+        assert_eq!(m.pass_limit(Millivolts::new(1_040), 32), 300.0 - 40.0);
+        assert_eq!(m.pass_limit_at(1, 2), m.row(1)[2]);
+    }
+
+    #[test]
+    fn validate_accepts_monotone() {
+        assert!(matrix().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_voltage_inversion() {
+        let grid = VoltageGrid::new(Millivolts::new(1_000), Millivolts::new(1_020), Millivolts::new(20));
+        let mut limits = vec![100.0; 2 * N_BUCKETS];
+        limits[N_BUCKETS] = 50.0; // higher V, lower limit in bucket 0
+        let m = ThresholdMatrix::from_limits(grid, 32, limits);
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("fell with voltage"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not on table grid")]
+    fn off_grid_lookup_panics() {
+        let _ = matrix().pass_limit(Millivolts::new(1_010), 0);
+    }
+}

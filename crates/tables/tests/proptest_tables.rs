@@ -1,0 +1,142 @@
+//! Property tests for the look-up tables: monotonicity in every physical
+//! direction, inverse-function identities, and floor ordering.
+
+use proptest::prelude::*;
+use razorbus_process::{IrDrop, ProcessCorner, PvtCorner};
+use razorbus_tables::{BusTables, EnvCondition};
+use razorbus_units::{Celsius, Millivolts, Picoseconds, VoltageGrid, Volts};
+use razorbus_wire::BusPhysical;
+
+use std::sync::OnceLock;
+
+fn tables() -> &'static BusTables {
+    static TABLES: OnceLock<BusTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        BusTables::build(
+            &BusPhysical::paper_default(),
+            VoltageGrid::paper_default(),
+            Picoseconds::new(215.0),
+        )
+    })
+}
+
+fn conditions() -> impl Strategy<Value = EnvCondition> {
+    proptest::sample::select(EnvCondition::PAPER_SET.to_vec())
+}
+
+fn irs() -> impl Strategy<Value = IrDrop> {
+    proptest::sample::select(IrDrop::ALL.to_vec())
+}
+
+proptest! {
+    /// Pass limits never decrease when the supply rises, never increase
+    /// when activity (droop) rises, at every tabulated condition.
+    #[test]
+    fn pass_limits_monotone(cond in conditions(), ir in irs()) {
+        let t = tables();
+        let m = t.threshold_matrix(cond, ir);
+        let grid = t.grid();
+        for vi in 1..grid.len() {
+            for b in 0..m.n_buckets() {
+                prop_assert!(m.pass_limit_at(vi, b) + 1e-9 >= m.pass_limit_at(vi - 1, b));
+            }
+        }
+        for vi in 0..grid.len() {
+            for b in 1..m.n_buckets() {
+                prop_assert!(m.pass_limit_at(vi, b) <= m.pass_limit_at(vi, b - 1) + 1e-9);
+            }
+        }
+    }
+
+    /// Static IR drop only ever tightens the pass limit.
+    #[test]
+    fn ir_drop_tightens_limits(cond in conditions(), vi in 0usize..23, b in 0usize..9) {
+        let t = tables();
+        let clean = t.threshold_matrix(cond, IrDrop::None).pass_limit_at(vi, b);
+        let droopy = t.threshold_matrix(cond, IrDrop::TenPercent).pass_limit_at(vi, b);
+        prop_assert!(droopy <= clean + 1e-9);
+    }
+
+    /// The shadow budget dominates the main budget pointwise — recovery
+    /// is always possible wherever detection triggers.
+    #[test]
+    fn shadow_dominates_main(cond in conditions(), ir in irs(), vi in 0usize..23, b in 0usize..9) {
+        let t = tables();
+        let main = t.threshold_matrix(cond, ir).pass_limit_at(vi, b);
+        let shadow = t.shadow_threshold_matrix(cond, ir).pass_limit_at(vi, b);
+        prop_assert!(shadow + 1e-9 >= main);
+    }
+
+    /// Slower corners never have larger pass limits than faster ones at
+    /// the same temperature/voltage/bucket.
+    #[test]
+    fn corner_ordering(vi in 0usize..23, b in 0usize..9, hot in any::<bool>()) {
+        let t = tables();
+        let temp = if hot { Celsius::HOT } else { Celsius::ROOM };
+        let lim = |p: ProcessCorner| {
+            t.threshold_matrix(EnvCondition::new(p, temp), IrDrop::None)
+                .pass_limit_at(vi, b)
+        };
+        prop_assert!(lim(ProcessCorner::Slow) <= lim(ProcessCorner::Typical) + 1e-9);
+        prop_assert!(lim(ProcessCorner::Typical) <= lim(ProcessCorner::Fast) + 1e-9);
+    }
+
+    /// The interpolated device-factor table tracks the exact model to
+    /// within 0.1% over the DVS operating range.
+    #[test]
+    fn factor_table_accuracy(cond in conditions(), mv in 700i32..1_250) {
+        let t = tables();
+        let ft = t.factor_table(cond);
+        let dev = razorbus_process::DeviceModel::l130_default();
+        let v = Volts::new(f64::from(mv) / 1_000.0);
+        let exact = dev.delay_factor(v, cond.corner, cond.temperature);
+        let interp = ft.factor(v);
+        if exact.is_finite() && interp.is_finite() {
+            prop_assert!(((exact - interp) / exact).abs() < 1e-3);
+        }
+    }
+
+    /// Energy tables: leakage monotone in voltage, v² exact.
+    #[test]
+    fn energy_table_properties(cond in conditions(), step in 1usize..23) {
+        let t = tables();
+        let e = t.energy_table(cond);
+        prop_assert!(e.leakage_per_cycle_at(step) >= e.leakage_per_cycle_at(step - 1));
+        let v = t.grid().at(step);
+        let expect = v.to_volts().volts().powi(2);
+        prop_assert!((e.v_squared(v) - expect).abs() < 1e-12);
+    }
+
+    /// Floors and baselines order correctly for every process corner:
+    /// shadow-backed floor ≤ guaranteed-correct fixed-VS voltage.
+    #[test]
+    fn floor_below_fixed_vs(p in proptest::sample::select(ProcessCorner::ALL.to_vec())) {
+        let t = tables();
+        let floor = t.regulator_floor(p).unwrap();
+        let fixed = t.fixed_vs_voltage(p).unwrap();
+        prop_assert!(floor <= fixed);
+        prop_assert!(fixed <= Millivolts::new(1_200));
+    }
+
+    /// The static-IR tuning rule is conservative: the floor computed for
+    /// a process corner is safe at *any* same-process environment
+    /// (any temperature, any static IR).
+    #[test]
+    fn floor_conservative_across_environments(
+        p in proptest::sample::select(ProcessCorner::ALL.to_vec()),
+        hot in any::<bool>(),
+        ir in irs(),
+    ) {
+        let t = tables();
+        let floor = t.regulator_floor(p).unwrap();
+        let temp = if hot { Celsius::HOT } else { Celsius::ROOM };
+        let cond = EnvCondition::new(p, temp);
+        let matrix = t.shadow_threshold_matrix(cond, ir);
+        let worst = t.worst_ceff().ff() * (1.0 - 1e-9);
+        prop_assert!(
+            matrix.pass_limit(floor, 32) >= worst,
+            "floor {floor} unsafe at {cond}, {ir}"
+        );
+        let _ = PvtCorner::WORST; // silence unused-import lint paths
+    }
+}

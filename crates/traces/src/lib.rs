@@ -1,0 +1,51 @@
+//! Synthetic memory-read-bus traces for the razorbus simulator.
+//!
+//! The paper drives its bus with "the data trace on the memory read bus
+//! from 10 of the SPEC2000 benchmarks", captured with a modified
+//! SimpleScalar `sim-safe` over SimPoint-selected 10-M-instruction
+//! regions (§3). Neither SPEC2000 nor SimpleScalar is available here, so
+//! this crate generates *statistically shaped* load-data streams instead:
+//!
+//! * [`TraceSource`] — the word-stream trait the simulator consumes.
+//! * Primitive generators — [`RandomWords`] (high-entropy FP-mantissa-like
+//!   data), [`SmallIntWords`], [`StrideWords`] (pointer/address streams),
+//!   [`ValueLocalityWords`] (LRU reuse), [`ZeroBurstWords`].
+//! * [`Mixture`] and [`PhaseModulated`] — per-benchmark blends with
+//!   SimPoint-like program phases.
+//! * [`Benchmark`] — the ten SPEC2000 programs of Table 1, each with a
+//!   profile tuned so its *coupling-pattern tail* (the fraction of cycles
+//!   with near-worst-case neighbor switching) reproduces the paper's
+//!   observed per-program behaviour (e.g. `crafty` scales deep, `mgrid`
+//!   barely below the zero-error point).
+//! * [`TraceStats`] — word-level statistics used to verify those shapes.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use razorbus_traces::{Benchmark, TraceSource};
+//!
+//! let mut crafty = Benchmark::Crafty.trace(42);
+//! let a = crafty.next_word();
+//! let b = crafty.next_word();
+//! let mut again = Benchmark::Crafty.trace(42);
+//! assert_eq!((a, b), (again.next_word(), again.next_word()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+mod generators;
+mod mixture;
+mod recording;
+mod source;
+mod stats;
+
+pub use benchmark::{Benchmark, BenchmarkProfile};
+pub use generators::{RandomWords, SmallIntWords, StrideWords, ValueLocalityWords, ZeroBurstWords};
+pub use mixture::{Mixture, MixtureWeights, PhaseModulated};
+pub use recording::{Replay, TraceRecording};
+pub use source::TraceSource;
+pub use stats::TraceStats;

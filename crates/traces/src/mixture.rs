@@ -1,0 +1,330 @@
+//! Transition-structured word mixtures and SimPoint-like phase
+//! modulation.
+//!
+//! What matters to the DVS bus is not the *values* on the bus but the
+//! *transitions* between consecutive words: a timing-critical pattern
+//! needs several adjacent wires toggling in opposite directions in the
+//! same cycle (Fig. 9). Real load-data streams are dominated by benign
+//! transitions — exact repeats, few-bit deltas, values sharing high bits
+//! — with occasional high-entropy words (FP mantissas) that produce
+//! dense, worst-case-shaped toggling. [`Mixture`] therefore draws a
+//! *transition kind* per cycle:
+//!
+//! * `repeat` — the previous word again (load-value locality),
+//! * `near` — the previous word with 1–3 scattered bit flips,
+//! * `value` — a fresh structured value (small integer, or a pointer
+//!   sharing its high bits with a slowly-rebasing base),
+//! * `random` — a fresh high-entropy word,
+//! * `zero` — the zero word.
+//!
+//! The per-benchmark balance of these kinds (plus phase modulation) is
+//! what reproduces the paper's per-program DVS depth.
+
+use crate::generators::SmallIntWords;
+use crate::source::TraceSource;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative weights of the five transition kinds in a [`Mixture`].
+///
+/// Weights need not sum to one; they are normalized internally.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MixtureWeights {
+    /// Exact repeat of the previous word.
+    pub repeat: f64,
+    /// 1–3 scattered bit flips on the previous word.
+    pub near: f64,
+    /// Fresh structured value (small int / pointer with shared high bits).
+    pub value: f64,
+    /// Fresh high-entropy word (FP mantissas, hashes).
+    pub random: f64,
+    /// The zero word.
+    pub zero: f64,
+}
+
+impl MixtureWeights {
+    /// Creates a weight set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all are zero.
+    #[must_use]
+    pub fn new(repeat: f64, near: f64, value: f64, random: f64, zero: f64) -> Self {
+        let w = Self {
+            repeat,
+            near,
+            value,
+            random,
+            zero,
+        };
+        assert!(
+            [repeat, near, value, random, zero].iter().all(|&x| x >= 0.0),
+            "weights must be non-negative"
+        );
+        assert!(w.total() > 0.0, "at least one weight must be positive");
+        w
+    }
+
+    fn total(&self) -> f64 {
+        self.repeat + self.near + self.value + self.random + self.zero
+    }
+
+    /// Returns a copy with the high-entropy weight multiplied by `boost`
+    /// — used by phase modulation for hot program phases.
+    #[must_use]
+    pub fn with_random_boost(&self, boost: f64) -> Self {
+        assert!(boost >= 0.0, "boost must be non-negative");
+        Self {
+            random: self.random * boost,
+            ..*self
+        }
+    }
+}
+
+/// A transition-structured word stream (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Mixture {
+    rng: SmallRng,
+    weights: MixtureWeights,
+    prev: u32,
+    small: SmallIntWords,
+    pointer_base: u32,
+    /// Remaining cycles of a high-entropy burst: FP mantissa traffic
+    /// arrives in back-to-back runs (vector loads), and it is exactly the
+    /// random→random *pairs* that produce worst-case coupling patterns.
+    random_burst: u32,
+}
+
+impl Mixture {
+    /// Creates a seeded mixture. The stream starts from the zero word.
+    #[must_use]
+    pub fn new(seed: u64, weights: MixtureWeights) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_1000);
+        let pointer_base = rng.random::<u32>() & 0x7FFF_FC00;
+        Self {
+            rng,
+            weights,
+            prev: 0,
+            small: SmallIntWords::new(seed.wrapping_add(2), 12),
+            pointer_base,
+            random_burst: 0,
+        }
+    }
+
+    /// The active weights.
+    #[must_use]
+    pub fn weights(&self) -> MixtureWeights {
+        self.weights
+    }
+
+    /// Replaces the weights (phase transitions).
+    pub fn set_weights(&mut self, weights: MixtureWeights) {
+        self.weights = weights;
+    }
+
+    fn fresh_value(&mut self) -> u32 {
+        if self.rng.random_bool(0.5) {
+            // Small integer: activity confined to the low bits.
+            self.small.next_word()
+        } else {
+            // Pointer: high bits anchored to a slowly-moving base, low
+            // 10 bits sparsely random (word-aligned).
+            if self.rng.random_bool(0.01) {
+                self.pointer_base = self.rng.random::<u32>() & 0x7FFF_FC00;
+            }
+            self.pointer_base | (self.rng.random::<u32>() & 0x0000_03FC)
+        }
+    }
+}
+
+impl TraceSource for Mixture {
+    fn next_word(&mut self) -> u32 {
+        if self.random_burst > 0 {
+            self.random_burst -= 1;
+            let word = self.rng.random();
+            self.prev = word;
+            return word;
+        }
+        let w = &self.weights;
+        let pick = self.rng.random_range(0.0..w.total());
+        let word = if pick < w.repeat {
+            self.prev
+        } else if pick < w.repeat + w.near {
+            let flips = self.rng.random_range(1..=3);
+            let mut word = self.prev;
+            for _ in 0..flips {
+                word ^= 1 << self.rng.random_range(0..32);
+            }
+            word
+        } else if pick < w.repeat + w.near + w.value {
+            self.fresh_value()
+        } else if pick < w.repeat + w.near + w.value + w.random {
+            self.random_burst = self.rng.random_range(1..=3);
+            self.rng.random()
+        } else {
+            0
+        };
+        self.prev = word;
+        word
+    }
+}
+
+/// SimPoint-like phase behaviour: the trace alternates between a `calm`
+/// and a `hot` weight set with seeded, jittered phase lengths — producing
+/// the within-program supply/error wander visible in the paper's Fig. 8.
+#[derive(Debug, Clone)]
+pub struct PhaseModulated {
+    rng: SmallRng,
+    mixture: Mixture,
+    calm: MixtureWeights,
+    hot: MixtureWeights,
+    period: u64,
+    hot_fraction: f64,
+    remaining: u64,
+    in_hot: bool,
+}
+
+impl PhaseModulated {
+    /// Creates a phase-modulated mixture: phases average `period` cycles,
+    /// of which a `hot_fraction` share uses the `hot` weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `hot_fraction` outside `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        calm: MixtureWeights,
+        hot: MixtureWeights,
+        period: u64,
+        hot_fraction: f64,
+    ) -> Self {
+        assert!(period > 0, "phase period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot fraction out of range"
+        );
+        let mut s = Self {
+            rng: SmallRng::seed_from_u64(seed ^ 0x5eed_2000),
+            mixture: Mixture::new(seed, calm),
+            calm,
+            hot,
+            period,
+            hot_fraction,
+            remaining: 0,
+            in_hot: false,
+        };
+        s.start_phase(false);
+        s
+    }
+
+    fn start_phase(&mut self, hot: bool) {
+        self.in_hot = hot;
+        let share = if hot {
+            self.hot_fraction
+        } else {
+            1.0 - self.hot_fraction
+        };
+        let nominal = (self.period as f64 * share).max(1.0);
+        // +/-50% jitter keeps programs from looking periodic.
+        let jitter = self.rng.random_range(0.5..1.5);
+        self.remaining = (nominal * jitter).max(1.0) as u64;
+        let weights = if hot { self.hot } else { self.calm };
+        self.mixture.set_weights(weights);
+    }
+
+    /// Whether the generator is currently in its hot phase.
+    #[must_use]
+    pub fn in_hot_phase(&self) -> bool {
+        self.in_hot
+    }
+}
+
+impl TraceSource for PhaseModulated {
+    fn next_word(&mut self) -> u32 {
+        if self.remaining == 0 {
+            let next_hot = !self.in_hot && self.hot_fraction > 0.0;
+            self.start_phase(next_hot);
+        }
+        self.remaining -= 1;
+        self.mixture.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    fn calm() -> MixtureWeights {
+        MixtureWeights::new(0.40, 0.28, 0.24, 0.01, 0.07)
+    }
+
+    #[test]
+    fn mixture_is_deterministic() {
+        let mut a = Mixture::new(9, calm());
+        let mut b = Mixture::new(9, calm());
+        assert_eq!(a.take_words(64), b.take_words(64));
+    }
+
+    #[test]
+    fn pure_random_mixture_behaves_like_random() {
+        let w = MixtureWeights::new(0.0, 0.0, 0.0, 1.0, 0.0);
+        let mut m = Mixture::new(11, w);
+        let words = m.take_words(2_000);
+        let mean: f64 =
+            words.iter().map(|w| f64::from(w.count_ones())).sum::<f64>() / words.len() as f64;
+        assert!((mean - 16.0).abs() < 1.0, "mean popcount {mean}");
+    }
+
+    #[test]
+    fn repeat_heavy_mixture_is_quiet() {
+        let w = MixtureWeights::new(1.0, 0.0, 0.0, 0.0, 0.0);
+        let mut m = Mixture::new(12, w);
+        let words = m.take_words(100);
+        assert!(words.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
+    fn calm_mixture_has_benign_transitions() {
+        // The whole point of the transition-structured design: a calm
+        // profile rarely produces the adjacent-opposite worst patterns.
+        let mut m = Mixture::new(5, calm());
+        let stats = TraceStats::collect(&mut m, 50_000);
+        assert!(
+            stats.opposing_adjacent_fraction < 0.15,
+            "calm profile too hot: {stats:?}"
+        );
+        assert!(stats.mean_toggles < 6.0, "{stats:?}");
+    }
+
+    #[test]
+    fn phase_modulation_switches_phases() {
+        let hot = calm().with_random_boost(40.0);
+        let mut p = PhaseModulated::new(5, calm(), hot, 2_000, 0.3);
+        let mut saw_hot = false;
+        let mut saw_calm = false;
+        for _ in 0..20_000 {
+            let _ = p.next_word();
+            if p.in_hot_phase() {
+                saw_hot = true;
+            } else {
+                saw_calm = true;
+            }
+        }
+        assert!(saw_hot && saw_calm);
+    }
+
+    #[test]
+    fn random_boost_scales_only_random() {
+        let w = calm().with_random_boost(3.0);
+        assert!((w.random - 0.03).abs() < 1e-12);
+        assert_eq!(w.near, calm().near);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn rejects_all_zero_weights() {
+        let _ = MixtureWeights::new(0.0, 0.0, 0.0, 0.0, 0.0);
+    }
+}

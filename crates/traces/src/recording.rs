@@ -1,0 +1,174 @@
+//! Trace recording and replay.
+//!
+//! The paper consumed *captured* SimpleScalar traces; this module gives
+//! the same workflow to users of the synthetic generators: capture any
+//! [`TraceSource`] into a [`TraceRecording`] (serializable with serde),
+//! replay it bit-exactly — looping if the consumer needs more cycles than
+//! were captured — and splice recordings back to back (the Fig. 8
+//! consecutive-program setup as one stream).
+
+use crate::source::TraceSource;
+
+/// A captured word stream.
+///
+/// ```
+/// use razorbus_traces::{Benchmark, TraceRecording, TraceSource};
+///
+/// let recording = TraceRecording::capture(&mut Benchmark::Gap.trace(1), 1_000);
+/// let mut replay_a = recording.replay();
+/// let mut replay_b = recording.replay();
+/// assert_eq!(replay_a.take_words(500), replay_b.take_words(500));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceRecording {
+    words: Vec<u32>,
+}
+
+impl TraceRecording {
+    /// Captures `n` words from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn capture<S: TraceSource>(source: &mut S, n: usize) -> Self {
+        assert!(n > 0, "cannot capture an empty recording");
+        Self {
+            words: (0..n).map(|_| source.next_word()).collect(),
+        }
+    }
+
+    /// Wraps an existing word buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty.
+    #[must_use]
+    pub fn from_words(words: Vec<u32>) -> Self {
+        assert!(!words.is_empty(), "cannot replay an empty recording");
+        Self { words }
+    }
+
+    /// Number of captured words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Always `false` (recordings are non-empty by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The captured words.
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// An endless replaying source (wraps around at the end).
+    #[must_use]
+    pub fn replay(&self) -> Replay<'_> {
+        Replay {
+            words: &self.words,
+            pos: 0,
+            wraps: 0,
+        }
+    }
+
+    /// Concatenates recordings into one (the Fig. 8 consecutive-program
+    /// stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    #[must_use]
+    pub fn splice<'a, I: IntoIterator<Item = &'a Self>>(parts: I) -> Self {
+        let mut words = Vec::new();
+        for part in parts {
+            words.extend_from_slice(&part.words);
+        }
+        Self::from_words(words)
+    }
+}
+
+/// Endless replay of a [`TraceRecording`].
+#[derive(Debug, Clone)]
+pub struct Replay<'a> {
+    words: &'a [u32],
+    pos: usize,
+    wraps: u64,
+}
+
+impl Replay<'_> {
+    /// How many times the replay has wrapped past the end.
+    #[must_use]
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+impl TraceSource for Replay<'_> {
+    fn next_word(&mut self) -> u32 {
+        let w = self.words[self.pos];
+        self.pos += 1;
+        if self.pos == self.words.len() {
+            self.pos = 0;
+            self.wraps += 1;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Benchmark;
+
+    #[test]
+    fn capture_matches_source() {
+        let mut live = Benchmark::Mcf.trace(3);
+        let expected: Vec<u32> = live.take_words(64);
+        let mut again = Benchmark::Mcf.trace(3);
+        let rec = TraceRecording::capture(&mut again, 64);
+        assert_eq!(rec.words(), expected.as_slice());
+        assert_eq!(rec.len(), 64);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let rec = TraceRecording::from_words(vec![1, 2, 3]);
+        let mut r = rec.replay();
+        assert_eq!(r.take_words(7), vec![1, 2, 3, 1, 2, 3, 1]);
+        assert_eq!(r.wraps(), 2);
+    }
+
+    #[test]
+    fn splice_concatenates_in_order() {
+        let a = TraceRecording::from_words(vec![1, 2]);
+        let b = TraceRecording::from_words(vec![3]);
+        let s = TraceRecording::splice([&a, &b]);
+        assert_eq!(s.words(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn rebuild_from_words_is_identity() {
+        let rec = TraceRecording::capture(&mut Benchmark::Vpr.trace(9), 32);
+        let rebuilt = TraceRecording::from_words(rec.words().to_vec());
+        assert_eq!(rebuilt, rec);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty recording")]
+    fn rejects_empty_capture() {
+        struct Zero;
+        impl TraceSource for Zero {
+            fn next_word(&mut self) -> u32 {
+                0
+            }
+        }
+        let _ = TraceRecording::capture(&mut Zero, 0);
+    }
+}

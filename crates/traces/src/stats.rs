@@ -1,0 +1,120 @@
+//! Word-level trace statistics used to verify profile shapes.
+
+use crate::source::TraceSource;
+
+/// Aggregate statistics over a window of trace cycles.
+///
+/// ```
+/// use razorbus_traces::{Benchmark, TraceStats};
+///
+/// let hot = TraceStats::collect(&mut Benchmark::Mgrid.trace(7), 50_000);
+/// let calm = TraceStats::collect(&mut Benchmark::Crafty.trace(7), 50_000);
+/// // The FP code produces far more worst-pattern-shaped cycles.
+/// assert!(hot.opposing_adjacent_fraction > 2.0 * calm.opposing_adjacent_fraction);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Number of cycles observed.
+    pub cycles: u64,
+    /// Mean toggling wires per cycle.
+    pub mean_toggles: f64,
+    /// Fraction of cycles in which at least one *adjacent pair* of wires
+    /// toggles in opposite directions — the victim/aggressor pattern that
+    /// produces near-worst Miller loads (Fig. 9 pattern I shape).
+    pub opposing_adjacent_fraction: f64,
+    /// Mean set-bit count of the words themselves.
+    pub mean_popcount: f64,
+    /// Fraction of cycles with no toggles at all.
+    pub quiet_fraction: f64,
+}
+
+impl TraceStats {
+    /// Drains `cycles` words from `source` and accumulates statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    #[must_use]
+    pub fn collect<S: TraceSource>(source: &mut S, cycles: u64) -> Self {
+        assert!(cycles > 0, "need at least one cycle");
+        let mut prev = source.next_word();
+        let mut toggles_total = 0u64;
+        let mut opposing_cycles = 0u64;
+        let mut popcount_total = 0u64;
+        let mut quiet = 0u64;
+        for _ in 0..cycles {
+            let cur = source.next_word();
+            let toggled = prev ^ cur;
+            toggles_total += u64::from(toggled.count_ones());
+            popcount_total += u64::from(cur.count_ones());
+            if toggled == 0 {
+                quiet += 1;
+            }
+            // Adjacent opposite: i rises while i+1 falls or vice versa.
+            let rise = toggled & cur;
+            let fall = toggled & !cur;
+            if (rise & (fall >> 1)) != 0 || (fall & (rise >> 1)) != 0 {
+                opposing_cycles += 1;
+            }
+            prev = cur;
+        }
+        Self {
+            cycles,
+            mean_toggles: toggles_total as f64 / cycles as f64,
+            opposing_adjacent_fraction: opposing_cycles as f64 / cycles as f64,
+            mean_popcount: popcount_total as f64 / cycles as f64,
+            quiet_fraction: quiet as f64 / cycles as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Benchmark;
+    use crate::generators::RandomWords;
+
+    #[test]
+    fn random_words_have_heavy_stats() {
+        let mut s = RandomWords::new(3);
+        let stats = TraceStats::collect(&mut s, 20_000);
+        assert!((stats.mean_toggles - 16.0).abs() < 0.5, "{stats:?}");
+        assert!(stats.opposing_adjacent_fraction > 0.9, "{stats:?}");
+        assert!(stats.quiet_fraction < 0.001);
+    }
+
+    #[test]
+    fn benchmark_tail_ordering_matches_table1_groups() {
+        let frac = |b: Benchmark| {
+            TraceStats::collect(&mut b.trace(11), 200_000).opposing_adjacent_fraction
+        };
+        let crafty = frac(Benchmark::Crafty);
+        let vortex = frac(Benchmark::Vortex);
+        let mgrid = frac(Benchmark::Mgrid);
+        assert!(
+            crafty < vortex && vortex < mgrid,
+            "crafty {crafty}, vortex {vortex}, mgrid {mgrid}"
+        );
+    }
+
+    #[test]
+    fn quiet_streams_register_quiet() {
+        struct Constant;
+        impl TraceSource for Constant {
+            fn next_word(&mut self) -> u32 {
+                0xAAAA_5555
+            }
+        }
+        let stats = TraceStats::collect(&mut Constant, 100);
+        assert_eq!(stats.mean_toggles, 0.0);
+        assert_eq!(stats.quiet_fraction, 1.0);
+        assert_eq!(stats.opposing_adjacent_fraction, 0.0);
+        assert_eq!(stats.mean_popcount, 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn rejects_zero_cycles() {
+        let _ = TraceStats::collect(&mut RandomWords::new(0), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the trace generators: determinism, statistical
+//! bounds and the per-benchmark shape invariants the calibration relies
+//! on.
+
+use proptest::prelude::*;
+use razorbus_traces::{
+    Benchmark, Mixture, MixtureWeights, TraceRecording, TraceSource, TraceStats,
+};
+
+fn benchmarks() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    /// Same seed, same stream — for every benchmark.
+    #[test]
+    fn benchmark_traces_deterministic(b in benchmarks(), seed in any::<u64>()) {
+        let a: Vec<u32> = b.trace(seed).take_words(128);
+        let c: Vec<u32> = b.trace(seed).take_words(128);
+        prop_assert_eq!(a, c);
+    }
+
+    /// Different benchmarks with the same seed produce different streams.
+    #[test]
+    fn benchmarks_do_not_alias(seed in any::<u64>()) {
+        let crafty: Vec<u32> = Benchmark::Crafty.trace(seed).take_words(256);
+        let mgrid: Vec<u32> = Benchmark::Mgrid.trace(seed).take_words(256);
+        prop_assert_ne!(crafty, mgrid);
+    }
+
+    /// Statistics are always within physical bounds.
+    #[test]
+    fn stats_bounds(b in benchmarks(), seed in 0u64..500) {
+        let stats = TraceStats::collect(&mut b.trace(seed), 5_000);
+        prop_assert!(stats.mean_toggles >= 0.0 && stats.mean_toggles <= 32.0);
+        prop_assert!((0.0..=1.0).contains(&stats.opposing_adjacent_fraction));
+        prop_assert!((0.0..=1.0).contains(&stats.quiet_fraction));
+        prop_assert!(stats.mean_popcount >= 0.0 && stats.mean_popcount <= 32.0);
+    }
+
+    /// The Table 1 grouping invariant: every locality-rich program has a
+    /// lighter worst-pattern tail than every dense-FP program, at any
+    /// seed.
+    #[test]
+    fn light_heavy_group_separation(seed in 0u64..50) {
+        let frac = |b: Benchmark| {
+            TraceStats::collect(&mut b.trace(seed), 60_000).opposing_adjacent_fraction
+        };
+        for light in [Benchmark::Crafty, Benchmark::Mesa, Benchmark::Gap] {
+            for heavy in [Benchmark::Mgrid, Benchmark::Swim] {
+                prop_assert!(
+                    frac(light) < frac(heavy),
+                    "{light} ({}) !< {heavy} ({})", frac(light), frac(heavy)
+                );
+            }
+        }
+    }
+
+    /// A mixture with zero `random` weight never produces a cycle pair of
+    /// full-entropy words (the high-entropy path is the only one emitting
+    /// dense 32-bit toggles from arbitrary state).
+    #[test]
+    fn no_random_weight_no_dense_bursts(seed in any::<u64>()) {
+        let w = MixtureWeights::new(0.4, 0.3, 0.3, 0.0, 0.0);
+        let mut m = Mixture::new(seed, w);
+        let stats = TraceStats::collect(&mut m, 20_000);
+        // Without high-entropy pairs, mean toggles stay moderate.
+        prop_assert!(stats.mean_toggles < 12.0, "{stats:?}");
+    }
+
+    /// Recording round-trip: replay reproduces the captured stream, and
+    /// wraps deterministically.
+    #[test]
+    fn recording_replay_roundtrip(b in benchmarks(), seed in any::<u64>(), n in 2usize..300) {
+        let rec = TraceRecording::capture(&mut b.trace(seed), n);
+        let direct: Vec<u32> = b.trace(seed).take_words(n);
+        prop_assert_eq!(rec.words(), direct.as_slice());
+        let mut replay = rec.replay();
+        let twice: Vec<u32> = replay.take_words(2 * n);
+        prop_assert_eq!(&twice[..n], rec.words());
+        prop_assert_eq!(&twice[n..], rec.words());
+        prop_assert_eq!(replay.wraps(), 2);
+    }
+
+    /// Splicing preserves content and length.
+    #[test]
+    fn splice_preserves(b in benchmarks(), seed in any::<u64>(), n in 1usize..100, m in 1usize..100) {
+        let first = TraceRecording::capture(&mut b.trace(seed), n);
+        let second = TraceRecording::capture(&mut b.trace(seed ^ 1), m);
+        let spliced = TraceRecording::splice([&first, &second]);
+        prop_assert_eq!(spliced.len(), n + m);
+        prop_assert_eq!(&spliced.words()[..n], first.words());
+        prop_assert_eq!(&spliced.words()[n..], second.words());
+    }
+
+    /// Phase modulation only ever raises the high-entropy weight in hot
+    /// phases (the boost is multiplicative and ≥ 1 for all profiles).
+    #[test]
+    fn profiles_boost_at_least_one(b in benchmarks()) {
+        let p = b.profile();
+        prop_assert!(p.hot_boost >= 1.0);
+        prop_assert!((0.0..=1.0).contains(&p.hot_fraction));
+        prop_assert!(p.phase_period > 0);
+        prop_assert!(p.effective_random_weight() >= p.calm.random * 0.999);
+    }
+}

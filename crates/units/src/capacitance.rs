@@ -1,0 +1,63 @@
+//! Capacitance. Wire and gate capacitances in this technology are a few
+//! femtofarads to a few picofarads, so the canonical unit is the fF.
+
+use crate::energy::Femtojoules;
+use crate::macros::quantity_f64;
+use crate::voltage::Volts;
+
+quantity_f64!(
+    /// A capacitance in femtofarads.
+    ///
+    /// `Femtofarads * Volts * Volts` yields [`Femtojoules`] exactly
+    /// (1 fF · 1 V² = 1 fJ), the energy drawn to charge the capacitance
+    /// through a full swing.
+    ///
+    /// ```
+    /// use razorbus_units::{Femtofarads, Volts};
+    /// let e = Femtofarads::new(360.0) * Volts::new(1.2) * Volts::new(1.2);
+    /// assert!((e.fj() - 518.4).abs() < 1e-9);
+    /// ```
+    Femtofarads,
+    ff,
+    "fF"
+);
+
+/// Intermediate product `C * V`; multiply by another [`Volts`] to obtain
+/// energy. Not constructible directly.
+#[derive(Debug, Clone, Copy)]
+pub struct FemtofaradVolts(f64);
+
+impl core::ops::Mul<Volts> for Femtofarads {
+    type Output = FemtofaradVolts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> FemtofaradVolts {
+        FemtofaradVolts(self.ff() * rhs.volts())
+    }
+}
+
+impl core::ops::Mul<Volts> for FemtofaradVolts {
+    type Output = Femtojoules;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Femtojoules {
+        Femtojoules::new(self.0 * rhs.volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_energy_identity() {
+        // E = C V^2: 100 fF at 1 V is exactly 100 fJ.
+        let e = Femtofarads::new(100.0) * Volts::new(1.0) * Volts::new(1.0);
+        assert_eq!(e.fj(), 100.0);
+    }
+
+    #[test]
+    fn scaling_composes() {
+        let c = Femtofarads::new(80.0) * 2.0; // two coupling neighbors
+        let e = c * Volts::new(0.5) * Volts::new(0.5);
+        assert!((e.fj() - 40.0).abs() < 1e-12);
+    }
+}

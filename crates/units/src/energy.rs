@@ -1,0 +1,72 @@
+//! Energy and power quantities.
+
+use crate::macros::quantity_f64;
+use crate::time::Picoseconds;
+
+quantity_f64!(
+    /// An energy in femtojoules — per-cycle bus energies are hundreds of
+    /// fJ to a few pJ.
+    ///
+    /// ```
+    /// use razorbus_units::Femtojoules;
+    /// let per_cycle = Femtojoules::new(1_500.0);
+    /// let total = per_cycle * 10.0e6; // 10M cycles
+    /// assert_eq!(total.fj(), 1.5e10);
+    /// ```
+    Femtojoules,
+    fj,
+    "fJ"
+);
+
+quantity_f64!(
+    /// A power in microwatts. Obtained by dividing [`Femtojoules`] by
+    /// [`Picoseconds`] (1 fJ / 1 ps = 1 mW = 1000 µW).
+    ///
+    /// ```
+    /// use razorbus_units::{Femtojoules, Picoseconds};
+    /// let p = Femtojoules::new(666.7) / Picoseconds::new(666.7);
+    /// assert!((p.uw() - 1_000.0).abs() < 1e-9);
+    /// ```
+    Microwatts,
+    uw,
+    "uW"
+);
+
+impl core::ops::Div<Picoseconds> for Femtojoules {
+    type Output = Microwatts;
+    #[inline]
+    fn div(self, rhs: Picoseconds) -> Microwatts {
+        // fJ/ps = 1e-15 J / 1e-12 s = 1e-3 W = 1000 uW.
+        Microwatts::new(self.fj() / rhs.ps() * 1_000.0)
+    }
+}
+
+impl core::ops::Mul<Picoseconds> for Microwatts {
+    type Output = Femtojoules;
+    #[inline]
+    fn mul(self, rhs: Picoseconds) -> Femtojoules {
+        Femtojoules::new(self.uw() * rhs.ps() / 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_energy_roundtrip() {
+        let e = Femtojoules::new(500.0);
+        let t = Picoseconds::new(250.0);
+        let p = e / t;
+        assert!((p.uw() - 2_000.0).abs() < 1e-9);
+        let back = p * t;
+        assert!((back.fj() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_power_times_cycle() {
+        // 100 uW of leakage over a 666.7 ps cycle is ~66.7 fJ.
+        let e = Microwatts::new(100.0) * Picoseconds::new(666.7);
+        assert!((e.fj() - 66.67).abs() < 0.01);
+    }
+}

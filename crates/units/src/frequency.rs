@@ -1,0 +1,63 @@
+//! Clock frequency. The paper's bus runs at a fixed 1.5 GHz.
+
+use crate::macros::quantity_f64;
+use crate::time::Picoseconds;
+
+quantity_f64!(
+    /// A frequency in gigahertz.
+    ///
+    /// ```
+    /// use razorbus_units::Gigahertz;
+    /// let clk = Gigahertz::new(1.5);
+    /// assert!((clk.period().ps() - 666.67).abs() < 0.01);
+    /// ```
+    Gigahertz,
+    ghz,
+    "GHz"
+);
+
+impl Gigahertz {
+    /// The paper's bus clock: 1.5 GHz (667 ps period).
+    pub const PAPER_CLOCK: Self = Self::new(1.5);
+
+    /// Clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not strictly positive.
+    #[inline]
+    #[must_use]
+    pub fn period(self) -> Picoseconds {
+        assert!(self.ghz() > 0.0, "frequency must be positive");
+        Picoseconds::new(1_000.0 / self.ghz())
+    }
+
+    /// Frequency whose period is `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not strictly positive.
+    #[inline]
+    #[must_use]
+    pub fn from_period(t: Picoseconds) -> Self {
+        assert!(t.ps() > 0.0, "period must be positive");
+        Self::new(1_000.0 / t.ps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clock_period() {
+        let t = Gigahertz::PAPER_CLOCK.period();
+        assert!((t.ps() - 666.666_666_7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_panics() {
+        let _ = Gigahertz::new(0.0).period();
+    }
+}

@@ -1,0 +1,57 @@
+//! Length quantities: micrometers for geometry cross-sections, millimeters
+//! for routed wire lengths.
+
+use crate::macros::quantity_f64;
+
+quantity_f64!(
+    /// A length in micrometers (wire width/spacing/thickness scale).
+    ///
+    /// ```
+    /// use razorbus_units::Micrometers;
+    /// let pitch = Micrometers::new(0.4) + Micrometers::new(0.4);
+    /// assert_eq!(pitch.um(), 0.8);
+    /// ```
+    Micrometers,
+    um,
+    "um"
+);
+
+quantity_f64!(
+    /// A length in millimeters (routed bus length scale).
+    ///
+    /// ```
+    /// use razorbus_units::Millimeters;
+    /// let bus = Millimeters::new(6.0);
+    /// let segment = bus / 4.0;
+    /// assert_eq!(segment.mm(), 1.5);
+    /// ```
+    Millimeters,
+    mm,
+    "mm"
+);
+
+impl From<Millimeters> for Micrometers {
+    #[inline]
+    fn from(value: Millimeters) -> Self {
+        Micrometers::new(value.mm() * 1_000.0)
+    }
+}
+
+impl From<Micrometers> for Millimeters {
+    #[inline]
+    fn from(value: Micrometers) -> Self {
+        Millimeters::new(value.um() / 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn um_mm_roundtrip() {
+        let l = Millimeters::new(1.5);
+        assert_eq!(Micrometers::from(l).um(), 1_500.0);
+        assert_eq!(Millimeters::from(Micrometers::new(800.0)).mm(), 0.8);
+    }
+}

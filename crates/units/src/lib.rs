@@ -1,0 +1,76 @@
+//! Typed physical quantities for the `razorbus` DVS-bus simulator.
+//!
+//! Every quantity is a thin `f64` (or `i32` for grid-quantized voltages)
+//! newtype with arithmetic restricted to operations that make dimensional
+//! sense. Cross-unit products that the simulator needs are provided
+//! explicitly, e.g. `Ohms * Femtofarads -> Picoseconds` and
+//! `Femtofarads * Volts * Volts -> Femtojoules` (both identities are exact
+//! in these unit scales).
+//!
+//! # Examples
+//!
+//! ```
+//! use razorbus_units::{Femtofarads, Ohms, Picoseconds, Volts};
+//!
+//! let r = Ohms::new(6_000.0);
+//! let c = Femtofarads::new(100.0);
+//! let tau: Picoseconds = r * c;
+//! assert!((tau.ps() - 600.0).abs() < 1e-9);
+//!
+//! let v = Volts::new(1.2);
+//! let e = c * v * v; // Femtojoules
+//! assert!((e.fj() - 144.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacitance;
+mod energy;
+mod frequency;
+mod length;
+mod macros;
+mod resistance;
+mod temperature;
+mod time;
+mod voltage;
+
+pub use capacitance::Femtofarads;
+pub use energy::{Femtojoules, Microwatts};
+pub use frequency::Gigahertz;
+pub use length::{Micrometers, Millimeters};
+pub use resistance::{Ohms, OhmsPerMillimeter};
+pub use temperature::Celsius;
+pub use time::{Nanoseconds, Picoseconds};
+pub use voltage::{Millivolts, VoltageGrid, Volts};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_product_is_picoseconds() {
+        let tau = Ohms::new(1_000.0) * Femtofarads::new(1_000.0);
+        assert!((tau.ps() - 1_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv2_product_is_femtojoules() {
+        let e = Femtofarads::new(2.0) * Volts::new(3.0) * Volts::new(3.0);
+        assert!((e.fj() - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistance_per_length_times_length() {
+        let r = OhmsPerMillimeter::new(85.0) * Millimeters::new(6.0);
+        assert!((r.ohms() - 510.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_period_roundtrip() {
+        let f = Gigahertz::new(1.5);
+        let t = f.period();
+        assert!((t.ps() - 666.666_666_666_7).abs() < 1e-6);
+        assert!((Gigahertz::from_period(t).ghz() - 1.5).abs() < 1e-12);
+    }
+}

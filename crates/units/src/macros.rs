@@ -1,0 +1,215 @@
+//! Internal macro that stamps out an `f64`-backed quantity newtype with the
+//! arithmetic every unit shares: addition/subtraction with itself, scaling
+//! by `f64`, ratios (`Self / Self -> f64`), ordering, iteration sums and
+//! display with the unit suffix.
+
+macro_rules! quantity_f64 {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $accessor:ident, $suffix:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value expressed in this
+            /// type's canonical unit.
+            #[inline]
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in this type's canonical unit.
+            #[inline]
+            #[must_use]
+            pub const fn $accessor(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            ///
+            /// NaN handling follows [`f64::min`].
+            #[inline]
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            ///
+            /// NaN handling follows [`f64::max`].
+            #[inline]
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` (same contract as [`f64::clamp`]).
+            #[inline]
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the underlying value is finite.
+            #[inline]
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+pub(crate) use quantity_f64;
+
+#[cfg(test)]
+mod tests {
+    quantity_f64!(
+        /// Test quantity.
+        Widgets,
+        widgets,
+        "wg"
+    );
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Widgets::new(2.0);
+        let b = Widgets::new(3.0);
+        assert_eq!((a + b).widgets(), 5.0);
+        assert_eq!((b - a).widgets(), 1.0);
+        assert_eq!((a * 4.0).widgets(), 8.0);
+        assert_eq!((4.0 * a).widgets(), 8.0);
+        assert_eq!((b / 2.0).widgets(), 1.5);
+        assert_eq!(b / a, 1.5);
+        assert_eq!((-a).widgets(), -2.0);
+    }
+
+    #[test]
+    fn comparisons_and_clamp() {
+        let a = Widgets::new(2.0);
+        let b = Widgets::new(3.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Widgets::new(9.0).clamp(a, b), b);
+        assert_eq!(Widgets::new(-9.0).abs().widgets(), 9.0);
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Widgets = [Widgets::new(1.0), Widgets::new(2.5)].into_iter().sum();
+        assert_eq!(total.widgets(), 3.5);
+        assert_eq!(format!("{:.1}", total), "3.5 wg");
+        assert_eq!(format!("{}", Widgets::ZERO), "0 wg");
+    }
+}

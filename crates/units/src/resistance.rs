@@ -1,0 +1,70 @@
+//! Resistance quantities, including per-length wire resistance.
+
+use crate::capacitance::Femtofarads;
+use crate::length::Millimeters;
+use crate::macros::quantity_f64;
+use crate::time::Picoseconds;
+
+quantity_f64!(
+    /// A resistance in ohms.
+    ///
+    /// `Ohms * Femtofarads` yields [`Picoseconds`] scaled exactly
+    /// (1 Ω · 1 fF = 10⁻¹⁵ s = 10⁻³ ps).
+    ///
+    /// ```
+    /// use razorbus_units::{Femtofarads, Ohms};
+    /// let tau = Ohms::new(6_000.0) * Femtofarads::new(500.0);
+    /// assert!((tau.ps() - 3_000.0).abs() < 1e-9);
+    /// ```
+    Ohms,
+    ohms,
+    "ohm"
+);
+
+quantity_f64!(
+    /// Wire sheet resistance per unit length, in Ω/mm.
+    ///
+    /// ```
+    /// use razorbus_units::{Millimeters, OhmsPerMillimeter};
+    /// let r = OhmsPerMillimeter::new(85.0) * Millimeters::new(1.5);
+    /// assert!((r.ohms() - 127.5).abs() < 1e-9);
+    /// ```
+    OhmsPerMillimeter,
+    ohms_per_mm,
+    "ohm/mm"
+);
+
+impl core::ops::Mul<Femtofarads> for Ohms {
+    type Output = Picoseconds;
+    #[inline]
+    fn mul(self, rhs: Femtofarads) -> Picoseconds {
+        // ohm * fF = 1e-15 s = 1e-3 ps
+        Picoseconds::new(self.ohms() * rhs.ff() * 1e-3)
+    }
+}
+
+impl core::ops::Mul<Millimeters> for OhmsPerMillimeter {
+    type Output = Ohms;
+    #[inline]
+    fn mul(self, rhs: Millimeters) -> Ohms {
+        Ohms::new(self.ohms_per_mm() * rhs.mm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_delay_scale() {
+        // 1 kohm * 1000 fF = 1 ns = 1000 ps.
+        let tau = Ohms::new(1_000.0) * Femtofarads::new(1_000.0);
+        assert!((tau.ps() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_length_accumulates() {
+        let total = OhmsPerMillimeter::new(85.0) * Millimeters::new(6.0);
+        assert!((total.ohms() - 510.0).abs() < 1e-9);
+    }
+}

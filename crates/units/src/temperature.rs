@@ -1,0 +1,59 @@
+//! Temperature. The paper evaluates 25 °C and 100 °C environments.
+
+use crate::macros::quantity_f64;
+
+quantity_f64!(
+    /// A temperature in degrees Celsius.
+    ///
+    /// ```
+    /// use razorbus_units::Celsius;
+    /// let hot = Celsius::new(100.0);
+    /// assert!((hot.kelvin() - 373.15).abs() < 1e-9);
+    /// ```
+    Celsius,
+    celsius,
+    "C"
+);
+
+impl Celsius {
+    /// Room temperature reference (25 °C), the paper's cold environment.
+    pub const ROOM: Self = Self::new(25.0);
+
+    /// Hot environment used throughout the paper's evaluation (100 °C).
+    pub const HOT: Self = Self::new(100.0);
+
+    /// Absolute temperature in kelvin.
+    #[inline]
+    #[must_use]
+    pub fn kelvin(self) -> f64 {
+        self.celsius() + 273.15
+    }
+
+    /// Thermal voltage kT/q in volts at this temperature.
+    #[inline]
+    #[must_use]
+    pub fn thermal_voltage(self) -> f64 {
+        const K_OVER_Q: f64 = 8.617_333_262e-5; // V/K
+        K_OVER_Q * self.kelvin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_offset() {
+        assert!((Celsius::new(0.0).kelvin() - 273.15).abs() < 1e-12);
+        assert!((Celsius::ROOM.kelvin() - 298.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room() {
+        // ~25.7 mV at 25C.
+        let vt = Celsius::ROOM.thermal_voltage();
+        assert!((vt - 0.025_69).abs() < 2e-4, "vt = {vt}");
+        // Hotter -> larger.
+        assert!(Celsius::HOT.thermal_voltage() > vt);
+    }
+}

@@ -1,0 +1,91 @@
+//! Time quantities. The simulator's canonical time unit is the picosecond;
+//! nanoseconds are provided for regulator-scale durations.
+
+use crate::macros::quantity_f64;
+
+quantity_f64!(
+    /// A duration in picoseconds — the canonical delay unit of the
+    /// simulator (gate and wire delays are a few hundred ps).
+    ///
+    /// ```
+    /// use razorbus_units::Picoseconds;
+    /// let setup = Picoseconds::new(600.0);
+    /// assert!(setup < Picoseconds::new(666.7));
+    /// ```
+    Picoseconds,
+    ps,
+    "ps"
+);
+
+quantity_f64!(
+    /// A duration in nanoseconds, used for regulator ramp times
+    /// (microsecond scale expressed as thousands of ns).
+    ///
+    /// ```
+    /// use razorbus_units::{Nanoseconds, Picoseconds};
+    /// let ramp = Nanoseconds::new(2_000.0); // 2 us
+    /// assert_eq!(Picoseconds::from(ramp).ps(), 2_000_000.0);
+    /// ```
+    Nanoseconds,
+    ns,
+    "ns"
+);
+
+impl From<Nanoseconds> for Picoseconds {
+    #[inline]
+    fn from(value: Nanoseconds) -> Self {
+        Picoseconds::new(value.ns() * 1_000.0)
+    }
+}
+
+impl From<Picoseconds> for Nanoseconds {
+    #[inline]
+    fn from(value: Picoseconds) -> Self {
+        Nanoseconds::new(value.ps() / 1_000.0)
+    }
+}
+
+impl Picoseconds {
+    /// Number of whole clock cycles of period `period` that fit in `self`,
+    /// rounding up. Used to convert regulator latencies into cycle counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    #[must_use]
+    pub fn cycles_ceil(self, period: Picoseconds) -> u64 {
+        assert!(period.ps() > 0.0, "clock period must be positive");
+        (self.ps() / period.ps()).ceil().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_ps_roundtrip() {
+        let t = Nanoseconds::new(1.5);
+        let ps = Picoseconds::from(t);
+        assert_eq!(ps.ps(), 1_500.0);
+        assert_eq!(Nanoseconds::from(ps).ns(), 1.5);
+    }
+
+    #[test]
+    fn cycles_ceil_rounds_up() {
+        let period = Picoseconds::new(666.666_666_7);
+        // 2 us at 1.5 GHz: the paper's regulator latency = 3000 cycles.
+        let ramp = Picoseconds::from(Nanoseconds::new(2_000.0));
+        assert_eq!(ramp.cycles_ceil(period), 3_000);
+        // Just over a cycle rounds to 2.
+        assert_eq!(Picoseconds::new(667.0).cycles_ceil(period), 2);
+        // Negative durations never produce cycles.
+        assert_eq!(Picoseconds::new(-5.0).cycles_ceil(period), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn cycles_ceil_rejects_zero_period() {
+        let _ = Picoseconds::new(1.0).cycles_ceil(Picoseconds::ZERO);
+    }
+}

@@ -1,0 +1,333 @@
+//! Voltage quantities: continuous volts, integer millivolts, and the
+//! regulator's quantized voltage grid.
+//!
+//! The paper's regulator moves the bus supply on a 20 mV grid
+//! ("increments of 20 mV", §3), so voltages that the controller can
+//! command are represented exactly as integer [`Millivolts`] and grid
+//! arithmetic lives in [`VoltageGrid`].
+
+use crate::macros::quantity_f64;
+
+quantity_f64!(
+    /// A continuous voltage in volts. Used by the device/wire models,
+    /// which see arbitrary effective voltages (after IR drop and droop).
+    ///
+    /// ```
+    /// use razorbus_units::Volts;
+    /// let vdd = Volts::new(1.2);
+    /// assert_eq!((vdd * 0.9).volts(), 1.08);
+    /// ```
+    Volts,
+    volts,
+    "V"
+);
+
+/// An exact integer number of millivolts.
+///
+/// This is the currency of the DVS controller: supply set-points, grid
+/// steps and table indices are all integer millivolts, avoiding float
+/// comparison bugs in control logic.
+///
+/// ```
+/// use razorbus_units::Millivolts;
+/// let v = Millivolts::new(1_200);
+/// assert_eq!(v - Millivolts::new(20), Millivolts::new(1_180));
+/// assert_eq!(v.to_volts().volts(), 1.2);
+/// ```
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Millivolts(i32);
+
+impl Millivolts {
+    /// Zero millivolts.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a voltage from an integer millivolt count.
+    #[inline]
+    #[must_use]
+    pub const fn new(mv: i32) -> Self {
+        Self(mv)
+    }
+
+    /// Returns the raw millivolt count.
+    #[inline]
+    #[must_use]
+    pub const fn mv(self) -> i32 {
+        self.0
+    }
+
+    /// Converts to continuous [`Volts`].
+    #[inline]
+    #[must_use]
+    pub fn to_volts(self) -> Volts {
+        Volts::new(f64::from(self.0) / 1_000.0)
+    }
+
+    /// Rounds a continuous voltage to the nearest millivolt.
+    #[inline]
+    #[must_use]
+    pub fn from_volts(v: Volts) -> Self {
+        Self((v.volts() * 1_000.0).round() as i32)
+    }
+
+    /// Returns the smaller of two voltages.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two voltages.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Clamps into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "invalid clamp range");
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl core::ops::Add for Millivolts {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for Millivolts {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Mul<i32> for Millivolts {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: i32) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::fmt::Display for Millivolts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} mV", self.0)
+    }
+}
+
+impl From<Millivolts> for Volts {
+    #[inline]
+    fn from(value: Millivolts) -> Self {
+        value.to_volts()
+    }
+}
+
+/// A quantized voltage grid: every representable supply is
+/// `floor + k * step` for `k = 0..n_steps`.
+///
+/// The paper's grid is 20 mV steps below a 1.2 V nominal supply. The grid
+/// provides index/voltage conversions used by the look-up tables (which
+/// store one entry per grid point) and by the regulator.
+///
+/// ```
+/// use razorbus_units::{Millivolts, VoltageGrid};
+/// let grid = VoltageGrid::new(Millivolts::new(760), Millivolts::new(1_200), Millivolts::new(20));
+/// assert_eq!(grid.len(), 23);
+/// assert_eq!(grid.index_of(Millivolts::new(1_200)), Some(22));
+/// assert_eq!(grid.at(0), Millivolts::new(760));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct VoltageGrid {
+    floor: Millivolts,
+    ceiling: Millivolts,
+    step: Millivolts,
+}
+
+impl VoltageGrid {
+    /// Creates a grid spanning `[floor, ceiling]` in increments of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive, `floor > ceiling`, or the span is
+    /// not an exact multiple of `step`.
+    #[must_use]
+    pub fn new(floor: Millivolts, ceiling: Millivolts, step: Millivolts) -> Self {
+        assert!(step.mv() > 0, "grid step must be positive");
+        assert!(floor <= ceiling, "grid floor above ceiling");
+        assert_eq!(
+            (ceiling - floor).mv() % step.mv(),
+            0,
+            "grid span must be a whole number of steps"
+        );
+        Self {
+            floor,
+            ceiling,
+            step,
+        }
+    }
+
+    /// The paper's grid: 20 mV steps from 760 mV up to the 1.2 V nominal.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(
+            Millivolts::new(760),
+            Millivolts::new(1_200),
+            Millivolts::new(20),
+        )
+    }
+
+    /// Lowest representable voltage.
+    #[inline]
+    #[must_use]
+    pub const fn floor(self) -> Millivolts {
+        self.floor
+    }
+
+    /// Highest representable voltage.
+    #[inline]
+    #[must_use]
+    pub const fn ceiling(self) -> Millivolts {
+        self.ceiling
+    }
+
+    /// Grid step size.
+    #[inline]
+    #[must_use]
+    pub const fn step(self) -> Millivolts {
+        self.step
+    }
+
+    /// Number of grid points (inclusive of both ends).
+    #[inline]
+    #[must_use]
+    pub fn len(self) -> usize {
+        ((self.ceiling - self.floor).mv() / self.step.mv()) as usize + 1
+    }
+
+    /// Always `false`: a grid holds at least one point by construction.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Voltage at grid index `idx` (0 = floor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    #[must_use]
+    pub fn at(self, idx: usize) -> Millivolts {
+        assert!(idx < self.len(), "grid index {idx} out of range");
+        self.floor + self.step * idx as i32
+    }
+
+    /// Index of `v` if it lies exactly on the grid.
+    #[inline]
+    #[must_use]
+    pub fn index_of(self, v: Millivolts) -> Option<usize> {
+        if v < self.floor || v > self.ceiling {
+            return None;
+        }
+        let off = (v - self.floor).mv();
+        (off % self.step.mv() == 0).then(|| (off / self.step.mv()) as usize)
+    }
+
+    /// Snaps an arbitrary voltage onto the grid, rounding *up* (toward
+    /// safety: higher voltage = more timing slack) and clamping to the
+    /// grid range.
+    #[must_use]
+    pub fn snap_up(self, v: Millivolts) -> Millivolts {
+        if v <= self.floor {
+            return self.floor;
+        }
+        if v >= self.ceiling {
+            return self.ceiling;
+        }
+        let off = (v - self.floor).mv();
+        let steps = (off + self.step.mv() - 1) / self.step.mv();
+        self.floor + self.step * steps
+    }
+
+    /// Iterates all grid voltages from floor to ceiling.
+    pub fn iter(self) -> impl DoubleEndedIterator<Item = Millivolts> + ExactSizeIterator {
+        (0..self.len()).map(move |i| self.at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millivolt_volt_conversions() {
+        assert_eq!(Millivolts::new(980).to_volts().volts(), 0.98);
+        assert_eq!(Millivolts::from_volts(Volts::new(1.1999)), Millivolts::new(1_200));
+        let v: Volts = Millivolts::new(900).into();
+        assert_eq!(v.volts(), 0.9);
+    }
+
+    #[test]
+    fn grid_len_and_indexing() {
+        let g = VoltageGrid::paper_default();
+        assert_eq!(g.len(), 23);
+        assert_eq!(g.at(0), Millivolts::new(760));
+        assert_eq!(g.at(22), Millivolts::new(1_200));
+        assert_eq!(g.index_of(Millivolts::new(760)), Some(0));
+        assert_eq!(g.index_of(Millivolts::new(990)), None);
+        assert_eq!(g.index_of(Millivolts::new(2_000)), None);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn grid_snap_up_prefers_safety() {
+        let g = VoltageGrid::paper_default();
+        assert_eq!(g.snap_up(Millivolts::new(981)), Millivolts::new(1_000));
+        assert_eq!(g.snap_up(Millivolts::new(980)), Millivolts::new(980));
+        assert_eq!(g.snap_up(Millivolts::new(100)), Millivolts::new(760));
+        assert_eq!(g.snap_up(Millivolts::new(5_000)), Millivolts::new(1_200));
+    }
+
+    #[test]
+    fn grid_iter_is_monotone() {
+        let g = VoltageGrid::paper_default();
+        let all: Vec<_> = g.iter().collect();
+        assert_eq!(all.len(), g.len());
+        assert!(all.windows(2).all(|w| w[1] - w[0] == g.step()));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of steps")]
+    fn grid_rejects_ragged_span() {
+        let _ = VoltageGrid::new(
+            Millivolts::new(100),
+            Millivolts::new(130),
+            Millivolts::new(20),
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the unit types: dimensional identities,
+//! grid-snapping invariants and conversion round-trips.
+
+use proptest::prelude::*;
+use razorbus_units::{
+    Femtofarads, Femtojoules, Gigahertz, Microwatts, Millivolts, Nanoseconds, Ohms,
+    OhmsPerMillimeter, Millimeters, Picoseconds, VoltageGrid, Volts,
+};
+
+proptest! {
+    #[test]
+    fn rc_product_scales_linearly(r in 1.0f64..1e6, c in 1.0f64..1e5, k in 0.1f64..10.0) {
+        let base = Ohms::new(r) * Femtofarads::new(c);
+        let scaled = Ohms::new(r * k) * Femtofarads::new(c);
+        prop_assert!((scaled.ps() - base.ps() * k).abs() <= 1e-9 * scaled.ps().abs().max(1.0));
+    }
+
+    #[test]
+    fn energy_is_quadratic_in_voltage(c in 1.0f64..1e5, v in 0.1f64..2.0) {
+        let e1 = Femtofarads::new(c) * Volts::new(v) * Volts::new(v);
+        let e2 = Femtofarads::new(c) * Volts::new(2.0 * v) * Volts::new(2.0 * v);
+        prop_assert!((e2.fj() - 4.0 * e1.fj()).abs() <= 1e-9 * e2.fj().max(1.0));
+    }
+
+    #[test]
+    fn power_energy_roundtrip(e in 1.0f64..1e9, t in 1.0f64..1e9) {
+        let p = Femtojoules::new(e) / Picoseconds::new(t);
+        let back = p * Picoseconds::new(t);
+        prop_assert!((back.fj() - e).abs() <= 1e-9 * e);
+    }
+
+    #[test]
+    fn millivolt_volt_roundtrip(mv in -5_000i32..5_000) {
+        let v = Millivolts::new(mv);
+        prop_assert_eq!(Millivolts::from_volts(v.to_volts()), v);
+    }
+
+    #[test]
+    fn ns_ps_roundtrip(ns in 0.0f64..1e9) {
+        let t = Nanoseconds::new(ns);
+        let back = Nanoseconds::from(Picoseconds::from(t));
+        prop_assert!((back.ns() - ns).abs() <= 1e-9 * ns.max(1.0));
+    }
+
+    #[test]
+    fn frequency_period_inverse(ghz in 0.01f64..100.0) {
+        let f = Gigahertz::new(ghz);
+        let back = Gigahertz::from_period(f.period());
+        prop_assert!((back.ghz() - ghz).abs() <= 1e-9 * ghz);
+    }
+
+    #[test]
+    fn wire_resistance_additive_in_length(rpl in 1.0f64..1e3, a in 0.01f64..10.0, b in 0.01f64..10.0) {
+        let r = OhmsPerMillimeter::new(rpl);
+        let whole = r * Millimeters::new(a + b);
+        let parts = (r * Millimeters::new(a)).ohms() + (r * Millimeters::new(b)).ohms();
+        prop_assert!((whole.ohms() - parts).abs() <= 1e-9 * whole.ohms().max(1.0));
+    }
+
+    #[test]
+    fn grid_snap_up_is_on_grid_and_not_below(
+        floor_steps in 0i32..20,
+        extra_steps in 1i32..40,
+        probe in -3_000i32..3_000,
+    ) {
+        let floor = Millivolts::new(400 + 20 * floor_steps);
+        let ceiling = floor + Millivolts::new(20 * extra_steps);
+        let grid = VoltageGrid::new(floor, ceiling, Millivolts::new(20));
+        let snapped = grid.snap_up(Millivolts::new(probe));
+        // Snapped value is always a grid point.
+        prop_assert!(grid.index_of(snapped).is_some());
+        // Never below the probe unless clamped at the ceiling.
+        if Millivolts::new(probe) <= ceiling {
+            prop_assert!(snapped >= Millivolts::new(probe).max(floor));
+        } else {
+            prop_assert_eq!(snapped, ceiling);
+        }
+    }
+
+    #[test]
+    fn grid_index_roundtrip(extra_steps in 1usize..50, pick in 0usize..50) {
+        let grid = VoltageGrid::new(
+            Millivolts::new(600),
+            Millivolts::new(600 + 20 * extra_steps as i32),
+            Millivolts::new(20),
+        );
+        let idx = pick % grid.len();
+        prop_assert_eq!(grid.index_of(grid.at(idx)), Some(idx));
+    }
+
+    #[test]
+    fn sum_matches_fold(values in proptest::collection::vec(0.0f64..1e6, 0..50)) {
+        let total: Femtojoules = values.iter().map(|&v| Femtojoules::new(v)).sum();
+        let folded: f64 = values.iter().sum();
+        prop_assert!((total.fj() - folded).abs() <= 1e-6 * folded.max(1.0));
+    }
+
+    #[test]
+    fn microwatt_scaling(uw in 0.0f64..1e6, k in 0.0f64..100.0) {
+        let p = Microwatts::new(uw) * k;
+        prop_assert!((p.uw() - uw * k).abs() <= 1e-9 * (uw * k).max(1.0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Wire cross-section geometry.
+
+use razorbus_units::Micrometers;
+
+/// Cross-section geometry of one bus wire on its routing layer.
+///
+/// The paper routes the bus "on a global metal layer of a 0.13 µm CMOS
+/// process at minimum pitch (0.8 µm)" (§3); [`WireGeometry::paper_default`]
+/// reproduces that: 0.4 µm width, 0.4 µm spacing, a thick global-layer
+/// cross-section and a low-k dielectric.
+///
+/// ```
+/// use razorbus_wire::WireGeometry;
+/// let g = WireGeometry::paper_default();
+/// assert!((g.pitch().um() - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireGeometry {
+    /// Drawn wire width.
+    width: Micrometers,
+    /// Spacing to each same-layer neighbor.
+    spacing: Micrometers,
+    /// Metal thickness.
+    thickness: Micrometers,
+    /// Dielectric height to the layers above/below.
+    dielectric_height: Micrometers,
+    /// Relative dielectric permittivity.
+    eps_r: f64,
+}
+
+impl WireGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is non-positive or `eps_r < 1`.
+    #[must_use]
+    pub fn new(
+        width: Micrometers,
+        spacing: Micrometers,
+        thickness: Micrometers,
+        dielectric_height: Micrometers,
+        eps_r: f64,
+    ) -> Self {
+        assert!(width.um() > 0.0, "wire width must be positive");
+        assert!(spacing.um() > 0.0, "wire spacing must be positive");
+        assert!(thickness.um() > 0.0, "wire thickness must be positive");
+        assert!(
+            dielectric_height.um() > 0.0,
+            "dielectric height must be positive"
+        );
+        assert!(eps_r >= 1.0, "relative permittivity must be >= 1");
+        Self {
+            width,
+            spacing,
+            thickness,
+            dielectric_height,
+            eps_r,
+        }
+    }
+
+    /// The paper's minimum-pitch global-layer geometry: 0.4 µm width and
+    /// spacing (0.8 µm pitch), 0.65 µm thick copper, 0.65 µm dielectric,
+    /// εr = 3.6 (2005-era low-k).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(
+            Micrometers::new(0.4),
+            Micrometers::new(0.4),
+            Micrometers::new(0.65),
+            Micrometers::new(0.65),
+            3.6,
+        )
+    }
+
+    /// Wire width.
+    #[must_use]
+    pub fn width(&self) -> Micrometers {
+        self.width
+    }
+
+    /// Spacing to each neighbor.
+    #[must_use]
+    pub fn spacing(&self) -> Micrometers {
+        self.spacing
+    }
+
+    /// Metal thickness.
+    #[must_use]
+    pub fn thickness(&self) -> Micrometers {
+        self.thickness
+    }
+
+    /// Dielectric height to adjacent layers.
+    #[must_use]
+    pub fn dielectric_height(&self) -> Micrometers {
+        self.dielectric_height
+    }
+
+    /// Relative permittivity of the inter-layer dielectric.
+    #[must_use]
+    pub fn eps_r(&self) -> f64 {
+        self.eps_r
+    }
+
+    /// Routing pitch (width + spacing).
+    #[must_use]
+    pub fn pitch(&self) -> Micrometers {
+        self.width + self.spacing
+    }
+
+    /// Returns a geometry with a different width/spacing split at the same
+    /// pitch (used to explore §6-style layout trades without changing
+    /// routing area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly inside `(0, pitch)`.
+    #[must_use]
+    pub fn with_width_at_same_pitch(&self, width: Micrometers) -> Self {
+        let pitch = self.pitch();
+        assert!(
+            width.um() > 0.0 && width.um() < pitch.um(),
+            "width must leave positive spacing at fixed pitch"
+        );
+        Self::new(
+            width,
+            Micrometers::new(pitch.um() - width.um()),
+            self.thickness,
+            self.dielectric_height,
+            self.eps_r,
+        )
+    }
+}
+
+impl Default for WireGeometry {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pitch_is_0p8() {
+        let g = WireGeometry::paper_default();
+        assert!((g.pitch().um() - 0.8).abs() < 1e-12);
+        assert_eq!(g.eps_r(), 3.6);
+    }
+
+    #[test]
+    fn width_trade_preserves_pitch() {
+        let g = WireGeometry::paper_default();
+        let narrow = g.with_width_at_same_pitch(Micrometers::new(0.3));
+        assert!((narrow.pitch().um() - g.pitch().um()).abs() < 1e-12);
+        assert!((narrow.spacing().um() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive spacing")]
+    fn rejects_width_equal_to_pitch() {
+        let g = WireGeometry::paper_default();
+        let _ = g.with_width_at_same_pitch(Micrometers::new(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rejects_zero_width() {
+        let _ = WireGeometry::new(
+            Micrometers::new(0.0),
+            Micrometers::new(0.4),
+            Micrometers::new(0.65),
+            Micrometers::new(0.65),
+            3.6,
+        );
+    }
+}

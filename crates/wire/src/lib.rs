@@ -1,0 +1,52 @@
+//! On-chip bus interconnect models for the razorbus simulator.
+//!
+//! This crate is the stand-in for the paper's physical-design flow
+//! (§3: a 6 mm 32-bit bus on a global metal layer at minimum 0.8 µm pitch,
+//! shields every 4 signals, 1.5 mm repeater spacing, capacitance extracted
+//! with a 2-D field solver, repeaters sized so the worst-case delay is
+//! 600 ps at the worst PVT corner):
+//!
+//! * [`WireGeometry`] + [`CapExtractor`] — empirical 2-D capacitance
+//!   extraction (the field-solver substitute) producing [`WireParasitics`].
+//! * [`BusLayout`] — signal/shield arrangement and neighbor relations.
+//! * [`CouplingModel`] + [`Transition`] — slew-aware Miller factors for
+//!   delay and charge factors for energy, per neighbor switching pattern
+//!   (the paper's Fig. 9 patterns generalized to a continuum).
+//! * [`RepeatedLine`] — Elmore delay and energy of a repeater-inserted
+//!   distributed-RC line.
+//! * [`size_repeater_for_delay`] — the §3 design step: find the repeater
+//!   width that meets a target worst-case delay at the worst corner.
+//! * [`BusPhysical`] — the assembled bus: layout + parasitics + line.
+//!
+//! # Example: build the paper's bus
+//!
+//! ```
+//! use razorbus_wire::BusPhysical;
+//! let bus = BusPhysical::paper_default();
+//! // Sized to 600 ps at (slow, 100C, 10% IR, full-activity droop).
+//! let worst = bus.worst_case_delay_at_design_corner();
+//! assert!((worst.ps() - 600.0).abs() < 1.0, "worst = {worst}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capextract;
+mod coupling;
+mod crosstalk;
+mod geometry;
+mod layout;
+mod line;
+mod parasitics;
+mod physical;
+mod sizing;
+
+pub use capextract::CapExtractor;
+pub use coupling::{alignment_unit, CouplingModel, NeighborKind, Transition};
+pub use crosstalk::CrosstalkAnalysis;
+pub use geometry::WireGeometry;
+pub use layout::{BusLayout, WirePosition};
+pub use line::{DelayCoefficients, RepeatedLine};
+pub use parasitics::WireParasitics;
+pub use physical::{BusPhysical, CycleAnalysis};
+pub use sizing::{delay_optimal_width, size_repeater_for_delay, SizingError};

@@ -1,0 +1,342 @@
+//! Repeater-inserted distributed-RC line delay and energy.
+//!
+//! Each of the line's `n_segments` identical stages is a repeater driving
+//! `segment_length` of wire into the next repeater's gate. The stage
+//! Elmore delay (50 % point, step response) is
+//!
+//! ```text
+//! t_seg = 0.69·Rd·(Cpar + Cw + Cin) + Rw·(0.38·Cw + 0.69·Cin)
+//! ```
+//!
+//! with `Rd` the (voltage/corner/temperature-dependent) drive resistance,
+//! `Cw = ceff_per_mm · segment_length` the Miller-weighted wire load, `Rw`
+//! the segment wire resistance, and `Cin`/`Cpar` the next repeater's gate
+//! and this repeater's diffusion capacitance.
+//!
+//! The total delay is affine in `ceff` with one voltage-dependent factor:
+//!
+//! ```text
+//! t = f(V) · (dev_const + dev_slope·ceff) + (wire_const + wire_slope·ceff)
+//! ```
+//!
+//! [`RepeatedLine::delay_coefficients`] exposes this decomposition; the
+//! look-up tables in `razorbus-tables` are built directly from it (this is
+//! what makes million-cycle voltage sweeps O(1) per cycle, mirroring the
+//! paper's own table-driven methodology).
+
+use razorbus_process::{ProcessCorner, Repeater};
+use razorbus_units::{
+    Celsius, Femtofarads, Femtojoules, Millimeters, OhmsPerMillimeter, Picoseconds, Volts,
+};
+
+/// Copper resistance temperature coefficient (per kelvin, around 25 °C).
+const WIRE_R_TEMP_COEFF: f64 = 0.0039;
+
+/// Affine decomposition of the line delay in (device factor, ceff) space.
+///
+/// `delay = f · (dev_const + dev_slope·ceff) + wire_const + wire_slope·ceff`
+/// with `ceff` in fF/mm and all outputs in ps.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DelayCoefficients {
+    /// Device-scaled constant term (ps at f = 1).
+    pub dev_const: f64,
+    /// Device-scaled slope (ps per fF/mm at f = 1).
+    pub dev_slope: f64,
+    /// Wire-only constant term (ps).
+    pub wire_const: f64,
+    /// Wire-only slope (ps per fF/mm).
+    pub wire_slope: f64,
+}
+
+impl DelayCoefficients {
+    /// Evaluates the delay for device factor `f` and effective capacitance
+    /// `ceff_per_mm`.
+    #[inline]
+    #[must_use]
+    pub fn delay(&self, f: f64, ceff_per_mm: Femtofarads) -> Picoseconds {
+        let c = ceff_per_mm.ff();
+        Picoseconds::new(f * (self.dev_const + self.dev_slope * c) + self.wire_const + self.wire_slope * c)
+    }
+
+    /// Inverse: the `ceff_per_mm` whose delay equals `target` at device
+    /// factor `f`, or `None` if no positive capacitance satisfies it
+    /// (i.e. even a zero-load wire is slower than `target`).
+    #[must_use]
+    pub fn ceff_at_delay(&self, f: f64, target: Picoseconds) -> Option<Femtofarads> {
+        if !f.is_finite() {
+            return None;
+        }
+        let numer = target.ps() - f * self.dev_const - self.wire_const;
+        let denom = f * self.dev_slope + self.wire_slope;
+        (numer > 0.0 && denom > 0.0).then(|| Femtofarads::new(numer / denom))
+    }
+}
+
+/// A repeater-inserted wire: `n_segments` stages of `segment_length` each.
+///
+/// ```
+/// use razorbus_process::{ProcessCorner, Repeater};
+/// use razorbus_units::{Celsius, Femtofarads, Millimeters, OhmsPerMillimeter, Volts};
+/// use razorbus_wire::RepeatedLine;
+///
+/// let line = RepeatedLine::new(4, Millimeters::new(1.5), Repeater::l130(60.0),
+///                              OhmsPerMillimeter::new(85.0));
+/// let nominal = line.delay(Femtofarads::new(400.0), Volts::new(1.2),
+///                          ProcessCorner::Typical, Celsius::HOT);
+/// let scaled = line.delay(Femtofarads::new(400.0), Volts::new(0.9),
+///                         ProcessCorner::Typical, Celsius::HOT);
+/// assert!(scaled > nominal);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RepeatedLine {
+    n_segments: usize,
+    segment_length: Millimeters,
+    repeater: Repeater,
+    wire_r_per_mm_25c: OhmsPerMillimeter,
+}
+
+impl RepeatedLine {
+    /// Creates a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_segments == 0` or lengths/resistances are not positive.
+    #[must_use]
+    pub fn new(
+        n_segments: usize,
+        segment_length: Millimeters,
+        repeater: Repeater,
+        wire_r_per_mm_25c: OhmsPerMillimeter,
+    ) -> Self {
+        assert!(n_segments > 0, "line needs at least one segment");
+        assert!(segment_length.mm() > 0.0, "segment length must be positive");
+        assert!(
+            wire_r_per_mm_25c.ohms_per_mm() > 0.0,
+            "wire resistance must be positive"
+        );
+        Self {
+            n_segments,
+            segment_length,
+            repeater,
+            wire_r_per_mm_25c,
+        }
+    }
+
+    /// Number of repeater stages.
+    #[must_use]
+    pub fn n_segments(&self) -> usize {
+        self.n_segments
+    }
+
+    /// Length of each stage.
+    #[must_use]
+    pub fn segment_length(&self) -> Millimeters {
+        self.segment_length
+    }
+
+    /// Total routed length.
+    #[must_use]
+    pub fn total_length(&self) -> Millimeters {
+        self.segment_length * self.n_segments as f64
+    }
+
+    /// The repeater used at every stage.
+    #[must_use]
+    pub fn repeater(&self) -> &Repeater {
+        &self.repeater
+    }
+
+    /// Returns a copy with a different repeater width.
+    #[must_use]
+    pub fn with_repeater_width(&self, width: f64) -> Self {
+        Self {
+            repeater: self.repeater.with_width(width),
+            ..*self
+        }
+    }
+
+    /// Wire resistance per mm at `(corner, t)` (copper temperature
+    /// coefficient plus the corner's metal-thickness variation).
+    #[must_use]
+    pub fn wire_resistance_per_mm(&self, corner: ProcessCorner, t: Celsius) -> OhmsPerMillimeter {
+        let temp_scale = 1.0 + WIRE_R_TEMP_COEFF * (t.celsius() - 25.0);
+        OhmsPerMillimeter::new(
+            self.wire_r_per_mm_25c.ohms_per_mm()
+                * temp_scale
+                * corner.wire_resistance_multiplier(),
+        )
+    }
+
+    /// The affine delay decomposition at `(corner, t)`; see the module
+    /// docs. Evaluate with the device factor from
+    /// [`razorbus_process::DeviceModel::delay_factor`].
+    #[must_use]
+    pub fn delay_coefficients(&self, corner: ProcessCorner, t: Celsius) -> DelayCoefficients {
+        let n = self.n_segments as f64;
+        let unit = self.repeater.with_width(1.0);
+        // Drive resistance at factor 1 (device factor applied by caller).
+        let r0_over_w = unit
+            .drive_resistance(
+                self.repeater.device().v_nominal(),
+                ProcessCorner::Typical,
+                Celsius::new(razorbus_process::DeviceModel::T_REF_C),
+            )
+            .ohms()
+            / self.repeater.width();
+        let cin = self.repeater.input_capacitance().ff();
+        let cpar = self.repeater.parasitic_capacitance().ff();
+        let rw_seg =
+            (self.wire_resistance_per_mm(corner, t) * self.segment_length).ohms();
+        let len = self.segment_length.mm();
+
+        // ohm * fF = 1e-3 ps.
+        DelayCoefficients {
+            dev_const: n * 0.69 * r0_over_w * (cpar + cin) * 1e-3,
+            dev_slope: n * 0.69 * r0_over_w * len * 1e-3,
+            wire_const: n * 0.69 * rw_seg * cin * 1e-3,
+            wire_slope: n * (0.38 * rw_seg * len) * 1e-3,
+        }
+    }
+
+    /// End-to-end Elmore delay for a wire presenting `ceff_per_mm` of
+    /// Miller-weighted load, at effective voltage `v_eff`.
+    ///
+    /// Returns `Picoseconds::new(f64::INFINITY)` when the device is below
+    /// its functional overdrive.
+    #[must_use]
+    pub fn delay(
+        &self,
+        ceff_per_mm: Femtofarads,
+        v_eff: Volts,
+        corner: ProcessCorner,
+        t: Celsius,
+    ) -> Picoseconds {
+        let f = self.repeater.device().delay_factor(v_eff, corner, t);
+        self.delay_coefficients(corner, t).delay(f, ceff_per_mm)
+    }
+
+    /// Total repeater self-capacitance switched when this wire toggles
+    /// (all stages' input + diffusion capacitance).
+    #[must_use]
+    pub fn repeater_cap_per_toggle(&self) -> Femtofarads {
+        (self.repeater.input_capacitance() + self.repeater.parasitic_capacitance())
+            * self.n_segments as f64
+    }
+
+    /// Leakage energy of all this wire's repeaters over one clock period.
+    #[must_use]
+    pub fn leakage_energy_per_cycle(
+        &self,
+        v: Volts,
+        corner: ProcessCorner,
+        t: Celsius,
+        period: Picoseconds,
+    ) -> Femtojoules {
+        self.repeater.leakage_energy_per_cycle(v, corner, t, period) * self.n_segments as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> RepeatedLine {
+        RepeatedLine::new(
+            4,
+            Millimeters::new(1.5),
+            Repeater::l130(60.0),
+            OhmsPerMillimeter::new(85.0),
+        )
+    }
+
+    #[test]
+    fn delay_monotone_in_load_and_voltage() {
+        let l = line();
+        let d_light = l.delay(
+            Femtofarads::new(100.0),
+            Volts::new(1.2),
+            ProcessCorner::Typical,
+            Celsius::HOT,
+        );
+        let d_heavy = l.delay(
+            Femtofarads::new(400.0),
+            Volts::new(1.2),
+            ProcessCorner::Typical,
+            Celsius::HOT,
+        );
+        assert!(d_heavy > d_light);
+        let d_low_v = l.delay(
+            Femtofarads::new(400.0),
+            Volts::new(0.9),
+            ProcessCorner::Typical,
+            Celsius::HOT,
+        );
+        assert!(d_low_v > d_heavy);
+    }
+
+    #[test]
+    fn coefficients_match_direct_evaluation() {
+        let l = line();
+        let corner = ProcessCorner::Slow;
+        let t = Celsius::HOT;
+        let v = Volts::new(1.08);
+        let f = l.repeater().device().delay_factor(v, corner, t);
+        let coeffs = l.delay_coefficients(corner, t);
+        let via_coeffs = coeffs.delay(f, Femtofarads::new(380.0));
+        let direct = l.delay(Femtofarads::new(380.0), v, corner, t);
+        assert!((via_coeffs.ps() - direct.ps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceff_at_delay_inverts_delay() {
+        let l = line();
+        let coeffs = l.delay_coefficients(ProcessCorner::Typical, Celsius::HOT);
+        let f = 1.5;
+        let ceff = coeffs.ceff_at_delay(f, Picoseconds::new(500.0)).unwrap();
+        let check = coeffs.delay(f, ceff);
+        assert!((check.ps() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceff_at_delay_none_when_unreachable() {
+        let l = line();
+        let coeffs = l.delay_coefficients(ProcessCorner::Slow, Celsius::HOT);
+        // With an enormous device factor even zero load exceeds 100 ps.
+        assert!(coeffs.ceff_at_delay(50.0, Picoseconds::new(100.0)).is_none());
+        assert!(coeffs.ceff_at_delay(f64::INFINITY, Picoseconds::new(600.0)).is_none());
+    }
+
+    #[test]
+    fn wire_resistance_grows_with_temperature() {
+        let l = line();
+        let cold = l.wire_resistance_per_mm(ProcessCorner::Typical, Celsius::ROOM);
+        let hot = l.wire_resistance_per_mm(ProcessCorner::Typical, Celsius::HOT);
+        assert!(hot.ohms_per_mm() > cold.ohms_per_mm());
+        // 75 K * 0.39%/K = +29%.
+        assert!((hot.ohms_per_mm() / cold.ohms_per_mm() - 1.2925).abs() < 1e-3);
+    }
+
+    #[test]
+    fn infinite_below_functional_voltage() {
+        let l = line();
+        let d = l.delay(
+            Femtofarads::new(300.0),
+            Volts::new(0.3),
+            ProcessCorner::Slow,
+            Celsius::ROOM,
+        );
+        assert!(!d.is_finite());
+    }
+
+    #[test]
+    fn repeater_cap_counts_all_stages() {
+        let l = line();
+        let per_stage = 60.0 * (1.5 + 1.2);
+        assert!((l.repeater_cap_per_toggle().ff() - 4.0 * per_stage).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_length() {
+        assert!((line().total_length().mm() - 6.0).abs() < 1e-12);
+    }
+}

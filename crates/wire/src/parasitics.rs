@@ -1,0 +1,178 @@
+//! Per-unit-length wire parasitics and the §6 coupling-ratio transform.
+
+use razorbus_units::Femtofarads;
+
+/// Extracted per-millimeter capacitances of one bus wire.
+///
+/// * `cg` — ground capacitance (area + fringe to the orthogonal planes),
+/// * `cc` — coupling capacitance to *each* immediate same-layer neighbor,
+/// * `cc2` — screened coupling to each second neighbor.
+///
+/// ```
+/// use razorbus_units::Femtofarads;
+/// use razorbus_wire::WireParasitics;
+/// let p = WireParasitics::new(
+///     Femtofarads::new(57.0),
+///     Femtofarads::new(82.0),
+///     Femtofarads::new(6.6),
+/// );
+/// assert!((p.coupling_ratio() - 82.0 / 57.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireParasitics {
+    cg_per_mm: Femtofarads,
+    cc_per_mm: Femtofarads,
+    cc2_per_mm: Femtofarads,
+}
+
+impl WireParasitics {
+    /// Creates a parasitics record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cg` or `cc` is non-positive, or `cc2` is negative.
+    #[must_use]
+    pub fn new(cg_per_mm: Femtofarads, cc_per_mm: Femtofarads, cc2_per_mm: Femtofarads) -> Self {
+        assert!(cg_per_mm.ff() > 0.0, "ground capacitance must be positive");
+        assert!(cc_per_mm.ff() > 0.0, "coupling capacitance must be positive");
+        assert!(
+            cc2_per_mm.ff() >= 0.0,
+            "second-neighbor capacitance must be non-negative"
+        );
+        Self {
+            cg_per_mm,
+            cc_per_mm,
+            cc2_per_mm,
+        }
+    }
+
+    /// Ground capacitance per mm.
+    #[must_use]
+    pub fn cg_per_mm(&self) -> Femtofarads {
+        self.cg_per_mm
+    }
+
+    /// Immediate-neighbor coupling capacitance per mm (each side).
+    #[must_use]
+    pub fn cc_per_mm(&self) -> Femtofarads {
+        self.cc_per_mm
+    }
+
+    /// Second-neighbor coupling capacitance per mm (each side).
+    #[must_use]
+    pub fn cc2_per_mm(&self) -> Femtofarads {
+        self.cc2_per_mm
+    }
+
+    /// The Cc/Cg ratio the §6 analysis optimizes.
+    #[must_use]
+    pub fn coupling_ratio(&self) -> f64 {
+        self.cc_per_mm.ff() / self.cg_per_mm.ff()
+    }
+
+    /// Capacitance per mm seen by a victim whose neighbors present the
+    /// combined Miller weight `k1` (sum over both immediate neighbors) and
+    /// second neighbors `k2` (sum over both).
+    #[must_use]
+    pub fn effective_cap_per_mm(&self, k1: f64, k2: f64) -> Femtofarads {
+        self.cg_per_mm + self.cc_per_mm * k1 + self.cc2_per_mm * k2
+    }
+
+    /// The §6 transform: scale the Cc/Cg ratio by `ratio_boost` while
+    /// keeping the *worst-case* effective capacitance
+    /// `cg + k1_worst·cc + k2_worst·cc2` (and hence the worst-case Elmore
+    /// delay, with unchanged wire resistance and repeaters) exactly
+    /// constant. `cc2` stays proportional to `cc`.
+    ///
+    /// The paper: "We alter the wire parasitics of the bus so that the
+    /// Cc/Cg ratio is 1.95X that of the original bus while ensuring that
+    /// the wire resistance and total effective capacitance (Cg + 4Cc) for
+    /// worst-case delay does not change."
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio_boost` is not strictly positive or the worst-case
+    /// weights are negative.
+    #[must_use]
+    pub fn boost_coupling_ratio(&self, ratio_boost: f64, k1_worst: f64, k2_worst: f64) -> Self {
+        assert!(ratio_boost > 0.0, "ratio boost must be positive");
+        assert!(
+            k1_worst >= 0.0 && k2_worst >= 0.0,
+            "worst-case Miller weights must be non-negative"
+        );
+        let worst = self.effective_cap_per_mm(k1_worst, k2_worst).ff();
+        let r_new = self.coupling_ratio() * ratio_boost;
+        let cc2_frac = self.cc2_per_mm.ff() / self.cc_per_mm.ff();
+        // worst = cg' (1 + r'·(k1 + k2·cc2_frac))  with cc' = r'·cg'.
+        let denom = 1.0 + r_new * (k1_worst + k2_worst * cc2_frac);
+        let cg_new = worst / denom;
+        let cc_new = cg_new * r_new;
+        Self::new(
+            Femtofarads::new(cg_new),
+            Femtofarads::new(cc_new),
+            Femtofarads::new(cc_new * cc2_frac),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireParasitics {
+        WireParasitics::new(
+            Femtofarads::new(57.0),
+            Femtofarads::new(82.0),
+            Femtofarads::new(6.56),
+        )
+    }
+
+    #[test]
+    fn effective_cap_composes_linearly() {
+        let p = sample();
+        let quiet = p.effective_cap_per_mm(2.0, 2.0);
+        let expect = 57.0 + 2.0 * 82.0 + 2.0 * 6.56;
+        assert!((quiet.ff() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boost_preserves_worst_case_cap() {
+        let p = sample();
+        let (k1w, k2w) = (4.4, 0.6);
+        let boosted = p.boost_coupling_ratio(1.95, k1w, k2w);
+        let before = p.effective_cap_per_mm(k1w, k2w).ff();
+        let after = boosted.effective_cap_per_mm(k1w, k2w).ff();
+        assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+        assert!((boosted.coupling_ratio() / p.coupling_ratio() - 1.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boost_shrinks_quiet_and_best_case_cap() {
+        // Higher coupling ratio at constant worst case means the
+        // best-case (all-same-direction) load falls - the §6 effect that
+        // widens the pattern delay spread.
+        let p = sample();
+        let boosted = p.boost_coupling_ratio(1.95, 4.4, 0.6);
+        let best_before = p.effective_cap_per_mm(0.6, 0.1);
+        let best_after = boosted.effective_cap_per_mm(0.6, 0.1);
+        assert!(best_after.ff() < best_before.ff());
+    }
+
+    #[test]
+    fn unit_boost_is_identity() {
+        let p = sample();
+        let same = p.boost_coupling_ratio(1.0, 4.4, 0.6);
+        assert!((same.cg_per_mm().ff() - p.cg_per_mm().ff()).abs() < 1e-9);
+        assert!((same.cc_per_mm().ff() - p.cc_per_mm().ff()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground capacitance must be positive")]
+    fn rejects_zero_cg() {
+        let _ = WireParasitics::new(
+            Femtofarads::ZERO,
+            Femtofarads::new(80.0),
+            Femtofarads::new(6.0),
+        );
+    }
+}

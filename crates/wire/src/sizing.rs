@@ -1,0 +1,237 @@
+//! Repeater sizing: the §3 design step.
+//!
+//! "The repeaters are sized so that the maximum delay (measured from node
+//! in to node out) on the bus is 600ps … under worst-case conditions of
+//! neighbor switching activity and the PVT conditions." The line delay is
+//!
+//! ```text
+//! t(W) = A + B/W + C·W
+//! ```
+//!
+//! (constant intrinsic + drive term shrinking with width + wire-resistance
+//! -into-gate term growing with width), so the *power-optimal* design
+//! point — reflecting the paper's "typical design philosophy" of meeting,
+//! not beating, the target — is the **smallest** width `W` with
+//! `t(W) = target`, i.e. the smaller root of `C·W² + (A − target)·W + B`.
+
+use razorbus_process::ProcessCorner;
+use razorbus_units::{Celsius, Femtofarads, Picoseconds, Volts};
+
+use crate::line::RepeatedLine;
+
+/// Why repeater sizing failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizingError {
+    /// No width meets the target; the best achievable delay is reported.
+    Infeasible {
+        /// Minimum delay over all widths at the requested condition.
+        min_achievable: Picoseconds,
+    },
+    /// The device has no functional overdrive at the requested voltage.
+    NonFunctional,
+}
+
+impl core::fmt::Display for SizingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Infeasible { min_achievable } => write!(
+                f,
+                "target delay unreachable at any repeater width (best achievable {min_achievable:.1})"
+            ),
+            Self::NonFunctional => f.write_str("device below functional overdrive at sizing condition"),
+        }
+    }
+}
+
+impl std::error::Error for SizingError {}
+
+/// Finds the smallest repeater width for which `line` (with that width)
+/// meets `target` delay while driving `ceff_per_mm` at `(v_eff, corner, t)`.
+///
+/// The passed `line`'s width only serves as a prototype; its other
+/// parameters (segmentation, unit device) are used as-is.
+///
+/// # Errors
+///
+/// * [`SizingError::NonFunctional`] if the device factor is infinite at
+///   `v_eff`.
+/// * [`SizingError::Infeasible`] if even the optimal width misses
+///   `target`.
+///
+/// ```
+/// use razorbus_process::{ProcessCorner, Repeater};
+/// use razorbus_units::{Celsius, Femtofarads, Millimeters, OhmsPerMillimeter, Picoseconds, Volts};
+/// use razorbus_wire::{size_repeater_for_delay, RepeatedLine};
+///
+/// let proto = RepeatedLine::new(4, Millimeters::new(1.5), Repeater::l130(1.0),
+///                               OhmsPerMillimeter::new(85.0));
+/// let w = size_repeater_for_delay(
+///     &proto, Femtofarads::new(420.0), Volts::new(1.08),
+///     ProcessCorner::Slow, Celsius::HOT, Picoseconds::new(600.0),
+/// ).unwrap();
+/// let sized = proto.with_repeater_width(w);
+/// let d = sized.delay(Femtofarads::new(420.0), Volts::new(1.08), ProcessCorner::Slow, Celsius::HOT);
+/// assert!((d.ps() - 600.0).abs() < 0.5);
+/// ```
+pub fn size_repeater_for_delay(
+    line: &RepeatedLine,
+    ceff_per_mm: Femtofarads,
+    v_eff: Volts,
+    corner: ProcessCorner,
+    t: Celsius,
+    target: Picoseconds,
+) -> Result<f64, SizingError> {
+    let device = *line.repeater().device();
+    let f = device.delay_factor(v_eff, corner, t);
+    if !f.is_finite() {
+        return Err(SizingError::NonFunctional);
+    }
+
+    // Decompose t(W) = A + B/W + C·W using the width-1 line's affine
+    // coefficients: at width 1, dev terms carry R0 directly.
+    let unit_line = line.with_repeater_width(1.0);
+    let coeffs = unit_line.delay_coefficients(corner, t);
+    let c = ceff_per_mm.ff();
+    // Width-independent: device intrinsic (Cpar+Cin scale with W, R0/W
+    // cancels) + wire R driving the wire load.
+    let a = f * coeffs.dev_const + coeffs.wire_slope * c;
+    // Shrinks with W: drive resistance into the wire load.
+    let b = f * coeffs.dev_slope * c;
+    // Grows with W: wire resistance into the next gate.
+    let cw = coeffs.wire_const;
+
+    let min_achievable = a + 2.0 * (b * cw).sqrt();
+    let disc = (target.ps() - a).powi(2) - 4.0 * b * cw;
+    if target.ps() <= a || disc < 0.0 {
+        return Err(SizingError::Infeasible {
+            min_achievable: Picoseconds::new(min_achievable),
+        });
+    }
+    // Smaller root = smallest width meeting the target.
+    let width = if cw > 0.0 {
+        ((target.ps() - a) - disc.sqrt()) / (2.0 * cw)
+    } else {
+        b / (target.ps() - a)
+    };
+    debug_assert!(width > 0.0, "sizing produced non-positive width {width}");
+    Ok(width)
+}
+
+/// The width minimizing the line delay at the given condition (classic
+/// `sqrt(B/C)` repeater-insertion optimum) — used by the technology-
+/// scaling study to define each node's achievable delay target.
+///
+/// # Errors
+///
+/// [`SizingError::NonFunctional`] if the device factor is infinite.
+pub fn delay_optimal_width(
+    line: &RepeatedLine,
+    ceff_per_mm: Femtofarads,
+    v_eff: Volts,
+    corner: ProcessCorner,
+    t: Celsius,
+) -> Result<f64, SizingError> {
+    let device = *line.repeater().device();
+    let f = device.delay_factor(v_eff, corner, t);
+    if !f.is_finite() {
+        return Err(SizingError::NonFunctional);
+    }
+    let unit_line = line.with_repeater_width(1.0);
+    let coeffs = unit_line.delay_coefficients(corner, t);
+    let b = f * coeffs.dev_slope * ceff_per_mm.ff();
+    let cw = coeffs.wire_const;
+    Ok((b / cw).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use razorbus_process::Repeater;
+    use razorbus_units::{Millimeters, OhmsPerMillimeter};
+
+    fn proto() -> RepeatedLine {
+        RepeatedLine::new(
+            4,
+            Millimeters::new(1.5),
+            Repeater::l130(1.0),
+            OhmsPerMillimeter::new(85.0),
+        )
+    }
+
+    fn worst() -> (Femtofarads, Volts, ProcessCorner, Celsius) {
+        (
+            Femtofarads::new(420.0),
+            Volts::new(1.08),
+            ProcessCorner::Slow,
+            Celsius::HOT,
+        )
+    }
+
+    #[test]
+    fn sized_line_meets_target_exactly() {
+        let p = proto();
+        let (ceff, v, corner, t) = worst();
+        let w = size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(600.0)).unwrap();
+        let d = p.with_repeater_width(w).delay(ceff, v, corner, t);
+        assert!((d.ps() - 600.0).abs() < 1e-6, "d = {d}");
+    }
+
+    #[test]
+    fn smaller_target_needs_wider_repeater() {
+        let p = proto();
+        let (ceff, v, corner, t) = worst();
+        let w600 = size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(600.0)).unwrap();
+        let w500 = size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(500.0)).unwrap();
+        assert!(w500 > w600, "w500={w500} w600={w600}");
+    }
+
+    #[test]
+    fn sizing_returns_smallest_root() {
+        // Any width slightly below the returned one must miss the target.
+        let p = proto();
+        let (ceff, v, corner, t) = worst();
+        let w = size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(600.0)).unwrap();
+        let d_smaller = p.with_repeater_width(w * 0.95).delay(ceff, v, corner, t);
+        assert!(d_smaller.ps() > 600.0);
+    }
+
+    #[test]
+    fn infeasible_target_reports_floor() {
+        let p = proto();
+        let (ceff, v, corner, t) = worst();
+        let err = size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(50.0))
+            .unwrap_err();
+        match err {
+            SizingError::Infeasible { min_achievable } => {
+                assert!(min_achievable.ps() > 50.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimal_width_is_delay_minimum() {
+        let p = proto();
+        let (ceff, v, corner, t) = worst();
+        let w_opt = delay_optimal_width(&p, ceff, v, corner, t).unwrap();
+        let d_opt = p.with_repeater_width(w_opt).delay(ceff, v, corner, t);
+        for w in [w_opt * 0.7, w_opt * 1.4] {
+            assert!(p.with_repeater_width(w).delay(ceff, v, corner, t) >= d_opt);
+        }
+    }
+
+    #[test]
+    fn non_functional_voltage_errors() {
+        let p = proto();
+        let err = size_repeater_for_delay(
+            &p,
+            Femtofarads::new(400.0),
+            Volts::new(0.2),
+            ProcessCorner::Slow,
+            Celsius::ROOM,
+            Picoseconds::new(600.0),
+        )
+        .unwrap_err();
+        assert_eq!(err, SizingError::NonFunctional);
+    }
+}

@@ -1,0 +1,69 @@
+//! How much does the real controller leave on the table versus the
+//! Fig. 6 oracle (which knows the future switching activity of every
+//! 10 000-cycle window)?
+//!
+//! §5: "In an actual system, it is not possible to guarantee a target
+//! error rate since there is delay involved in changing the supply
+//! voltage with a regulator and the switching activity for a block of
+//! time in the future cannot be known a priori."
+//!
+//! ```sh
+//! cargo run --release --example oracle_vs_controller
+//! ```
+
+use razorbus::core::{BusSimulator, DvsBusDesign, WindowedSummary};
+use razorbus::ctrl::{ErrorRateMonitor, ThresholdController};
+use razorbus::process::PvtCorner;
+use razorbus::traces::Benchmark;
+
+fn main() {
+    let design = DvsBusDesign::paper_default();
+    let corner = PvtCorner::TYPICAL;
+    let windows = 100usize;
+    let window_len = 10_000u64;
+    let cycles = windows as u64 * window_len;
+
+    println!(
+        "{:<9} {:>12} {:>12} {:>11} {:>11} {:>12}",
+        "bench", "oracle V̄", "ctrl V̄", "ctrl gain", "ctrl err", ">2% windows"
+    );
+    for b in [Benchmark::Crafty, Benchmark::Vortex, Benchmark::Mgrid] {
+        // Oracle: per-window optimum at a 2% target with future knowledge.
+        let mut trace = b.trace(123);
+        let w = WindowedSummary::collect(&design, &mut trace, windows, window_len);
+        let oracle_mean: f64 = w
+            .oracle_voltages(&design, corner, 0.02)
+            .iter()
+            .map(|v| f64::from(v.mv()))
+            .sum::<f64>()
+            / windows as f64;
+
+        // Controller: same trace, no future knowledge, regulator lag.
+        let ctrl = ThresholdController::new(design.controller_config(corner.process));
+        let mut sim = BusSimulator::new(&design, corner, b.trace(123), ctrl).with_sampling(window_len);
+        let r = sim.run(cycles);
+        let mut monitor = ErrorRateMonitor::paper_default();
+        // Rebuild per-window stats from the samples for the exceedance
+        // report (the monitor shows its API on recorded data).
+        for s in &r.samples {
+            for i in 0..window_len {
+                monitor.record((i as f64) < s.window_error_rate * window_len as f64);
+            }
+        }
+
+        println!(
+            "{:<9} {:>10.0}mV {:>10.0}mV {:>10.1}% {:>10.2}% {:>11.0}%",
+            b.name(),
+            oracle_mean,
+            r.mean_voltage_mv,
+            r.energy_gain() * 100.0,
+            r.error_rate() * 100.0,
+            monitor.fraction_of_windows_above(0.02) * 100.0,
+        );
+    }
+    println!(
+        "\nThe controller trails the oracle by the descent transient plus the\n\
+         regulator lag around phase changes — the gap the paper accepts to\n\
+         avoid 'the hardware overhead of a more sophisticated system' (§5)."
+    );
+}

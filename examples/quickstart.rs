@@ -1,0 +1,47 @@
+//! Quickstart: build the paper's DVS bus, run one program under the §5
+//! threshold controller and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use razorbus::core::{BusSimulator, DvsBusDesign};
+use razorbus::ctrl::ThresholdController;
+use razorbus::process::PvtCorner;
+use razorbus::traces::Benchmark;
+
+fn main() {
+    // 1. The paper's design: 6 mm / 32-bit / 1.5 GHz bus, repeaters sized
+    //    for 600 ps at (slow, 100C, 10% IR), shadow latch skewed by the
+    //    hold-time analysis.
+    let design = DvsBusDesign::paper_default();
+    println!(
+        "bus: {} bits x {} mm, repeater width {:.0}x, worst-case delay {:.0} at the design corner",
+        design.bus().layout().n_bits(),
+        design.bus().line().total_length().mm(),
+        design.bus().repeater_width(),
+        design.bus().worst_case_delay_at_design_corner(),
+    );
+    println!(
+        "shadow skew: {:.0} ({:.0}% of the cycle), regulator floor at the typical corner: {}",
+        design.skew().chosen_skew(),
+        design.skew().skew_fraction() * 100.0,
+        design.regulator_floor(razorbus::process::ProcessCorner::Typical),
+    );
+
+    // 2. Run crafty for a million cycles at the typical corner under the
+    //    paper's controller (1-2% error band, +/-20 mV, 1 us/10 mV ramp).
+    let corner = PvtCorner::TYPICAL;
+    let controller = ThresholdController::new(design.controller_config(corner.process));
+    let mut sim = BusSimulator::new(&design, corner, Benchmark::Crafty.trace(42), controller);
+    let report = sim.run(1_000_000);
+
+    println!("\ncrafty @ {corner}:");
+    println!("  energy gain vs fixed 1.2 V: {:.1}%", report.energy_gain() * 100.0);
+    println!("  average error rate:         {:.2}%", report.error_rate() * 100.0);
+    println!("  performance loss (IPC):     {:.2}%", report.performance_loss() * 100.0);
+    println!("  supply range visited:       {} .. {:.0} mV (mean)",
+        report.min_voltage, report.mean_voltage_mv);
+    println!("  silent corruptions:         {}", report.shadow_violations);
+    assert_eq!(report.shadow_violations, 0, "the shadow latch must always be safe");
+}

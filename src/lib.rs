@@ -1,0 +1,97 @@
+//! # razorbus
+//!
+//! A full reproduction of **Kaul, Sylvester, Blaauw, Mudge, Austin —
+//! "DVS for On-Chip Bus Designs Based on Timing Error Correction"
+//! (DATE 2005)**: dynamic voltage scaling for on-chip buses built on
+//! Razor-style double-sampling flip-flops that detect and correct timing
+//! errors *without retransmitting on the bus*.
+//!
+//! The workspace models the complete system described in the paper:
+//!
+//! * a 6 mm, 32-bit, 1.5 GHz memory read bus in a 0.13 µm process, with
+//!   shields every four signals and repeaters sized for 600 ps at the
+//!   worst PVT corner ([`wire`]),
+//! * an alpha-power-law device/corner/leakage model and vector-dependent
+//!   supply droop ([`process`]),
+//! * SPICE-style per-pattern delay/energy look-up tables ([`tables`]),
+//! * the double-sampling flip-flop, its bank, recovery FSM and hold-time
+//!   analysis ([`ff`]),
+//! * statistically shaped SPEC2000 memory-read traces ([`traces`]),
+//! * the §5 threshold controller with a 1 µs/10 mV regulator ([`ctrl`]),
+//! * the cycle-level simulator and one driver per paper figure/table
+//!   ([`core`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use razorbus::core::{BusSimulator, DvsBusDesign};
+//! use razorbus::ctrl::ThresholdController;
+//! use razorbus::process::PvtCorner;
+//! use razorbus::traces::Benchmark;
+//!
+//! // Build the paper's bus and run crafty under the DVS controller at
+//! // the typical corner.
+//! let design = DvsBusDesign::paper_default();
+//! let controller =
+//!     ThresholdController::new(design.controller_config(PvtCorner::TYPICAL.process));
+//! let mut sim = BusSimulator::new(&design, PvtCorner::TYPICAL,
+//!                                 Benchmark::Crafty.trace(42), controller);
+//! let report = sim.run(200_000);
+//! assert!(report.energy_gain() > 0.15);
+//! assert!(report.error_rate() < 0.02);
+//! assert_eq!(report.shadow_violations, 0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure and table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Typed physical quantities (ps, mV, fF, Ω, fJ, °C, GHz).
+pub mod units {
+    pub use razorbus_units::*;
+}
+
+/// Process corners, alpha-power devices, leakage, IR drop and
+/// technology nodes.
+pub mod process {
+    pub use razorbus_process::*;
+}
+
+/// Interconnect: geometry, capacitance extraction, layout, coupling,
+/// repeatered lines and repeater sizing.
+pub mod wire {
+    pub use razorbus_wire::*;
+}
+
+/// SPICE-style delay/energy look-up tables.
+pub mod tables {
+    pub use razorbus_tables::*;
+}
+
+/// Double-sampling (Razor) flip-flops, banks, recovery and hold analysis.
+pub mod ff {
+    pub use razorbus_ff::*;
+}
+
+/// Synthetic SPEC2000-like memory-read-bus traces.
+pub mod traces {
+    pub use razorbus_traces::*;
+}
+
+/// DVS governors: threshold/proportional controllers, regulator model,
+/// fixed-VS baseline.
+pub mod ctrl {
+    pub use razorbus_ctrl::*;
+}
+
+/// The assembled design, cycle-level simulator and paper experiments.
+pub mod core {
+    pub use razorbus_core::*;
+}
+
+pub use razorbus_core::{BusSimulator, DvsBusDesign, SimReport, TraceSummary};
+pub use razorbus_ctrl::{ThresholdController, VoltageGovernor};
+pub use razorbus_process::PvtCorner;
+pub use razorbus_traces::Benchmark;

@@ -1,0 +1,120 @@
+//! Cross-validation between the two independent error models:
+//!
+//! 1. the *event-level* path — per-wire arrival times from the RC model
+//!    fed into the bit-level [`razorbus::ff::FlopBank`], and
+//! 2. the *table* path — the quantized pass-limit comparison used by the
+//!    high-throughput simulator.
+//!
+//! Both must agree on which cycles error (up to the 1 fF/mm histogram
+//! quantization at the threshold) and recovery must always restore the
+//! transmitted word.
+
+use razorbus::core::DvsBusDesign;
+use razorbus::ff::FlopBank;
+use razorbus::process::PvtCorner;
+use razorbus::tables::EnvCondition;
+use razorbus::traces::{Benchmark, TraceSource};
+use razorbus::units::{Millivolts, Picoseconds};
+
+fn run_cross_check(corner: PvtCorner, v: Millivolts, benchmark: Benchmark, cycles: u64) {
+    let design = DvsBusDesign::paper_default();
+    let bus = design.bus();
+    let tables = design.tables();
+    let matrix = tables.threshold_matrix(EnvCondition::from_pvt(corner), corner.ir);
+    let vi = design.grid().index_of(v).unwrap();
+
+    let mut bank = FlopBank::new(32, tables.setup(), design.skew().chosen_skew());
+    let mut trace = benchmark.trace(17);
+    let mut prev = trace.next_word();
+
+    let mut event_errors = 0u64;
+    let mut table_errors = 0u64;
+    let mut disagreements = 0u64;
+
+    for _ in 0..cycles {
+        let cur = trace.next_word();
+        let analysis = bus.analyze_cycle(prev, cur);
+        let bucket = (analysis.toggled_wires / 4).min(8) as usize;
+        let limit = matrix.pass_limit_at(vi, bucket);
+        let table_says_error = analysis.toggled_wires > 0 && analysis.worst_ceff_per_mm > limit;
+
+        // Event level: the droop-adjusted effective voltage the table
+        // used, applied to every wire's own load.
+        let droop = bus.droop().droop_fraction(matrix.bucket_activity(bucket));
+        let v_eff = v.to_volts() * (1.0 - corner.ir.fraction() - droop);
+        let arrivals: Vec<Picoseconds> = bus
+            .per_wire_effective_caps(prev, cur)
+            .iter()
+            .map(|ceff| match ceff {
+                Some(c) => bus.delay(*c, v_eff, corner.process, corner.temperature),
+                None => Picoseconds::ZERO,
+            })
+            .collect();
+        let outcome = bank.clock_cycle(cur, &arrivals);
+        if outcome.error {
+            event_errors += 1;
+            let fixed = bank.recover();
+            assert_eq!(fixed, cur, "recovery corrupted the word");
+        }
+        table_errors += u64::from(table_says_error);
+        if outcome.error != table_says_error {
+            disagreements += 1;
+            // Disagreements may only come from loads right at the pass
+            // limit (histogram quantization: 1 fF/mm).
+            assert!(
+                (analysis.worst_ceff_per_mm - limit).abs() < 1.5,
+                "disagreement far from the threshold: load {} vs limit {limit}",
+                analysis.worst_ceff_per_mm
+            );
+        }
+        assert!(!outcome.shadow_violation, "silent corruption at {v}");
+        prev = cur;
+    }
+
+    // The two engines agree except for quantization at the boundary.
+    let max_slack = (table_errors.max(event_errors) / 50).max(20);
+    assert!(
+        disagreements <= max_slack,
+        "{benchmark} at {v}: {disagreements} disagreements (event {event_errors}, table {table_errors})"
+    );
+}
+
+#[test]
+fn event_and_table_models_agree_at_typical_corner() {
+    run_cross_check(
+        PvtCorner::TYPICAL,
+        Millivolts::new(940),
+        Benchmark::Vortex,
+        40_000,
+    );
+}
+
+#[test]
+fn event_and_table_models_agree_deep_in_the_error_region() {
+    run_cross_check(
+        PvtCorner::TYPICAL,
+        Millivolts::new(900),
+        Benchmark::Mgrid,
+        40_000,
+    );
+}
+
+#[test]
+fn event_and_table_models_agree_at_worst_corner() {
+    run_cross_check(
+        PvtCorner::WORST,
+        Millivolts::new(1_140),
+        Benchmark::Crafty,
+        40_000,
+    );
+}
+
+#[test]
+fn error_free_above_zero_error_point() {
+    run_cross_check(
+        PvtCorner::TYPICAL,
+        Millivolts::new(1_200),
+        Benchmark::Swim,
+        20_000,
+    );
+}

@@ -1,0 +1,162 @@
+//! System-level property tests spanning all crates.
+
+use proptest::prelude::*;
+use razorbus::core::{BusSimulator, DvsBusDesign, TraceSummary};
+use razorbus::ctrl::{FixedVoltage, ThresholdController};
+use razorbus::process::{IrDrop, ProcessCorner, PvtCorner};
+use razorbus::traces::Benchmark;
+use razorbus::units::{Celsius, Millivolts};
+use razorbus::VoltageGovernor;
+
+use std::sync::OnceLock;
+
+fn design() -> &'static DvsBusDesign {
+    static DESIGN: OnceLock<DvsBusDesign> = OnceLock::new();
+    DESIGN.get_or_init(DvsBusDesign::paper_default)
+}
+
+fn benchmarks() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::ALL.to_vec())
+}
+
+fn corners() -> impl Strategy<Value = PvtCorner> {
+    proptest::sample::select(PvtCorner::all_combinations())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Above the per-corner regulator floor, no trace at any grid voltage
+    /// may corrupt the shadow latch — the soundness invariant of the
+    /// whole scheme.
+    #[test]
+    fn shadow_latch_safe_above_floor(
+        b in benchmarks(),
+        seed in 0u64..1_000,
+        steps_above in 0i32..4,
+    ) {
+        let d = design();
+        // Tuning corner = worst temperature/IR for the true process.
+        for process in ProcessCorner::ALL {
+            let floor = d.regulator_floor(process);
+            let v = (floor + Millivolts::new(20 * steps_above)).min(d.nominal());
+            let corner = PvtCorner::new(process, Celsius::HOT, IrDrop::TenPercent);
+            let mut trace = b.trace(seed);
+            let s = TraceSummary::collect(d, &mut trace, 5_000);
+            prop_assert_eq!(
+                s.shadow_violation_cycles(d, corner, v),
+                0,
+                "{} corrupts shadow at {} ({:?})", b, v, process
+            );
+        }
+    }
+
+    /// Error rates are monotone non-increasing in supply voltage for any
+    /// benchmark and any corner.
+    #[test]
+    fn error_rate_monotone_in_voltage(
+        b in benchmarks(),
+        corner in corners(),
+        seed in 0u64..1_000,
+    ) {
+        let d = design();
+        let mut trace = b.trace(seed);
+        let s = TraceSummary::collect(d, &mut trace, 8_000);
+        let rates: Vec<f64> = d.grid().iter()
+            .map(|v| s.error_rate(d, corner, v))
+            .collect();
+        for w in rates.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    /// Energy is monotone increasing in voltage (recovery included) and
+    /// the gain at nominal is exactly zero.
+    #[test]
+    fn energy_monotone_and_anchored(
+        b in benchmarks(),
+        corner in corners(),
+        seed in 0u64..1_000,
+    ) {
+        let d = design();
+        let mut trace = b.trace(seed);
+        let s = TraceSummary::collect(d, &mut trace, 8_000);
+        let energies: Vec<f64> = d.grid().iter()
+            .map(|v| s.energy(d, corner, v, false).fj())
+            .collect();
+        for w in energies.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert!(s.energy_gain(d, corner, d.nominal()).abs() < 1e-9);
+    }
+
+    /// The closed-loop controller never leaves [floor, nominal], never
+    /// corrupts the shadow latch, and its lifetime error rate stays far
+    /// below the instantaneous band ceiling.
+    #[test]
+    fn closed_loop_invariants(
+        b in benchmarks(),
+        seed in 0u64..200,
+    ) {
+        let d = design();
+        let corner = PvtCorner::TYPICAL;
+        let floor = d.regulator_floor(corner.process);
+        let ctrl = ThresholdController::new(d.controller_config(corner.process));
+        let mut sim = BusSimulator::new(d, corner, b.trace(seed), ctrl).with_sampling(5_000);
+        let r = sim.run(60_000);
+        prop_assert_eq!(r.shadow_violations, 0);
+        prop_assert!(r.min_voltage >= floor);
+        prop_assert!(r.samples.iter().all(|s| s.voltage <= d.nominal()));
+        prop_assert!(r.error_rate() < 0.06, "rate {}", r.error_rate());
+        prop_assert!(r.energy_gain() >= -1e-9);
+    }
+
+    /// A fixed nominal-supply run is always error-free and gain-free,
+    /// for every benchmark at every corner.
+    #[test]
+    fn nominal_supply_never_errors(
+        b in benchmarks(),
+        corner in corners(),
+        seed in 0u64..1_000,
+    ) {
+        let d = design();
+        let mut sim = BusSimulator::new(d, corner, b.trace(seed),
+            FixedVoltage::new(d.nominal()));
+        let r = sim.run(10_000);
+        prop_assert_eq!(r.errors, 0);
+        prop_assert!(r.energy_gain().abs() < 1e-9);
+    }
+
+    /// Histogram engine and streaming simulator agree exactly on error
+    /// counts at any fixed grid voltage.
+    #[test]
+    fn summary_matches_simulator(
+        b in benchmarks(),
+        seed in 0u64..200,
+        v_steps in 0i32..10,
+    ) {
+        let d = design();
+        let corner = PvtCorner::TYPICAL;
+        let v = Millivolts::new(1_200 - 20 * v_steps)
+            .max(d.regulator_floor(corner.process));
+        let mut sim = BusSimulator::new(d, corner, b.trace(seed), FixedVoltage::new(v));
+        let r = sim.run(12_000);
+        let mut trace = b.trace(seed);
+        let s = TraceSummary::collect(d, &mut trace, 12_000);
+        prop_assert_eq!(r.errors, s.error_cycles(d, corner, v));
+    }
+
+    /// Performance loss under the paper's 1-cycle-penalty model equals
+    /// the error rate exactly.
+    #[test]
+    fn performance_model_identity(
+        b in benchmarks(),
+        seed in 0u64..200,
+    ) {
+        let d = design();
+        let v = Millivolts::new(940);
+        let mut sim = BusSimulator::new(d, PvtCorner::TYPICAL, b.trace(seed), FixedVoltage::new(v));
+        let r = sim.run(10_000);
+        prop_assert!((r.performance_loss() - r.error_rate()).abs() < 1e-15);
+    }
+}
