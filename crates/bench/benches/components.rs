@@ -104,8 +104,7 @@ fn bench_closed_loop_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(50_000));
     group.bench_function("closed_loop_50k_cycles", |b| {
         b.iter(|| {
-            let ctrl =
-                ThresholdController::new(design.controller_config(ProcessCorner::Typical));
+            let ctrl = ThresholdController::new(design.controller_config(ProcessCorner::Typical));
             let mut sim = razorbus_core::BusSimulator::new(
                 &design,
                 PvtCorner::TYPICAL,

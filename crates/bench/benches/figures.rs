@@ -108,8 +108,7 @@ fn bench_scaling(c: &mut Criterion) {
     let once = experiments::scaling::run(CYCLES / 2, REPRO_SEED);
     println!(
         "[scaling] R*Cc {:.1} -> {:.1} ps/mm2 across nodes",
-        once.rows[0].pattern_spread_per_mm2,
-        once.rows[3].pattern_spread_per_mm2
+        once.rows[0].pattern_spread_per_mm2, once.rows[3].pattern_spread_per_mm2
     );
     c.bench_function("scaling_four_nodes", |b| {
         b.iter(|| {

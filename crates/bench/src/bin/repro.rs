@@ -26,15 +26,18 @@ fn main() {
 
     if run_all || what == "fig4" {
         banner("Fig. 4 (energy & error rate vs. static VDD)");
-        // Parallelize the two panels with crossbeam (each panel already
+        // Parallelize the two panels with scoped threads (each panel already
         // fans out across benchmarks internally).
-        let (a, b) = crossbeam::thread::scope(|s| {
+        let (a, b) = std::thread::scope(|s| {
             let design = &design;
-            let ha = s.spawn(move |_| experiments::fig4::run(design, PvtCorner::WORST, cycles, REPRO_SEED));
-            let hb = s.spawn(move |_| experiments::fig4::run(design, PvtCorner::TYPICAL, cycles, REPRO_SEED));
+            let ha = s.spawn(move || {
+                experiments::fig4::run(design, PvtCorner::WORST, cycles, REPRO_SEED)
+            });
+            let hb = s.spawn(move || {
+                experiments::fig4::run(design, PvtCorner::TYPICAL, cycles, REPRO_SEED)
+            });
             (ha.join().expect("fig4a"), hb.join().expect("fig4b"))
-        })
-        .expect("fig4 scope");
+        });
         a.print();
         println!();
         b.print();
@@ -79,7 +82,14 @@ fn main() {
 
     if !run_all
         && ![
-            "fig4", "fig5", "fig6", "fig8", "table1", "fig10", "scaling", "ablations",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig8",
+            "table1",
+            "fig10",
+            "scaling",
+            "ablations",
         ]
         .contains(&what)
     {

@@ -27,7 +27,15 @@ fn main() {
         println!("\n=== {corner} (cycles/bench: {cycles}) ===");
         println!(
             "{:<9} {:>7} {:>8} {:>8} {:>7} | {:>8} {:>7} {:>7} {:>8}",
-            "bench", "P(err)@", "V(2%)", "V(5%)", "tgl/cyc", "DVS gain", "DVS err", "minV", "fixedVS"
+            "bench",
+            "P(err)@",
+            "V(2%)",
+            "V(5%)",
+            "tgl/cyc",
+            "DVS gain",
+            "DVS err",
+            "minV",
+            "fixedVS"
         );
         let fixed_v = design.fixed_vs_voltage(corner.process);
         for b in Benchmark::ALL {

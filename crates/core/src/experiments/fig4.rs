@@ -61,7 +61,10 @@ impl Fig4Data {
     /// Prints the panel as a table (VDD, normalized energies, error rate).
     pub fn print(&self) {
         println!("Fig. 4 — {}", self.corner);
-        println!("{:>8} {:>12} {:>18} {:>12}", "VDD(mV)", "E(bus,norm)", "E(bus+rec,norm)", "err rate(%)");
+        println!(
+            "{:>8} {:>12} {:>18} {:>12}",
+            "VDD(mV)", "E(bus,norm)", "E(bus+rec,norm)", "err rate(%)"
+        );
         for p in &self.points {
             println!(
                 "{:>8} {:>12.4} {:>18.4} {:>12.3}",

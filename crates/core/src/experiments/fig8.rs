@@ -46,8 +46,7 @@ pub fn run(
     let mut offset = 0u64;
     for benchmark in Benchmark::ALL {
         let trace = benchmark.trace(seed);
-        let mut sim =
-            BusSimulator::new(design, corner, trace, controller).with_sampling(10_000);
+        let mut sim = BusSimulator::new(design, corner, trace, controller).with_sampling(10_000);
         let mut report = sim.run(cycles_per_benchmark);
         controller = sim.into_governor();
         for s in &mut report.samples {
@@ -142,11 +141,22 @@ mod tests {
         let data = run(&d, PvtCorner::TYPICAL, 60_000, 3);
         assert_eq!(data.segments.len(), 10);
         // No silent corruption anywhere.
-        assert!(data.segments.iter().all(|s| s.report.shadow_violations == 0));
+        assert!(data
+            .segments
+            .iter()
+            .all(|s| s.report.shadow_violations == 0));
         // The controller finds gains overall and per the light programs.
-        assert!(data.total_energy_gain() > 0.2, "{}", data.total_energy_gain());
+        assert!(
+            data.total_energy_gain() > 0.2,
+            "{}",
+            data.total_energy_gain()
+        );
         // Average error rate near the band.
-        assert!(data.total_error_rate() < 0.03, "{}", data.total_error_rate());
+        assert!(
+            data.total_error_rate() < 0.03,
+            "{}",
+            data.total_error_rate()
+        );
         // mgrid (region 3, heavy) must run hotter than gap (region 9,
         // light) — both inherit a converged controller from their
         // predecessor, unlike region 1 which pays the 1.2 V descent.

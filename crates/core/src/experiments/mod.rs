@@ -38,18 +38,28 @@ pub fn per_benchmark_summaries(
             .map(|&b| {
                 scope.spawn(move || {
                     let mut trace = b.trace(seed);
-                    (b, TraceSummary::collect(design, &mut trace, cycles_per_benchmark))
+                    (
+                        b,
+                        TraceSummary::collect(design, &mut trace, cycles_per_benchmark),
+                    )
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("summary worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("summary worker"))
+            .collect()
     })
 }
 
 /// Merges all ten benchmarks into one combined summary (the "running all
 /// the benchmark programs" aggregation of Figs. 4/5).
 #[must_use]
-pub fn combined_summary(design: &DvsBusDesign, cycles_per_benchmark: u64, seed: u64) -> TraceSummary {
+pub fn combined_summary(
+    design: &DvsBusDesign,
+    cycles_per_benchmark: u64,
+    seed: u64,
+) -> TraceSummary {
     let per = per_benchmark_summaries(design, cycles_per_benchmark, seed);
     let mut iter = per.into_iter();
     let (_, mut merged) = iter.next().expect("at least one benchmark");

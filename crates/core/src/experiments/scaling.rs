@@ -56,8 +56,7 @@ pub fn run(cycles_per_benchmark: u64, seed: u64) -> ScalingData {
             let worst = bus.worst_case_delay_at_design_corner();
             let best = bus.delay(
                 bus.best_effective_cap_per_mm(),
-                design.nominal().to_volts()
-                    * (1.0 - design.bus().design_corner().ir.fraction()),
+                design.nominal().to_volts() * (1.0 - design.bus().design_corner().ir.fraction()),
                 ProcessCorner::Slow,
                 razorbus_units::Celsius::HOT,
             );
@@ -115,7 +114,10 @@ mod tests {
         assert!(
             data.rows[3].pattern_delay_ratio > data.rows[0].pattern_delay_ratio,
             "{:?}",
-            data.rows.iter().map(|r| r.pattern_delay_ratio).collect::<Vec<_>>()
+            data.rows
+                .iter()
+                .map(|r| r.pattern_delay_ratio)
+                .collect::<Vec<_>>()
         );
         // Gains remain substantial at every node.
         for r in &data.rows {

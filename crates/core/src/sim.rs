@@ -219,7 +219,11 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
             shadow_violations,
             energy: Femtojoules::new(energy_fj),
             baseline_energy: Femtojoules::new(baseline_fj),
-            mean_voltage_mv: if cycles == 0 { 0.0 } else { mv_sum / cycles as f64 },
+            mean_voltage_mv: if cycles == 0 {
+                0.0
+            } else {
+                mv_sum / cycles as f64
+            },
             min_voltage: min_v,
             samples,
         }

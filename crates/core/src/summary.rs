@@ -220,8 +220,7 @@ impl TraceSummary {
 
         let length_mm = design.bus().line().total_length().mm();
         let wire_fj = self.total_switched_cap_per_mm * length_mm * v2;
-        let repeater_fj =
-            self.total_toggles as f64 * tables.repeater_cap_per_toggle().ff() * v2;
+        let repeater_fj = self.total_toggles as f64 * tables.repeater_cap_per_toggle().ff() * v2;
         let n_flops = tables.n_bits();
         let fe = design.flop_energy();
         let flop_clock_fj = fe.clock_capacitance(n_flops).ff() * v2 * self.cycles as f64;
@@ -382,7 +381,10 @@ mod tests {
     fn design_corner_is_error_free_at_nominal() {
         let d = design();
         let s = TraceSummary::collect(&d, &mut Benchmark::Mgrid.trace(5), 30_000);
-        assert_eq!(s.error_cycles(&d, PvtCorner::WORST, Millivolts::new(1_200)), 0);
+        assert_eq!(
+            s.error_cycles(&d, PvtCorner::WORST, Millivolts::new(1_200)),
+            0
+        );
         assert_eq!(
             s.shadow_violation_cycles(&d, PvtCorner::WORST, Millivolts::new(1_200)),
             0
@@ -409,7 +411,10 @@ mod tests {
         let eb = b.error_cycles(&d, PvtCorner::TYPICAL, Millivolts::new(900));
         a.merge(&b);
         assert_eq!(a.cycles(), 20_000);
-        assert_eq!(a.error_cycles(&d, PvtCorner::TYPICAL, Millivolts::new(900)), ea + eb);
+        assert_eq!(
+            a.error_cycles(&d, PvtCorner::TYPICAL, Millivolts::new(900)),
+            ea + eb
+        );
     }
 
     #[test]

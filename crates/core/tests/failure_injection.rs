@@ -108,8 +108,7 @@ fn controller_saturates_instead_of_failing_under_pathological_trace() {
     // step down -> climb back).
     let ctrl = sim.governor();
     assert!(
-        razorbus_ctrl::VoltageGovernor::voltage(ctrl)
-            >= design.nominal() - design.grid().step(),
+        razorbus_ctrl::VoltageGovernor::voltage(ctrl) >= design.nominal() - design.grid().step(),
         "controller sank under an always-worst-pattern trace"
     );
     assert!(r.min_voltage >= design.nominal() - design.grid().step() * 2);

@@ -32,10 +32,7 @@ impl RegulatorModel {
     #[must_use]
     pub fn new(ns_per_10mv: f64, clock: Gigahertz) -> Self {
         assert!(ns_per_10mv >= 0.0, "ramp rate must be non-negative");
-        Self {
-            ns_per_10mv,
-            clock,
-        }
+        Self { ns_per_10mv, clock }
     }
 
     /// The paper's regulator: 1 µs per 10 mV.

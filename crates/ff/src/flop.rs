@@ -146,14 +146,20 @@ mod tests {
     #[test]
     fn clean_capture_updates_both_latches() {
         let mut f = ff();
-        assert_eq!(f.sample(true, Picoseconds::new(599.9)), SampleOutcome::Clean);
+        assert_eq!(
+            f.sample(true, Picoseconds::new(599.9)),
+            SampleOutcome::Clean
+        );
         assert!(f.q() && f.shadow() && !f.error());
     }
 
     #[test]
     fn boundary_arrival_is_clean() {
         let mut f = ff();
-        assert_eq!(f.sample(true, Picoseconds::new(600.0)), SampleOutcome::Clean);
+        assert_eq!(
+            f.sample(true, Picoseconds::new(600.0)),
+            SampleOutcome::Clean
+        );
         assert!(f.q());
     }
 
@@ -176,7 +182,10 @@ mod tests {
         // for an unchanged value must not fault.
         let mut f = ff();
         f.sample(true, Picoseconds::new(100.0));
-        assert_eq!(f.sample(true, Picoseconds::new(10_000.0)), SampleOutcome::Clean);
+        assert_eq!(
+            f.sample(true, Picoseconds::new(10_000.0)),
+            SampleOutcome::Clean
+        );
         assert!(!f.error());
     }
 

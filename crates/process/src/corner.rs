@@ -13,16 +13,7 @@
 ///     > ProcessCorner::Fast.drive_resistance_multiplier());
 /// ```
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum ProcessCorner {
     /// Slow-slow corner: high Vth, weak drive, low leakage.

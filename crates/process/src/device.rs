@@ -61,7 +61,13 @@ impl DeviceModel {
     /// `vth_typical` outside `(0, v_nominal)`, or non-positive nominal
     /// voltage.
     #[must_use]
-    pub fn new(alpha: f64, vth_typical: f64, dvth_dt: f64, mobility_exponent: f64, v_nominal: f64) -> Self {
+    pub fn new(
+        alpha: f64,
+        vth_typical: f64,
+        dvth_dt: f64,
+        mobility_exponent: f64,
+        v_nominal: f64,
+    ) -> Self {
         assert!(alpha > 1.0 && alpha <= 2.5, "alpha out of range: {alpha}");
         assert!(v_nominal > 0.0, "nominal voltage must be positive");
         assert!(
@@ -127,7 +133,8 @@ impl DeviceModel {
         if overdrive <= 0.05 {
             return f64::INFINITY;
         }
-        let mobility = (t.kelvin() / Celsius::new(self.t_reference).kelvin()).powf(self.mobility_exponent);
+        let mobility =
+            (t.kelvin() / Celsius::new(self.t_reference).kelvin()).powf(self.mobility_exponent);
         v.volts() / overdrive.powf(self.alpha) * mobility * corner.drive_resistance_multiplier()
     }
 
@@ -207,7 +214,10 @@ mod tests {
         let v = Volts::new(0.42);
         let hot = d.delay_factor(v, ProcessCorner::Typical, Celsius::HOT);
         let cold = d.delay_factor(v, ProcessCorner::Typical, Celsius::ROOM);
-        assert!(hot < cold, "expected temperature inversion: hot={hot} cold={cold}");
+        assert!(
+            hot < cold,
+            "expected temperature inversion: hot={hot} cold={cold}"
+        );
     }
 
     #[test]
@@ -217,7 +227,9 @@ mod tests {
         let f = d.delay_factor(Volts::new(vth + 0.01), ProcessCorner::Slow, Celsius::ROOM);
         assert!(f.is_infinite());
         assert!(
-            d.min_functional_voltage(ProcessCorner::Slow, Celsius::ROOM).volts() > vth
+            d.min_functional_voltage(ProcessCorner::Slow, Celsius::ROOM)
+                .volts()
+                > vth
         );
     }
 

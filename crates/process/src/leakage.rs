@@ -152,7 +152,13 @@ mod tests {
     fn energy_per_cycle_matches_power_product() {
         let l = leak();
         let period = Picoseconds::new(666.7);
-        let e = l.energy_per_cycle(10.0, Volts::new(1.2), ProcessCorner::Typical, Celsius::HOT, period);
+        let e = l.energy_per_cycle(
+            10.0,
+            Volts::new(1.2),
+            ProcessCorner::Typical,
+            Celsius::HOT,
+            period,
+        );
         let i = l.current_ua(10.0, Volts::new(1.2), ProcessCorner::Typical, Celsius::HOT);
         let expect = 1.2 * i * period.ps() / 1_000.0;
         assert!((e.fj() - expect).abs() < 1e-9);

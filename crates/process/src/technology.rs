@@ -23,16 +23,7 @@ use razorbus_units::{Femtofarads, Ohms, OhmsPerMillimeter, Volts};
 /// }));
 /// ```
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum TechnologyNode {
     /// 0.13 µm — the paper's process.

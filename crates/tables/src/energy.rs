@@ -136,7 +136,10 @@ impl EnergyTable {
     /// as a fraction of `reference_dynamic_fj` (used in reports).
     #[must_use]
     pub fn leakage_fraction_at(&self, v: Millivolts, reference_dynamic_fj: f64) -> f64 {
-        assert!(reference_dynamic_fj > 0.0, "reference energy must be positive");
+        assert!(
+            reference_dynamic_fj > 0.0,
+            "reference energy must be positive"
+        );
         self.leakage_per_cycle(v).fj() / reference_dynamic_fj
     }
 }

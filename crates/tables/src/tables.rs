@@ -170,11 +170,7 @@ impl BusTables {
     ///
     /// Panics if `condition` is not tabulated.
     #[must_use]
-    pub fn shadow_threshold_matrix(
-        &self,
-        condition: EnvCondition,
-        ir: IrDrop,
-    ) -> &ThresholdMatrix {
+    pub fn shadow_threshold_matrix(&self, condition: EnvCondition, ir: IrDrop) -> &ThresholdMatrix {
         &self.shadow_thresholds[Self::cond_idx(condition)][Self::ir_idx(ir)]
     }
 
@@ -191,8 +187,7 @@ impl BusTables {
     #[must_use]
     pub fn regulator_floor(&self, process: ProcessCorner) -> Option<Millivolts> {
         let tuning = PvtCorner::new(process, razorbus_units::Celsius::HOT, IrDrop::TenPercent);
-        let matrix =
-            self.shadow_threshold_matrix(EnvCondition::from_pvt(tuning), tuning.ir);
+        let matrix = self.shadow_threshold_matrix(EnvCondition::from_pvt(tuning), tuning.ir);
         let need = self.worst_ceff.ff() * (1.0 - 1e-9);
         self.grid
             .iter()
@@ -267,12 +262,9 @@ fn build_threshold(
             let activity = ((bucket as u32 * ThresholdMatrix::TOGGLES_PER_BUCKET) as f64
                 / n_bits as f64)
                 .min(1.0);
-            let v_eff = Volts::from(v)
-                * (1.0 - ir.fraction() - droop.droop_fraction(activity));
+            let v_eff = Volts::from(v) * (1.0 - ir.fraction() - droop.droop_fraction(activity));
             let f = device.delay_factor(v_eff, cond.corner, cond.temperature);
-            let limit = coeffs
-                .ceff_at_delay(f, budget)
-                .map_or(-1.0, |c| c.ff());
+            let limit = coeffs.ceff_at_delay(f, budget).map_or(-1.0, |c| c.ff());
             limits.push(limit);
         }
     }
@@ -343,7 +335,10 @@ mod tests {
         );
         // Typical corner: meaningful scaling (paper: 1.10 V -> 17%).
         let typ = t.fixed_vs_voltage(ProcessCorner::Typical).unwrap();
-        assert!(typ < Millivolts::new(1_200) && typ > Millivolts::new(1_000), "{typ}");
+        assert!(
+            typ < Millivolts::new(1_200) && typ > Millivolts::new(1_000),
+            "{typ}"
+        );
         // Fixed VS always sits above the shadow-latch floor.
         assert!(typ >= t.regulator_floor(ProcessCorner::Typical).unwrap());
     }

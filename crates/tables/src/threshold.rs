@@ -136,7 +136,11 @@ mod tests {
     use super::*;
 
     fn matrix() -> ThresholdMatrix {
-        let grid = VoltageGrid::new(Millivolts::new(1_000), Millivolts::new(1_040), Millivolts::new(20));
+        let grid = VoltageGrid::new(
+            Millivolts::new(1_000),
+            Millivolts::new(1_040),
+            Millivolts::new(20),
+        );
         // 3 grid points x 9 buckets, decreasing with activity, increasing
         // with voltage.
         let mut limits = Vec::new();
@@ -174,7 +178,11 @@ mod tests {
 
     #[test]
     fn validate_rejects_voltage_inversion() {
-        let grid = VoltageGrid::new(Millivolts::new(1_000), Millivolts::new(1_020), Millivolts::new(20));
+        let grid = VoltageGrid::new(
+            Millivolts::new(1_000),
+            Millivolts::new(1_020),
+            Millivolts::new(20),
+        );
         let mut limits = vec![100.0; 2 * N_BUCKETS];
         limits[N_BUCKETS] = 50.0; // higher V, lower limit in bucket 0
         let m = ThresholdMatrix::from_limits(grid, 32, limits);

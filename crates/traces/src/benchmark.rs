@@ -56,16 +56,7 @@ impl BenchmarkProfile {
 ///     < Benchmark::Mgrid.profile().effective_random_weight() / 4.0);
 /// ```
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum Benchmark {
     /// 186.crafty — chess engine, strong value locality.
@@ -236,7 +227,12 @@ mod tests {
 
     #[test]
     fn locality_programs_have_light_tails() {
-        for b in [Benchmark::Crafty, Benchmark::Mesa, Benchmark::Mcf, Benchmark::Gap] {
+        for b in [
+            Benchmark::Crafty,
+            Benchmark::Mesa,
+            Benchmark::Mcf,
+            Benchmark::Gap,
+        ] {
             assert!(
                 b.profile().effective_random_weight() < 0.04,
                 "{b}: {}",

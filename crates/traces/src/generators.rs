@@ -100,7 +100,7 @@ impl StrideWords {
         );
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0003);
         let base = rng.random::<u32>() & 0x7FFF_FFC0;
-        let stride = [4u32, 8, 16, 24, 32, 64][rng.random_range(0..6)];
+        let stride = [4u32, 8, 16, 24, 32, 64][rng.random_range(0..6usize)];
         Self {
             rng,
             base,
@@ -115,7 +115,7 @@ impl TraceSource for StrideWords {
     fn next_word(&mut self) -> u32 {
         if self.rng.random_bool(self.rebase_probability) {
             self.base = self.rng.random::<u32>() & 0x7FFF_FFC0;
-            self.stride = [4u32, 8, 16, 24, 32, 64][self.rng.random_range(0..6)];
+            self.stride = [4u32, 8, 16, 24, 32, 64][self.rng.random_range(0..6usize)];
             self.index = 0;
         }
         let w = self.base.wrapping_add(self.stride.wrapping_mul(self.index));

@@ -58,7 +58,9 @@ impl MixtureWeights {
             zero,
         };
         assert!(
-            [repeat, near, value, random, zero].iter().all(|&x| x >= 0.0),
+            [repeat, near, value, random, zero]
+                .iter()
+                .all(|&x| x >= 0.0),
             "weights must be non-negative"
         );
         assert!(w.total() > 0.0, "at least one weight must be positive");
@@ -153,7 +155,7 @@ impl TraceSource for Mixture {
             let flips = self.rng.random_range(1..=3);
             let mut word = self.prev;
             for _ in 0..flips {
-                word ^= 1 << self.rng.random_range(0..32);
+                word ^= 1u32 << self.rng.random_range(0..32u32);
             }
             word
         } else if pick < w.repeat + w.near + w.value {

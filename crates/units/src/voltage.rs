@@ -287,7 +287,10 @@ mod tests {
     #[test]
     fn millivolt_volt_conversions() {
         assert_eq!(Millivolts::new(980).to_volts().volts(), 0.98);
-        assert_eq!(Millivolts::from_volts(Volts::new(1.1999)), Millivolts::new(1_200));
+        assert_eq!(
+            Millivolts::from_volts(Volts::new(1.1999)),
+            Millivolts::new(1_200)
+        );
         let v: Volts = Millivolts::new(900).into();
         assert_eq!(v.volts(), 0.9);
     }

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use razorbus_units::{
-    Femtofarads, Femtojoules, Gigahertz, Microwatts, Millivolts, Nanoseconds, Ohms,
-    OhmsPerMillimeter, Millimeters, Picoseconds, VoltageGrid, Volts,
+    Femtofarads, Femtojoules, Gigahertz, Microwatts, Millimeters, Millivolts, Nanoseconds, Ohms,
+    OhmsPerMillimeter, Picoseconds, VoltageGrid, Volts,
 };
 
 proptest! {

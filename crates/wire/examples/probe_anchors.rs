@@ -13,7 +13,10 @@ fn main() {
         bus.worst_effective_cap_per_mm().ff(),
         bus.best_effective_cap_per_mm().ff()
     );
-    println!("min path delay (fast/25C/1.2V/best): {:.1}", bus.min_path_delay());
+    println!(
+        "min path delay (fast/25C/1.2V/best): {:.1}",
+        bus.min_path_delay()
+    );
 
     for corner in PvtCorner::FIG5 {
         let v_eff = Volts::new(1.2) * (1.0 - corner.ir.fraction());

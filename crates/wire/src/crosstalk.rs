@@ -72,8 +72,8 @@ impl CrosstalkAnalysis {
                         coupled += cc2;
                     }
                 }
-                let total = parasitics.cg_per_mm().ff() + coupled + c_drv
-                    + shield_cap(p, parasitics);
+                let total =
+                    parasitics.cg_per_mm().ff() + coupled + c_drv + shield_cap(p, parasitics);
                 k_agg * coupled / total
             })
             .collect();

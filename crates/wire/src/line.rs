@@ -55,7 +55,9 @@ impl DelayCoefficients {
     #[must_use]
     pub fn delay(&self, f: f64, ceff_per_mm: Femtofarads) -> Picoseconds {
         let c = ceff_per_mm.ff();
-        Picoseconds::new(f * (self.dev_const + self.dev_slope * c) + self.wire_const + self.wire_slope * c)
+        Picoseconds::new(
+            f * (self.dev_const + self.dev_slope * c) + self.wire_const + self.wire_slope * c,
+        )
     }
 
     /// Inverse: the `ceff_per_mm` whose delay equals `target` at device
@@ -161,9 +163,7 @@ impl RepeatedLine {
     pub fn wire_resistance_per_mm(&self, corner: ProcessCorner, t: Celsius) -> OhmsPerMillimeter {
         let temp_scale = 1.0 + WIRE_R_TEMP_COEFF * (t.celsius() - 25.0);
         OhmsPerMillimeter::new(
-            self.wire_r_per_mm_25c.ohms_per_mm()
-                * temp_scale
-                * corner.wire_resistance_multiplier(),
+            self.wire_r_per_mm_25c.ohms_per_mm() * temp_scale * corner.wire_resistance_multiplier(),
         )
     }
 
@@ -185,8 +185,7 @@ impl RepeatedLine {
             / self.repeater.width();
         let cin = self.repeater.input_capacitance().ff();
         let cpar = self.repeater.parasitic_capacitance().ff();
-        let rw_seg =
-            (self.wire_resistance_per_mm(corner, t) * self.segment_length).ohms();
+        let rw_seg = (self.wire_resistance_per_mm(corner, t) * self.segment_length).ohms();
         let len = self.segment_length.mm();
 
         // ohm * fF = 1e-3 ps.
@@ -302,8 +301,12 @@ mod tests {
         let l = line();
         let coeffs = l.delay_coefficients(ProcessCorner::Slow, Celsius::HOT);
         // With an enormous device factor even zero load exceeds 100 ps.
-        assert!(coeffs.ceff_at_delay(50.0, Picoseconds::new(100.0)).is_none());
-        assert!(coeffs.ceff_at_delay(f64::INFINITY, Picoseconds::new(600.0)).is_none());
+        assert!(coeffs
+            .ceff_at_delay(50.0, Picoseconds::new(100.0))
+            .is_none());
+        assert!(coeffs
+            .ceff_at_delay(f64::INFINITY, Picoseconds::new(600.0))
+            .is_none());
     }
 
     #[test]

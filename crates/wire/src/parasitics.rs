@@ -34,7 +34,10 @@ impl WireParasitics {
     #[must_use]
     pub fn new(cg_per_mm: Femtofarads, cc_per_mm: Femtofarads, cc2_per_mm: Femtofarads) -> Self {
         assert!(cg_per_mm.ff() > 0.0, "ground capacitance must be positive");
-        assert!(cc_per_mm.ff() > 0.0, "coupling capacitance must be positive");
+        assert!(
+            cc_per_mm.ff() > 0.0,
+            "coupling capacitance must be positive"
+        );
         assert!(
             cc2_per_mm.ff() >= 0.0,
             "second-neighbor capacitance must be non-negative"

@@ -117,7 +117,14 @@ impl BusPhysical {
         let line = line_proto.with_repeater_width(width);
         let slots = layout
             .positions()
-            .map(|p| [p.left.into(), p.right.into(), p.left2.into(), p.right2.into()])
+            .map(|p| {
+                [
+                    p.left.into(),
+                    p.right.into(),
+                    p.left2.into(),
+                    p.right2.into(),
+                ]
+            })
             .collect();
         Ok(Self {
             layout,
@@ -219,8 +226,8 @@ impl BusPhysical {
         let droop = DroopModel::l130_default();
         let corner = PvtCorner::WORST;
         let worst_ceff = worst_effective_cap(&layout, &parasitics, &coupling);
-        let v_design = node.nominal_supply()
-            * (1.0 - corner.ir.fraction() - droop.droop_fraction(1.0));
+        let v_design =
+            node.nominal_supply() * (1.0 - corner.ir.fraction() - droop.droop_fraction(1.0));
         let w_opt = crate::sizing::delay_optimal_width(
             &proto,
             worst_ceff,
@@ -346,9 +353,7 @@ impl BusPhysical {
     #[must_use]
     pub fn worst_case_delay_at_design_corner(&self) -> Picoseconds {
         let v_eff = self.nominal_supply()
-            * (1.0
-                - self.design_corner.ir.fraction()
-                - self.droop.droop_fraction(1.0));
+            * (1.0 - self.design_corner.ir.fraction() - self.droop.droop_fraction(1.0));
         self.delay(
             self.worst_effective_cap_per_mm(),
             v_eff,
@@ -431,9 +436,8 @@ impl BusPhysical {
                             k_delay += scale * m.miller_same;
                             // aligned: no charge across the coupling cap
                         } else {
-                            let u = m.misalignment(
-                                crate::coupling::alignment_unit(prev, cur, i, idx),
-                            );
+                            let u =
+                                m.misalignment(crate::coupling::alignment_unit(prev, cur, i, idx));
                             let align = 1.0 - m.alignment_spread * u;
                             k_delay += scale * m.miller_opposite * align;
                             k_energy += scale * 2.0;
@@ -487,9 +491,9 @@ impl BusPhysical {
                             } else if ((cur >> j) & 1 == 1) == rising {
                                 scale * m.miller_same
                             } else {
-                                let u = m.misalignment(
-                                    crate::coupling::alignment_unit(prev, cur, i, idx),
-                                );
+                                let u = m.misalignment(crate::coupling::alignment_unit(
+                                    prev, cur, i, idx,
+                                ));
                                 scale * m.miller_opposite * (1.0 - m.alignment_spread * u)
                             }
                         }
@@ -589,7 +593,10 @@ mod tests {
             ProcessCorner::Typical,
             Celsius::HOT,
         );
-        assert!(d_typ.ps() < 560.0, "typical 1.2V worst-pattern delay {d_typ}");
+        assert!(
+            d_typ.ps() < 560.0,
+            "typical 1.2V worst-pattern delay {d_typ}"
+        );
     }
 
     #[test]
@@ -633,8 +640,8 @@ mod tests {
         // left2 shield static, right2 signal(3) quiet static.
         let base = p.cg_per_mm().ff() + 2.0 * m.miller_static * p.cc2_per_mm().ff();
         let full = base + 2.0 * m.miller_opposite * p.cc_per_mm().ff();
-        let least = base
-            + 2.0 * m.miller_opposite * (1.0 - m.alignment_spread) * p.cc_per_mm().ff();
+        let least =
+            base + 2.0 * m.miller_opposite * (1.0 - m.alignment_spread) * p.cc_per_mm().ff();
         assert!(
             a.worst_ceff_per_mm <= full + 1e-9 && a.worst_ceff_per_mm >= least - 1e-9,
             "got {} expected within [{least}, {full}]",

@@ -180,8 +180,10 @@ mod tests {
     fn smaller_target_needs_wider_repeater() {
         let p = proto();
         let (ceff, v, corner, t) = worst();
-        let w600 = size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(600.0)).unwrap();
-        let w500 = size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(500.0)).unwrap();
+        let w600 =
+            size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(600.0)).unwrap();
+        let w500 =
+            size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(500.0)).unwrap();
         assert!(w500 > w600, "w500={w500} w600={w600}");
     }
 
@@ -199,8 +201,8 @@ mod tests {
     fn infeasible_target_reports_floor() {
         let p = proto();
         let (ceff, v, corner, t) = worst();
-        let err = size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(50.0))
-            .unwrap_err();
+        let err =
+            size_repeater_for_delay(&p, ceff, v, corner, t, Picoseconds::new(50.0)).unwrap_err();
         match err {
             SizingError::Infeasible { min_achievable } => {
                 assert!(min_achievable.ps() > 50.0);

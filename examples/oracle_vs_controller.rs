@@ -40,7 +40,8 @@ fn main() {
 
         // Controller: same trace, no future knowledge, regulator lag.
         let ctrl = ThresholdController::new(design.controller_config(corner.process));
-        let mut sim = BusSimulator::new(&design, corner, b.trace(123), ctrl).with_sampling(window_len);
+        let mut sim =
+            BusSimulator::new(&design, corner, b.trace(123), ctrl).with_sampling(window_len);
         let r = sim.run(cycles);
         let mut monitor = ErrorRateMonitor::paper_default();
         // Rebuild per-window stats from the samples for the exceedance

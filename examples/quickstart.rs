@@ -37,11 +37,25 @@ fn main() {
     let report = sim.run(1_000_000);
 
     println!("\ncrafty @ {corner}:");
-    println!("  energy gain vs fixed 1.2 V: {:.1}%", report.energy_gain() * 100.0);
-    println!("  average error rate:         {:.2}%", report.error_rate() * 100.0);
-    println!("  performance loss (IPC):     {:.2}%", report.performance_loss() * 100.0);
-    println!("  supply range visited:       {} .. {:.0} mV (mean)",
-        report.min_voltage, report.mean_voltage_mv);
+    println!(
+        "  energy gain vs fixed 1.2 V: {:.1}%",
+        report.energy_gain() * 100.0
+    );
+    println!(
+        "  average error rate:         {:.2}%",
+        report.error_rate() * 100.0
+    );
+    println!(
+        "  performance loss (IPC):     {:.2}%",
+        report.performance_loss() * 100.0
+    );
+    println!(
+        "  supply range visited:       {} .. {:.0} mV (mean)",
+        report.min_voltage, report.mean_voltage_mv
+    );
     println!("  silent corruptions:         {}", report.shadow_violations);
-    assert_eq!(report.shadow_violations, 0, "the shadow latch must always be safe");
+    assert_eq!(
+        report.shadow_violations, 0,
+        "the shadow latch must always be safe"
+    );
 }

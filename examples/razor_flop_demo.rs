@@ -20,11 +20,7 @@ fn main() {
     // Run well below the zero-error point so late arrivals actually occur.
     let v = Volts::new(0.90);
 
-    let mut bank = FlopBank::new(
-        32,
-        design.tables().setup(),
-        design.skew().chosen_skew(),
-    );
+    let mut bank = FlopBank::new(32, design.tables().setup(), design.skew().chosen_skew());
     let mut trace = Benchmark::Mgrid.trace(3);
     let mut prev = trace.next_word();
 

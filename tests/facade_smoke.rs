@@ -1,0 +1,60 @@
+//! Smoke test for the `razorbus` facade: every re-exported module path and
+//! root-level type must resolve, and the facade must be usable end-to-end
+//! the same way the crate-level Quickstart doctest uses it (the doctest
+//! itself runs under `cargo test --doc`).
+
+use razorbus::core::{BusSimulator, DvsBusDesign};
+use razorbus::ctrl::ThresholdController;
+use razorbus::process::PvtCorner;
+use razorbus::traces::Benchmark;
+
+/// Each facade module resolves and exposes a representative type.
+#[test]
+fn module_reexports_resolve() {
+    let _: razorbus::units::Picoseconds = razorbus::units::Picoseconds::new(600.0);
+    let _: razorbus::process::PvtCorner = razorbus::process::PvtCorner::TYPICAL;
+    let _: razorbus::wire::BusPhysical = razorbus::wire::BusPhysical::paper_default();
+    let _: razorbus::tables::EnvCondition =
+        razorbus::tables::EnvCondition::from_pvt(razorbus::process::PvtCorner::TYPICAL);
+    let _: razorbus::ff::DoubleSamplingFlop = razorbus::ff::DoubleSamplingFlop::new(
+        razorbus::units::Picoseconds::new(50.0),
+        razorbus::units::Picoseconds::new(160.0),
+    );
+    let _: razorbus::traces::Benchmark = razorbus::traces::Benchmark::Crafty;
+    let design = DvsBusDesign::paper_default();
+    let _: razorbus::ctrl::ThresholdController =
+        ThresholdController::new(design.controller_config(PvtCorner::TYPICAL.process));
+    let _: razorbus::core::DvsBusDesign = design;
+}
+
+/// The root-level shortcut re-exports name the same types as the modules.
+#[test]
+fn root_reexports_are_the_module_types() {
+    fn same_type<T>(_: &T, _: &T) {}
+
+    let a: razorbus::PvtCorner = razorbus::PvtCorner::TYPICAL;
+    let b: razorbus::process::PvtCorner = razorbus::process::PvtCorner::TYPICAL;
+    same_type(&a, &b);
+
+    let c: razorbus::Benchmark = razorbus::Benchmark::Crafty;
+    let d: razorbus::traces::Benchmark = razorbus::traces::Benchmark::Crafty;
+    same_type(&c, &d);
+}
+
+/// The Quickstart flow works through the facade: short closed-loop run,
+/// zero silent corruptions.
+#[test]
+fn quickstart_flow_runs_through_facade() {
+    let design = DvsBusDesign::paper_default();
+    let controller = ThresholdController::new(design.controller_config(PvtCorner::TYPICAL.process));
+    let mut sim = BusSimulator::new(
+        &design,
+        PvtCorner::TYPICAL,
+        Benchmark::Crafty.trace(42),
+        controller,
+    );
+    let report: razorbus::SimReport = sim.run(50_000);
+    assert_eq!(report.cycles, 50_000);
+    assert_eq!(report.shadow_violations, 0);
+    assert!(report.error_rate() < 0.10);
+}

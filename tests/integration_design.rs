@@ -42,8 +42,16 @@ fn corner_delay_spread_matches_fig5_axis() {
         .collect();
     // The x-axis delay excludes the dynamic (activity) droop that the
     // 600 ps sizing reserves margin for, so it sits slightly below 600.
-    assert!((560.0..=605.0).contains(&delays[0]), "design corner {}", delays[0]);
-    assert!((300.0..=500.0).contains(&delays[4]), "best corner {}", delays[4]);
+    assert!(
+        (560.0..=605.0).contains(&delays[0]),
+        "design corner {}",
+        delays[0]
+    );
+    assert!(
+        (300.0..=500.0).contains(&delays[4]),
+        "best corner {}",
+        delays[4]
+    );
     assert!(delays.windows(2).all(|w| w[1] < w[0]), "{delays:?}");
 }
 
@@ -78,7 +86,10 @@ fn zero_error_voltage_at_typical_near_980mv() {
 fn fixed_vs_baseline_matches_table1_structure() {
     let design = DvsBusDesign::paper_default();
     // Slow corner: no headroom at all (0.0% rows of Table 1).
-    assert_eq!(design.fixed_vs_voltage(ProcessCorner::Slow), design.nominal());
+    assert_eq!(
+        design.fixed_vs_voltage(ProcessCorner::Slow),
+        design.nominal()
+    );
     // Typical corner: the paper's 17% gain corresponds to 1.10 V;
     // accept one grid step either way.
     let typ = design.fixed_vs_voltage(ProcessCorner::Typical);
@@ -100,7 +111,11 @@ fn regulator_floor_is_process_tuned_and_conservative() {
     // the tuning corner shows zero shadow violations at the floor.
     for p in ProcessCorner::ALL {
         let floor = design.regulator_floor(p);
-        let tuning = PvtCorner::new(p, razorbus::units::Celsius::HOT, razorbus::process::IrDrop::TenPercent);
+        let tuning = PvtCorner::new(
+            p,
+            razorbus::units::Celsius::HOT,
+            razorbus::process::IrDrop::TenPercent,
+        );
         let matrix = design
             .tables()
             .shadow_threshold_matrix(razorbus::tables::EnvCondition::from_pvt(tuning), tuning.ir);
@@ -115,12 +130,10 @@ fn regulator_floor_is_process_tuned_and_conservative() {
 fn modified_bus_preserves_worst_case_and_shrinks_best_case() {
     let base = DvsBusDesign::paper_default();
     let modified = DvsBusDesign::modified_paper_bus();
-    let ratio = modified.bus().parasitics().coupling_ratio()
-        / base.bus().parasitics().coupling_ratio();
+    let ratio =
+        modified.bus().parasitics().coupling_ratio() / base.bus().parasitics().coupling_ratio();
     assert!((ratio - 1.95).abs() < 1e-9, "coupling boost {ratio}");
-    assert!(
-        (modified.bus().worst_case_delay_at_design_corner().ps() - 600.0).abs() < 1.0
-    );
+    assert!((modified.bus().worst_case_delay_at_design_corner().ps() - 600.0).abs() < 1.0);
     assert!(modified.bus().min_path_delay() < base.bus().min_path_delay());
     // Routing area unchanged: same track count.
     assert_eq!(
@@ -132,5 +145,8 @@ fn modified_bus_preserves_worst_case_and_shrinks_best_case() {
 #[test]
 fn tables_validate_for_both_buses() {
     DvsBusDesign::paper_default().tables().validate().unwrap();
-    DvsBusDesign::modified_paper_bus().tables().validate().unwrap();
+    DvsBusDesign::modified_paper_bus()
+        .tables()
+        .validate()
+        .unwrap();
 }

@@ -8,7 +8,6 @@ use razorbus::ctrl::{FixedVoltage, ThresholdController};
 use razorbus::process::PvtCorner;
 use razorbus::traces::Benchmark;
 use razorbus::units::Millivolts;
-use razorbus::VoltageGovernor;
 
 const CYCLES: u64 = 400_000;
 
@@ -64,7 +63,11 @@ fn typical_corner_dvs_band() {
     }
     let total = data.total_energy_gain();
     assert!((0.25..0.50).contains(&total), "total {total}");
-    assert!(data.total_error_rate() < 0.02, "{}", data.total_error_rate());
+    assert!(
+        data.total_error_rate() < 0.02,
+        "{}",
+        data.total_error_rate()
+    );
     // DVS dominates the fixed-VS baseline by a wide margin (paper:
     // 38.6% vs 17%).
     assert!(total > 0.22);
@@ -125,8 +128,8 @@ fn controller_recovers_after_hot_phase() {
     let corner = PvtCorner::TYPICAL;
     let floor = design.regulator_floor(corner.process);
     let ctrl = ThresholdController::new(design.controller_config(corner.process));
-    let mut sim = BusSimulator::new(&design, corner, Benchmark::Vortex.trace(9), ctrl)
-        .with_sampling(10_000);
+    let mut sim =
+        BusSimulator::new(&design, corner, Benchmark::Vortex.trace(9), ctrl).with_sampling(10_000);
     let r = sim.run(2_000_000);
     let voltages: Vec<i32> = r.samples.iter().map(|s| s.voltage.mv()).collect();
     assert!(voltages.iter().all(|&v| v >= floor.mv() && v <= 1_200));
@@ -160,9 +163,15 @@ fn fig4_combined_curves_have_paper_shape() {
         let data = experiments::fig4::run(&design, corner, 50_000, 7);
         let first_fail = data.first_failure_voltage().unwrap();
         if early_fail {
-            assert!(first_fail >= Millivolts::new(1_160), "{corner}: {first_fail}");
+            assert!(
+                first_fail >= Millivolts::new(1_160),
+                "{corner}: {first_fail}"
+            );
         } else {
-            assert!(first_fail <= Millivolts::new(1_000), "{corner}: {first_fail}");
+            assert!(
+                first_fail <= Millivolts::new(1_000),
+                "{corner}: {first_fail}"
+            );
         }
         // Normalized energy reaches well below 0.8 at the sweep floor.
         assert!(data.points[0].bus_energy_norm < 0.8, "{corner}");

@@ -6,7 +6,6 @@ use razorbus::ctrl::{FixedVoltage, ThresholdController};
 use razorbus::process::{IrDrop, ProcessCorner, PvtCorner};
 use razorbus::traces::Benchmark;
 use razorbus::units::{Celsius, Millivolts};
-use razorbus::VoltageGovernor;
 
 use std::sync::OnceLock;
 

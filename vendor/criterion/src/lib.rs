@@ -1,0 +1,178 @@
+//! Offline stand-in for the slice of `criterion` that razorbus uses:
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `Throughput` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is a plain wall-clock loop: each benchmark runs `sample_size`
+//! batches after one warm-up batch and reports mean time per iteration (plus
+//! throughput when configured) to stdout. There are no statistics, HTML
+//! reports or regression baselines. Swap for the real crate by editing
+//! `[workspace.dependencies]` once a registry is reachable.
+
+use std::time::Instant;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), None, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name.into()),
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    batch_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over `sample_size` batches (after one warm-up batch),
+    /// sizing batches so short routines are measured over many calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup = Instant::now();
+        std::hint::black_box(routine());
+        let once_ns = warmup.elapsed().as_nanos().max(1) as f64;
+        // Aim for ~5 ms per batch so the clock resolution doesn't dominate.
+        let per_batch = ((5e6 / once_ns).ceil() as u64).clamp(1, 1_000_000);
+
+        self.batch_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            self.batch_ns
+                .push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        batch_ns: Vec::new(),
+        sample_size: samples,
+    };
+    f(&mut b);
+    if b.batch_ns.is_empty() {
+        println!("{name:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mean_ns = b.batch_ns.iter().sum::<f64>() / b.batch_ns.len() as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / (mean_ns * 1e-9)),
+        Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / (mean_ns * 1e-9)),
+    });
+    println!(
+        "{name:<40} {:>12.1} ns/iter{}",
+        mean_ns,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Define a benchmark group function from target functions, in either the
+/// positional or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! The proptest stand-in must name the failing property and case index.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    #[should_panic]
+    fn deliberately_failing_property(x in 0u32..100) {
+        prop_assert!(x < 50, "x was {x}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and derive macros so
+//! that the workspace's `#[derive(serde::Serialize, serde::Deserialize)]`
+//! annotations compile without network access. The derives are no-ops and
+//! the traits are empty markers — adequate because no code in the workspace
+//! serializes anything yet. Swap for the real crate by editing
+//! `[workspace.dependencies]` once a registry is reachable.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `serde_derive` cannot be fetched. The razorbus sources only *annotate*
+//! types with `#[derive(serde::Serialize, serde::Deserialize)]` — nothing
+//! in the workspace invokes a serializer yet — so these derives expand to
+//! nothing. When a real serialization backend is needed, delete `vendor/`
+//! and point `[workspace.dependencies]` back at crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
