@@ -86,7 +86,25 @@ fn run_with_config(
 /// scalers.
 #[must_use]
 pub fn shadow_skew(cycles: u64) -> Vec<AblationRow> {
-    [0.20, 0.25, 0.33]
+    let design = DvsBusDesign::paper_default();
+    let paper = paper_default_row(&design, cycles);
+    shadow_skew_rows(&design, cycles, &paper)
+}
+
+fn shadow_skew_rows(
+    paper_design: &DvsBusDesign,
+    cycles: u64,
+    paper: &AblationRow,
+) -> Vec<AblationRow> {
+    let corner = PvtCorner::TYPICAL;
+    let skew_label = |cap: f64, design: &DvsBusDesign| {
+        format!(
+            "skew cap {:.0}% (floor {})",
+            cap * 100.0,
+            design.regulator_floor(corner.process)
+        )
+    };
+    let mut rows: Vec<AblationRow> = [0.20, 0.25]
         .iter()
         .map(|&cap| {
             let design = DvsBusDesign::with_skew_cap(
@@ -94,30 +112,59 @@ pub fn shadow_skew(cycles: u64) -> Vec<AblationRow> {
                 VoltageGrid::paper_default(),
                 cap,
             );
-            let corner = PvtCorner::TYPICAL;
             let config = design.controller_config(corner.process);
             let mut row = run_with_config(&design, corner, config, cycles, "");
-            row.setting = format!(
-                "skew cap {:.0}% (floor {})",
-                cap * 100.0,
-                design.regulator_floor(corner.process)
-            );
+            row.setting = skew_label(cap, &design);
             row
         })
-        .collect()
+        .collect();
+    // The 33 % cap rebuilds the paper design exactly (the paper's own
+    // skew recipe), so its row is the shared paper-default measurement.
+    rows.push(relabeled(paper, &skew_label(0.33, paper_design)));
+    rows
+}
+
+/// The paper-default configuration measured once: ablations 2, 3 and 4
+/// all contain this exact run (10 k window, 1 µs/10 mV ramp, threshold
+/// controller on the default bus at the typical corner) under different
+/// labels, so `run_all` measures it a single time and relabels.
+fn paper_default_row(design: &DvsBusDesign, cycles: u64) -> AblationRow {
+    let corner = PvtCorner::TYPICAL;
+    let config = design.controller_config(corner.process);
+    run_with_config(design, corner, config, cycles, "")
+}
+
+fn relabeled(row: &AblationRow, label: &str) -> AblationRow {
+    AblationRow {
+        setting: label.to_string(),
+        ..row.clone()
+    }
 }
 
 /// Ablation 2: controller window length 1 k / 10 k / 100 k cycles.
 #[must_use]
 pub fn controller_window(cycles: u64) -> Vec<AblationRow> {
     let design = DvsBusDesign::paper_default();
+    let paper = paper_default_row(&design, cycles);
+    controller_window_rows(&design, cycles, &paper)
+}
+
+fn controller_window_rows(
+    design: &DvsBusDesign,
+    cycles: u64,
+    paper: &AblationRow,
+) -> Vec<AblationRow> {
     let corner = PvtCorner::TYPICAL;
     [1_000u64, 10_000, 100_000]
         .iter()
         .map(|&window| {
+            let label = format!("window {window}");
+            if window == 10_000 {
+                return relabeled(paper, &label);
+            }
             let mut config = design.controller_config(corner.process);
             config.window = window;
-            run_with_config(&design, corner, config, cycles, &format!("window {window}"))
+            run_with_config(design, corner, config, cycles, &label)
         })
         .collect()
 }
@@ -128,6 +175,15 @@ pub fn controller_window(cycles: u64) -> Vec<AblationRow> {
 #[must_use]
 pub fn regulator_ramp(cycles: u64) -> Vec<AblationRow> {
     let design = DvsBusDesign::paper_default();
+    let paper = paper_default_row(&design, cycles);
+    regulator_ramp_rows(&design, cycles, &paper)
+}
+
+fn regulator_ramp_rows(
+    design: &DvsBusDesign,
+    cycles: u64,
+    paper: &AblationRow,
+) -> Vec<AblationRow> {
     let corner = PvtCorner::TYPICAL;
     [
         (0.0, "instant"),
@@ -136,9 +192,12 @@ pub fn regulator_ramp(cycles: u64) -> Vec<AblationRow> {
     ]
     .iter()
     .map(|&(ns, label)| {
+        if ns == 1_000.0 {
+            return relabeled(paper, label);
+        }
         let mut config = design.controller_config(corner.process);
         config.regulator = RegulatorModel::new(ns, Gigahertz::PAPER_CLOCK);
-        run_with_config(&design, corner, config, cycles, label)
+        run_with_config(design, corner, config, cycles, label)
     })
     .collect()
 }
@@ -148,10 +207,19 @@ pub fn regulator_ramp(cycles: u64) -> Vec<AblationRow> {
 #[must_use]
 pub fn controller_kind(cycles: u64) -> Vec<AblationRow> {
     let design = DvsBusDesign::paper_default();
+    let paper = paper_default_row(&design, cycles);
+    controller_kind_rows(&design, cycles, &paper)
+}
+
+fn controller_kind_rows(
+    design: &DvsBusDesign,
+    cycles: u64,
+    paper: &AblationRow,
+) -> Vec<AblationRow> {
     let corner = PvtCorner::TYPICAL;
     let config = design.controller_config(corner.process);
 
-    let threshold = run_with_config(&design, corner, config, cycles, "threshold (paper)");
+    let threshold = relabeled(paper, "threshold (paper)");
 
     // Proportional run.
     let mut controller = ProportionalController::paper_band(config);
@@ -161,7 +229,7 @@ pub fn controller_kind(cycles: u64) -> Vec<AblationRow> {
     let mut total = 0u64;
     let mut peak: f64 = 0.0;
     for b in Benchmark::ALL {
-        let mut sim = BusSimulator::new(&design, corner, b.trace(crate::REPRO_SEED), controller)
+        let mut sim = BusSimulator::new(design, corner, b.trace(crate::REPRO_SEED), controller)
             .with_sampling(10_000);
         let r = sim.run(cycles);
         controller = sim.into_governor();
@@ -227,28 +295,44 @@ pub fn coupling_model(cycles: u64) -> Vec<AblationRow> {
     rows
 }
 
-/// Runs and prints every ablation.
+/// Computes every ablation without printing, measuring the shared
+/// paper-default configuration row only once across studies 1–4 —
+/// exactly the work `run_all` performs. Returns `(title, rows)` pairs;
+/// the benchmark harness times this so `BENCH_*.json` tracks the same
+/// pipeline the `repro` binary runs.
+#[must_use]
+pub fn collect_all(cycles: u64) -> Vec<(&'static str, Vec<AblationRow>)> {
+    let design = DvsBusDesign::paper_default();
+    let paper = paper_default_row(&design, cycles);
+    vec![
+        (
+            "Ablation 1 — shadow-skew cap (DESIGN.md §6.1)",
+            shadow_skew_rows(&design, cycles, &paper),
+        ),
+        (
+            "\nAblation 2 — controller window (DESIGN.md §6.2)",
+            controller_window_rows(&design, cycles, &paper),
+        ),
+        (
+            "\nAblation 3 — regulator ramp (DESIGN.md §6.3)",
+            regulator_ramp_rows(&design, cycles, &paper),
+        ),
+        (
+            "\nAblation 4 — controller kind (DESIGN.md §6.4)",
+            controller_kind_rows(&design, cycles, &paper),
+        ),
+        (
+            "\nAblation 5 — coupling model (DESIGN.md §6.5; gain column = static gain @2%)",
+            coupling_model(cycles),
+        ),
+    ]
+}
+
+/// Runs and prints every ablation (see [`collect_all`]).
 pub fn run_all(cycles: u64) {
-    print_rows(
-        "Ablation 1 — shadow-skew cap (DESIGN.md §6.1)",
-        &shadow_skew(cycles),
-    );
-    print_rows(
-        "\nAblation 2 — controller window (DESIGN.md §6.2)",
-        &controller_window(cycles),
-    );
-    print_rows(
-        "\nAblation 3 — regulator ramp (DESIGN.md §6.3)",
-        &regulator_ramp(cycles),
-    );
-    print_rows(
-        "\nAblation 4 — controller kind (DESIGN.md §6.4)",
-        &controller_kind(cycles),
-    );
-    print_rows(
-        "\nAblation 5 — coupling model (DESIGN.md §6.5; gain column = static gain @2%)",
-        &coupling_model(cycles),
-    );
+    for (title, rows) in collect_all(cycles) {
+        print_rows(title, &rows);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,201 @@
+//! `bench_report` — measures the perf-critical paths and writes a
+//! `BENCH_<pr>.json` artifact in the committed format tracked PR-over-PR
+//! by CI's `bench` job.
+//!
+//! ```sh
+//! RAZORBUS_CYCLES=50000 cargo run -p razorbus-bench --bin bench_report --release -- BENCH_2.json
+//! ```
+//!
+//! The report has three sections (all wall-clock, single process):
+//!
+//! * `stages_ms` — the `repro all` pipeline stage by stage (same shared
+//!   inputs, same work, printing suppressed),
+//! * `components` — steady-state throughputs of the simulator's batched
+//!   loop, its cycle-at-a-time reference loop (their ratio is the
+//!   fast-path speedup), the sweep-engine collector and the wire
+//!   analyzer,
+//! * environment echoes (`cycles_per_benchmark`, `threads`) so numbers
+//!   from different runners can be compared honestly.
+//!
+//! See README.md ("Benchmarks in CI") for the schema.
+
+use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
+use razorbus_core::{experiments, BusSimulator, DvsBusDesign, TraceSummary};
+use razorbus_ctrl::ThresholdController;
+use razorbus_process::{ProcessCorner, PvtCorner};
+use razorbus_traces::{Benchmark, TraceSource};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema identifier written into every report.
+const SCHEMA: &str = "razorbus-bench/v1";
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH.json".to_string());
+    let cycles = cycles_from_env(50_000);
+    eprintln!("# bench_report: {cycles} cycles/benchmark -> {out_path}");
+
+    let mut stages: Vec<(&str, f64)> = Vec::new();
+    let mut time = |name: &'static str, f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        eprintln!("  {name:<18} {ms:9.1} ms");
+        stages.push((name, ms));
+    };
+
+    let total = Instant::now();
+    let mut design = None;
+    time("design_build", &mut || {
+        design = Some(DvsBusDesign::paper_default());
+    });
+    let design = design.expect("design built");
+    let modified = DvsBusDesign::modified_paper_bus();
+
+    // The `repro all` shared inputs: closed loops that double as the
+    // summary passes (see the repro binary's `run_everything`).
+    let mut shared = None;
+    time("fig8_typical+bank", &mut || {
+        let (data, per) =
+            experiments::fig8::run_with_summaries(&design, PvtCorner::TYPICAL, cycles, REPRO_SEED);
+        shared = Some((data, experiments::SummaryBank::from_per_benchmark(per)));
+    });
+    let (dvs_typical, bank) = shared.expect("shared pass");
+    let mut worst = None;
+    time("fig8_worst", &mut || {
+        worst = Some(experiments::fig8::run(
+            &design,
+            PvtCorner::WORST,
+            cycles,
+            REPRO_SEED,
+        ));
+    });
+    let dvs_worst = worst.expect("worst pass");
+    let mut modpass = None;
+    time("fig8_modified+sum", &mut || {
+        let (data, per) =
+            experiments::fig8::run_with_summaries(&modified, PvtCorner::WORST, cycles, REPRO_SEED);
+        modpass = Some((
+            data,
+            experiments::SummaryBank::from_per_benchmark(per).into_combined(),
+        ));
+    });
+    let (mod_dvs, mod_summary) = modpass.expect("modified pass");
+
+    time("static_sweeps", &mut || {
+        let a = experiments::fig4::from_summary(&design, PvtCorner::WORST, bank.combined());
+        let b = experiments::fig4::from_summary(&design, PvtCorner::TYPICAL, bank.combined());
+        let f5 = experiments::fig5::from_summary(&design, bank.combined());
+        let t1 = experiments::table1::from_parts(&design, &bank, &dvs_worst, &dvs_typical);
+        let f10 = experiments::fig10::from_parts(
+            &design,
+            &modified,
+            bank.combined(),
+            &mod_summary,
+            &dvs_worst,
+            &mod_dvs,
+        );
+        std::hint::black_box((a.points.len(), b.points.len(), f5.rows.len()));
+        std::hint::black_box((t1.corners.len(), f10.modified.len()));
+    });
+    time("fig6_oracle", &mut || {
+        let windows = (cycles / 10_000).max(10) as usize;
+        let data = experiments::fig6::run(&design, windows, 10_000, REPRO_SEED);
+        std::hint::black_box(data.entries.len());
+    });
+    time("scaling", &mut || {
+        let data = experiments::scaling::run(cycles / 4, REPRO_SEED);
+        std::hint::black_box(data.rows.len());
+    });
+    time("ablations", &mut || {
+        // Same shared-paper-row pipeline `repro all` runs, unprinted.
+        let studies = ablations::collect_all(cycles / 4);
+        std::hint::black_box(studies.len());
+    });
+    let total_ms = total.elapsed().as_secs_f64() * 1e3;
+
+    // Component throughputs (Mcycles/s), warmup + best-of-3 so one
+    // scheduler hiccup doesn't pollute the tracked ratio. The
+    // batched-vs-reference ratio is the headline number the batching
+    // tentpole is accountable for.
+    let comp_cycles = 200_000u64;
+    let batched = best_of_3(&mut || closed_loop_throughput(&design, comp_cycles, false));
+    let reference = best_of_3(&mut || closed_loop_throughput(&design, comp_cycles, true));
+    let collect = best_of_3(&mut || {
+        let start = Instant::now();
+        let mut trace = Benchmark::Swim.trace(REPRO_SEED);
+        let s = TraceSummary::collect(&design, &mut trace, comp_cycles);
+        std::hint::black_box(s.cycles());
+        comp_cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
+    });
+    let analyze = best_of_3(&mut || {
+        let mut trace = Benchmark::Vortex.trace(REPRO_SEED);
+        let words = trace.take_words(65_536);
+        let bus = design.bus();
+        let start = Instant::now();
+        let mut acc = 0.0f64;
+        for pair in words.windows(2) {
+            acc += bus.analyze_cycle(pair[0], pair[1]).worst_ceff_per_mm;
+        }
+        std::hint::black_box(acc);
+        (words.len() - 1) as f64 / 1e6 / start.elapsed().as_secs_f64()
+    });
+    eprintln!(
+        "  components: batched {batched:.1} / reference {reference:.1} Mcyc/s (x{:.2}), collect {collect:.1}, analyze {analyze:.1}",
+        batched / reference
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(json, "  \"cycles_per_benchmark\": {cycles},");
+    let _ = writeln!(
+        json,
+        "  \"threads\": {},",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    json.push_str("  \"stages_ms\": {\n");
+    for (i, (name, ms)) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {ms:.1}{comma}");
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"total_ms\": {total_ms:.1},");
+    json.push_str("  \"components_mcycles_per_s\": {\n");
+    let _ = writeln!(json, "    \"closed_loop_batched\": {batched:.2},");
+    let _ = writeln!(json, "    \"closed_loop_reference\": {reference:.2},");
+    let _ = writeln!(json, "    \"batched_speedup\": {:.2},", batched / reference);
+    let _ = writeln!(json, "    \"summary_collect\": {collect:.2},");
+    let _ = writeln!(json, "    \"analyze_cycle\": {analyze:.2}");
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("# wrote {out_path} (total {total_ms:.0} ms)");
+}
+
+/// One warmup call, then the best throughput of three timed calls.
+fn best_of_3(f: &mut dyn FnMut() -> f64) -> f64 {
+    std::hint::black_box(f());
+    (0..3).map(|_| f()).fold(0.0f64, f64::max)
+}
+
+/// Mcycles/s of one closed-loop run (Gap under the paper controller).
+fn closed_loop_throughput(design: &DvsBusDesign, cycles: u64, reference: bool) -> f64 {
+    let ctrl = ThresholdController::new(design.controller_config(ProcessCorner::Typical));
+    let mut sim = BusSimulator::new(
+        design,
+        PvtCorner::TYPICAL,
+        Benchmark::Gap.trace(REPRO_SEED),
+        ctrl,
+    );
+    let start = Instant::now();
+    let r = if reference {
+        sim.run_reference(cycles)
+    } else {
+        sim.run(cycles)
+    };
+    std::hint::black_box(r.errors);
+    cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
+}

@@ -24,58 +24,53 @@ fn main() {
     let design = DvsBusDesign::paper_default();
     let run_all = what == "all";
 
-    if run_all || what == "fig4" {
-        banner("Fig. 4 (energy & error rate vs. static VDD)");
-        // Parallelize the two panels with scoped threads (each panel already
-        // fans out across benchmarks internally).
-        let (a, b) = std::thread::scope(|s| {
-            let design = &design;
-            let ha = s.spawn(move || {
-                experiments::fig4::run(design, PvtCorner::WORST, cycles, REPRO_SEED)
-            });
-            let hb = s.spawn(move || {
-                experiments::fig4::run(design, PvtCorner::TYPICAL, cycles, REPRO_SEED)
-            });
-            (ha.join().expect("fig4a"), hb.join().expect("fig4b"))
-        });
-        a.print();
-        println!();
-        b.print();
+    if run_all {
+        run_everything(&design, cycles);
     }
 
-    if run_all || what == "fig5" {
+    if what == "fig4" {
+        banner("Fig. 4 (energy & error rate vs. static VDD)");
+        // Both panels share one summary collection (the histogram is
+        // corner-independent); only the sweep differs per corner.
+        let summary = experiments::combined_summary(&design, cycles, REPRO_SEED);
+        experiments::fig4::from_summary(&design, PvtCorner::WORST, &summary).print();
+        println!();
+        experiments::fig4::from_summary(&design, PvtCorner::TYPICAL, &summary).print();
+    }
+
+    if what == "fig5" {
         banner("Fig. 5 (gains vs. PVT delay spread)");
         experiments::fig5::run(&design, cycles, REPRO_SEED).print();
     }
 
-    if run_all || what == "fig6" {
+    if what == "fig6" {
         banner("Fig. 6 (optimal supply residency)");
         let windows = (cycles / 10_000).max(10) as usize;
         experiments::fig6::run(&design, windows, 10_000, REPRO_SEED).print();
     }
 
-    if run_all || what == "fig8" {
+    if what == "fig8" {
         banner("Fig. 8 (closed-loop trajectory, typical corner)");
         experiments::fig8::run(&design, PvtCorner::TYPICAL, cycles, REPRO_SEED).print();
     }
 
-    if run_all || what == "table1" {
+    if what == "table1" {
         banner("Table 1 (fixed VS vs. proposed DVS)");
         experiments::table1::run(&design, cycles, REPRO_SEED).print();
     }
 
-    if run_all || what == "fig10" {
+    if what == "fig10" {
         banner("Fig. 10 / §6 (modified bus)");
         let modified = DvsBusDesign::modified_paper_bus();
         experiments::fig10::run(&design, &modified, cycles, REPRO_SEED).print();
     }
 
-    if run_all || what == "scaling" {
+    if what == "scaling" {
         banner("§6 technology scaling");
         experiments::scaling::run(cycles / 4, REPRO_SEED).print();
     }
 
-    if run_all || what == "ablations" {
+    if what == "ablations" {
         banner("Ablations (DESIGN.md §6)");
         ablations::run_all(cycles / 4);
     }
@@ -98,6 +93,92 @@ fn main() {
         );
         std::process::exit(2);
     }
+}
+
+/// The `all` pipeline: every figure/table of the paper from one shared
+/// set of heavy inputs.
+///
+/// The expensive inputs are collected exactly once and fanned out with
+/// scoped threads: one [`experiments::SummaryBank`] (reused by Fig. 4's
+/// two panels, Fig. 5, Table 1's two corners and Fig. 10's original-bus
+/// side — five collections of the identical data before this
+/// restructuring), the modified bus's combined summary, and one
+/// consecutive closed-loop run per unique (design, corner) pair (the
+/// typical-corner run serves both Fig. 8 and Table 1; the worst-corner
+/// run serves both Table 1 and Fig. 10).
+fn run_everything(design: &DvsBusDesign, cycles: u64) {
+    let modified = DvsBusDesign::modified_paper_bus();
+    let ((dvs_typical, bank), dvs_worst, (mod_dvs, mod_summary)) = std::thread::scope(|s| {
+        let modified = &modified;
+        // The closed-loop runs double as the summary passes: a run walks
+        // the identical trace words a `TraceSummary::collect` would, so
+        // the sweep histograms fall out of the same traversal — one for
+        // the paper bus (typical-corner run), one for the modified bus
+        // (its worst-corner run).
+        let h_typ = s.spawn(move || {
+            let (data, per) = experiments::fig8::run_with_summaries(
+                design,
+                PvtCorner::TYPICAL,
+                cycles,
+                REPRO_SEED,
+            );
+            (data, experiments::SummaryBank::from_per_benchmark(per))
+        });
+        let h_wst =
+            s.spawn(move || experiments::fig8::run(design, PvtCorner::WORST, cycles, REPRO_SEED));
+        let h_mw = s.spawn(move || {
+            let (data, per) = experiments::fig8::run_with_summaries(
+                modified,
+                PvtCorner::WORST,
+                cycles,
+                REPRO_SEED,
+            );
+            (
+                data,
+                experiments::SummaryBank::from_per_benchmark(per).into_combined(),
+            )
+        });
+        (
+            h_typ.join().expect("fig8 typical + summary bank"),
+            h_wst.join().expect("fig8 worst"),
+            h_mw.join().expect("fig8 modified + summary"),
+        )
+    });
+
+    banner("Fig. 4 (energy & error rate vs. static VDD)");
+    experiments::fig4::from_summary(design, PvtCorner::WORST, bank.combined()).print();
+    println!();
+    experiments::fig4::from_summary(design, PvtCorner::TYPICAL, bank.combined()).print();
+
+    banner("Fig. 5 (gains vs. PVT delay spread)");
+    experiments::fig5::from_summary(design, bank.combined()).print();
+
+    banner("Fig. 6 (optimal supply residency)");
+    let windows = (cycles / 10_000).max(10) as usize;
+    experiments::fig6::run(design, windows, 10_000, REPRO_SEED).print();
+
+    banner("Fig. 8 (closed-loop trajectory, typical corner)");
+    dvs_typical.print();
+
+    banner("Table 1 (fixed VS vs. proposed DVS)");
+    experiments::table1::from_parts(design, &bank, &dvs_worst, &dvs_typical).print();
+
+    banner("Fig. 10 / §6 (modified bus)");
+    experiments::fig10::from_parts(
+        design,
+        &modified,
+        bank.combined(),
+        &mod_summary,
+        &dvs_worst,
+        &mod_dvs,
+    )
+    .print();
+
+    banner("§6 technology scaling");
+    experiments::scaling::run(cycles / 4, REPRO_SEED).print();
+
+    banner("Ablations (DESIGN.md §6)");
+    ablations::run_all(cycles / 4);
 }
 
 fn banner(title: &str) {

@@ -33,11 +33,32 @@ pub fn run(
 ) -> Fig10Data {
     let base_summary = combined_summary(base, cycles_per_benchmark, seed);
     let mod_summary = combined_summary(modified, cycles_per_benchmark, seed);
-    let original_rows = fig5::rows_from_summary(base, &base_summary);
-    let modified_rows = fig5::rows_from_summary(modified, &mod_summary);
-
     let base_dvs = fig8::run(base, PvtCorner::WORST, cycles_per_benchmark, seed);
     let mod_dvs = fig8::run(modified, PvtCorner::WORST, cycles_per_benchmark, seed);
+    from_parts(
+        base,
+        modified,
+        &base_summary,
+        &mod_summary,
+        &base_dvs,
+        &mod_dvs,
+    )
+}
+
+/// Builds the comparison from pre-collected inputs — the base-bus
+/// summary and worst-corner DVS run are shared with Fig. 4/5 and Table 1
+/// by `repro all`.
+#[must_use]
+pub fn from_parts(
+    base: &DvsBusDesign,
+    modified: &DvsBusDesign,
+    base_summary: &crate::summary::TraceSummary,
+    mod_summary: &crate::summary::TraceSummary,
+    base_dvs: &fig8::Fig8Data,
+    mod_dvs: &fig8::Fig8Data,
+) -> Fig10Data {
+    let original_rows = fig5::rows_from_summary(base, base_summary);
+    let modified_rows = fig5::rows_from_summary(modified, mod_summary);
 
     Fig10Data {
         original: original_rows,

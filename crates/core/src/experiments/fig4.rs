@@ -40,6 +40,18 @@ pub fn run(
     seed: u64,
 ) -> Fig4Data {
     let summary = combined_summary(design, cycles_per_benchmark, seed);
+    from_summary(design, corner, &summary)
+}
+
+/// Computes the panel from an already-collected combined summary — the
+/// histogram is corner-independent, so both Fig. 4 panels (and Fig. 5,
+/// Table 1, …) can share one collection.
+#[must_use]
+pub fn from_summary(
+    design: &DvsBusDesign,
+    corner: PvtCorner,
+    summary: &crate::summary::TraceSummary,
+) -> Fig4Data {
     let nominal = design.nominal();
     let base = summary.energy(design, corner, nominal, false);
     let floor = design.static_shadow_floor(corner);

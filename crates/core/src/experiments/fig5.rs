@@ -34,8 +34,14 @@ pub struct Fig5Data {
 #[must_use]
 pub fn run(design: &DvsBusDesign, cycles_per_benchmark: u64, seed: u64) -> Fig5Data {
     let summary = combined_summary(design, cycles_per_benchmark, seed);
+    from_summary(design, &summary)
+}
+
+/// Computes the figure from an already-collected combined summary.
+#[must_use]
+pub fn from_summary(design: &DvsBusDesign, summary: &TraceSummary) -> Fig5Data {
     Fig5Data {
-        rows: rows_from_summary(design, &summary),
+        rows: rows_from_summary(design, summary),
     }
 }
 

@@ -40,15 +40,49 @@ pub fn run(
     cycles_per_benchmark: u64,
     seed: u64,
 ) -> Fig8Data {
+    run_inner(design, corner, cycles_per_benchmark, seed, false).0
+}
+
+/// Same consecutive run, additionally returning each benchmark's
+/// sweep-engine summary, collected as a by-product of the closed loop
+/// (same trace words, one pass). The summaries are bit-identical to
+/// [`crate::TraceSummary::collect`] over the same `(benchmark, seed,
+/// cycles)` and are corner-independent — `repro all` and Table 1 use
+/// this to avoid a second 10-benchmark pass.
+#[must_use]
+pub fn run_with_summaries(
+    design: &DvsBusDesign,
+    corner: PvtCorner,
+    cycles_per_benchmark: u64,
+    seed: u64,
+) -> (Fig8Data, Vec<(Benchmark, crate::TraceSummary)>) {
+    let (data, summaries) = run_inner(design, corner, cycles_per_benchmark, seed, true);
+    (data, summaries)
+}
+
+fn run_inner(
+    design: &DvsBusDesign,
+    corner: PvtCorner,
+    cycles_per_benchmark: u64,
+    seed: u64,
+    with_summaries: bool,
+) -> (Fig8Data, Vec<(Benchmark, crate::TraceSummary)>) {
     let mut controller = ThresholdController::new(design.controller_config(corner.process));
     let mut segments = Vec::with_capacity(Benchmark::ALL.len());
     let mut samples = Vec::new();
+    let mut summaries = Vec::new();
     let mut offset = 0u64;
     for benchmark in Benchmark::ALL {
         let trace = benchmark.trace(seed);
         let mut sim = BusSimulator::new(design, corner, trace, controller).with_sampling(10_000);
+        if with_summaries {
+            sim = sim.with_histogram();
+        }
         let mut report = sim.run(cycles_per_benchmark);
         controller = sim.into_governor();
+        if let Some(summary) = report.summary.take() {
+            summaries.push((benchmark, summary));
+        }
         for s in &mut report.samples {
             s.cycle += offset;
         }
@@ -60,11 +94,14 @@ pub fn run(
         });
         offset += cycles_per_benchmark;
     }
-    Fig8Data {
-        corner,
-        segments,
-        samples,
-    }
+    (
+        Fig8Data {
+            corner,
+            segments,
+            samples,
+        },
+        summaries,
+    )
 }
 
 impl Fig8Data {

@@ -52,6 +52,66 @@ pub fn per_benchmark_summaries(
     })
 }
 
+/// The per-benchmark histograms plus their all-programs merge, collected
+/// once and then reused across every static sweep.
+///
+/// A summary depends only on `(design, benchmark, seed, cycles)` — not on
+/// the PVT corner or supply voltage, which are applied at query time — so
+/// one bank serves Fig. 4 (both panels), Fig. 5, Table 1 (both corners)
+/// and Fig. 10's original-bus side. `repro all` used to recollect the
+/// identical set five times.
+#[derive(Debug, Clone)]
+pub struct SummaryBank {
+    per: Vec<(Benchmark, TraceSummary)>,
+    combined: TraceSummary,
+}
+
+impl SummaryBank {
+    /// Collects all ten benchmarks (fanned out with scoped threads) and
+    /// merges them.
+    #[must_use]
+    pub fn collect(design: &DvsBusDesign, cycles_per_benchmark: u64, seed: u64) -> Self {
+        Self::from_per_benchmark(per_benchmark_summaries(design, cycles_per_benchmark, seed))
+    }
+
+    /// Builds a bank from already-collected per-benchmark summaries —
+    /// e.g. the by-product of [`fig8::run_with_summaries`], which shares
+    /// one trace pass between the closed loop and the sweep engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per` is empty.
+    #[must_use]
+    pub fn from_per_benchmark(per: Vec<(Benchmark, TraceSummary)>) -> Self {
+        let mut iter = per.iter();
+        let (_, first) = iter.next().expect("at least one benchmark");
+        let mut combined = first.clone();
+        for (_, s) in iter {
+            combined.merge(s);
+        }
+        Self { per, combined }
+    }
+
+    /// Per-benchmark summaries in [`Benchmark::ALL`] order.
+    #[must_use]
+    pub fn per_benchmark(&self) -> &[(Benchmark, TraceSummary)] {
+        &self.per
+    }
+
+    /// The all-programs merge (the "running all the benchmark programs"
+    /// aggregation of Figs. 4/5).
+    #[must_use]
+    pub fn combined(&self) -> &TraceSummary {
+        &self.combined
+    }
+
+    /// Consumes the bank, returning just the merged summary.
+    #[must_use]
+    pub fn into_combined(self) -> TraceSummary {
+        self.combined
+    }
+}
+
 /// Merges all ten benchmarks into one combined summary (the "running all
 /// the benchmark programs" aggregation of Figs. 4/5).
 #[must_use]
@@ -60,13 +120,7 @@ pub fn combined_summary(
     cycles_per_benchmark: u64,
     seed: u64,
 ) -> TraceSummary {
-    let per = per_benchmark_summaries(design, cycles_per_benchmark, seed);
-    let mut iter = per.into_iter();
-    let (_, mut merged) = iter.next().expect("at least one benchmark");
-    for (_, s) in iter {
-        merged.merge(&s);
-    }
-    merged
+    SummaryBank::collect(design, cycles_per_benchmark, seed).into_combined()
 }
 
 #[cfg(test)]
@@ -78,5 +132,24 @@ mod tests {
         let d = DvsBusDesign::paper_default();
         let s = combined_summary(&d, 2_000, 1);
         assert_eq!(s.cycles(), 20_000);
+    }
+
+    #[test]
+    fn summary_bank_combined_matches_manual_merge() {
+        let d = DvsBusDesign::paper_default();
+        let bank = SummaryBank::collect(&d, 2_000, 3);
+        assert_eq!(bank.per_benchmark().len(), Benchmark::ALL.len());
+        let mut iter = bank.per_benchmark().iter();
+        let mut merged = iter.next().unwrap().1.clone();
+        for (_, s) in iter {
+            merged.merge(s);
+        }
+        assert_eq!(bank.combined().cycles(), merged.cycles());
+        let v = razorbus_units::Millivolts::new(900);
+        let pvt = razorbus_process::PvtCorner::TYPICAL;
+        assert_eq!(
+            bank.combined().error_cycles(&d, pvt, v),
+            merged.error_cycles(&d, pvt, v)
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! proposed DVS scheme at the two headline corners.
 
 use crate::design::DvsBusDesign;
-use crate::experiments::{fig8, per_benchmark_summaries};
+use crate::experiments::{fig8, SummaryBank};
 use razorbus_process::PvtCorner;
 use razorbus_traces::Benchmark;
 use razorbus_units::Millivolts;
@@ -42,24 +42,49 @@ pub struct Table1Data {
 
 /// Builds Table 1: fixed-VS gains from the per-benchmark summaries, DVS
 /// gains from consecutive closed-loop runs (the Fig. 8 protocol).
+///
+/// Collects the summary bank once (it is corner-independent) and runs
+/// one closed loop per corner; [`from_parts`] accepts those inputs
+/// pre-collected when the caller (e.g. `repro all`) shares them with
+/// other drivers.
 #[must_use]
 pub fn run(design: &DvsBusDesign, cycles_per_benchmark: u64, seed: u64) -> Table1Data {
-    let corners = [PvtCorner::WORST, PvtCorner::TYPICAL]
-        .into_iter()
-        .map(|corner| one_corner(design, corner, cycles_per_benchmark, seed))
-        .collect();
+    // The typical-corner closed loop doubles as the summary pass: same
+    // trace words, one traversal.
+    let (typical, per) =
+        fig8::run_with_summaries(design, PvtCorner::TYPICAL, cycles_per_benchmark, seed);
+    let bank = SummaryBank::from_per_benchmark(per);
+    let worst = fig8::run(design, PvtCorner::WORST, cycles_per_benchmark, seed);
+    from_parts(design, &bank, &worst, &typical)
+}
+
+/// Builds Table 1 from pre-collected inputs: the shared summary bank and
+/// the two corners' consecutive closed-loop runs.
+#[must_use]
+pub fn from_parts(
+    design: &DvsBusDesign,
+    bank: &SummaryBank,
+    worst_dvs: &fig8::Fig8Data,
+    typical_dvs: &fig8::Fig8Data,
+) -> Table1Data {
+    let corners = [
+        (PvtCorner::WORST, worst_dvs),
+        (PvtCorner::TYPICAL, typical_dvs),
+    ]
+    .into_iter()
+    .map(|(corner, dvs)| one_corner(design, corner, bank, dvs))
+    .collect();
     Table1Data { corners }
 }
 
 fn one_corner(
     design: &DvsBusDesign,
     corner: PvtCorner,
-    cycles_per_benchmark: u64,
-    seed: u64,
+    bank: &SummaryBank,
+    dvs: &fig8::Fig8Data,
 ) -> Table1Corner {
     let fixed_v = design.fixed_vs_voltage(corner.process);
-    let summaries = per_benchmark_summaries(design, cycles_per_benchmark, seed);
-    let dvs = fig8::run(design, corner, cycles_per_benchmark, seed);
+    let summaries = bank.per_benchmark();
 
     let mut rows = Vec::with_capacity(Benchmark::ALL.len());
     let mut total_fixed_e = 0.0;

@@ -1,5 +1,22 @@
 //! Streaming closed-loop simulation: trace → bus → error detection →
-//! governor, cycle by cycle, with full energy accounting.
+//! governor, with full energy accounting.
+//!
+//! The loop is organized around two ideas that keep the paper's
+//! 10 M-cycle runs fast without changing a single observable number:
+//!
+//! 1. **Per-voltage precomputation.** Everything the loop looks up by
+//!    supply grid index — pass limits per activity bucket, shadow
+//!    limits, `V²`, leakage, recovery energy — is hoisted into one
+//!    [`VoltageRow`] per grid point, built once per run.
+//! 2. **Window batching.** Governors advertise how long the supply is
+//!    guaranteed steady ([`razorbus_ctrl::VoltageGovernor::steady_cycles`]);
+//!    the simulator evaluates that whole chunk in a tight inner loop with
+//!    no grid/table lookups and reports outcomes in one
+//!    `record_batch` call, re-entering the slow path only when the
+//!    set-point can move or a sample boundary hits.
+//!
+//! [`BusSimulator::run_reference`] keeps the original cycle-at-a-time
+//! loop; differential tests pin the batched path to it cycle-for-cycle.
 
 use crate::design::DvsBusDesign;
 use razorbus_ctrl::VoltageGovernor;
@@ -7,6 +24,36 @@ use razorbus_process::PvtCorner;
 use razorbus_tables::EnvCondition;
 use razorbus_traces::TraceSource;
 use razorbus_units::{Femtojoules, Millivolts};
+
+use crate::summary::N_BUCKETS;
+
+/// Everything the hot loop needs about one supply grid point, gathered so
+/// the steady-state inner loop runs without any matrix/table indexing.
+#[derive(Debug, Clone, Copy)]
+struct VoltageRow {
+    /// Main-flop pass limit (fF/mm) per activity bucket.
+    pass: [f64; N_BUCKETS],
+    /// Shadow-latch pass limit (fF/mm) per activity bucket.
+    shadow: [f64; N_BUCKETS],
+    /// Supply squared (V²) — multiplied by switched capacitance for
+    /// dynamic energy.
+    v2: f64,
+    /// Whole-bus leakage per cycle (fJ).
+    leak_fj: f64,
+    /// Error-recovery energy (fJ) — the extra bank clock + restored bit
+    /// at this supply.
+    recovery_fj: f64,
+}
+
+/// Histogram accumulators for [`BusSimulator::with_histogram`]: the
+/// identical per-cycle (bucket, load-bin) classification the sweep engine
+/// collects, gathered as a by-product of a closed-loop run.
+#[derive(Debug, Clone)]
+struct HistogramAccum {
+    hist: Vec<u64>,
+    total_cap: f64,
+    toggles: u64,
+}
 
 /// One sampled point of the supply/error trajectory (Fig. 8 material).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +85,10 @@ pub struct SimReport {
     pub min_voltage: Millivolts,
     /// Window-sampled trajectory (empty unless sampling was enabled).
     pub samples: Vec<VoltageSample>,
+    /// The trace's sweep-engine histogram, identical to what
+    /// [`crate::TraceSummary::collect`] would gather over the same words
+    /// — present only when [`BusSimulator::with_histogram`] was enabled.
+    pub summary: Option<crate::TraceSummary>,
 }
 
 impl SimReport {
@@ -79,6 +130,7 @@ pub struct BusSimulator<'d, S, G> {
     governor: G,
     prev_word: u32,
     sample_every: Option<u64>,
+    collect_histogram: bool,
 }
 
 impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
@@ -93,6 +145,7 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
             governor,
             prev_word,
             sample_every: None,
+            collect_histogram: false,
         }
     }
 
@@ -108,6 +161,20 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
         self
     }
 
+    /// Also collect the trace's sweep-engine histogram during the run.
+    ///
+    /// The closed-loop simulator classifies every cycle by (activity
+    /// bucket, quantized worst-wire load) anyway, so gathering the same
+    /// histogram [`crate::TraceSummary::collect`] would produce costs one
+    /// array increment per cycle — and saves a whole second pass over the
+    /// trace when a driver needs both (Table 1, `repro all`). The result
+    /// arrives in [`SimReport::summary`].
+    #[must_use]
+    pub fn with_histogram(mut self) -> Self {
+        self.collect_histogram = true;
+        self
+    }
+
     /// Access to the governor (e.g. to read controller statistics).
     #[must_use]
     pub fn governor(&self) -> &G {
@@ -120,12 +187,207 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
         self.governor
     }
 
+    /// Builds the per-voltage hot rows: one [`VoltageRow`] per grid
+    /// point, so the steady-state inner loop never touches the matrices
+    /// or energy tables.
+    fn voltage_rows(&self, recovery_cap: f64) -> Vec<VoltageRow> {
+        let design = self.design;
+        let tables = design.tables();
+        let cond = EnvCondition::from_pvt(self.pvt);
+        let matrix = tables.threshold_matrix(cond, self.pvt.ir);
+        let shadow_matrix = tables.shadow_threshold_matrix(cond, self.pvt.ir);
+        let energy_table = tables.energy_table(cond);
+        (0..design.grid().len())
+            .map(|vi| {
+                let mut pass = [0.0; N_BUCKETS];
+                let mut shadow = [0.0; N_BUCKETS];
+                for b in 0..N_BUCKETS {
+                    pass[b] = matrix.pass_limit_at(vi, b);
+                    shadow[b] = shadow_matrix.pass_limit_at(vi, b);
+                }
+                let v2 = energy_table.v_squared_at(vi);
+                VoltageRow {
+                    pass,
+                    shadow,
+                    v2,
+                    leak_fj: energy_table.leakage_per_cycle_at(vi).fj(),
+                    recovery_fj: recovery_cap * v2,
+                }
+            })
+            .collect()
+    }
+
     /// Runs `cycles` cycles and reports.
+    ///
+    /// This is the batched fast path: per-voltage rows are precomputed
+    /// once, and the governor's steady-state guarantee lets whole chunks
+    /// run in a tight inner loop with per-chunk (not per-cycle) grid
+    /// lookups, energy scaling and governor bookkeeping. It is pinned to
+    /// [`BusSimulator::run_reference`] by differential tests: identical
+    /// error/violation counts cycle-for-cycle, energies equal to ≤1e-9
+    /// relative (the accumulation order differs).
     ///
     /// # Panics
     ///
     /// Panics if the governor commands a voltage off the design grid.
     pub fn run(&mut self, cycles: u64) -> SimReport {
+        let design = self.design;
+        let grid = design.grid();
+        let tables = design.tables();
+        let bus = design.bus();
+        let fe = design.flop_energy();
+
+        let n_flops = tables.n_bits();
+        let length_mm = bus.line().total_length().mm();
+        let rep_cap = tables.repeater_cap_per_toggle().ff();
+        let clock_cap = fe.clock_capacitance(n_flops).ff();
+        let data_cap = fe.data_capacitance().ff();
+        // Recovery ~ one extra bank clock + one restored bit (paper: the
+        // extra clocking dominates).
+        let recovery_cap = clock_cap + data_cap;
+        let rows = self.voltage_rows(recovery_cap);
+
+        let nominal_idx = grid.index_of(design.nominal()).expect("nominal on grid");
+        let v2_nominal = rows[nominal_idx].v2;
+        let leak_nominal = rows[nominal_idx].leak_fj;
+
+        let mut errors = 0u64;
+        let mut shadow_violations = 0u64;
+        let mut energy_fj = 0.0f64;
+        let mut baseline_fj = 0.0f64;
+        let mut mv_sum = 0.0f64;
+        let mut min_v = self.governor.voltage();
+        let mut samples = Vec::new();
+        let mut window_errors = 0u64;
+        let mut window_cycles = 0u64;
+        let mut hist = self.collect_histogram.then(|| HistogramAccum {
+            hist: vec![0u64; crate::summary::N_BUCKETS * crate::summary::N_CEFF_BINS],
+            total_cap: 0.0,
+            toggles: 0,
+        });
+
+        let mut cycle = 0u64;
+        while cycle < cycles {
+            // Slow path: re-resolve the supply and chunk length. The
+            // chunk never outlives the governor's steady guarantee, the
+            // sample window, or the run itself.
+            let v = self.governor.voltage();
+            let vi = grid
+                .index_of(v)
+                .unwrap_or_else(|| panic!("governor voltage {v} off grid"));
+            let row = &rows[vi];
+            let mut chunk = self.governor.steady_cycles().max(1).min(cycles - cycle);
+            if let Some(window) = self.sample_every {
+                chunk = chunk.min(window - window_cycles);
+            }
+
+            // Fast path: the whole chunk at one supply, no table lookups.
+            let mut chunk_errors = 0u64;
+            let mut chunk_shadow = 0u64;
+            let mut chunk_wire_cap = 0.0f64;
+            let mut chunk_toggles = 0u64;
+            for _ in 0..chunk {
+                let cur = self.trace.next_word();
+                let analysis = bus.analyze_cycle(self.prev_word, cur);
+                self.prev_word = cur;
+                let bucket = ((analysis.toggled_wires / 4) as usize).min(N_BUCKETS - 1);
+                // Quantized exactly like the histogram engine (1 fF/mm
+                // bins) so the two agree cycle-for-cycle.
+                let bin = crate::summary::bin_of(analysis.worst_ceff_per_mm);
+                let load = bin as f64 * crate::summary::CEFF_BIN_WIDTH;
+                let error = analysis.toggled_wires > 0 && load > row.pass[bucket];
+                chunk_errors += u64::from(error);
+                chunk_shadow += u64::from(error && load > row.shadow[bucket]);
+                chunk_wire_cap += analysis.switched_cap_per_mm;
+                chunk_toggles += u64::from(analysis.toggled_wires);
+                if let Some(h) = hist.as_mut() {
+                    // Same accumulation (and the same float-add order)
+                    // as `TraceSummary::collect` over these words.
+                    if analysis.toggled_wires > 0 {
+                        h.hist[bucket * crate::summary::N_CEFF_BINS + bin] += 1;
+                        h.total_cap += analysis.switched_cap_per_mm;
+                        h.toggles += u64::from(analysis.toggled_wires);
+                    }
+                }
+            }
+
+            let switched = chunk_wire_cap * length_mm
+                + chunk_toggles as f64 * (rep_cap + data_cap)
+                + chunk as f64 * clock_cap;
+            energy_fj += switched * row.v2
+                + chunk as f64 * row.leak_fj
+                + chunk_errors as f64 * row.recovery_fj;
+            baseline_fj += switched * v2_nominal + chunk as f64 * leak_nominal;
+            errors += chunk_errors;
+            shadow_violations += chunk_shadow;
+            mv_sum += f64::from(v.mv()) * chunk as f64;
+            min_v = min_v.min(v);
+            self.governor.record_batch(chunk, chunk_errors);
+            cycle += chunk;
+
+            if let Some(window) = self.sample_every {
+                window_errors += chunk_errors;
+                window_cycles += chunk;
+                if window_cycles == window {
+                    samples.push(VoltageSample {
+                        cycle,
+                        voltage: self.governor.voltage(),
+                        window_error_rate: window_errors as f64 / window as f64,
+                    });
+                    window_errors = 0;
+                    window_cycles = 0;
+                }
+            }
+        }
+        if window_cycles > 0 {
+            // Trailing partial window: report it rather than dropping the
+            // tail of the trajectory.
+            samples.push(VoltageSample {
+                cycle: cycles,
+                voltage: self.governor.voltage(),
+                window_error_rate: window_errors as f64 / window_cycles as f64,
+            });
+        }
+
+        let summary = match hist {
+            Some(h) if cycles > 0 => Some(crate::TraceSummary::from_parts(
+                h.hist,
+                h.total_cap,
+                h.toggles,
+                cycles,
+            )),
+            _ => None,
+        };
+        SimReport {
+            cycles,
+            errors,
+            shadow_violations,
+            energy: Femtojoules::new(energy_fj),
+            baseline_energy: Femtojoules::new(baseline_fj),
+            mean_voltage_mv: if cycles == 0 {
+                0.0
+            } else {
+                mv_sum / cycles as f64
+            },
+            min_voltage: min_v,
+            samples,
+            summary,
+        }
+    }
+
+    /// Runs `cycles` cycles through the original cycle-at-a-time loop:
+    /// one grid lookup, two threshold-matrix probes, two energy-table
+    /// probes and one `record_cycle` per cycle.
+    ///
+    /// This is the semantic reference for [`BusSimulator::run`] — slower,
+    /// but trivially correct — kept so differential tests can pin the
+    /// batched loop to it (and so future loop changes have a baseline to
+    /// diff against).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the governor commands a voltage off the design grid.
+    pub fn run_reference(&mut self, cycles: u64) -> SimReport {
         let design = self.design;
         let grid = design.grid();
         let tables = design.tables();
@@ -141,8 +403,6 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
         let rep_cap = tables.repeater_cap_per_toggle().ff();
         let clock_cap = fe.clock_capacitance(n_flops).ff();
         let data_cap = fe.data_capacitance().ff();
-        // Recovery ~ one extra bank clock + one restored bit (paper: the
-        // extra clocking dominates).
         let recovery_cap = clock_cap + data_cap;
 
         let nominal_idx = grid.index_of(design.nominal()).expect("nominal on grid");
@@ -168,9 +428,7 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
             let analysis = bus.analyze_cycle(self.prev_word, cur);
             self.prev_word = cur;
 
-            let bucket = (analysis.toggled_wires / 4).min(8) as usize;
-            // Quantized exactly like the histogram engine (1 fF/mm bins)
-            // so the two agree cycle-for-cycle.
+            let bucket = ((analysis.toggled_wires / 4) as usize).min(N_BUCKETS - 1);
             let error = analysis.toggled_wires > 0
                 && crate::summary::ceff_bin_floor(analysis.worst_ceff_per_mm)
                     > matrix.pass_limit_at(vi, bucket);
@@ -212,6 +470,13 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
                 }
             }
         }
+        if window_cycles > 0 {
+            samples.push(VoltageSample {
+                cycle: cycles,
+                voltage: self.governor.voltage(),
+                window_error_rate: window_errors as f64 / window_cycles as f64,
+            });
+        }
 
         SimReport {
             cycles,
@@ -226,6 +491,7 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
             },
             min_voltage: min_v,
             samples,
+            summary: None,
         }
     }
 }
@@ -271,25 +537,189 @@ mod tests {
         assert!(r.min_voltage < Millivolts::new(1_100));
     }
 
+    /// Differential harness: batched [`BusSimulator::run`] against the
+    /// cycle-at-a-time [`BusSimulator::run_reference`] over the same
+    /// trace/governor. Error and violation counts must be bit-identical,
+    /// energies within 1e-9 relative (accumulation order differs), and
+    /// the sampled trajectory must match window-for-window.
+    fn assert_batched_matches_reference<G: VoltageGovernor + Clone>(
+        d: &DvsBusDesign,
+        pvt: PvtCorner,
+        bench: Benchmark,
+        seed: u64,
+        governor: G,
+        cycles: u64,
+        sampling: Option<u64>,
+    ) {
+        let build = |g: G| {
+            let sim = BusSimulator::new(d, pvt, bench.trace(seed), g);
+            match sampling {
+                Some(w) => sim.with_sampling(w),
+                None => sim,
+            }
+        };
+        let fast = build(governor.clone()).run(cycles);
+        let slow = build(governor).run_reference(cycles);
+
+        let ctx = format!("{bench} @ {pvt}, {cycles} cycles");
+        assert_eq!(fast.errors, slow.errors, "errors diverged: {ctx}");
+        assert_eq!(
+            fast.shadow_violations, slow.shadow_violations,
+            "violations diverged: {ctx}"
+        );
+        assert_eq!(fast.min_voltage, slow.min_voltage, "min V diverged: {ctx}");
+        let rel_energy = (fast.energy.fj() - slow.energy.fj()).abs() / slow.energy.fj();
+        assert!(rel_energy < 1e-9, "energy diverged {rel_energy}: {ctx}");
+        let rel_base = (fast.baseline_energy.fj() - slow.baseline_energy.fj()).abs()
+            / slow.baseline_energy.fj();
+        assert!(rel_base < 1e-9, "baseline diverged {rel_base}: {ctx}");
+        assert!(
+            (fast.mean_voltage_mv - slow.mean_voltage_mv).abs() < 1e-9,
+            "mean V diverged: {ctx}"
+        );
+        assert_eq!(
+            fast.samples.len(),
+            slow.samples.len(),
+            "sample count diverged: {ctx}"
+        );
+        for (f, s) in fast.samples.iter().zip(&slow.samples) {
+            assert_eq!(f.cycle, s.cycle, "{ctx}");
+            assert_eq!(f.voltage, s.voltage, "sampled V diverged: {ctx}");
+            assert!(
+                (f.window_error_rate - s.window_error_rate).abs() < 1e-12,
+                "window rate diverged at cycle {}: {ctx}",
+                f.cycle
+            );
+        }
+    }
+
+    #[test]
+    fn batched_matches_reference_fixed_voltage_300k() {
+        let d = design();
+        for (bench, v, seed) in [
+            (Benchmark::Vortex, 940, 11),
+            (Benchmark::Mgrid, 900, 5),
+            (Benchmark::Crafty, 1_000, 7),
+        ] {
+            assert_batched_matches_reference(
+                &d,
+                PvtCorner::TYPICAL,
+                bench,
+                seed,
+                FixedVoltage::new(Millivolts::new(v)),
+                300_000,
+                None,
+            );
+        }
+    }
+
+    #[test]
+    fn batched_matches_reference_threshold_controller_300k() {
+        let d = design();
+        for (bench, seed) in [(Benchmark::Crafty, 5), (Benchmark::Mgrid, 3)] {
+            let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Typical));
+            assert_batched_matches_reference(
+                &d,
+                PvtCorner::TYPICAL,
+                bench,
+                seed,
+                ctrl,
+                300_000,
+                Some(10_000),
+            );
+        }
+    }
+
+    #[test]
+    fn batched_matches_reference_proportional_and_corners() {
+        let d = design();
+        // The proportional governor exercises its own batch override; the
+        // worst corner exercises a different threshold matrix, and the
+        // 17_500-cycle sampling window lands chunk boundaries away from
+        // the controller's 10 k decision windows.
+        let prop = razorbus_ctrl::ProportionalController::paper_band(
+            d.controller_config(ProcessCorner::Typical),
+        );
+        assert_batched_matches_reference(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Gap,
+            9,
+            prop,
+            300_000,
+            Some(17_500),
+        );
+        let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Slow));
+        assert_batched_matches_reference(
+            &d,
+            PvtCorner::WORST,
+            Benchmark::Swim,
+            2,
+            ctrl,
+            300_000,
+            None,
+        );
+    }
+
     #[test]
     fn sim_matches_summary_for_fixed_voltage() {
         // The streaming simulator and the histogram engine must agree on
-        // error counts and (closely) on energy for a fixed supply.
+        // error counts and (closely) on energy for a fixed supply —
+        // across benchmarks, corners and supplies.
         let d = design();
-        let v = Millivolts::new(940);
+        for (bench, seed, pvt, v_mv) in [
+            (Benchmark::Vortex, 11, PvtCorner::TYPICAL, 940),
+            (Benchmark::Crafty, 3, PvtCorner::TYPICAL, 880),
+            (Benchmark::Mgrid, 8, PvtCorner::WORST, 1_120),
+            (Benchmark::Gap, 1, PvtCorner::TYPICAL, 1_200),
+        ] {
+            let v = Millivolts::new(v_mv);
+            let mut sim = BusSimulator::new(&d, pvt, bench.trace(seed), FixedVoltage::new(v));
+            let r = sim.run(50_000);
+            let mut trace = bench.trace(seed);
+            let s = crate::TraceSummary::collect(&d, &mut trace, 50_000);
+            assert_eq!(r.errors, s.error_cycles(&d, pvt, v), "{bench} @ {v}");
+            let e_summary = s.energy(&d, pvt, v, true);
+            let rel = (r.energy.fj() - e_summary.fj()).abs() / e_summary.fj();
+            assert!(rel < 1e-9, "energy mismatch {rel}: {bench} @ {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_byproduct_matches_summary_collect() {
+        // with_histogram must yield exactly what TraceSummary::collect
+        // gathers over the same words — same integer counts, same float
+        // accumulation order — even while a controller moves the supply.
+        let d = design();
+        let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Typical));
+        let mut sim = BusSimulator::new(&d, PvtCorner::TYPICAL, Benchmark::Crafty.trace(7), ctrl)
+            .with_histogram();
+        let r = sim.run(80_000);
+        let from_sim = r.summary.expect("histogram requested");
+        let mut trace = Benchmark::Crafty.trace(7);
+        let collected = crate::TraceSummary::collect(&d, &mut trace, 80_000);
+        assert_eq!(from_sim.cycles(), collected.cycles());
+        assert_eq!(from_sim.mean_toggles(), collected.mean_toggles());
+        for v in d.grid().iter() {
+            for pvt in [PvtCorner::TYPICAL, PvtCorner::WORST] {
+                assert_eq!(
+                    from_sim.error_cycles(&d, pvt, v),
+                    collected.error_cycles(&d, pvt, v),
+                    "{pvt} @ {v}"
+                );
+            }
+            let a = from_sim.energy(&d, PvtCorner::TYPICAL, v, true);
+            let b = collected.energy(&d, PvtCorner::TYPICAL, v, true);
+            assert_eq!(a.fj(), b.fj(), "energy at {v}");
+        }
+        // Without the flag, no summary is produced.
         let mut sim = BusSimulator::new(
             &d,
             PvtCorner::TYPICAL,
-            Benchmark::Vortex.trace(11),
-            FixedVoltage::new(v),
+            Benchmark::Crafty.trace(7),
+            FixedVoltage::new(Millivolts::new(1_200)),
         );
-        let r = sim.run(50_000);
-        let mut trace = Benchmark::Vortex.trace(11);
-        let s = crate::TraceSummary::collect(&d, &mut trace, 50_000);
-        assert_eq!(r.errors, s.error_cycles(&d, PvtCorner::TYPICAL, v));
-        let e_summary = s.energy(&d, PvtCorner::TYPICAL, v, true);
-        let rel = (r.energy.fj() - e_summary.fj()).abs() / e_summary.fj();
-        assert!(rel < 1e-9, "energy mismatch {rel}");
+        assert!(sim.run(1_000).summary.is_none());
     }
 
     #[test]
@@ -301,6 +731,33 @@ mod tests {
         let r = sim.run(100_000);
         assert_eq!(r.samples.len(), 10);
         assert!(r.samples.iter().all(|s| s.voltage >= Millivolts::new(760)));
+    }
+
+    #[test]
+    fn sampling_emits_trailing_partial_window() {
+        // run(105_000) with 10 k sampling used to silently drop the last
+        // 5 k cycles of trajectory; they now arrive as a final partial
+        // sample whose rate is normalized by the partial length.
+        let d = design();
+        let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Typical));
+        let mut sim = BusSimulator::new(&d, PvtCorner::TYPICAL, Benchmark::Gap.trace(1), ctrl)
+            .with_sampling(10_000);
+        let r = sim.run(105_000);
+        assert_eq!(r.samples.len(), 11);
+        let last = r.samples.last().unwrap();
+        assert_eq!(last.cycle, 105_000);
+        assert!(last.window_error_rate >= 0.0 && last.window_error_rate <= 1.0);
+        // A partial window of 1 cycle is still reported, with a 0-or-1 rate.
+        let mut sim = BusSimulator::new(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Gap.trace(1),
+            FixedVoltage::new(Millivolts::new(1_200)),
+        )
+        .with_sampling(10_000);
+        let r = sim.run(10_001);
+        assert_eq!(r.samples.len(), 2);
+        assert_eq!(r.samples[1].cycle, 10_001);
     }
 
     #[test]

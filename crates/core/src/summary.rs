@@ -19,10 +19,10 @@ pub const CEFF_BIN_WIDTH: f64 = 1.0;
 /// paper bus can present).
 pub const N_CEFF_BINS: usize = 512;
 /// Activity buckets (must match the threshold matrix).
-const N_BUCKETS: usize = 9;
+pub(crate) const N_BUCKETS: usize = 9;
 
 #[inline]
-fn bin_of(ceff: f64) -> usize {
+pub(crate) fn bin_of(ceff: f64) -> usize {
     ((ceff / CEFF_BIN_WIDTH) as usize).min(N_CEFF_BINS - 1)
 }
 
@@ -82,7 +82,7 @@ impl TraceSummary {
             if a.toggled_wires == 0 {
                 continue;
             }
-            let bucket = (a.toggled_wires / 4).min(8) as usize;
+            let bucket = ((a.toggled_wires / 4) as usize).min(N_BUCKETS - 1);
             hist[bucket * N_CEFF_BINS + bin_of(a.worst_ceff_per_mm)] += 1;
             total_cap += a.switched_cap_per_mm;
             toggles += u64::from(a.toggled_wires);
@@ -91,6 +91,31 @@ impl TraceSummary {
             hist,
             total_switched_cap_per_mm: total_cap,
             total_toggles: toggles,
+            cycles,
+        }
+    }
+
+    /// Assembles a summary from raw accumulators — used by the streaming
+    /// simulator, whose batched loop computes the identical per-cycle
+    /// (bucket, load-bin) classification and can therefore produce the
+    /// histogram as a by-product of a closed-loop run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram shape is wrong or `cycles == 0`.
+    #[must_use]
+    pub(crate) fn from_parts(
+        hist: Vec<u64>,
+        total_switched_cap_per_mm: f64,
+        total_toggles: u64,
+        cycles: u64,
+    ) -> Self {
+        assert_eq!(hist.len(), N_BUCKETS * N_CEFF_BINS, "histogram shape");
+        assert!(cycles > 0, "need at least one cycle");
+        Self {
+            hist,
+            total_switched_cap_per_mm,
+            total_toggles,
             cycles,
         }
     }

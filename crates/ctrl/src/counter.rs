@@ -70,6 +70,43 @@ impl ErrorCounter {
             None
         }
     }
+
+    /// Cycles left before the current window closes (always ≥ 1).
+    #[must_use]
+    pub fn cycles_to_window_close(&self) -> u64 {
+        self.window - self.in_window
+    }
+
+    /// Records `cycles` cycles containing `errors` error cycles in one
+    /// call. Since a window's rate depends only on its error *count*, a
+    /// batch that stays inside one window is exactly equivalent to the
+    /// same cycles recorded one at a time. Returns `Some(rate)` when the
+    /// batch ends exactly on a window close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch would cross a window boundary (the error split
+    /// between the closing and the next window would be ambiguous) or if
+    /// `errors > cycles`.
+    pub fn record_batch(&mut self, cycles: u64, errors: u64) -> Option<f64> {
+        assert!(errors <= cycles, "more errors than cycles in batch");
+        assert!(
+            cycles <= self.cycles_to_window_close(),
+            "batch of {cycles} cycles would cross a window boundary ({} left)",
+            self.cycles_to_window_close()
+        );
+        self.errors += errors;
+        self.in_window += cycles;
+        if self.in_window == self.window {
+            let rate = self.errors as f64 / self.window as f64;
+            self.in_window = 0;
+            self.errors = 0;
+            self.windows_closed += 1;
+            Some(rate)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +143,29 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn rejects_zero_window() {
         let _ = ErrorCounter::new(0);
+    }
+
+    #[test]
+    fn batch_matches_per_cycle_recording() {
+        let mut scalar = ErrorCounter::new(10);
+        let mut batched = ErrorCounter::new(10);
+        for i in 0..7 {
+            scalar.record(i < 2);
+        }
+        assert_eq!(batched.record_batch(7, 2), None);
+        assert_eq!(batched.cycles_to_window_close(), 3);
+        let scalar_close = (0..3).filter_map(|i| scalar.record(i < 1)).next();
+        let batch_close = batched.record_batch(3, 1);
+        assert_eq!(scalar_close, batch_close);
+        assert!((batch_close.unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(batched.windows_closed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross a window boundary")]
+    fn batch_rejects_window_crossing() {
+        let mut c = ErrorCounter::new(10);
+        c.record(false);
+        let _ = c.record_batch(10, 0);
     }
 }

@@ -52,6 +52,18 @@ impl VoltageGovernor for FixedVoltage {
     fn errors(&self) -> u64 {
         self.errors
     }
+
+    /// A fixed supply is steady forever — the simulator's batched path
+    /// degenerates to one chunk per sample window.
+    fn steady_cycles(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn record_batch(&mut self, cycles: u64, errors: u64) {
+        debug_assert!(errors <= cycles, "more errors than cycles in batch");
+        self.cycles += cycles;
+        self.errors += errors;
+    }
 }
 
 #[cfg(test)]

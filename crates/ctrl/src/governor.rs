@@ -9,6 +9,16 @@ use razorbus_units::Millivolts;
 /// then reports whether the flop bank raised an error via
 /// [`VoltageGovernor::record_cycle`]. Implementations keep their own
 /// cycle counters, windows and regulator ramp state.
+///
+/// # The steady-state fast path
+///
+/// Cycle-by-cycle recording is the semantic reference, but most governors
+/// spend almost all of their time *not* moving: the supply only changes
+/// at window boundaries or when a regulator ramp completes. A governor
+/// can advertise that through [`VoltageGovernor::steady_cycles`], and the
+/// simulator will then evaluate a whole chunk of cycles at the current
+/// supply in a tight loop and report the outcomes in one
+/// [`VoltageGovernor::record_batch`] call.
 pub trait VoltageGovernor {
     /// Supply set-point in force for the current cycle.
     fn voltage(&self) -> Millivolts;
@@ -22,6 +32,42 @@ pub trait VoltageGovernor {
 
     /// Total error cycles recorded.
     fn errors(&self) -> u64;
+
+    /// Number of upcoming cycles `n` for which this governor guarantees
+    /// both that (a) [`VoltageGovernor::voltage`] stays at its current
+    /// value for the next `n` cycles *no matter which outcomes are
+    /// recorded*, and (b) recording any `k <= n` of those cycles in bulk
+    /// via [`VoltageGovernor::record_batch`] is behaviorally identical to
+    /// `k` individual [`VoltageGovernor::record_cycle`] calls in any
+    /// error order.
+    ///
+    /// The default of 1 is trivially correct for every governor (the
+    /// current voltage is, by definition, in force for the current
+    /// cycle). Windowed controllers return the distance to the next
+    /// decision point (window close or ramp completion), which is what
+    /// enables the simulator's batched fast path.
+    fn steady_cycles(&self) -> u64 {
+        1
+    }
+
+    /// Records `cycles` cycles containing `errors` error cycles in bulk.
+    ///
+    /// Callers must not pass `cycles` larger than the last
+    /// [`VoltageGovernor::steady_cycles`] answer (re-queried after every
+    /// batch); within that contract the error order inside the batch is
+    /// immaterial. The default implementation replays individual
+    /// [`VoltageGovernor::record_cycle`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic (at least in debug builds) when
+    /// `errors > cycles`.
+    fn record_batch(&mut self, cycles: u64, errors: u64) {
+        debug_assert!(errors <= cycles, "more errors than cycles in batch");
+        for i in 0..cycles {
+            self.record_cycle(i < errors);
+        }
+    }
 
     /// Lifetime average error rate.
     fn average_error_rate(&self) -> f64 {
@@ -67,5 +113,27 @@ mod tests {
         d.record_cycle(true);
         d.record_cycle(false);
         assert!((d.average_error_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_steady_hint_is_one_cycle() {
+        let d = Dummy {
+            cycles: 0,
+            errors: 0,
+        };
+        assert_eq!(d.steady_cycles(), 1);
+    }
+
+    #[test]
+    fn default_record_batch_replays_cycles() {
+        let mut d = Dummy {
+            cycles: 0,
+            errors: 0,
+        };
+        d.record_batch(10, 3);
+        assert_eq!(d.cycles(), 10);
+        assert_eq!(d.errors(), 3);
+        d.record_batch(0, 0);
+        assert_eq!(d.cycles(), 10);
     }
 }

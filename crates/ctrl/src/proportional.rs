@@ -133,6 +133,34 @@ impl VoltageGovernor for ProportionalController {
     fn errors(&self) -> u64 {
         self.errors
     }
+
+    /// Same steady-state structure as the threshold controller: the
+    /// supply holds until the in-flight ramp completes or the window
+    /// closes, whichever comes first.
+    fn steady_cycles(&self) -> u64 {
+        let to_close = self.counter.cycles_to_window_close();
+        match self.pending {
+            Some((_, remaining)) => remaining.min(to_close),
+            None => to_close,
+        }
+    }
+
+    fn record_batch(&mut self, cycles: u64, errors: u64) {
+        debug_assert!(errors <= cycles, "more errors than cycles in batch");
+        self.cycles += cycles;
+        self.errors += errors;
+        if let Some((target, remaining)) = self.pending {
+            if cycles >= remaining {
+                self.pending = None;
+                self.current = target;
+            } else {
+                self.pending = Some((target, remaining - cycles));
+            }
+        }
+        if let Some(rate) = self.counter.record_batch(cycles, errors) {
+            self.decide(rate);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +210,27 @@ mod tests {
             }
         }
         assert_eq!(c.voltage(), Millivolts::new(1_160));
+    }
+
+    #[test]
+    fn batch_recording_matches_per_cycle_trajectory() {
+        let mut scalar = controller();
+        let mut batched = controller();
+        let error_at = |cycle: u64| cycle.is_multiple_of(53);
+        let total = 90_000u64;
+        let mut cycle = 0u64;
+        while cycle < total {
+            let n = batched.steady_cycles().min(total - cycle);
+            let errs = (cycle..cycle + n).filter(|&c| error_at(c)).count() as u64;
+            for c in cycle..cycle + n {
+                scalar.record_cycle(error_at(c));
+            }
+            batched.record_batch(n, errs);
+            assert_eq!(scalar.voltage(), batched.voltage(), "cycle {cycle}");
+            cycle += n;
+        }
+        assert_eq!(scalar.cycles(), batched.cycles());
+        assert_eq!(scalar.errors(), batched.errors());
     }
 
     #[test]

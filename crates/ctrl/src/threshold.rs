@@ -192,6 +192,39 @@ impl VoltageGovernor for ThresholdController {
     fn errors(&self) -> u64 {
         self.errors
     }
+
+    /// The supply can only move when the in-flight ramp completes or when
+    /// a window closes with an instant regulator, so it is guaranteed
+    /// steady until the nearer of the two; the window's rate depends only
+    /// on the error count, making bulk recording exact up to that point.
+    fn steady_cycles(&self) -> u64 {
+        let to_close = self.counter.cycles_to_window_close();
+        match self.pending {
+            Some((_, remaining)) => remaining.min(to_close),
+            None => to_close,
+        }
+    }
+
+    fn record_batch(&mut self, cycles: u64, errors: u64) {
+        debug_assert!(errors <= cycles, "more errors than cycles in batch");
+        self.cycles += cycles;
+        self.errors += errors;
+        if let Some((target, remaining)) = self.pending {
+            // `cycles <= remaining` by the steady_cycles contract, so the
+            // ramp either completes exactly at the batch end or keeps
+            // counting down — as in the per-cycle path, where the apply
+            // happens before the window decision.
+            if cycles >= remaining {
+                self.pending = None;
+                self.apply(target);
+            } else {
+                self.pending = Some((target, remaining - cycles));
+            }
+        }
+        if let Some(rate) = self.counter.record_batch(cycles, errors) {
+            self.decide(rate);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,5 +318,50 @@ mod tests {
     #[should_panic(expected = "floor above nominal")]
     fn rejects_floor_above_nominal() {
         let _ = controller(1_300);
+    }
+
+    #[test]
+    fn batch_recording_matches_per_cycle_trajectory() {
+        // Drive one controller cycle-by-cycle and a clone in
+        // steady_cycles-sized batches over the same deterministic error
+        // stream; every piece of observable state must stay in lockstep.
+        let mut scalar = controller(900);
+        let mut batched = controller(900);
+        let error_at = |cycle: u64| cycle.is_multiple_of(37) && !cycle.is_multiple_of(5);
+        let total = 120_000u64;
+        let mut cycle = 0u64;
+        while cycle < total {
+            let n = batched.steady_cycles().min(total - cycle);
+            assert!(n >= 1);
+            let errs = (cycle..cycle + n).filter(|&c| error_at(c)).count() as u64;
+            for c in cycle..cycle + n {
+                scalar.record_cycle(error_at(c));
+            }
+            batched.record_batch(n, errs);
+            assert_eq!(scalar.voltage(), batched.voltage(), "cycle {cycle}");
+            cycle += n;
+        }
+        assert_eq!(scalar.cycles(), batched.cycles());
+        assert_eq!(scalar.errors(), batched.errors());
+        assert_eq!(scalar.steps_down(), batched.steps_down());
+        assert_eq!(scalar.steps_up(), batched.steps_up());
+        assert_eq!(scalar.ramping(), batched.ramping());
+    }
+
+    #[test]
+    fn steady_cycles_tracks_window_and_ramp() {
+        let mut c = controller(900);
+        // Fresh controller: steady until the first window close.
+        assert_eq!(c.steady_cycles(), 10_000);
+        c.record_cycle(false);
+        assert_eq!(c.steady_cycles(), 9_999);
+        // Close the window error-free: a -20 mV ramp (3000 cycles) starts.
+        for _ in 0..9_999 {
+            c.record_cycle(false);
+        }
+        assert!(c.ramping());
+        assert_eq!(c.steady_cycles(), 3_000);
+        c.record_cycle(false);
+        assert_eq!(c.steady_cycles(), 2_999);
     }
 }

@@ -78,6 +78,56 @@ pub struct BusPhysical {
     droop: DroopModel,
     /// Flattened neighbor tables for the hot loop.
     slots: Vec<[Slot; 4]>,
+    /// Per-wire bitmask of signal-neighbor indices: when
+    /// `toggled & sig_mask[i] == 0`, every neighbor of wire `i` is quiet
+    /// this cycle and the slot loop's result is exactly the precomputed
+    /// static sums below.
+    sig_mask: Vec<u32>,
+    /// Slot-ordered Σ scale·miller_static over non-open slots — the
+    /// delay weight of a wire whose whole neighborhood is quiet.
+    quiet_delay: Vec<f64>,
+    /// Slot-ordered Σ scale over non-open slots — the energy weight of a
+    /// wire whose whole neighborhood is quiet.
+    quiet_energy: Vec<f64>,
+}
+
+/// Builds the quiet-neighborhood fast-path tables. The sums are
+/// accumulated in slot order so they are bit-identical to what the full
+/// slot loop produces when no signal neighbor toggles.
+fn quiet_tables(
+    slots: &[[Slot; 4]],
+    parasitics: &WireParasitics,
+    coupling: &CouplingModel,
+) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
+    let cc = parasitics.cc_per_mm().ff();
+    let cc2 = parasitics.cc2_per_mm().ff();
+    let mut sig_mask = Vec::with_capacity(slots.len());
+    let mut quiet_delay = Vec::with_capacity(slots.len());
+    let mut quiet_energy = Vec::with_capacity(slots.len());
+    for wire_slots in slots {
+        let mut mask = 0u32;
+        let mut k_delay = 0.0;
+        let mut k_energy = 0.0;
+        for (idx, slot) in wire_slots.iter().enumerate() {
+            let scale = if idx < 2 { cc } else { cc2 };
+            match *slot {
+                Slot::Open => {}
+                Slot::Shield => {
+                    k_delay += scale * coupling.miller_static;
+                    k_energy += scale;
+                }
+                Slot::Signal(j) => {
+                    mask |= 1u32 << j;
+                    k_delay += scale * coupling.miller_static;
+                    k_energy += scale;
+                }
+            }
+        }
+        sig_mask.push(mask);
+        quiet_delay.push(k_delay);
+        quiet_energy.push(k_energy);
+    }
+    (sig_mask, quiet_delay, quiet_energy)
 }
 
 impl BusPhysical {
@@ -89,6 +139,9 @@ impl BusPhysical {
     ///
     /// Returns the underlying [`SizingError`] when no repeater width meets
     /// `max_path_delay` at the design corner.
+    // The constructor takes the full physical parameter set of a bus; a
+    // builder would only rename the same eight knobs.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         layout: BusLayout,
         parasitics: WireParasitics,
@@ -115,7 +168,7 @@ impl BusPhysical {
             max_path_delay,
         )?;
         let line = line_proto.with_repeater_width(width);
-        let slots = layout
+        let slots: Vec<[Slot; 4]> = layout
             .positions()
             .map(|p| {
                 [
@@ -126,6 +179,7 @@ impl BusPhysical {
                 ]
             })
             .collect();
+        let (sig_mask, quiet_delay, quiet_energy) = quiet_tables(&slots, &parasitics, &coupling);
         Ok(Self {
             layout,
             parasitics,
@@ -136,6 +190,9 @@ impl BusPhysical {
             design_corner,
             droop,
             slots,
+            sig_mask,
+            quiet_delay,
+            quiet_energy,
         })
     }
 
@@ -177,10 +234,17 @@ impl BusPhysical {
     pub fn with_boosted_coupling(&self, ratio_boost: f64) -> Self {
         let (k1w, k2w) = worst_weights(&self.layout, &self.coupling);
         let parasitics = self.parasitics.boost_coupling_ratio(ratio_boost, k1w, k2w);
+        // The coupling caps changed, so the quiet-path tables must be
+        // rebuilt from the new parasitics.
+        let (sig_mask, quiet_delay, quiet_energy) =
+            quiet_tables(&self.slots, &parasitics, &self.coupling);
         Self {
             parasitics,
             slots: self.slots.clone(),
             layout: self.layout.clone(),
+            sig_mask,
+            quiet_delay,
+            quiet_energy,
             ..self.clone()
         }
     }
@@ -404,6 +468,13 @@ impl BusPhysical {
         let cc = self.parasitics.cc_per_mm().ff();
         let cc2 = self.parasitics.cc2_per_mm().ff();
         let m = &self.coupling;
+        // Hoist the scale·weight products out of the slot loop. Each is
+        // the same two operands the loop used to multiply per slot, so
+        // the accumulated sums are bit-identical.
+        let static_w = [cc * m.miller_static, cc2 * m.miller_static];
+        let same_w = [cc * m.miller_same, cc2 * m.miller_same];
+        let opp_w = [cc * m.miller_opposite, cc2 * m.miller_opposite];
+        let energy_2w = [cc * 2.0, cc2 * 2.0];
 
         let mut worst: f64 = 0.0;
         let mut switched: f64 = 0.0;
@@ -414,33 +485,46 @@ impl BusPhysical {
             let i = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             count += 1;
+
+            if toggled & self.sig_mask[i] == 0 {
+                // Quiet neighborhood: every neighbor contributes its
+                // static Miller weight, which is precomputed in slot
+                // order — bit-identical to the loop below, without
+                // running it.
+                let ceff = cg + self.quiet_delay[i];
+                if ceff > worst {
+                    worst = ceff;
+                }
+                switched += cg + self.quiet_energy[i];
+                continue;
+            }
             let rising = (cur >> i) & 1 == 1;
 
             let mut k_delay = 0.0;
             let mut k_energy = 0.0;
             let slots = &self.slots[i];
             for (idx, slot) in slots.iter().enumerate() {
-                let scale = if idx < 2 { cc } else { cc2 };
+                let side = usize::from(idx >= 2);
                 match *slot {
                     Slot::Open => {}
                     Slot::Shield => {
-                        k_delay += scale * m.miller_static;
-                        k_energy += scale;
+                        k_delay += static_w[side];
+                        k_energy += if side == 0 { cc } else { cc2 };
                     }
                     Slot::Signal(j) => {
                         let j = usize::from(j);
                         if (toggled >> j) & 1 == 0 {
-                            k_delay += scale * m.miller_static;
-                            k_energy += scale;
+                            k_delay += static_w[side];
+                            k_energy += if side == 0 { cc } else { cc2 };
                         } else if ((cur >> j) & 1 == 1) == rising {
-                            k_delay += scale * m.miller_same;
+                            k_delay += same_w[side];
                             // aligned: no charge across the coupling cap
                         } else {
                             let u =
                                 m.misalignment(crate::coupling::alignment_unit(prev, cur, i, idx));
                             let align = 1.0 - m.alignment_spread * u;
-                            k_delay += scale * m.miller_opposite * align;
-                            k_energy += scale * 2.0;
+                            k_delay += opp_w[side] * align;
+                            k_energy += energy_2w[side];
                         }
                     }
                 }
@@ -683,6 +767,44 @@ mod tests {
         let b = bus();
         let spread = b.worst_effective_cap_per_mm().ff() / b.best_effective_cap_per_mm().ff();
         assert!(spread > 2.0, "pattern spread {spread}");
+    }
+
+    #[test]
+    fn analyze_cycle_fast_path_matches_per_wire_reference() {
+        // per_wire_effective_caps keeps the original full slot loop, so
+        // the quiet-neighborhood fast path must reproduce its worst-wire
+        // load *bitwise* on every pattern — isolated toggles (fast path),
+        // dense toggles (slow path), and mixtures, on both the paper bus
+        // and the boosted-coupling variant (whose tables are rebuilt).
+        for b in [bus(), bus().with_boosted_coupling(1.95)] {
+            let mut x = 0x1234_5678_9ABC_DEFFu64;
+            let mut prev = 0u32;
+            for step in 0..2_000u32 {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let cur = match step % 4 {
+                    0 => prev ^ (1 << (x % 32)),             // isolated toggle
+                    1 => (x >> 32) as u32,                   // dense random
+                    2 => prev,                               // no toggle
+                    _ => prev ^ ((x >> 32) as u32 & 0x1111), // scattered
+                };
+                let a = b.analyze_cycle(prev, cur);
+                let per_wire = b.per_wire_effective_caps(prev, cur);
+                let worst_ref = per_wire
+                    .iter()
+                    .flatten()
+                    .map(|c| c.ff())
+                    .fold(0.0f64, f64::max);
+                assert_eq!(a.worst_ceff_per_mm, worst_ref, "step {step}");
+                assert_eq!(
+                    a.toggled_wires,
+                    per_wire.iter().flatten().count() as u32,
+                    "step {step}"
+                );
+                prev = cur;
+            }
+        }
     }
 
     #[test]

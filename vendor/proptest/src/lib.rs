@@ -157,15 +157,18 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3, E.4, F.5);
     }
 
+    /// One boxed alternative sampler of a [`Union`].
+    pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
     /// Uniform choice between boxed alternative strategies; built by
     /// [`crate::prop_oneof!`].
     pub struct Union<V> {
-        options: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+        options: Vec<UnionArm<V>>,
     }
 
     impl<V> Union<V> {
         /// Build from the sampler of each alternative.
-        pub fn new(options: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+        pub fn new(options: Vec<UnionArm<V>>) -> Self {
             assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
             Self { options }
         }
