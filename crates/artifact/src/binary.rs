@@ -1,0 +1,413 @@
+//! The compact binary payload encoding (`razorbus-binary/v1`).
+//!
+//! A positional little-endian encoding in the spirit of `bincode`: fixed
+//! field order makes records dense and fast, while the container header
+//! ([`crate::container`]) carries the magic, version, kind and checksum
+//! that make files safe to reload. The byte-level layout is specified in
+//! `docs/formats.md` — change that file and this one together.
+//!
+//! * fixed-width little-endian integers and IEEE-754 floats,
+//! * `u64` length prefixes for strings and sequences,
+//! * structs/tuples as their elements in declaration order (no names),
+//! * enums as a `u32` variant index plus the optional newtype payload,
+//! * options as a one-byte tag (`0`/`1`) plus the payload.
+
+use crate::error::ArtifactError;
+use serde::de::{self, Deserialize};
+use serde::ser::{self, Serialize};
+
+/// Serializes `value` into the raw binary payload (no container header).
+///
+/// ```
+/// let bytes = razorbus_artifact::binary::to_bytes(&(42u32, true)).unwrap();
+/// assert_eq!(bytes, [42, 0, 0, 0, 1]);
+/// let back: (u32, bool) = razorbus_artifact::binary::from_bytes(&bytes).unwrap();
+/// assert_eq!(back, (42, true));
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`ArtifactError`] from the value's `Serialize` impl.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, ArtifactError> {
+    let mut out = Vec::new();
+    value.serialize(&mut BinWriter { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserializes a value from a raw binary payload, requiring every input
+/// byte to be consumed.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::Truncated`] if the payload ends early,
+/// [`ArtifactError::Malformed`] on invalid content or trailing bytes.
+pub fn from_bytes<T: de::DeserializeOwned>(bytes: &[u8]) -> Result<T, ArtifactError> {
+    let mut reader = BinReader { bytes, pos: 0 };
+    let value = T::deserialize(&mut reader)?;
+    if reader.pos != bytes.len() {
+        return Err(ArtifactError::Malformed(format!(
+            "{} trailing bytes after the payload",
+            bytes.len() - reader.pos
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+struct BinWriter<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+/// Compound builder shared by seq/tuple/struct serialization (the binary
+/// format writes elements back to back in all three cases).
+pub struct BinCompound<'a, 'b> {
+    writer: &'a mut BinWriter<'b>,
+}
+
+impl<'a, 'b> ser::Serializer for &'a mut BinWriter<'b> {
+    type Ok = ();
+    type Error = ArtifactError;
+    type SerializeSeq = BinCompound<'a, 'b>;
+    type SerializeTuple = BinCompound<'a, 'b>;
+    type SerializeStruct = BinCompound<'a, 'b>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), ArtifactError> {
+        self.out.push(u8::from(v));
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), ArtifactError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_unit(self) -> Result<(), ArtifactError> {
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), ArtifactError> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), ArtifactError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&variant_index.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), ArtifactError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), ArtifactError> {
+        self.out.extend_from_slice(&variant_index.to_le_bytes());
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<BinCompound<'a, 'b>, ArtifactError> {
+        let len = len.ok_or_else(|| {
+            ArtifactError::Malformed("binary sequences need a known length".into())
+        })?;
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+        Ok(BinCompound { writer: self })
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<BinCompound<'a, 'b>, ArtifactError> {
+        Ok(BinCompound { writer: self })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<BinCompound<'a, 'b>, ArtifactError> {
+        Ok(BinCompound { writer: self })
+    }
+}
+
+impl ser::SerializeSeq for BinCompound<'_, '_> {
+    type Ok = ();
+    type Error = ArtifactError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ArtifactError> {
+        value.serialize(&mut *self.writer)
+    }
+    fn end(self) -> Result<(), ArtifactError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for BinCompound<'_, '_> {
+    type Ok = ();
+    type Error = ArtifactError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ArtifactError> {
+        value.serialize(&mut *self.writer)
+    }
+    fn end(self) -> Result<(), ArtifactError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for BinCompound<'_, '_> {
+    type Ok = ();
+    type Error = ArtifactError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), ArtifactError> {
+        value.serialize(&mut *self.writer)
+    }
+    fn end(self) -> Result<(), ArtifactError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+struct BinReader<'de> {
+    bytes: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> BinReader<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], ArtifactError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(ArtifactError::Truncated)?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+macro_rules! read_le {
+    ($reader:expr, $ty:ty) => {{
+        let bytes = $reader.take(core::mem::size_of::<$ty>())?;
+        Ok::<$ty, ArtifactError>(<$ty>::from_le_bytes(bytes.try_into().expect("sized take")))
+    }};
+}
+
+/// Sequence/tuple access with a fixed remaining-element count.
+pub struct BinSeqAccess<'a, 'de> {
+    reader: &'a mut BinReader<'de>,
+    remaining: u64,
+}
+
+/// Positional struct access (binary structs carry no field names).
+pub struct BinStructAccess<'a, 'de> {
+    reader: &'a mut BinReader<'de>,
+}
+
+/// Access to a binary enum payload.
+pub struct BinVariantAccess<'a, 'de> {
+    reader: &'a mut BinReader<'de>,
+}
+
+impl<'a, 'de> de::Deserializer<'de> for &'a mut BinReader<'de> {
+    type Error = ArtifactError;
+    type SeqAccess = BinSeqAccess<'a, 'de>;
+    type StructAccess = BinStructAccess<'a, 'de>;
+    type VariantAccess = BinVariantAccess<'a, 'de>;
+
+    fn deserialize_bool(self) -> Result<bool, ArtifactError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ArtifactError::Malformed(format!(
+                "invalid bool byte {other:#04x}"
+            ))),
+        }
+    }
+    fn deserialize_i8(self) -> Result<i8, ArtifactError> {
+        read_le!(self, i8)
+    }
+    fn deserialize_i16(self) -> Result<i16, ArtifactError> {
+        read_le!(self, i16)
+    }
+    fn deserialize_i32(self) -> Result<i32, ArtifactError> {
+        read_le!(self, i32)
+    }
+    fn deserialize_i64(self) -> Result<i64, ArtifactError> {
+        read_le!(self, i64)
+    }
+    fn deserialize_u8(self) -> Result<u8, ArtifactError> {
+        read_le!(self, u8)
+    }
+    fn deserialize_u16(self) -> Result<u16, ArtifactError> {
+        read_le!(self, u16)
+    }
+    fn deserialize_u32(self) -> Result<u32, ArtifactError> {
+        read_le!(self, u32)
+    }
+    fn deserialize_u64(self) -> Result<u64, ArtifactError> {
+        read_le!(self, u64)
+    }
+    fn deserialize_f32(self) -> Result<f32, ArtifactError> {
+        let bits: u32 = read_le!(self, u32)?;
+        Ok(f32::from_bits(bits))
+    }
+    fn deserialize_f64(self) -> Result<f64, ArtifactError> {
+        let bits: u64 = read_le!(self, u64)?;
+        Ok(f64::from_bits(bits))
+    }
+    fn deserialize_string(self) -> Result<String, ArtifactError> {
+        let len: u64 = read_le!(self, u64)?;
+        let len = usize::try_from(len).map_err(|_| ArtifactError::Truncated)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::Malformed("string is not valid UTF-8".into()))
+    }
+    fn deserialize_unit(self) -> Result<(), ArtifactError> {
+        Ok(())
+    }
+    fn deserialize_option<T: Deserialize<'de>>(self) -> Result<Option<T>, ArtifactError> {
+        match self.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(self)?)),
+            other => Err(ArtifactError::Malformed(format!(
+                "invalid option tag {other:#04x}"
+            ))),
+        }
+    }
+    fn deserialize_newtype_struct<T: Deserialize<'de>>(
+        self,
+        _name: &'static str,
+    ) -> Result<T, ArtifactError> {
+        T::deserialize(self)
+    }
+    fn deserialize_seq(self) -> Result<BinSeqAccess<'a, 'de>, ArtifactError> {
+        let len: u64 = read_le!(self, u64)?;
+        // Every element takes at least one byte, so a length beyond the
+        // remaining input is corrupt — reject before any allocation.
+        if len > self.remaining() as u64 {
+            return Err(ArtifactError::Truncated);
+        }
+        Ok(BinSeqAccess {
+            reader: self,
+            remaining: len,
+        })
+    }
+    fn deserialize_tuple(self, len: usize) -> Result<BinSeqAccess<'a, 'de>, ArtifactError> {
+        Ok(BinSeqAccess {
+            reader: self,
+            remaining: len as u64,
+        })
+    }
+    fn deserialize_struct(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+    ) -> Result<BinStructAccess<'a, 'de>, ArtifactError> {
+        Ok(BinStructAccess { reader: self })
+    }
+    fn deserialize_enum(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<(u32, BinVariantAccess<'a, 'de>), ArtifactError> {
+        let index: u32 = read_le!(self, u32)?;
+        if index as usize >= variants.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "variant index {index} out of range for enum `{name}` ({} variants)",
+                variants.len()
+            )));
+        }
+        Ok((index, BinVariantAccess { reader: self }))
+    }
+}
+
+impl<'de> de::SeqAccess<'de> for BinSeqAccess<'_, 'de> {
+    type Error = ArtifactError;
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, ArtifactError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        T::deserialize(&mut *self.reader).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        usize::try_from(self.remaining).ok()
+    }
+}
+
+impl<'de> de::StructAccess<'de> for BinStructAccess<'_, 'de> {
+    type Error = ArtifactError;
+    fn next_field<T: Deserialize<'de>>(&mut self, _name: &'static str) -> Result<T, ArtifactError> {
+        T::deserialize(&mut *self.reader)
+    }
+    fn end(self) -> Result<(), ArtifactError> {
+        Ok(())
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for BinVariantAccess<'_, 'de> {
+    type Error = ArtifactError;
+    fn unit(self) -> Result<(), ArtifactError> {
+        Ok(())
+    }
+    fn newtype<T: Deserialize<'de>>(self) -> Result<T, ArtifactError> {
+        T::deserialize(&mut *self.reader)
+    }
+}

@@ -1,0 +1,99 @@
+//! The one error type of the artifact layer.
+
+use core::fmt;
+
+/// Everything that can go wrong while encoding, decoding or storing an
+/// artifact. Corrupt input of any shape — wrong magic, truncation, bad
+/// checksum, malformed payload, invariant-breaking values — surfaces as
+/// an `Err` of this type, never as a panic.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure while reading or writing an artifact file.
+    Io(std::io::Error),
+    /// The file does not start with the `RZBA` magic bytes.
+    BadMagic {
+        /// The four bytes actually found (zero-padded if shorter).
+        found: [u8; 4],
+    },
+    /// The container version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version field read from the header.
+        found: u16,
+    },
+    /// The header's encoding byte is not a known [`crate::Encoding`].
+    UnknownEncoding {
+        /// The byte actually found.
+        found: u8,
+    },
+    /// The artifact holds a different kind of payload than requested.
+    KindMismatch {
+        /// Kind the caller asked for.
+        expected: String,
+        /// Kind recorded in the header.
+        found: String,
+    },
+    /// The byte stream ended before the declared content did.
+    Truncated,
+    /// The CRC-32 over header + payload does not match the stored value.
+    ChecksumMismatch,
+    /// Malformed or invariant-breaking content (bad UTF-8, unknown enum
+    /// variant, JSON syntax error, failed validation, …).
+    Malformed(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "artifact I/O error: {e}"),
+            Self::BadMagic { found } => {
+                write!(f, "not a razorbus artifact (magic bytes {found:02x?})")
+            }
+            Self::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "artifact container version {found} is not supported (max {})",
+                    crate::container::CONTAINER_VERSION
+                )
+            }
+            Self::UnknownEncoding { found } => {
+                write!(f, "unknown artifact payload encoding byte {found:#04x}")
+            }
+            Self::KindMismatch { expected, found } => {
+                write!(
+                    f,
+                    "artifact kind mismatch: expected `{expected}`, found `{found}`"
+                )
+            }
+            Self::Truncated => write!(f, "artifact truncated before its declared end"),
+            Self::ChecksumMismatch => write!(f, "artifact checksum mismatch (corrupt payload)"),
+            Self::Malformed(msg) => write!(f, "malformed artifact payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl serde::ser::Error for ArtifactError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self::Malformed(msg.to_string())
+    }
+}
+
+impl serde::de::Error for ArtifactError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self::Malformed(msg.to_string())
+    }
+}

@@ -1,0 +1,868 @@
+//! The human-readable JSON payload encoding (`razorbus-json/v1`).
+//!
+//! The self-describing twin of [`crate::binary`]: structs become objects
+//! keyed by field name (any key order accepted on input, unknown keys
+//! rejected), sequences and tuples become arrays, unit enum variants
+//! become strings and newtype variants single-key objects
+//! (`{"Signal": 5}`), options become `null`/value. Numbers are written in
+//! Rust's shortest round-trip form, so `f64` values survive a round-trip
+//! bit-exactly; the non-finite values the physical tables legitimately
+//! produce are written as the strings `"NaN"`, `"Infinity"` and
+//! `"-Infinity"` (strict JSON has no literal for them). The canonical
+//! form is specified in `docs/formats.md`.
+
+use crate::error::ArtifactError;
+use serde::de::{self, Deserialize};
+use serde::ser::{self, Serialize};
+
+/// Serializes `value` as compact JSON.
+///
+/// ```
+/// let json = razorbus_artifact::json::to_string(&vec![1u32, 2, 3]).unwrap();
+/// assert_eq!(json, "[1, 2, 3]");
+/// ```
+///
+/// # Errors
+///
+/// Propagates errors from the value's `Serialize` impl.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, ArtifactError> {
+    let mut writer = JsonWriter {
+        out: String::new(),
+        indent: 0,
+        pretty: false,
+    };
+    value.serialize(&mut writer)?;
+    Ok(writer.out)
+}
+
+/// Serializes `value` as pretty-printed JSON: objects indented two
+/// spaces per level, arrays kept on one line (histograms stay compact).
+///
+/// # Errors
+///
+/// Propagates errors from the value's `Serialize` impl.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, ArtifactError> {
+    let mut writer = JsonWriter {
+        out: String::new(),
+        indent: 0,
+        pretty: true,
+    };
+    value.serialize(&mut writer)?;
+    writer.out.push('\n');
+    Ok(writer.out)
+}
+
+/// Deserializes a value from JSON text.
+///
+/// ```
+/// let back: (u32, bool) = razorbus_artifact::json::from_str("[7, true]").unwrap();
+/// assert_eq!(back, (7, true));
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::Malformed`] on syntax errors, trailing
+/// content, type mismatches, unknown enum variants or unknown fields.
+pub fn from_str<T: de::DeserializeOwned>(text: &str) -> Result<T, ArtifactError> {
+    let value = parse(text)?;
+    T::deserialize(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+struct JsonWriter {
+    out: String,
+    indent: usize,
+    pretty: bool,
+}
+
+impl JsonWriter {
+    fn newline(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn push_f64(&mut self, v: f64) -> Result<(), ArtifactError> {
+        if v.is_finite() {
+            // Rust's shortest round-trip formatting: the reader recovers
+            // the exact same f64 bits (the parser keeps "-0" a float so
+            // even the sign of zero survives).
+            self.out.push_str(&format!("{v}"));
+        } else if v.is_nan() {
+            self.out.push_str("\"NaN\"");
+        } else if v > 0.0 {
+            self.out.push_str("\"Infinity\"");
+        } else {
+            self.out.push_str("\"-Infinity\"");
+        }
+        Ok(())
+    }
+}
+
+/// Array builder: elements stay on one line.
+pub struct JsonSeqSer<'a> {
+    writer: &'a mut JsonWriter,
+    first: bool,
+}
+
+/// Object builder: one `"key": value` line per field when pretty.
+pub struct JsonStructSer<'a> {
+    writer: &'a mut JsonWriter,
+    first: bool,
+}
+
+impl<'a> ser::Serializer for &'a mut JsonWriter {
+    type Ok = ();
+    type Error = ArtifactError;
+    type SerializeSeq = JsonSeqSer<'a>;
+    type SerializeTuple = JsonSeqSer<'a>;
+    type SerializeStruct = JsonStructSer<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), ArtifactError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), ArtifactError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), ArtifactError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), ArtifactError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), ArtifactError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), ArtifactError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), ArtifactError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), ArtifactError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), ArtifactError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), ArtifactError> {
+        self.push_f64(f64::from(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), ArtifactError> {
+        self.push_f64(v)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), ArtifactError> {
+        self.push_escaped(v);
+        Ok(())
+    }
+    fn serialize_unit(self) -> Result<(), ArtifactError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), ArtifactError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), ArtifactError> {
+        value.serialize(self)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), ArtifactError> {
+        self.push_escaped(variant);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), ArtifactError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), ArtifactError> {
+        self.out.push('{');
+        self.push_escaped(variant);
+        self.out.push_str(": ");
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeqSer<'a>, ArtifactError> {
+        self.out.push('[');
+        Ok(JsonSeqSer {
+            writer: self,
+            first: true,
+        })
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<JsonSeqSer<'a>, ArtifactError> {
+        self.out.push('[');
+        Ok(JsonSeqSer {
+            writer: self,
+            first: true,
+        })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<JsonStructSer<'a>, ArtifactError> {
+        self.out.push('{');
+        self.indent += 1;
+        Ok(JsonStructSer {
+            writer: self,
+            first: true,
+        })
+    }
+}
+
+impl JsonSeqSer<'_> {
+    fn element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ArtifactError> {
+        if !self.first {
+            self.writer.out.push_str(", ");
+        }
+        self.first = false;
+        value.serialize(&mut *self.writer)
+    }
+}
+
+impl ser::SerializeSeq for JsonSeqSer<'_> {
+    type Ok = ();
+    type Error = ArtifactError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ArtifactError> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), ArtifactError> {
+        self.writer.out.push(']');
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for JsonSeqSer<'_> {
+    type Ok = ();
+    type Error = ArtifactError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ArtifactError> {
+        self.element(value)
+    }
+    fn end(self) -> Result<(), ArtifactError> {
+        self.writer.out.push(']');
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for JsonStructSer<'_> {
+    type Ok = ();
+    type Error = ArtifactError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), ArtifactError> {
+        if !self.first {
+            self.writer.out.push(',');
+            if !self.writer.pretty {
+                self.writer.out.push(' ');
+            }
+        }
+        self.first = false;
+        self.writer.newline();
+        self.writer.push_escaped(key);
+        self.writer.out.push_str(": ");
+        value.serialize(&mut *self.writer)
+    }
+    fn end(self) -> Result<(), ArtifactError> {
+        self.writer.indent -= 1;
+        if !self.first {
+            self.writer.newline();
+        }
+        self.writer.out.push('}');
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+/// Maximum nesting depth accepted by the parser — bounds recursion so
+/// adversarial input (`[[[[…`) errors instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value. Object entries keep their textual order and
+/// admit duplicates; [`JsonStructAccess`] rejects the duplicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fraction/exponent that fits `i64`.
+    I64(i64),
+    /// A non-negative integer too large for `i64`.
+    U64(u64),
+    /// Any other number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, entries in textual order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "bool",
+            Self::I64(_) | Self::U64(_) | Self::F64(_) => "number",
+            Self::Str(_) => "string",
+            Self::Arr(_) => "array",
+            Self::Obj(_) => "object",
+        }
+    }
+}
+
+/// Parses one complete JSON document (rejecting trailing content).
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::Malformed`] describing the first syntax
+/// error, with its byte offset.
+pub fn parse(text: &str) -> Result<JsonValue, ArtifactError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, msg: &str) -> ArtifactError {
+        ArtifactError::Malformed(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), ArtifactError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, ArtifactError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than 128 levels"));
+        }
+        match self.bytes.get(self.pos) {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                self.expect_literal("null")?;
+                Ok(JsonValue::Null)
+            }
+            Some(b't') => {
+                self.expect_literal("true")?;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_literal("false")?;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    if self.eat(b']') {
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    if !self.eat(b',') {
+                        return Err(self.error("expected `,` or `]` in array"));
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.eat(b'}') {
+                    return Ok(JsonValue::Obj(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if !self.eat(b':') {
+                        return Err(self.error("expected `:` after object key"));
+                    }
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    if self.eat(b'}') {
+                        return Ok(JsonValue::Obj(entries));
+                    }
+                    if !self.eat(b',') {
+                        return Err(self.error("expected `,` or `}` in object"));
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ArtifactError> {
+        if !self.eat(b'"') {
+            return Err(self.error("expected a string"));
+        }
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&byte) = rest.first() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: require the paired low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.error("raw control character in string")),
+                _ => {
+                    // Bulk-copy the run of plain characters up to the next
+                    // quote, escape or control byte (all ASCII, so the cut
+                    // points are UTF-8 boundaries; the input is a &str, so
+                    // the run itself is valid by construction). One
+                    // validation per run keeps parsing O(n).
+                    let run_len = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+                        .unwrap_or(rest.len());
+                    let run = core::str::from_utf8(&rest[..run_len])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(run);
+                    self.pos += run_len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ArtifactError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let hex = core::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ArtifactError> {
+        let start = self.pos;
+        let _ = self.eat(b'-');
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let token = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if token.is_empty() || token == "-" {
+            return Err(self.error("expected a JSON value"));
+        }
+        let is_integral = !token.contains(['.', 'e', 'E']);
+        if is_integral {
+            if let Ok(v) = token.parse::<i64>() {
+                // "-0" must stay a float: classifying it as integer 0
+                // would lose the sign and break the bit-exact f64
+                // round-trip the writer's shortest form relies on.
+                if v == 0 && token.starts_with('-') {
+                    return Ok(JsonValue::F64(-0.0));
+                }
+                return Ok(JsonValue::I64(v));
+            }
+            if let Ok(v) = token.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+        }
+        match token.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(JsonValue::F64(v)),
+            _ => Err(self.error("invalid number")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value-tree deserializer.
+// ---------------------------------------------------------------------------
+
+macro_rules! json_int {
+    ($self:ident, $ty:ty) => {
+        match $self {
+            JsonValue::I64(v) => <$ty>::try_from(*v)
+                .map_err(|_| ArtifactError::Malformed(format!("{v} out of range"))),
+            JsonValue::U64(v) => <$ty>::try_from(*v)
+                .map_err(|_| ArtifactError::Malformed(format!("{v} out of range"))),
+            other => Err(ArtifactError::Malformed(format!(
+                "expected an integer, found {}",
+                other.type_name()
+            ))),
+        }
+    };
+}
+
+/// Access over a parsed JSON array.
+pub struct JsonSeqAccess<'de> {
+    items: &'de [JsonValue],
+    index: usize,
+}
+
+/// Access over a parsed JSON object; every key must be consumed exactly
+/// once by the time [`de::StructAccess::end`] runs.
+pub struct JsonStructAccess<'de> {
+    entries: &'de [(String, JsonValue)],
+    consumed: Vec<bool>,
+}
+
+/// Access to a JSON enum payload (`"Variant"` or `{"Variant": value}`).
+pub struct JsonVariantAccess<'de> {
+    payload: Option<&'de JsonValue>,
+}
+
+impl<'de> de::Deserializer<'de> for &'de JsonValue {
+    type Error = ArtifactError;
+    type SeqAccess = JsonSeqAccess<'de>;
+    type StructAccess = JsonStructAccess<'de>;
+    type VariantAccess = JsonVariantAccess<'de>;
+
+    fn deserialize_bool(self) -> Result<bool, ArtifactError> {
+        match self {
+            JsonValue::Bool(v) => Ok(*v),
+            other => Err(ArtifactError::Malformed(format!(
+                "expected a bool, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn deserialize_i8(self) -> Result<i8, ArtifactError> {
+        json_int!(self, i8)
+    }
+    fn deserialize_i16(self) -> Result<i16, ArtifactError> {
+        json_int!(self, i16)
+    }
+    fn deserialize_i32(self) -> Result<i32, ArtifactError> {
+        json_int!(self, i32)
+    }
+    fn deserialize_i64(self) -> Result<i64, ArtifactError> {
+        json_int!(self, i64)
+    }
+    fn deserialize_u8(self) -> Result<u8, ArtifactError> {
+        json_int!(self, u8)
+    }
+    fn deserialize_u16(self) -> Result<u16, ArtifactError> {
+        json_int!(self, u16)
+    }
+    fn deserialize_u32(self) -> Result<u32, ArtifactError> {
+        json_int!(self, u32)
+    }
+    fn deserialize_u64(self) -> Result<u64, ArtifactError> {
+        json_int!(self, u64)
+    }
+    fn deserialize_f32(self) -> Result<f32, ArtifactError> {
+        self.deserialize_f64().map(|v| v as f32)
+    }
+    fn deserialize_f64(self) -> Result<f64, ArtifactError> {
+        match self {
+            JsonValue::F64(v) => Ok(*v),
+            JsonValue::I64(v) => Ok(*v as f64),
+            JsonValue::U64(v) => Ok(*v as f64),
+            // The non-finite convention of the writer (strict JSON has no
+            // literal for these; the physical tables produce infinities
+            // where a delay diverges below threshold voltage).
+            JsonValue::Str(s) if s == "NaN" => Ok(f64::NAN),
+            JsonValue::Str(s) if s == "Infinity" => Ok(f64::INFINITY),
+            JsonValue::Str(s) if s == "-Infinity" => Ok(f64::NEG_INFINITY),
+            other => Err(ArtifactError::Malformed(format!(
+                "expected a number, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn deserialize_string(self) -> Result<String, ArtifactError> {
+        match self {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(ArtifactError::Malformed(format!(
+                "expected a string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn deserialize_unit(self) -> Result<(), ArtifactError> {
+        match self {
+            JsonValue::Null => Ok(()),
+            other => Err(ArtifactError::Malformed(format!(
+                "expected null, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn deserialize_option<T: Deserialize<'de>>(self) -> Result<Option<T>, ArtifactError> {
+        match self {
+            JsonValue::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+    fn deserialize_newtype_struct<T: Deserialize<'de>>(
+        self,
+        _name: &'static str,
+    ) -> Result<T, ArtifactError> {
+        T::deserialize(self)
+    }
+    fn deserialize_seq(self) -> Result<JsonSeqAccess<'de>, ArtifactError> {
+        match self {
+            JsonValue::Arr(items) => Ok(JsonSeqAccess { items, index: 0 }),
+            other => Err(ArtifactError::Malformed(format!(
+                "expected an array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn deserialize_tuple(self, len: usize) -> Result<JsonSeqAccess<'de>, ArtifactError> {
+        match self {
+            JsonValue::Arr(items) if items.len() == len => Ok(JsonSeqAccess { items, index: 0 }),
+            JsonValue::Arr(items) => Err(ArtifactError::Malformed(format!(
+                "expected an array of {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(ArtifactError::Malformed(format!(
+                "expected an array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn deserialize_struct(
+        self,
+        name: &'static str,
+        _fields: &'static [&'static str],
+    ) -> Result<JsonStructAccess<'de>, ArtifactError> {
+        match self {
+            JsonValue::Obj(entries) => Ok(JsonStructAccess {
+                entries,
+                consumed: vec![false; entries.len()],
+            }),
+            other => Err(ArtifactError::Malformed(format!(
+                "expected an object for struct `{name}`, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn deserialize_enum(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<(u32, JsonVariantAccess<'de>), ArtifactError> {
+        let lookup = |tag: &str| {
+            variants
+                .iter()
+                .position(|v| *v == tag)
+                .map(|i| i as u32)
+                .ok_or_else(|| {
+                    ArtifactError::Malformed(format!("unknown variant `{tag}` of enum `{name}`"))
+                })
+        };
+        match self {
+            JsonValue::Str(tag) => Ok((lookup(tag)?, JsonVariantAccess { payload: None })),
+            JsonValue::Obj(entries) if entries.len() == 1 => {
+                let (tag, payload) = &entries[0];
+                Ok((
+                    lookup(tag)?,
+                    JsonVariantAccess {
+                        payload: Some(payload),
+                    },
+                ))
+            }
+            other => Err(ArtifactError::Malformed(format!(
+                "expected a variant of enum `{name}`, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<'de> de::SeqAccess<'de> for JsonSeqAccess<'de> {
+    type Error = ArtifactError;
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, ArtifactError> {
+        match self.items.get(self.index) {
+            None => Ok(None),
+            Some(item) => {
+                self.index += 1;
+                T::deserialize(item).map(Some)
+            }
+        }
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.items.len() - self.index)
+    }
+}
+
+impl<'de> de::StructAccess<'de> for JsonStructAccess<'de> {
+    type Error = ArtifactError;
+    fn next_field<T: Deserialize<'de>>(&mut self, name: &'static str) -> Result<T, ArtifactError> {
+        let index = self
+            .entries
+            .iter()
+            .position(|(key, _)| key == name)
+            .ok_or_else(|| ArtifactError::Malformed(format!("missing field `{name}`")))?;
+        if self.consumed[index] {
+            return Err(ArtifactError::Malformed(format!(
+                "duplicate field `{name}`"
+            )));
+        }
+        self.consumed[index] = true;
+        T::deserialize(&self.entries[index].1)
+    }
+    fn end(self) -> Result<(), ArtifactError> {
+        match self
+            .consumed
+            .iter()
+            .position(|&used| !used)
+            .map(|i| &self.entries[i].0)
+        {
+            None => Ok(()),
+            Some(key) => Err(ArtifactError::Malformed(format!(
+                "unknown or duplicate field `{key}`"
+            ))),
+        }
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for JsonVariantAccess<'de> {
+    type Error = ArtifactError;
+    fn unit(self) -> Result<(), ArtifactError> {
+        match self.payload {
+            None => Ok(()),
+            Some(_) => Err(ArtifactError::Malformed(
+                "unit variant carries an unexpected payload".into(),
+            )),
+        }
+    }
+    fn newtype<T: Deserialize<'de>>(self) -> Result<T, ArtifactError> {
+        match self.payload {
+            Some(payload) => T::deserialize(payload),
+            None => Err(ArtifactError::Malformed(
+                "newtype variant is missing its payload".into(),
+            )),
+        }
+    }
+}

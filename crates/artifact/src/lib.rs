@@ -1,0 +1,115 @@
+//! Persistent artifact layer for razorbus: versioned, checksummed on-disk
+//! storage for the reproduction's heavy intermediates.
+//!
+//! The paper's workflow replays recorded traces against tabulated timing
+//! models; this crate is the recorded-data substrate for the
+//! reproduction. It sits between the data-producing crates
+//! (`razorbus-traces`, `razorbus-tables`, `razorbus-core`) and the
+//! harness (`razorbus-bench`), and provides:
+//!
+//! * [`binary`] — a compact positional little-endian payload encoding,
+//! * [`json`] — a human-readable, self-describing JSON twin,
+//! * [`container`] — the `RZBA` magic / version / kind / CRC-32 framing
+//!   that makes files safe to reload ([`encode`]/[`decode`],
+//!   [`save`]/[`load`]),
+//! * [`Artifact`] — kind strings and one-call [`Artifact::save_file`] /
+//!   [`Artifact::load_file`] for the workspace types worth persisting.
+//!
+//! Both encodings ride on the serde data model, so anything deriving
+//! `serde::Serialize`/`serde::Deserialize` round-trips. The byte-level
+//! format is specified in `docs/formats.md`.
+//!
+//! # Round-trip example
+//!
+//! ```
+//! use razorbus_artifact::{decode, encode, Artifact, Encoding};
+//! use razorbus_traces::{Benchmark, TraceRecording, TraceSource};
+//!
+//! // Capture 64 words of the crafty trace and frame them as an artifact.
+//! let recording = TraceRecording::capture(&mut Benchmark::Crafty.trace(7), 64);
+//! let bytes = encode(TraceRecording::KIND, Encoding::Binary, &recording).unwrap();
+//!
+//! // ... store `bytes` anywhere; later, in another process ...
+//! let replayed: TraceRecording = decode(TraceRecording::KIND, &bytes).unwrap();
+//! assert_eq!(replayed, recording);
+//!
+//! // Corruption is an error, never a panic.
+//! let mut corrupt = bytes.clone();
+//! corrupt[0] ^= 0xFF;
+//! assert!(decode::<TraceRecording>(TraceRecording::KIND, &corrupt).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod container;
+mod error;
+pub mod json;
+
+pub use container::{decode, encode, load, save, Encoding, CONTAINER_VERSION, MAGIC};
+pub use error::ArtifactError;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::Path;
+
+/// A workspace type with a registered on-disk artifact kind.
+///
+/// The kind string is stored in the container header and checked on
+/// load, so a file can never silently deserialize as the wrong type.
+///
+/// ```
+/// use razorbus_artifact::{Artifact, Encoding};
+/// use razorbus_traces::TraceRecording;
+///
+/// let path = std::env::temp_dir().join("razorbus-doctest-recording.rzba");
+/// let recording = TraceRecording::from_words(vec![0xDEAD_BEEF, 0x0000_FFFF]);
+/// recording.save_file(&path, Encoding::Binary).unwrap();
+/// let reloaded = TraceRecording::load_file(&path).unwrap();
+/// assert_eq!(reloaded, recording);
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+pub trait Artifact: Serialize + DeserializeOwned {
+    /// Kind string stored in (and required from) the container header.
+    const KIND: &'static str;
+
+    /// Saves `self` to `path` as a framed artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and filesystem errors.
+    fn save_file<P: AsRef<Path>>(&self, path: P, encoding: Encoding) -> Result<(), ArtifactError> {
+        container::save(path, Self::KIND, encoding, self)
+    }
+
+    /// Loads a `Self` previously saved with [`Artifact::save_file`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and every corruption class of
+    /// [`decode`].
+    fn load_file<P: AsRef<Path>>(path: P) -> Result<Self, ArtifactError> {
+        container::load(path, Self::KIND)
+    }
+}
+
+impl Artifact for razorbus_traces::TraceRecording {
+    const KIND: &'static str = "trace-recording";
+}
+
+impl Artifact for razorbus_core::TraceSummary {
+    const KIND: &'static str = "trace-summary";
+}
+
+impl Artifact for razorbus_core::experiments::SummaryBank {
+    const KIND: &'static str = "summary-bank";
+}
+
+impl Artifact for razorbus_tables::ThresholdMatrix {
+    const KIND: &'static str = "threshold-matrix";
+}
+
+impl Artifact for razorbus_tables::DeviceFactorTable {
+    const KIND: &'static str = "device-factor-table";
+}

@@ -17,18 +17,18 @@
 //! * environment echoes (`cycles_per_benchmark`, `threads`) so numbers
 //!   from different runners can be compared honestly.
 //!
-//! See README.md ("Benchmarks in CI") for the schema.
+//! The JSON is produced by [`razorbus_bench::report::BenchReport`]
+//! through the `razorbus-artifact` writer. See README.md ("Benchmarks in
+//! CI") for the schema.
 
+use razorbus_bench::persist::collect_shared_inputs;
+use razorbus_bench::report::BenchReport;
 use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
 use razorbus_core::{experiments, BusSimulator, DvsBusDesign, TraceSummary};
 use razorbus_ctrl::ThresholdController;
 use razorbus_process::{ProcessCorner, PvtCorner};
 use razorbus_traces::{Benchmark, TraceSource};
-use std::fmt::Write as _;
 use std::time::Instant;
-
-/// Schema identifier written into every report.
-const SCHEMA: &str = "razorbus-bench/v1";
 
 fn main() {
     let out_path = std::env::args()
@@ -37,13 +37,13 @@ fn main() {
     let cycles = cycles_from_env(50_000);
     eprintln!("# bench_report: {cycles} cycles/benchmark -> {out_path}");
 
-    let mut stages: Vec<(&str, f64)> = Vec::new();
+    let mut stages: Vec<(&'static str, f64)> = Vec::new();
     let mut time = |name: &'static str, f: &mut dyn FnMut()| {
         let start = Instant::now();
         f();
         let ms = start.elapsed().as_secs_f64() * 1e3;
         eprintln!("  {name:<18} {ms:9.1} ms");
-        stages.push((name, ms));
+        stages.push((name, round1(ms)));
     };
 
     let total = Instant::now();
@@ -54,48 +54,34 @@ fn main() {
     let design = design.expect("design built");
     let modified = DvsBusDesign::modified_paper_bus();
 
-    // The `repro all` shared inputs: closed loops that double as the
-    // summary passes (see the repro binary's `run_everything`).
+    // The `repro all` shared inputs, through the same collection path the
+    // repro binary and the `--save-summaries` artifact use.
     let mut shared = None;
-    time("fig8_typical+bank", &mut || {
-        let (data, per) =
-            experiments::fig8::run_with_summaries(&design, PvtCorner::TYPICAL, cycles, REPRO_SEED);
-        shared = Some((data, experiments::SummaryBank::from_per_benchmark(per)));
-    });
-    let (dvs_typical, bank) = shared.expect("shared pass");
-    let mut worst = None;
-    time("fig8_worst", &mut || {
-        worst = Some(experiments::fig8::run(
-            &design,
-            PvtCorner::WORST,
-            cycles,
-            REPRO_SEED,
+    time("shared_inputs", &mut || {
+        shared = Some(collect_shared_inputs(
+            &design, &modified, cycles, REPRO_SEED,
         ));
     });
-    let dvs_worst = worst.expect("worst pass");
-    let mut modpass = None;
-    time("fig8_modified+sum", &mut || {
-        let (data, per) =
-            experiments::fig8::run_with_summaries(&modified, PvtCorner::WORST, cycles, REPRO_SEED);
-        modpass = Some((
-            data,
-            experiments::SummaryBank::from_per_benchmark(per).into_combined(),
-        ));
-    });
-    let (mod_dvs, mod_summary) = modpass.expect("modified pass");
+    let shared = shared.expect("shared pass");
 
     time("static_sweeps", &mut || {
-        let a = experiments::fig4::from_summary(&design, PvtCorner::WORST, bank.combined());
-        let b = experiments::fig4::from_summary(&design, PvtCorner::TYPICAL, bank.combined());
-        let f5 = experiments::fig5::from_summary(&design, bank.combined());
-        let t1 = experiments::table1::from_parts(&design, &bank, &dvs_worst, &dvs_typical);
+        let a = experiments::fig4::from_summary(&design, PvtCorner::WORST, shared.bank.combined());
+        let b =
+            experiments::fig4::from_summary(&design, PvtCorner::TYPICAL, shared.bank.combined());
+        let f5 = experiments::fig5::from_summary(&design, shared.bank.combined());
+        let t1 = experiments::table1::from_parts(
+            &design,
+            &shared.bank,
+            &shared.dvs_worst,
+            &shared.dvs_typical,
+        );
         let f10 = experiments::fig10::from_parts(
             &design,
             &modified,
-            bank.combined(),
-            &mod_summary,
-            &dvs_worst,
-            &mod_dvs,
+            shared.bank.combined(),
+            &shared.mod_summary,
+            &shared.dvs_worst,
+            &shared.mod_dvs,
         );
         std::hint::black_box((a.points.len(), b.points.len(), f5.rows.len()));
         std::hint::black_box((t1.corners.len(), f10.modified.len()));
@@ -147,32 +133,32 @@ fn main() {
         batched / reference
     );
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
-    let _ = writeln!(json, "  \"cycles_per_benchmark\": {cycles},");
-    let _ = writeln!(
-        json,
-        "  \"threads\": {},",
-        std::thread::available_parallelism().map_or(1, usize::from)
-    );
-    json.push_str("  \"stages_ms\": {\n");
-    for (i, (name, ms)) in stages.iter().enumerate() {
-        let comma = if i + 1 < stages.len() { "," } else { "" };
-        let _ = writeln!(json, "    \"{name}\": {ms:.1}{comma}");
-    }
-    json.push_str("  },\n");
-    let _ = writeln!(json, "  \"total_ms\": {total_ms:.1},");
-    json.push_str("  \"components_mcycles_per_s\": {\n");
-    let _ = writeln!(json, "    \"closed_loop_batched\": {batched:.2},");
-    let _ = writeln!(json, "    \"closed_loop_reference\": {reference:.2},");
-    let _ = writeln!(json, "    \"batched_speedup\": {:.2},", batched / reference);
-    let _ = writeln!(json, "    \"summary_collect\": {collect:.2},");
-    let _ = writeln!(json, "    \"analyze_cycle\": {analyze:.2}");
-    json.push_str("  }\n}\n");
-
+    let report = BenchReport {
+        cycles_per_benchmark: cycles,
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        stages_ms: stages,
+        total_ms: round1(total_ms),
+        components_mcycles_per_s: vec![
+            ("closed_loop_batched", round2(batched)),
+            ("closed_loop_reference", round2(reference)),
+            ("batched_speedup", round2(batched / reference)),
+            ("summary_collect", round2(collect)),
+            ("analyze_cycle", round2(analyze)),
+        ],
+    };
+    let json = report.to_json().expect("render bench report");
     std::fs::write(&out_path, &json).expect("write bench report");
     eprintln!("# wrote {out_path} (total {total_ms:.0} ms)");
+}
+
+/// Rounds to one decimal (milliseconds keep the old `{:.1}` precision).
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+/// Rounds to two decimals (throughputs keep the old `{:.2}` precision).
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
 }
 
 /// One warmup call, then the best throughput of three timed calls.

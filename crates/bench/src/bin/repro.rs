@@ -4,28 +4,88 @@
 //! cargo run -p razorbus-bench --bin repro --release -- all
 //! cargo run -p razorbus-bench --bin repro --release -- table1
 //! RAZORBUS_CYCLES=10000000 cargo run -p razorbus-bench --bin repro --release -- fig8
+//!
+//! # Collect the shared heavy inputs once, then reuse them (bit-identical):
+//! cargo run -p razorbus-bench --bin repro --release -- all --save-summaries
+//! cargo run -p razorbus-bench --bin repro --release -- all --load-summaries
 //! ```
 //!
 //! Artifacts: `fig4`, `fig5`, `fig6`, `fig8`, `table1`, `fig10`,
 //! `scaling`, `ablations`, or `all`. `RAZORBUS_CYCLES` sets the cycles
 //! per benchmark (default 2,000,000; the paper uses 10,000,000 — expect
 //! a few minutes at full scale).
+//!
+//! `--save-summaries[=PATH]` / `--load-summaries[=PATH]` (valid with
+//! `all` only) persist/reuse the three shared heavy inputs through the
+//! `razorbus-artifact` layer; the default path is
+//! `repro-summaries.rzba`. Loaded summaries must have been collected at
+//! the same `RAZORBUS_CYCLES` and seed, and the reused run's output is
+//! bit-identical to a cold run (pinned by CI's cache-reuse smoke job).
 
+use razorbus_bench::persist::{collect_shared_inputs, ReproSummaries};
 use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
 use razorbus_core::{experiments, DvsBusDesign};
 use razorbus_process::PvtCorner;
 
+/// Default path for `--save-summaries`/`--load-summaries`.
+const DEFAULT_SUMMARIES_PATH: &str = "repro-summaries.rzba";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let mut what: Option<String> = None;
+    let mut save_path: Option<String> = None;
+    let mut load_path: Option<String> = None;
+    for arg in &args {
+        if let Some(rest) = arg.strip_prefix("--save-summaries") {
+            save_path = Some(parse_path_flag(rest, arg));
+        } else if let Some(rest) = arg.strip_prefix("--load-summaries") {
+            load_path = Some(parse_path_flag(rest, arg));
+        } else if arg.starts_with("--") {
+            usage_error(&format!("unknown flag '{arg}'"));
+        } else if what.is_some() {
+            usage_error(&format!("unexpected extra artifact '{arg}'"));
+        } else {
+            what = Some(arg.clone());
+        }
+    }
+    let what = what.unwrap_or_else(|| "all".to_string());
+    let what = what.as_str();
     let cycles = cycles_from_env(2_000_000);
     eprintln!("# razorbus repro: {what} ({cycles} cycles/benchmark, seed {REPRO_SEED})");
+
+    if (save_path.is_some() || load_path.is_some()) && what != "all" {
+        usage_error("--save-summaries/--load-summaries are only valid with `all`");
+    }
+    if save_path.is_some() && load_path.is_some() {
+        usage_error("--save-summaries and --load-summaries are mutually exclusive");
+    }
 
     let design = DvsBusDesign::paper_default();
     let run_all = what == "all";
 
     if run_all {
-        run_everything(&design, cycles);
+        let modified = DvsBusDesign::modified_paper_bus();
+        let shared = match &load_path {
+            Some(path) => match ReproSummaries::load(path, cycles, REPRO_SEED) {
+                Ok(shared) => {
+                    eprintln!("# loaded shared summaries from {path}");
+                    shared
+                }
+                Err(e) => {
+                    eprintln!("error: cannot reuse summaries from {path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => collect_shared_inputs(&design, &modified, cycles, REPRO_SEED),
+        };
+        if let Some(path) = &save_path {
+            if let Err(e) = shared.save(path) {
+                eprintln!("error: cannot save summaries to {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("# saved shared summaries to {path}");
+        }
+        run_everything(&design, &modified, cycles, &shared);
     }
 
     if what == "fig4" {
@@ -95,82 +155,69 @@ fn main() {
     }
 }
 
+/// `""` or `=PATH` after a `--*-summaries` flag.
+fn parse_path_flag(rest: &str, arg: &str) -> String {
+    match rest.strip_prefix('=') {
+        Some(path) if !path.is_empty() => path.to_string(),
+        None if rest.is_empty() => DEFAULT_SUMMARIES_PATH.to_string(),
+        _ => usage_error(&format!(
+            "malformed flag '{arg}' (use --flag or --flag=PATH)"
+        )),
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: repro [fig4|fig5|fig6|fig8|table1|fig10|scaling|ablations|all] \
+         [--save-summaries[=PATH] | --load-summaries[=PATH]]"
+    );
+    std::process::exit(2);
+}
+
 /// The `all` pipeline: every figure/table of the paper from one shared
 /// set of heavy inputs.
 ///
-/// The expensive inputs are collected exactly once and fanned out with
-/// scoped threads: one [`experiments::SummaryBank`] (reused by Fig. 4's
-/// two panels, Fig. 5, Table 1's two corners and Fig. 10's original-bus
-/// side — five collections of the identical data before this
-/// restructuring), the modified bus's combined summary, and one
+/// The expensive inputs arrive pre-collected (or pre-loaded) as a
+/// [`ReproSummaries`]: one [`experiments::SummaryBank`] (reused by
+/// Fig. 4's two panels, Fig. 5, Table 1's two corners and Fig. 10's
+/// original-bus side — five collections of the identical data before the
+/// PR 2 restructuring), the modified bus's combined summary, and one
 /// consecutive closed-loop run per unique (design, corner) pair (the
 /// typical-corner run serves both Fig. 8 and Table 1; the worst-corner
 /// run serves both Table 1 and Fig. 10).
-fn run_everything(design: &DvsBusDesign, cycles: u64) {
-    let modified = DvsBusDesign::modified_paper_bus();
-    let ((dvs_typical, bank), dvs_worst, (mod_dvs, mod_summary)) = std::thread::scope(|s| {
-        let modified = &modified;
-        // The closed-loop runs double as the summary passes: a run walks
-        // the identical trace words a `TraceSummary::collect` would, so
-        // the sweep histograms fall out of the same traversal — one for
-        // the paper bus (typical-corner run), one for the modified bus
-        // (its worst-corner run).
-        let h_typ = s.spawn(move || {
-            let (data, per) = experiments::fig8::run_with_summaries(
-                design,
-                PvtCorner::TYPICAL,
-                cycles,
-                REPRO_SEED,
-            );
-            (data, experiments::SummaryBank::from_per_benchmark(per))
-        });
-        let h_wst =
-            s.spawn(move || experiments::fig8::run(design, PvtCorner::WORST, cycles, REPRO_SEED));
-        let h_mw = s.spawn(move || {
-            let (data, per) = experiments::fig8::run_with_summaries(
-                modified,
-                PvtCorner::WORST,
-                cycles,
-                REPRO_SEED,
-            );
-            (
-                data,
-                experiments::SummaryBank::from_per_benchmark(per).into_combined(),
-            )
-        });
-        (
-            h_typ.join().expect("fig8 typical + summary bank"),
-            h_wst.join().expect("fig8 worst"),
-            h_mw.join().expect("fig8 modified + summary"),
-        )
-    });
-
+fn run_everything(
+    design: &DvsBusDesign,
+    modified: &DvsBusDesign,
+    cycles: u64,
+    shared: &ReproSummaries,
+) {
     banner("Fig. 4 (energy & error rate vs. static VDD)");
-    experiments::fig4::from_summary(design, PvtCorner::WORST, bank.combined()).print();
+    experiments::fig4::from_summary(design, PvtCorner::WORST, shared.bank.combined()).print();
     println!();
-    experiments::fig4::from_summary(design, PvtCorner::TYPICAL, bank.combined()).print();
+    experiments::fig4::from_summary(design, PvtCorner::TYPICAL, shared.bank.combined()).print();
 
     banner("Fig. 5 (gains vs. PVT delay spread)");
-    experiments::fig5::from_summary(design, bank.combined()).print();
+    experiments::fig5::from_summary(design, shared.bank.combined()).print();
 
     banner("Fig. 6 (optimal supply residency)");
     let windows = (cycles / 10_000).max(10) as usize;
     experiments::fig6::run(design, windows, 10_000, REPRO_SEED).print();
 
     banner("Fig. 8 (closed-loop trajectory, typical corner)");
-    dvs_typical.print();
+    shared.dvs_typical.print();
 
     banner("Table 1 (fixed VS vs. proposed DVS)");
-    experiments::table1::from_parts(design, &bank, &dvs_worst, &dvs_typical).print();
+    experiments::table1::from_parts(design, &shared.bank, &shared.dvs_worst, &shared.dvs_typical)
+        .print();
 
     banner("Fig. 10 / §6 (modified bus)");
     experiments::fig10::from_parts(
         design,
-        &modified,
-        bank.combined(),
-        &mod_summary,
-        &dvs_worst,
-        &mod_dvs,
+        modified,
+        shared.bank.combined(),
+        &shared.mod_summary,
+        &shared.dvs_worst,
+        &shared.mod_dvs,
     )
     .print();
 

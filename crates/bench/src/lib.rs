@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod persist;
+pub mod report;
 
 /// Cycles per benchmark for full reproductions: the paper's 10 M unless
 /// `RAZORBUS_CYCLES` overrides (the `repro` binary defaults lower; see

@@ -1,0 +1,270 @@
+//! Persistence of the `repro all` shared heavy inputs.
+//!
+//! `repro all` spends nearly all of its wall clock collecting three
+//! inputs (see `run_everything` in the `repro` binary): the
+//! typical-corner consecutive closed loop whose by-product histograms
+//! form the [`SummaryBank`], the worst-corner closed loop, and the
+//! modified bus's worst-corner loop plus combined summary. Everything
+//! printed afterwards is a cheap table walk over these. [`ReproSummaries`]
+//! bundles the three with their collection parameters so
+//! `repro all --save-summaries` / `--load-summaries` can collect once and
+//! reuse across runs — bit-identically, which the differential tests in
+//! this module's test suite and CI's cache-reuse smoke job both pin.
+
+use razorbus_artifact::{Artifact, ArtifactError, Encoding};
+use razorbus_core::experiments::{self, fig8::Fig8Data, SummaryBank};
+use razorbus_core::{DvsBusDesign, TraceSummary};
+use razorbus_process::PvtCorner;
+use razorbus_traces::Benchmark;
+
+/// The three shared heavy inputs of `repro all`, plus the parameters
+/// they were collected under.
+///
+/// ```
+/// use razorbus_artifact::{decode, encode, Artifact, Encoding};
+/// use razorbus_bench::persist::{collect_shared_inputs, ReproSummaries};
+/// use razorbus_core::DvsBusDesign;
+///
+/// let design = DvsBusDesign::paper_default();
+/// let modified = DvsBusDesign::modified_paper_bus();
+/// let summaries = collect_shared_inputs(&design, &modified, 2_000, 42);
+///
+/// // Round-trips bit-exactly through the framed binary artifact.
+/// let bytes = encode(ReproSummaries::KIND, Encoding::Binary, &summaries).unwrap();
+/// let reloaded: ReproSummaries = decode(ReproSummaries::KIND, &bytes).unwrap();
+/// assert_eq!(reloaded, summaries);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReproSummaries {
+    /// Cycles per benchmark the inputs were collected at.
+    pub cycles_per_benchmark: u64,
+    /// Trace seed in force during collection.
+    pub seed: u64,
+    /// Paper bus, typical corner: the Fig. 8 trajectory.
+    pub dvs_typical: Fig8Data,
+    /// Per-benchmark histograms + merge from the typical-corner pass
+    /// (serves Fig. 4 both panels, Fig. 5, Table 1, Fig. 10 original).
+    pub bank: SummaryBank,
+    /// Paper bus, worst corner (serves Table 1 and Fig. 10).
+    pub dvs_worst: Fig8Data,
+    /// Modified bus, worst corner.
+    pub mod_dvs: Fig8Data,
+    /// Modified bus combined summary (Fig. 10's modified-bus sweep).
+    pub mod_summary: TraceSummary,
+}
+
+impl Artifact for ReproSummaries {
+    const KIND: &'static str = "repro-summaries";
+}
+
+impl ReproSummaries {
+    /// Saves to `path` as a framed binary artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and filesystem errors.
+    pub fn save(&self, path: &str) -> Result<(), ArtifactError> {
+        self.save_file(path, Encoding::Binary)
+    }
+
+    /// Loads from `path`, requiring the stored collection parameters to
+    /// match the current run's — reusing summaries collected at a
+    /// different cycle budget or seed would silently change every figure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact errors; reports parameter mismatches as
+    /// [`ArtifactError::Malformed`] with both values.
+    pub fn load(path: &str, cycles_per_benchmark: u64, seed: u64) -> Result<Self, ArtifactError> {
+        let loaded = Self::load_file(path)?;
+        if loaded.cycles_per_benchmark != cycles_per_benchmark {
+            return Err(ArtifactError::Malformed(format!(
+                "summaries were collected at {} cycles/benchmark but this run wants {} \
+                 (set RAZORBUS_CYCLES to match or re-save)",
+                loaded.cycles_per_benchmark, cycles_per_benchmark
+            )));
+        }
+        if loaded.seed != seed {
+            return Err(ArtifactError::Malformed(format!(
+                "summaries were collected with seed {} but this run wants {}",
+                loaded.seed, seed
+            )));
+        }
+        loaded.validate_program_order()?;
+        Ok(loaded)
+    }
+
+    /// The downstream drivers (`table1::from_parts` zips the bank with
+    /// the closed-loop segments) assert the canonical [`Benchmark::ALL`]
+    /// program order at runtime; a decodable artifact that violates it
+    /// must error here rather than panic there.
+    fn validate_program_order(&self) -> Result<(), ArtifactError> {
+        let check = |name: &str, programs: &mut dyn Iterator<Item = Benchmark>| {
+            if programs.eq(Benchmark::ALL.iter().copied()) {
+                Ok(())
+            } else {
+                Err(ArtifactError::Malformed(format!(
+                    "summaries field `{name}` does not cover the ten benchmarks in \
+                     Table 1 order"
+                )))
+            }
+        };
+        check(
+            "bank",
+            &mut self.bank.per_benchmark().iter().map(|(b, _)| *b),
+        )?;
+        for (name, data) in [
+            ("dvs_typical", &self.dvs_typical),
+            ("dvs_worst", &self.dvs_worst),
+            ("mod_dvs", &self.mod_dvs),
+        ] {
+            check(name, &mut data.segments.iter().map(|s| s.benchmark))?;
+        }
+        Ok(())
+    }
+}
+
+/// Collects the three shared heavy inputs exactly as `repro all` does,
+/// fanned out on scoped threads: the closed-loop runs double as the
+/// summary passes (one for the paper bus at the typical corner, one for
+/// the modified bus at its worst corner), and the worst-corner paper-bus
+/// loop runs alongside.
+#[must_use]
+pub fn collect_shared_inputs(
+    design: &DvsBusDesign,
+    modified: &DvsBusDesign,
+    cycles_per_benchmark: u64,
+    seed: u64,
+) -> ReproSummaries {
+    let ((dvs_typical, bank), dvs_worst, (mod_dvs, mod_summary)) = std::thread::scope(|s| {
+        let h_typ = s.spawn(move || {
+            let (data, per) = experiments::fig8::run_with_summaries(
+                design,
+                PvtCorner::TYPICAL,
+                cycles_per_benchmark,
+                seed,
+            );
+            (data, SummaryBank::from_per_benchmark(per))
+        });
+        let h_wst = s.spawn(move || {
+            experiments::fig8::run(design, PvtCorner::WORST, cycles_per_benchmark, seed)
+        });
+        let h_mod = s.spawn(move || {
+            let (data, per) = experiments::fig8::run_with_summaries(
+                modified,
+                PvtCorner::WORST,
+                cycles_per_benchmark,
+                seed,
+            );
+            (data, SummaryBank::from_per_benchmark(per).into_combined())
+        });
+        (
+            h_typ.join().expect("fig8 typical + summary bank"),
+            h_wst.join().expect("fig8 worst"),
+            h_mod.join().expect("fig8 modified + summary"),
+        )
+    });
+    ReproSummaries {
+        cycles_per_benchmark,
+        seed,
+        dvs_typical,
+        bank,
+        dvs_worst,
+        mod_dvs,
+        mod_summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use razorbus_artifact::{decode, encode};
+
+    fn small_inputs() -> ReproSummaries {
+        let design = DvsBusDesign::paper_default();
+        let modified = DvsBusDesign::modified_paper_bus();
+        collect_shared_inputs(&design, &modified, 1_000, 7)
+    }
+
+    #[test]
+    fn shared_inputs_round_trip_both_encodings() {
+        let inputs = small_inputs();
+        for encoding in [Encoding::Binary, Encoding::Json] {
+            let bytes = encode(ReproSummaries::KIND, encoding, &inputs).unwrap();
+            let back: ReproSummaries = decode(ReproSummaries::KIND, &bytes).unwrap();
+            assert_eq!(back, inputs, "{encoding:?} round trip drifted");
+        }
+    }
+
+    #[test]
+    fn figures_from_reloaded_inputs_are_identical() {
+        let design = DvsBusDesign::paper_default();
+        let modified = DvsBusDesign::modified_paper_bus();
+        let fresh = collect_shared_inputs(&design, &modified, 1_000, 7);
+        let bytes = encode(ReproSummaries::KIND, Encoding::Binary, &fresh).unwrap();
+        let cached: ReproSummaries = decode(ReproSummaries::KIND, &bytes).unwrap();
+
+        // Every downstream driver must see bit-identical inputs.
+        let t1_fresh = experiments::table1::from_parts(
+            &design,
+            &fresh.bank,
+            &fresh.dvs_worst,
+            &fresh.dvs_typical,
+        );
+        let t1_cached = experiments::table1::from_parts(
+            &design,
+            &cached.bank,
+            &cached.dvs_worst,
+            &cached.dvs_typical,
+        );
+        assert_eq!(format!("{t1_fresh:?}"), format!("{t1_cached:?}"));
+
+        let f10_fresh = experiments::fig10::from_parts(
+            &design,
+            &modified,
+            fresh.bank.combined(),
+            &fresh.mod_summary,
+            &fresh.dvs_worst,
+            &fresh.mod_dvs,
+        );
+        let f10_cached = experiments::fig10::from_parts(
+            &design,
+            &modified,
+            cached.bank.combined(),
+            &cached.mod_summary,
+            &cached.dvs_worst,
+            &cached.mod_dvs,
+        );
+        assert_eq!(format!("{f10_fresh:?}"), format!("{f10_cached:?}"));
+    }
+
+    #[test]
+    fn load_rejects_reordered_programs() {
+        let mut inputs = small_inputs();
+        // A decodable artifact whose bank disagrees with the closed-loop
+        // segment order must be refused at load, not panic in table1.
+        let mut reversed: Vec<_> = inputs.bank.per_benchmark().to_vec();
+        reversed.reverse();
+        inputs.bank = SummaryBank::from_per_benchmark(reversed);
+        let path = std::env::temp_dir().join("razorbus-test-reordered.rzba");
+        let path = path.to_str().unwrap();
+        inputs.save(path).unwrap();
+        let err = ReproSummaries::load(path, 1_000, 7).unwrap_err();
+        assert!(err.to_string().contains("bank"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_parameter_mismatch() {
+        let inputs = small_inputs();
+        let path = std::env::temp_dir().join("razorbus-test-mismatch.rzba");
+        let path = path.to_str().unwrap();
+        inputs.save(path).unwrap();
+        assert!(ReproSummaries::load(path, 1_000, 7).is_ok());
+        let wrong_cycles = ReproSummaries::load(path, 2_000, 7).unwrap_err();
+        assert!(wrong_cycles.to_string().contains("cycles/benchmark"));
+        let wrong_seed = ReproSummaries::load(path, 1_000, 8).unwrap_err();
+        assert!(wrong_seed.to_string().contains("seed"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! The `BENCH_<pr>.json` perf report, persisted through the artifact
+//! layer's JSON writer instead of hand-rolled string building.
+//!
+//! The schema (`razorbus-bench/v1`, documented in README.md "Benchmarks
+//! in CI") predates the artifact layer, so the report is written as bare
+//! pretty-printed JSON — no `RZBA` container framing — to stay diffable
+//! against the committed `BENCH_*.json` reference files.
+
+use razorbus_artifact::ArtifactError;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "razorbus-bench/v1";
+
+/// One perf report: per-stage wall clocks plus component throughputs.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Cycles per benchmark in force (`RAZORBUS_CYCLES`).
+    pub cycles_per_benchmark: u64,
+    /// Available parallelism on the machine that produced the report.
+    pub threads: usize,
+    /// `repro all` pipeline stages, milliseconds, in execution order.
+    pub stages_ms: Vec<(&'static str, f64)>,
+    /// End-to-end wall clock of the staged pipeline.
+    pub total_ms: f64,
+    /// Steady-state component throughputs (Mcycles/s), best-of-3.
+    pub components_mcycles_per_s: Vec<(&'static str, f64)>,
+}
+
+/// An ordered list of named measurements serialized as a JSON object —
+/// stage names are `&'static str`, which is exactly what the struct
+/// serializer's field keys require.
+struct NamedValues<'a>(&'a [(&'static str, f64)]);
+
+impl serde::Serialize for NamedValues<'_> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut state = serializer.serialize_struct("NamedValues", self.0.len())?;
+        for (name, value) in self.0 {
+            state.serialize_field(name, value)?;
+        }
+        state.end()
+    }
+}
+
+impl serde::Serialize for BenchReport {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut state = serializer.serialize_struct("BenchReport", 6)?;
+        state.serialize_field("schema", SCHEMA)?;
+        state.serialize_field("cycles_per_benchmark", &self.cycles_per_benchmark)?;
+        state.serialize_field("threads", &self.threads)?;
+        state.serialize_field("stages_ms", &NamedValues(&self.stages_ms))?;
+        state.serialize_field("total_ms", &self.total_ms)?;
+        state.serialize_field(
+            "components_mcycles_per_s",
+            &NamedValues(&self.components_mcycles_per_s),
+        )?;
+        state.end()
+    }
+}
+
+impl BenchReport {
+    /// Renders the report as pretty-printed JSON (the on-disk format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArtifactError`] from the JSON writer.
+    pub fn to_json(&self) -> Result<String, ArtifactError> {
+        razorbus_artifact::json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_schema_shape() {
+        let report = BenchReport {
+            cycles_per_benchmark: 50_000,
+            threads: 8,
+            stages_ms: vec![("design_build", 0.5), ("fig8_typical+bank", 78.4)],
+            total_ms: 78.9,
+            components_mcycles_per_s: vec![("closed_loop_batched", 13.7)],
+        };
+        let json = report.to_json().unwrap();
+        let expected = "{\n  \"schema\": \"razorbus-bench/v1\",\n  \"cycles_per_benchmark\": 50000,\n  \"threads\": 8,\n  \"stages_ms\": {\n    \"design_build\": 0.5,\n    \"fig8_typical+bank\": 78.4\n  },\n  \"total_ms\": 78.9,\n  \"components_mcycles_per_s\": {\n    \"closed_loop_batched\": 13.7\n  }\n}\n";
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn non_finite_measurements_stay_visible() {
+        // A pathological measurement must not silently vanish or crash
+        // the report: the JSON writer spells it out as a string.
+        let report = BenchReport {
+            cycles_per_benchmark: 1,
+            threads: 1,
+            stages_ms: vec![("bad", f64::NAN)],
+            total_ms: 0.0,
+            components_mcycles_per_s: vec![],
+        };
+        assert!(report.to_json().unwrap().contains("\"bad\": \"NaN\""));
+    }
+}

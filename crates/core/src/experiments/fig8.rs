@@ -9,7 +9,7 @@ use razorbus_process::PvtCorner;
 use razorbus_traces::Benchmark;
 
 /// Per-program slice of the consecutive run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Fig8Segment {
     /// The program (regions 1–10 of the figure).
     pub benchmark: Benchmark,
@@ -20,7 +20,7 @@ pub struct Fig8Segment {
 }
 
 /// The trajectory data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Fig8Data {
     /// The environment corner of the run.
     pub corner: PvtCorner,

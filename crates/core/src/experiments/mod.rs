@@ -60,10 +60,42 @@ pub fn per_benchmark_summaries(
 /// one bank serves Fig. 4 (both panels), Fig. 5, Table 1 (both corners)
 /// and Fig. 10's original-bus side. `repro all` used to recollect the
 /// identical set five times.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SummaryBank {
     per: Vec<(Benchmark, TraceSummary)>,
     combined: TraceSummary,
+}
+
+/// Only the per-benchmark summaries are persisted; the merge is
+/// recomputed on load (`combined` is derived state, and merging is
+/// bit-exact integer/float addition in a fixed order).
+impl serde::Serialize for SummaryBank {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut state = serializer.serialize_struct("SummaryBank", 1)?;
+        state.serialize_field("per", &self.per)?;
+        state.end()
+    }
+}
+
+/// Validating deserialization: rebuilds the combined summary from the
+/// persisted per-benchmark list, erroring (not panicking) when the list
+/// is empty or the histograms disagree in shape.
+impl<'de> serde::Deserialize<'de> for SummaryBank {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr {
+            per: Vec<(Benchmark, TraceSummary)>,
+        }
+        use serde::de::Error;
+        let Repr { per } = Repr::deserialize(deserializer)?;
+        if per.is_empty() {
+            return Err(D::Error::custom("summary bank with no benchmarks"));
+        }
+        // Every TraceSummary that deserialized successfully already has
+        // the canonical histogram shape, so the merge cannot panic.
+        Ok(Self::from_per_benchmark(per))
+    }
 }
 
 impl SummaryBank {

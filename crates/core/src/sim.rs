@@ -56,7 +56,7 @@ struct HistogramAccum {
 }
 
 /// One sampled point of the supply/error trajectory (Fig. 8 material).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct VoltageSample {
     /// Cycle index at the *end* of the sampled window.
     pub cycle: u64,
@@ -67,7 +67,7 @@ pub struct VoltageSample {
 }
 
 /// Aggregate results of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimReport {
     /// Cycles simulated.
     pub cycles: u64,

@@ -49,7 +49,7 @@ pub(crate) fn ceff_bin_floor(ceff: f64) -> f64 {
 /// let rate = summary.error_rate(&design, PvtCorner::TYPICAL, Millivolts::new(1_200));
 /// assert_eq!(rate, 0.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct TraceSummary {
     /// `hist[bucket * N_CEFF_BINS + bin]` — cycles by (activity, load).
     hist: Vec<u64>,
@@ -58,6 +58,48 @@ pub struct TraceSummary {
     /// Total wire toggles.
     total_toggles: u64,
     cycles: u64,
+}
+
+/// Validating deserialization: a summary read back from an artifact must
+/// hold the exact histogram shape every query method indexes into, at
+/// least one cycle, and a finite capacitance sum — corrupt cache files
+/// error instead of panicking mid-sweep.
+impl<'de> serde::Deserialize<'de> for TraceSummary {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr {
+            hist: Vec<u64>,
+            total_switched_cap_per_mm: f64,
+            total_toggles: u64,
+            cycles: u64,
+        }
+        use serde::de::Error;
+        let Repr {
+            hist,
+            total_switched_cap_per_mm,
+            total_toggles,
+            cycles,
+        } = Repr::deserialize(deserializer)?;
+        if hist.len() != N_BUCKETS * N_CEFF_BINS {
+            return Err(D::Error::custom(format!(
+                "summary histogram shape mismatch: {} bins, expected {}",
+                hist.len(),
+                N_BUCKETS * N_CEFF_BINS
+            )));
+        }
+        if cycles == 0 {
+            return Err(D::Error::custom("summary over zero cycles"));
+        }
+        if !total_switched_cap_per_mm.is_finite() {
+            return Err(D::Error::custom("non-finite switched capacitance"));
+        }
+        Ok(Self {
+            hist,
+            total_switched_cap_per_mm,
+            total_toggles,
+            cycles,
+        })
+    }
 }
 
 impl TraceSummary {

@@ -18,13 +18,51 @@ pub(crate) const N_BUCKETS: usize = 9;
 ///
 /// Built by [`crate::BusTables::build`]; query with
 /// [`ThresholdMatrix::pass_limit`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct ThresholdMatrix {
     grid: VoltageGrid,
     n_bits: usize,
     /// `limits[v_idx * N_BUCKETS + bucket]` in fF/mm; negative means
     /// "every toggling wire fails".
     limits: Vec<f64>,
+}
+
+/// Validating deserialization: the limit table must have exactly
+/// `grid.len() * N_BUCKETS` entries (the invariant the crate-internal
+/// constructor asserts) and a non-zero bus width — corrupt table-cache
+/// artifacts error instead of panicking later in
+/// [`ThresholdMatrix::pass_limit_at`].
+impl<'de> serde::Deserialize<'de> for ThresholdMatrix {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr {
+            grid: VoltageGrid,
+            n_bits: usize,
+            limits: Vec<f64>,
+        }
+        use serde::de::Error;
+        let Repr {
+            grid,
+            n_bits,
+            limits,
+        } = Repr::deserialize(deserializer)?;
+        if n_bits == 0 {
+            return Err(D::Error::custom("threshold matrix for a zero-width bus"));
+        }
+        if limits.len() != grid.len() * N_BUCKETS {
+            return Err(D::Error::custom(format!(
+                "threshold matrix shape mismatch: {} limits for {} grid points x {N_BUCKETS} \
+                 buckets",
+                limits.len(),
+                grid.len()
+            )));
+        }
+        Ok(Self {
+            grid,
+            n_bits,
+            limits,
+        })
+    }
 }
 
 impl ThresholdMatrix {

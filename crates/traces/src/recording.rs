@@ -19,9 +19,27 @@ use crate::source::TraceSource;
 /// let mut replay_b = recording.replay();
 /// assert_eq!(replay_a.take_words(500), replay_b.take_words(500));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct TraceRecording {
     words: Vec<u32>,
+}
+
+/// Validating deserialization: recordings are non-empty by construction
+/// ([`TraceRecording::from_words`] panics on an empty buffer), so a
+/// corrupt or hand-edited artifact must error here instead.
+impl<'de> serde::Deserialize<'de> for TraceRecording {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr {
+            words: Vec<u32>,
+        }
+        use serde::de::Error;
+        let Repr { words } = Repr::deserialize(deserializer)?;
+        if words.is_empty() {
+            return Err(D::Error::custom("cannot replay an empty recording"));
+        }
+        Ok(Self { words })
+    }
 }
 
 impl TraceRecording {

@@ -160,11 +160,47 @@ impl From<Millivolts> for Volts {
 /// assert_eq!(grid.index_of(Millivolts::new(1_200)), Some(22));
 /// assert_eq!(grid.at(0), Millivolts::new(760));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
 pub struct VoltageGrid {
     floor: Millivolts,
     ceiling: Millivolts,
     step: Millivolts,
+}
+
+/// Validating deserialization: a grid read back from disk must satisfy
+/// the same invariants [`VoltageGrid::new`] asserts, but corrupt input
+/// has to surface as an error rather than a panic.
+impl<'de> serde::Deserialize<'de> for VoltageGrid {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr {
+            floor: Millivolts,
+            ceiling: Millivolts,
+            step: Millivolts,
+        }
+        use serde::de::Error;
+        let Repr {
+            floor,
+            ceiling,
+            step,
+        } = Repr::deserialize(deserializer)?;
+        if step.mv() <= 0 {
+            return Err(D::Error::custom("voltage grid step must be positive"));
+        }
+        if floor > ceiling {
+            return Err(D::Error::custom("voltage grid floor above ceiling"));
+        }
+        if (ceiling - floor).mv() % step.mv() != 0 {
+            return Err(D::Error::custom(
+                "voltage grid span must be a whole number of steps",
+            ));
+        }
+        Ok(Self {
+            floor,
+            ceiling,
+            step,
+        })
+    }
 }
 
 impl VoltageGrid {

@@ -91,6 +91,23 @@ pub mod core {
     pub use razorbus_core::*;
 }
 
+/// Persistent artifacts: versioned, checksummed binary/JSON storage for
+/// recordings, summary banks and tables.
+///
+/// ```
+/// use razorbus::artifact::{decode, encode, Artifact, Encoding};
+/// use razorbus::traces::{Benchmark, TraceRecording};
+///
+/// let recording = TraceRecording::capture(&mut Benchmark::Gap.trace(1), 128);
+/// let bytes = encode(TraceRecording::KIND, Encoding::Json, &recording).unwrap();
+/// let reloaded: TraceRecording = decode(TraceRecording::KIND, &bytes).unwrap();
+/// assert_eq!(reloaded, recording);
+/// ```
+pub mod artifact {
+    pub use razorbus_artifact::*;
+}
+
+pub use razorbus_artifact::{Artifact, ArtifactError};
 pub use razorbus_core::{BusSimulator, DvsBusDesign, SimReport, TraceSummary};
 pub use razorbus_ctrl::{ThresholdController, VoltageGovernor};
 pub use razorbus_process::PvtCorner;

@@ -1,0 +1,260 @@
+//! The deserialization half of the data model.
+//!
+//! [`Deserialize`] and the `Error`/`DeserializeOwned` surface mirror the
+//! real `serde::de`, so derive annotations and `Repr`-style manual impls
+//! port verbatim. [`Deserializer`] and its access traits are the reduced,
+//! *direct-style* part: the caller states what it expects next (a bool, a
+//! struct with these fields, an enum over these variants) and the backend
+//! either produces it or errors. The real crate drives a `Visitor`
+//! instead; only derived code and the format backends in
+//! `crates/artifact` touch this difference.
+
+use core::fmt::Display;
+
+/// Error surface a [`Deserializer`] must provide (mirror of
+/// `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds a deserializer error from an arbitrary message — also the
+    /// hook validating manual impls use to reject well-formed but
+    /// invariant-breaking data.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can be reconstructed from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Reads one `Self` out of `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's error on malformed input; validating impls
+    /// additionally reject data that would break type invariants.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input (mirror of
+/// `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A format backend (reduced, direct-style mirror of
+/// `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// Error type of this backend.
+    type Error: Error;
+    /// Access for sequence and tuple elements.
+    type SeqAccess: SeqAccess<'de, Error = Self::Error>;
+    /// Access for named struct fields.
+    type StructAccess: StructAccess<'de, Error = Self::Error>;
+    /// Access for one enum variant's payload.
+    type VariantAccess: VariantAccess<'de, Error = Self::Error>;
+
+    /// Reads a `bool`.
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+    /// Reads an `i8`.
+    fn deserialize_i8(self) -> Result<i8, Self::Error>;
+    /// Reads an `i16`.
+    fn deserialize_i16(self) -> Result<i16, Self::Error>;
+    /// Reads an `i32`.
+    fn deserialize_i32(self) -> Result<i32, Self::Error>;
+    /// Reads an `i64`.
+    fn deserialize_i64(self) -> Result<i64, Self::Error>;
+    /// Reads a `u8`.
+    fn deserialize_u8(self) -> Result<u8, Self::Error>;
+    /// Reads a `u16`.
+    fn deserialize_u16(self) -> Result<u16, Self::Error>;
+    /// Reads a `u32`.
+    fn deserialize_u32(self) -> Result<u32, Self::Error>;
+    /// Reads a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    /// Reads an `f32`.
+    fn deserialize_f32(self) -> Result<f32, Self::Error>;
+    /// Reads an `f64`.
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+    /// Reads an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+    /// Reads the unit value.
+    fn deserialize_unit(self) -> Result<(), Self::Error>;
+    /// Reads an optional value.
+    fn deserialize_option<T: Deserialize<'de>>(self) -> Result<Option<T>, Self::Error>;
+    /// Reads a newtype struct's inner value.
+    fn deserialize_newtype_struct<T: Deserialize<'de>>(
+        self,
+        name: &'static str,
+    ) -> Result<T, Self::Error>;
+    /// Begins a variable-length sequence.
+    fn deserialize_seq(self) -> Result<Self::SeqAccess, Self::Error>;
+    /// Begins a fixed-arity tuple (or array) of `len` elements.
+    fn deserialize_tuple(self, len: usize) -> Result<Self::SeqAccess, Self::Error>;
+    /// Begins a named-field struct.
+    fn deserialize_struct(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+    ) -> Result<Self::StructAccess, Self::Error>;
+    /// Reads an enum discriminant, returning the variant index into
+    /// `variants` plus access to the variant's payload.
+    fn deserialize_enum(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<(u32, Self::VariantAccess), Self::Error>;
+}
+
+/// Element-by-element access to a sequence or tuple.
+pub trait SeqAccess<'de> {
+    /// Matches [`Deserializer::Error`].
+    type Error: Error;
+    /// Reads the next element, or `None` when the sequence ends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's error.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    /// Number of elements remaining, when the format knows it.
+    fn size_hint(&self) -> Option<usize>;
+}
+
+/// Field-by-field access to a named struct.
+pub trait StructAccess<'de> {
+    /// Matches [`Deserializer::Error`].
+    type Error: Error;
+    /// Reads the field named `name`. Derived code requests fields in
+    /// declaration order; self-describing backends may satisfy them in
+    /// any order.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the field is missing or malformed.
+    fn next_field<T: Deserialize<'de>>(&mut self, name: &'static str) -> Result<T, Self::Error>;
+    /// Finishes the struct, erroring on unknown or duplicate fields.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's error.
+    fn end(self) -> Result<(), Self::Error>;
+}
+
+/// Access to one enum variant's payload.
+pub trait VariantAccess<'de> {
+    /// Matches [`Deserializer::Error`].
+    type Error: Error;
+    /// Confirms the variant carries no payload.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the input carries a payload after all.
+    fn unit(self) -> Result<(), Self::Error>;
+    /// Reads the payload of a newtype variant.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the input has no payload or it is malformed.
+    fn newtype<T: Deserialize<'de>>(self) -> Result<T, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_deserialize {
+    ($($ty:ty => $method:ident),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                deserializer.$method()
+            }
+        }
+    )*};
+}
+
+primitive_deserialize! {
+    bool => deserialize_bool,
+    i8 => deserialize_i8,
+    i16 => deserialize_i16,
+    i32 => deserialize_i32,
+    i64 => deserialize_i64,
+    u8 => deserialize_u8,
+    u16 => deserialize_u16,
+    u32 => deserialize_u32,
+    u64 => deserialize_u64,
+    f32 => deserialize_f32,
+    f64 => deserialize_f64,
+    String => deserialize_string,
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let raw = deserializer.deserialize_u64()?;
+        usize::try_from(raw).map_err(|_| D::Error::custom("u64 does not fit in usize"))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let raw = deserializer.deserialize_i64()?;
+        isize::try_from(raw).map_err(|_| D::Error::custom("i64 does not fit in isize"))
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_unit()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_option()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut access = deserializer.deserialize_seq()?;
+        // Cap the pre-allocation: a corrupt length prefix must not be able
+        // to request gigabytes before the element reads start failing.
+        let mut out = Vec::with_capacity(access.size_hint().unwrap_or(0).min(4096));
+        while let Some(item) = access.next_element()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut access = deserializer.deserialize_tuple(N)?;
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            match access.next_element()? {
+                Some(item) => out.push(item),
+                None => return Err(D::Error::custom("array shorter than its arity")),
+            }
+        }
+        out.try_into()
+            .map_err(|_| D::Error::custom("array arity mismatch"))
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($(($($name:ident),+) => $len:expr),* $(,)?) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                let mut access = deserializer.deserialize_tuple($len)?;
+                let out = ($(
+                    match access.next_element::<$name>()? {
+                        Some(item) => item,
+                        None => return Err(De::Error::custom("tuple shorter than its arity")),
+                    },
+                )+);
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+tuple_deserialize! {
+    (A) => 1,
+    (A, B) => 2,
+    (A, B, C) => 3,
+    (A, B, C, D) => 4,
+}

@@ -1,16 +1,46 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` — a functioning, reduced re-implementation
+//! of serde's self-describing data model.
 //!
-//! Provides the `Serialize`/`Deserialize` trait names and derive macros so
-//! that the workspace's `#[derive(serde::Serialize, serde::Deserialize)]`
-//! annotations compile without network access. The derives are no-ops and
-//! the traits are empty markers — adequate because no code in the workspace
-//! serializes anything yet. Swap for the real crate by editing
-//! `[workspace.dependencies]` once a registry is reachable.
+//! Until PR 3 this crate held empty marker traits; it now provides a real
+//! (though deliberately small) serialization framework so the workspace's
+//! `#[derive(serde::Serialize, serde::Deserialize)]` annotations generate
+//! working round-trip code without network access:
+//!
+//! * [`ser`] — the serialization half: [`Serialize`], [`Serializer`] and
+//!   the compound builders ([`ser::SerializeSeq`], [`ser::SerializeTuple`],
+//!   [`ser::SerializeStruct`]). Method names and signatures mirror the
+//!   real serde, so hand-written `Serialize` impls port verbatim.
+//! * [`de`] — the deserialization half: [`Deserialize`], [`Deserializer`]
+//!   and the access traits ([`de::SeqAccess`], [`de::StructAccess`],
+//!   [`de::VariantAccess`]). This is the one deliberate simplification
+//!   versus the real crate: deserializers are *direct-style* (the caller
+//!   states what it expects) instead of visitor-based. Derived code and
+//!   the format backends in `crates/artifact` are the only consumers of
+//!   this surface.
+//!
+//! The data model covers what the razorbus workspace serializes: bool,
+//! integers up to 64 bits, `f32`/`f64`, strings, options, sequences,
+//! tuples/arrays, named-field structs, newtype structs (including
+//! `#[serde(transparent)]`), and enums with unit or newtype variants.
+//!
+//! # Swapping the real serde back in
+//!
+//! Everything that only *derives* or writes manual impls in the
+//! `Repr`-struct style (see `TraceSummary` in `razorbus-core`) compiles
+//! unchanged against the real crate — the swap stays the one-line edit in
+//! `[workspace.dependencies]` described in `vendor/README.md`. The only
+//! code written against this crate's reduced internals is the pair of
+//! format backends in `crates/artifact` (`binary.rs`, `json.rs`); under
+//! the real serde those would be ported to the visitor API or replaced by
+//! `bincode`/`serde_json`.
 
-/// Marker trait standing in for `serde::Serialize`.
-pub trait Serialize {}
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
-/// Marker trait standing in for `serde::Deserialize`.
-pub trait Deserialize<'de> {}
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -1,22 +1,414 @@
 //! Offline stand-in for the `serde_derive` proc-macro crate.
 //!
-//! The build environment has no access to crates.io, so the real
-//! `serde_derive` cannot be fetched. The razorbus sources only *annotate*
-//! types with `#[derive(serde::Serialize, serde::Deserialize)]` — nothing
-//! in the workspace invokes a serializer yet — so these derives expand to
-//! nothing. When a real serialization backend is needed, delete `vendor/`
-//! and point `[workspace.dependencies]` back at crates.io.
+//! Until PR 3 these derives expanded to nothing; they now generate real
+//! `Serialize`/`Deserialize` impls against the functioning data model in
+//! `vendor/serde`. Because the build environment has no access to
+//! crates.io (and therefore no `syn`/`quote`), the input item is parsed
+//! directly from the raw [`TokenStream`] and the impl is emitted as a
+//! string. The supported shapes are exactly what the razorbus workspace
+//! derives:
+//!
+//! * named-field structs (`struct S { a: T, b: U }`),
+//! * single-field tuple structs (`struct N(T);`), honoring
+//!   `#[serde(transparent)]`,
+//! * enums whose variants are unit (`E::A`) or newtype (`E::A(T)`).
+//!
+//! Unsupported shapes (generic types, multi-field tuple structs, struct
+//! variants) produce a `compile_error!` naming the limitation rather than
+//! silently doing nothing. Swap the real crate back in per
+//! `vendor/README.md` for the full attribute surface.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
 
-/// No-op replacement for `#[derive(Serialize)]`.
+/// Generates a `serde::Serialize` impl for the annotated type.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
 }
 
-/// No-op replacement for `#[derive(Deserialize)]`.
+/// Generates a `serde::Deserialize` impl for the annotated type.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let code = match parse(input) {
+        Ok(item) => match which {
+            Trait::Serialize => gen_serialize(&item),
+            Trait::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive stand-in generated invalid Rust")
+}
+
+/// One enum variant: unit (`A`) or newtype (`A(T)`).
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Shape {
+    /// Named-field struct; field names in declaration order.
+    Named(Vec<String>),
+    /// Single-field tuple struct (`struct N(T);`).
+    Newtype,
+    /// Enum over unit/newtype variants.
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    transparent: bool,
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    let mut transparent = false;
+
+    while is_punct(tokens.get(pos), '#') {
+        let Some(TokenTree::Group(group)) = tokens.get(pos + 1) else {
+            return Err("malformed attribute".into());
+        };
+        transparent |= attr_is_serde_transparent(group);
+        pos += 2;
+    }
+    pos = skip_visibility(&tokens, pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a type name".into()),
+    };
+    pos += 1;
+    if is_punct(tokens.get(pos), '<') {
+        return Err(format!(
+            "the offline serde_derive stand-in does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = match (keyword.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(body))) if body.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(body.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(body))) if body.delimiter() == Delimiter::Parenthesis => {
+            match count_tuple_fields(body.stream()) {
+                1 => Shape::Newtype,
+                n => {
+                    return Err(format!(
+                        "the offline serde_derive stand-in supports only single-field tuple \
+                         structs; `{name}` has {n} fields"
+                    ))
+                }
+            }
+        }
+        ("enum", Some(TokenTree::Group(body))) if body.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(body.stream(), &name)?)
+        }
+        _ => {
+            return Err(format!(
+                "the offline serde_derive stand-in cannot parse the body of `{name}`"
+            ))
+        }
+    };
+    Ok(Item {
+        name,
+        shape,
+        transparent,
+    })
+}
+
+fn is_punct(token: Option<&TokenTree>, ch: char) -> bool {
+    matches!(token, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        pos += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Whether an attribute body (the `[...]` group) is `serde(transparent)`.
+fn attr_is_serde_transparent(group: &proc_macro::Group) -> bool {
+    let mut inner = group.stream().into_iter();
+    let Some(TokenTree::Ident(path)) = inner.next() else {
+        return false;
+    };
+    if path.to_string() != "serde" {
+        return false;
+    }
+    let Some(TokenTree::Group(args)) = inner.next() else {
+        return false;
+    };
+    args.stream()
+        .into_iter()
+        .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "transparent"))
+}
+
+/// Extracts field names from a named-struct body, splitting on top-level
+/// commas (commas inside `<...>` generics or nested groups don't count —
+/// groups arrive pre-balanced as single tokens, so only angle brackets
+/// need explicit depth tracking).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        while is_punct(tokens.get(pos), '#') {
+            pos += 2;
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        pos = skip_visibility(&tokens, pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected a field name".into()),
+        };
+        pos += 1;
+        if !is_punct(tokens.get(pos), ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        pos += 1;
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated fields of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut seen_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                seen_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        seen_tokens = true;
+    }
+    fields + usize::from(seen_tokens)
+}
+
+fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        // Skip variant attributes (doc comments, `#[default]`, …).
+        while is_punct(tokens.get(pos), '#') {
+            pos += 2;
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err(format!("expected a variant name in enum `{enum_name}`")),
+        };
+        pos += 1;
+        let newtype = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "the offline serde_derive stand-in supports only single-field tuple \
+                         variants; `{enum_name}::{name}` has more"
+                    ));
+                }
+                pos += 1;
+                true
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "the offline serde_derive stand-in does not support struct variants \
+                     (`{enum_name}::{name}`)"
+                ));
+            }
+            _ => false,
+        };
+        if is_punct(tokens.get(pos), '=') {
+            return Err(format!(
+                "the offline serde_derive stand-in does not support explicit discriminants \
+                 (`{enum_name}::{name}`)"
+            ));
+        }
+        if is_punct(tokens.get(pos), ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut code = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \
+                 {name:?}, {len}usize)?;\n",
+                len = fields.len()
+            );
+            for field in fields {
+                let _ = writeln!(
+                    code,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, {field:?}, \
+                     &self.{field})?;"
+                );
+            }
+            code.push_str("::serde::ser::SerializeStruct::end(__state)");
+            code
+        }
+        Shape::Newtype if item.transparent => {
+            "::serde::Serialize::serialize(&self.0, __serializer)".to_string()
+        }
+        Shape::Newtype => format!(
+            "::serde::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)"
+        ),
+        Shape::Enum(variants) => {
+            let mut code = "match self {\n".to_string();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                if variant.newtype {
+                    let _ = writeln!(
+                        code,
+                        "{name}::{vname}(__field) => \
+                         ::serde::Serializer::serialize_newtype_variant(__serializer, {name:?}, \
+                         {idx}u32, {vname:?}, __field),"
+                    );
+                } else {
+                    let _ = writeln!(
+                        code,
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                         __serializer, {name:?}, {idx}u32, {vname:?}),"
+                    );
+                }
+            }
+            code.push('}');
+            code
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let field_list = fields
+                .iter()
+                .map(|f| format!("{f:?}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut code = format!(
+                "let mut __access = ::serde::Deserializer::deserialize_struct(__deserializer, \
+                 {name:?}, &[{field_list}])?;\nlet __value = {name} {{\n"
+            );
+            for field in fields {
+                let _ = writeln!(
+                    code,
+                    "{field}: ::serde::de::StructAccess::next_field(&mut __access, {field:?})?,"
+                );
+            }
+            code.push_str(
+                "};\n::serde::de::StructAccess::end(__access)?;\n\
+                 ::core::result::Result::Ok(__value)",
+            );
+            code
+        }
+        Shape::Newtype if item.transparent => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(\
+             __deserializer)?))"
+        ),
+        Shape::Newtype => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserializer::deserialize_newtype_struct(\
+             __deserializer, {name:?})?))"
+        ),
+        Shape::Enum(variants) => {
+            let variant_list = variants
+                .iter()
+                .map(|v| format!("{:?}", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut code = format!(
+                "let (__index, __variant) = ::serde::Deserializer::deserialize_enum(\
+                 __deserializer, {name:?}, &[{variant_list}])?;\nmatch __index {{\n"
+            );
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                if variant.newtype {
+                    let _ = writeln!(
+                        code,
+                        "{idx}u32 => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::de::VariantAccess::newtype(__variant)?)),"
+                    );
+                } else {
+                    let _ = writeln!(
+                        code,
+                        "{idx}u32 => {{ ::serde::de::VariantAccess::unit(__variant)?; \
+                         ::core::result::Result::Ok({name}::{vname}) }}"
+                    );
+                }
+            }
+            code.push_str(
+                "_ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"variant index out of range\")),\n}",
+            );
+            code
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
 }
