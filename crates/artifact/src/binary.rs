@@ -15,6 +15,7 @@
 use crate::error::ArtifactError;
 use serde::de::{self, Deserialize};
 use serde::ser::{self, Serialize};
+use std::io;
 
 /// Serializes `value` into the raw binary payload (no container header).
 ///
@@ -30,8 +31,42 @@ use serde::ser::{self, Serialize};
 /// Propagates [`ArtifactError`] from the value's `Serialize` impl.
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, ArtifactError> {
     let mut out = Vec::new();
-    value.serialize(&mut BinWriter { out: &mut out })?;
+    value.serialize(&mut BinWriter { sink: &mut out })?;
     Ok(out)
+}
+
+/// Streams `value`'s binary payload straight into `writer` (no
+/// intermediate buffer), returning the number of bytes written.
+///
+/// Produces exactly the bytes of [`to_bytes`]; the container layer uses
+/// it (together with [`byte_len`] for the length prefix) to write large
+/// artifacts without materializing them in memory.
+///
+/// # Errors
+///
+/// Propagates serialization failures and I/O errors from `writer`.
+pub fn to_writer<T: Serialize, W: io::Write>(
+    value: &T,
+    writer: &mut W,
+) -> Result<u64, ArtifactError> {
+    let mut sink = WriteSink {
+        inner: writer,
+        written: 0,
+    };
+    value.serialize(&mut BinWriter { sink: &mut sink })?;
+    Ok(sink.written)
+}
+
+/// The exact byte length [`to_writer`]/[`to_bytes`] would produce, via a
+/// counting serialization pass (no allocation).
+///
+/// # Errors
+///
+/// Propagates [`ArtifactError`] from the value's `Serialize` impl.
+pub fn byte_len<T: Serialize>(value: &T) -> Result<u64, ArtifactError> {
+    let mut sink = CountingSink(0);
+    value.serialize(&mut BinWriter { sink: &mut sink })?;
+    Ok(sink.0)
 }
 
 /// Deserializes a value from a raw binary payload, requiring every input
@@ -42,12 +77,39 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, ArtifactError> {
 /// Returns [`ArtifactError::Truncated`] if the payload ends early,
 /// [`ArtifactError::Malformed`] on invalid content or trailing bytes.
 pub fn from_bytes<T: de::DeserializeOwned>(bytes: &[u8]) -> Result<T, ArtifactError> {
-    let mut reader = BinReader { bytes, pos: 0 };
-    let value = T::deserialize(&mut reader)?;
-    if reader.pos != bytes.len() {
+    let mut source = SliceSource { bytes, pos: 0 };
+    let value = T::deserialize(&mut BinReader { src: &mut source })?;
+    if source.pos != bytes.len() {
         return Err(ArtifactError::Malformed(format!(
             "{} trailing bytes after the payload",
-            bytes.len() - reader.pos
+            bytes.len() - source.pos
+        )));
+    }
+    Ok(value)
+}
+
+/// Streams a value out of `reader`, which must yield exactly
+/// `payload_len` payload bytes (the container layer knows the length
+/// from the frame header).
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::Truncated`] when the stream ends early,
+/// [`ArtifactError::Malformed`] on invalid content or when fewer than
+/// `payload_len` bytes are consumed.
+pub fn from_reader<T: de::DeserializeOwned, R: io::Read>(
+    reader: &mut R,
+    payload_len: u64,
+) -> Result<T, ArtifactError> {
+    let mut source = ReadSource {
+        inner: reader,
+        remaining: payload_len,
+    };
+    let value = T::deserialize(&mut BinReader { src: &mut source })?;
+    if source.remaining != 0 {
+        return Err(ArtifactError::Malformed(format!(
+            "{} trailing bytes after the payload",
+            source.remaining
         )));
     }
     Ok(value)
@@ -57,81 +119,112 @@ pub fn from_bytes<T: de::DeserializeOwned>(bytes: &[u8]) -> Result<T, ArtifactEr
 // Writer.
 // ---------------------------------------------------------------------------
 
-struct BinWriter<'a> {
-    out: &'a mut Vec<u8>,
+/// Byte destination of the binary serializer: an in-memory buffer, a
+/// byte counter (first pass of the streaming path) or an [`io::Write`].
+/// Implemented only inside this module; public because the compound
+/// builders name it in their bounds.
+pub trait BinSink {
+    /// Appends `bytes` to the destination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from writer-backed sinks.
+    fn put(&mut self, bytes: &[u8]) -> Result<(), ArtifactError>;
+}
+
+impl BinSink for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        self.extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+/// Tallies the would-be output length without storing it.
+struct CountingSink(u64);
+
+impl BinSink for CountingSink {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        self.0 += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// Forwards to an [`io::Write`], tracking the running length.
+struct WriteSink<'w, W: io::Write> {
+    inner: &'w mut W,
+    written: u64,
+}
+
+impl<W: io::Write> BinSink for WriteSink<'_, W> {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        self.inner.write_all(bytes)?;
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+struct BinWriter<'a, K: BinSink> {
+    sink: &'a mut K,
 }
 
 /// Compound builder shared by seq/tuple/struct serialization (the binary
 /// format writes elements back to back in all three cases).
-pub struct BinCompound<'a, 'b> {
-    writer: &'a mut BinWriter<'b>,
+pub struct BinCompound<'a, 'b, K: BinSink> {
+    writer: &'a mut BinWriter<'b, K>,
 }
 
-impl<'a, 'b> ser::Serializer for &'a mut BinWriter<'b> {
+impl<'a, 'b, K: BinSink> ser::Serializer for &'a mut BinWriter<'b, K> {
     type Ok = ();
     type Error = ArtifactError;
-    type SerializeSeq = BinCompound<'a, 'b>;
-    type SerializeTuple = BinCompound<'a, 'b>;
-    type SerializeStruct = BinCompound<'a, 'b>;
+    type SerializeSeq = BinCompound<'a, 'b, K>;
+    type SerializeTuple = BinCompound<'a, 'b, K>;
+    type SerializeStruct = BinCompound<'a, 'b, K>;
 
     fn serialize_bool(self, v: bool) -> Result<(), ArtifactError> {
-        self.out.push(u8::from(v));
-        Ok(())
+        self.sink.put(&[u8::from(v)])
     }
     fn serialize_i8(self, v: i8) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_le_bytes())
     }
     fn serialize_i16(self, v: i16) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_le_bytes())
     }
     fn serialize_i32(self, v: i32) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_le_bytes())
     }
     fn serialize_i64(self, v: i64) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_le_bytes())
     }
     fn serialize_u8(self, v: u8) -> Result<(), ArtifactError> {
-        self.out.push(v);
-        Ok(())
+        self.sink.put(&[v])
     }
     fn serialize_u16(self, v: u16) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_le_bytes())
     }
     fn serialize_u32(self, v: u32) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_le_bytes())
     }
     fn serialize_u64(self, v: u64) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_le_bytes())
     }
     fn serialize_f32(self, v: f32) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_bits().to_le_bytes())
     }
     fn serialize_f64(self, v: f64) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
-        Ok(())
+        self.sink.put(&v.to_bits().to_le_bytes())
     }
     fn serialize_str(self, v: &str) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&(v.len() as u64).to_le_bytes());
-        self.out.extend_from_slice(v.as_bytes());
-        Ok(())
+        self.sink.put(&(v.len() as u64).to_le_bytes())?;
+        self.sink.put(v.as_bytes())
     }
     fn serialize_unit(self) -> Result<(), ArtifactError> {
         Ok(())
     }
     fn serialize_none(self) -> Result<(), ArtifactError> {
-        self.out.push(0);
-        Ok(())
+        self.sink.put(&[0])
     }
     fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), ArtifactError> {
-        self.out.push(1);
+        self.sink.put(&[1])?;
         value.serialize(self)
     }
     fn serialize_unit_variant(
@@ -140,8 +233,7 @@ impl<'a, 'b> ser::Serializer for &'a mut BinWriter<'b> {
         variant_index: u32,
         _variant: &'static str,
     ) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&variant_index.to_le_bytes());
-        Ok(())
+        self.sink.put(&variant_index.to_le_bytes())
     }
     fn serialize_newtype_struct<T: ?Sized + Serialize>(
         self,
@@ -157,29 +249,29 @@ impl<'a, 'b> ser::Serializer for &'a mut BinWriter<'b> {
         _variant: &'static str,
         value: &T,
     ) -> Result<(), ArtifactError> {
-        self.out.extend_from_slice(&variant_index.to_le_bytes());
+        self.sink.put(&variant_index.to_le_bytes())?;
         value.serialize(self)
     }
-    fn serialize_seq(self, len: Option<usize>) -> Result<BinCompound<'a, 'b>, ArtifactError> {
+    fn serialize_seq(self, len: Option<usize>) -> Result<BinCompound<'a, 'b, K>, ArtifactError> {
         let len = len.ok_or_else(|| {
             ArtifactError::Malformed("binary sequences need a known length".into())
         })?;
-        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+        self.sink.put(&(len as u64).to_le_bytes())?;
         Ok(BinCompound { writer: self })
     }
-    fn serialize_tuple(self, _len: usize) -> Result<BinCompound<'a, 'b>, ArtifactError> {
+    fn serialize_tuple(self, _len: usize) -> Result<BinCompound<'a, 'b, K>, ArtifactError> {
         Ok(BinCompound { writer: self })
     }
     fn serialize_struct(
         self,
         _name: &'static str,
         _len: usize,
-    ) -> Result<BinCompound<'a, 'b>, ArtifactError> {
+    ) -> Result<BinCompound<'a, 'b, K>, ArtifactError> {
         Ok(BinCompound { writer: self })
     }
 }
 
-impl ser::SerializeSeq for BinCompound<'_, '_> {
+impl<K: BinSink> ser::SerializeSeq for BinCompound<'_, '_, K> {
     type Ok = ();
     type Error = ArtifactError;
     fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ArtifactError> {
@@ -190,7 +282,7 @@ impl ser::SerializeSeq for BinCompound<'_, '_> {
     }
 }
 
-impl ser::SerializeTuple for BinCompound<'_, '_> {
+impl<K: BinSink> ser::SerializeTuple for BinCompound<'_, '_, K> {
     type Ok = ();
     type Error = ArtifactError;
     fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ArtifactError> {
@@ -201,7 +293,7 @@ impl ser::SerializeTuple for BinCompound<'_, '_> {
     }
 }
 
-impl ser::SerializeStruct for BinCompound<'_, '_> {
+impl<K: BinSink> ser::SerializeStruct for BinCompound<'_, '_, K> {
     type Ok = ();
     type Error = ArtifactError;
     fn serialize_field<T: ?Sized + Serialize>(
@@ -220,59 +312,127 @@ impl ser::SerializeStruct for BinCompound<'_, '_> {
 // Reader.
 // ---------------------------------------------------------------------------
 
-struct BinReader<'de> {
+/// Byte origin of the binary deserializer: a borrowed slice or a
+/// length-limited [`io::Read`]. Implemented only inside this module;
+/// public because the access types name it in their bounds.
+pub trait BinSource {
+    /// Fills `buf` exactly, erroring [`ArtifactError::Truncated`] when
+    /// the content ends early.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Truncated`] on early end of content, or
+    /// [`ArtifactError::Io`] from reader-backed sources.
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), ArtifactError>;
+
+    /// Bytes remaining before the declared end of the payload — the
+    /// bound that rejects corrupt length prefixes before any allocation.
+    fn remaining(&self) -> u64;
+}
+
+struct SliceSource<'de> {
     bytes: &'de [u8],
     pos: usize,
 }
 
-impl<'de> BinReader<'de> {
-    fn take(&mut self, n: usize) -> Result<&'de [u8], ArtifactError> {
+impl BinSource for SliceSource<'_> {
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), ArtifactError> {
         let end = self
             .pos
-            .checked_add(n)
+            .checked_add(buf.len())
             .filter(|&end| end <= self.bytes.len())
             .ok_or(ArtifactError::Truncated)?;
-        let slice = &self.bytes[self.pos..end];
+        buf.copy_from_slice(&self.bytes[self.pos..end]);
         self.pos = end;
-        Ok(slice)
+        Ok(())
     }
 
-    fn remaining(&self) -> usize {
-        self.bytes.len() - self.pos
+    fn remaining(&self) -> u64 {
+        (self.bytes.len() - self.pos) as u64
+    }
+}
+
+/// An [`io::Read`] clamped to the frame header's payload length, so a
+/// stream can never be read past the payload it declares.
+struct ReadSource<'r, R: io::Read> {
+    inner: &'r mut R,
+    remaining: u64,
+}
+
+impl<R: io::Read> BinSource for ReadSource<'_, R> {
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), ArtifactError> {
+        if (buf.len() as u64) > self.remaining {
+            return Err(ArtifactError::Truncated);
+        }
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ArtifactError::Truncated
+            } else {
+                ArtifactError::Io(e)
+            }
+        })?;
+        self.remaining -= buf.len() as u64;
+        Ok(())
+    }
+
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+struct BinReader<'a, Src: BinSource> {
+    src: &'a mut Src,
+}
+
+impl<Src: BinSource> BinReader<'_, Src> {
+    /// Reads `n` bytes into a fresh buffer, growing it in bounded chunks
+    /// so a corrupt length can never request a huge allocation up front
+    /// (the source's `remaining` bound has already been checked).
+    fn take_vec(&mut self, n: usize) -> Result<Vec<u8>, ArtifactError> {
+        const CHUNK: usize = 64 * 1024;
+        let mut out = Vec::with_capacity(n.min(CHUNK));
+        while out.len() < n {
+            let step = (n - out.len()).min(CHUNK);
+            let start = out.len();
+            out.resize(start + step, 0);
+            self.src.fill(&mut out[start..])?;
+        }
+        Ok(out)
     }
 }
 
 macro_rules! read_le {
     ($reader:expr, $ty:ty) => {{
-        let bytes = $reader.take(core::mem::size_of::<$ty>())?;
-        Ok::<$ty, ArtifactError>(<$ty>::from_le_bytes(bytes.try_into().expect("sized take")))
+        let mut buf = [0u8; core::mem::size_of::<$ty>()];
+        $reader.src.fill(&mut buf)?;
+        Ok::<$ty, ArtifactError>(<$ty>::from_le_bytes(buf))
     }};
 }
 
 /// Sequence/tuple access with a fixed remaining-element count.
-pub struct BinSeqAccess<'a, 'de> {
-    reader: &'a mut BinReader<'de>,
+pub struct BinSeqAccess<'a, 'b, Src: BinSource> {
+    reader: &'a mut BinReader<'b, Src>,
     remaining: u64,
 }
 
 /// Positional struct access (binary structs carry no field names).
-pub struct BinStructAccess<'a, 'de> {
-    reader: &'a mut BinReader<'de>,
+pub struct BinStructAccess<'a, 'b, Src: BinSource> {
+    reader: &'a mut BinReader<'b, Src>,
 }
 
 /// Access to a binary enum payload.
-pub struct BinVariantAccess<'a, 'de> {
-    reader: &'a mut BinReader<'de>,
+pub struct BinVariantAccess<'a, 'b, Src: BinSource> {
+    reader: &'a mut BinReader<'b, Src>,
 }
 
-impl<'a, 'de> de::Deserializer<'de> for &'a mut BinReader<'de> {
+impl<'a, 'b, 'de, Src: BinSource> de::Deserializer<'de> for &'a mut BinReader<'b, Src> {
     type Error = ArtifactError;
-    type SeqAccess = BinSeqAccess<'a, 'de>;
-    type StructAccess = BinStructAccess<'a, 'de>;
-    type VariantAccess = BinVariantAccess<'a, 'de>;
+    type SeqAccess = BinSeqAccess<'a, 'b, Src>;
+    type StructAccess = BinStructAccess<'a, 'b, Src>;
+    type VariantAccess = BinVariantAccess<'a, 'b, Src>;
 
     fn deserialize_bool(self) -> Result<bool, ArtifactError> {
-        match self.take(1)?[0] {
+        match read_le!(self, u8)? {
             0 => Ok(false),
             1 => Ok(true),
             other => Err(ArtifactError::Malformed(format!(
@@ -314,16 +474,19 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut BinReader<'de> {
     }
     fn deserialize_string(self) -> Result<String, ArtifactError> {
         let len: u64 = read_le!(self, u64)?;
+        if len > self.src.remaining() {
+            return Err(ArtifactError::Truncated);
+        }
         let len = usize::try_from(len).map_err(|_| ArtifactError::Truncated)?;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
+        let bytes = self.take_vec(len)?;
+        String::from_utf8(bytes)
             .map_err(|_| ArtifactError::Malformed("string is not valid UTF-8".into()))
     }
     fn deserialize_unit(self) -> Result<(), ArtifactError> {
         Ok(())
     }
     fn deserialize_option<T: Deserialize<'de>>(self) -> Result<Option<T>, ArtifactError> {
-        match self.take(1)?[0] {
+        match read_le!(self, u8)? {
             0 => Ok(None),
             1 => Ok(Some(T::deserialize(self)?)),
             other => Err(ArtifactError::Malformed(format!(
@@ -337,11 +500,11 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut BinReader<'de> {
     ) -> Result<T, ArtifactError> {
         T::deserialize(self)
     }
-    fn deserialize_seq(self) -> Result<BinSeqAccess<'a, 'de>, ArtifactError> {
+    fn deserialize_seq(self) -> Result<BinSeqAccess<'a, 'b, Src>, ArtifactError> {
         let len: u64 = read_le!(self, u64)?;
         // Every element takes at least one byte, so a length beyond the
         // remaining input is corrupt — reject before any allocation.
-        if len > self.remaining() as u64 {
+        if len > self.src.remaining() {
             return Err(ArtifactError::Truncated);
         }
         Ok(BinSeqAccess {
@@ -349,7 +512,7 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut BinReader<'de> {
             remaining: len,
         })
     }
-    fn deserialize_tuple(self, len: usize) -> Result<BinSeqAccess<'a, 'de>, ArtifactError> {
+    fn deserialize_tuple(self, len: usize) -> Result<BinSeqAccess<'a, 'b, Src>, ArtifactError> {
         Ok(BinSeqAccess {
             reader: self,
             remaining: len as u64,
@@ -359,14 +522,14 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut BinReader<'de> {
         self,
         _name: &'static str,
         _fields: &'static [&'static str],
-    ) -> Result<BinStructAccess<'a, 'de>, ArtifactError> {
+    ) -> Result<BinStructAccess<'a, 'b, Src>, ArtifactError> {
         Ok(BinStructAccess { reader: self })
     }
     fn deserialize_enum(
         self,
         name: &'static str,
         variants: &'static [&'static str],
-    ) -> Result<(u32, BinVariantAccess<'a, 'de>), ArtifactError> {
+    ) -> Result<(u32, BinVariantAccess<'a, 'b, Src>), ArtifactError> {
         let index: u32 = read_le!(self, u32)?;
         if index as usize >= variants.len() {
             return Err(ArtifactError::Malformed(format!(
@@ -378,7 +541,7 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut BinReader<'de> {
     }
 }
 
-impl<'de> de::SeqAccess<'de> for BinSeqAccess<'_, 'de> {
+impl<'de, Src: BinSource> de::SeqAccess<'de> for BinSeqAccess<'_, '_, Src> {
     type Error = ArtifactError;
     fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, ArtifactError> {
         if self.remaining == 0 {
@@ -392,7 +555,7 @@ impl<'de> de::SeqAccess<'de> for BinSeqAccess<'_, 'de> {
     }
 }
 
-impl<'de> de::StructAccess<'de> for BinStructAccess<'_, 'de> {
+impl<'de, Src: BinSource> de::StructAccess<'de> for BinStructAccess<'_, '_, Src> {
     type Error = ArtifactError;
     fn next_field<T: Deserialize<'de>>(&mut self, _name: &'static str) -> Result<T, ArtifactError> {
         T::deserialize(&mut *self.reader)
@@ -402,7 +565,7 @@ impl<'de> de::StructAccess<'de> for BinStructAccess<'_, 'de> {
     }
 }
 
-impl<'de> de::VariantAccess<'de> for BinVariantAccess<'_, 'de> {
+impl<'de, Src: BinSource> de::VariantAccess<'de> for BinVariantAccess<'_, '_, Src> {
     type Error = ArtifactError;
     fn unit(self) -> Result<(), ArtifactError> {
         Ok(())

@@ -40,14 +40,14 @@ pub enum Encoding {
 }
 
 impl Encoding {
-    fn byte(self) -> u8 {
+    pub(crate) fn byte(self) -> u8 {
         match self {
             Self::Binary => 1,
             Self::Json => 2,
         }
     }
 
-    fn from_byte(byte: u8) -> Result<Self, ArtifactError> {
+    pub(crate) fn from_byte(byte: u8) -> Result<Self, ArtifactError> {
         match byte {
             1 => Ok(Self::Binary),
             2 => Ok(Self::Json),
@@ -70,27 +70,16 @@ impl Encoding {
 /// # Errors
 ///
 /// Propagates serialization failures; rejects kinds longer than `u16`.
+/// Since the streaming layer landed this is a thin wrapper over
+/// [`crate::write_to`] with a `Vec` as the writer — same bytes, one
+/// buffer instead of two.
 pub fn encode<T: Serialize>(
     kind: &str,
     encoding: Encoding,
     value: &T,
 ) -> Result<Vec<u8>, ArtifactError> {
-    let kind_len = u16::try_from(kind.len())
-        .map_err(|_| ArtifactError::Malformed("artifact kind longer than 65535 bytes".into()))?;
-    let payload = match encoding {
-        Encoding::Binary => binary::to_bytes(value)?,
-        Encoding::Json => json::to_string_pretty(value)?.into_bytes(),
-    };
-    let mut out = Vec::with_capacity(22 + kind.len() + payload.len());
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
-    out.push(encoding.byte());
-    out.push(0);
-    out.extend_from_slice(&kind_len.to_le_bytes());
-    out.extend_from_slice(kind.as_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out.extend_from_slice(&crc32(&out).to_le_bytes());
+    let mut out = Vec::new();
+    crate::stream::write_to(&mut out, kind, encoding, value)?;
     Ok(out)
 }
 
@@ -169,7 +158,9 @@ fn open<'a>(kind: &str, bytes: &'a [u8]) -> Result<(Encoding, &'a [u8]), Artifac
     Ok((encoding, &bytes[payload_at..crc_at]))
 }
 
-/// Writes `value` to `path` as a framed artifact.
+/// Writes `value` to `path` as a framed artifact, streamed through a
+/// buffered writer (the value is never materialized as one big byte
+/// buffer; see [`crate::write_to`]).
 ///
 /// # Errors
 ///
@@ -180,31 +171,42 @@ pub fn save<T: Serialize, P: AsRef<Path>>(
     encoding: Encoding,
     value: &T,
 ) -> Result<(), ArtifactError> {
-    let bytes = encode(kind, encoding, value)?;
-    std::fs::write(path, bytes)?;
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    crate::stream::write_to(&mut writer, kind, encoding, value)?;
+    use std::io::Write;
+    writer.flush()?;
     Ok(())
 }
 
-/// Reads a framed artifact of the given kind back from `path`.
+/// Reads a framed artifact of the given kind back from `path`, streamed
+/// through a buffered reader (see [`crate::read_from`]).
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors and every [`decode`] corruption class.
+/// Propagates filesystem errors and every corruption class.
 pub fn load<T: DeserializeOwned, P: AsRef<Path>>(path: P, kind: &str) -> Result<T, ArtifactError> {
-    let bytes = std::fs::read(path)?;
-    decode(kind, &bytes)
+    let file = std::fs::File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    crate::stream::read_from(&mut reader, kind)
+}
+
+/// One CRC-32 accumulation step over `bytes`; seed with `0xFFFF_FFFF`
+/// and complement the final state ([`crc32`] does both for one-shot
+/// use; the streaming layer feeds chunks through this).
+pub(crate) fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    crc
 }
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
 /// checksum gzip and PNG use.
 #[must_use]
 pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
-    }
-    !crc
+    !crc32_update(0xFFFF_FFFF, bytes)
 }
 
 const fn crc32_table() -> [u32; 256] {

@@ -12,6 +12,10 @@
 //! * [`container`] — the `RZBA` magic / version / kind / CRC-32 framing
 //!   that makes files safe to reload ([`encode`]/[`decode`],
 //!   [`save`]/[`load`]),
+//! * [`stream`] — [`write_to`]/[`read_from`], the same framing spoken
+//!   directly against `std::io::Write`/`Read` so large containers never
+//!   round-trip through an intermediate `Vec<u8>` ([`save`]/[`load`]
+//!   and [`encode`] are thin wrappers over it),
 //! * [`Artifact`] — kind strings and one-call [`Artifact::save_file`] /
 //!   [`Artifact::load_file`] for the workspace types worth persisting.
 //!
@@ -46,9 +50,11 @@ pub mod binary;
 pub mod container;
 mod error;
 pub mod json;
+pub mod stream;
 
 pub use container::{decode, encode, load, save, Encoding, CONTAINER_VERSION, MAGIC};
 pub use error::ArtifactError;
+pub use stream::{read_from, write_to};
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -112,4 +118,8 @@ impl Artifact for razorbus_tables::ThresholdMatrix {
 
 impl Artifact for razorbus_tables::DeviceFactorTable {
     const KIND: &'static str = "device-factor-table";
+}
+
+impl Artifact for razorbus_tables::BusTables {
+    const KIND: &'static str = "bus-tables";
 }

@@ -1,0 +1,286 @@
+//! Streaming container I/O: [`write_to`]/[`read_from`] frame artifacts
+//! directly against `std::io::Write`/`Read`, so large containers never
+//! round-trip through an intermediate `Vec<u8>`.
+//!
+//! The byte format is identical to the buffered [`crate::encode`]/
+//! [`crate::decode`] path (which is now a thin wrapper over this one on
+//! the write side): `RZBA` magic, version, encoding, kind, payload
+//! length, payload, CRC-32 — see `docs/formats.md`. Two differences in
+//! *behavior*, not bytes:
+//!
+//! * **Writing** makes two serialization passes for binary payloads — a
+//!   zero-allocation counting pass to learn the length prefix, then the
+//!   real streamed pass. JSON payloads are rendered to one string (the
+//!   human-readable path keeps its buffer; the container framing around
+//!   it still streams).
+//! * **Reading** sees corruption in stream order: a flipped payload byte
+//!   may surface as [`ArtifactError::Malformed`]/[`ArtifactError::Truncated`]
+//!   from the payload parser before the checksum is ever reached, where
+//!   the buffered path (checksum first) reports
+//!   [`ArtifactError::ChecksumMismatch`]. Every corruption still errors —
+//!   a parse that *succeeds* is always CRC-verified before the value is
+//!   returned — only the variant can differ.
+
+use crate::binary;
+use crate::container::{crc32_update, Encoding, CONTAINER_VERSION, MAGIC};
+use crate::error::ArtifactError;
+use crate::json;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{self, Read, Write};
+
+/// Streams `value` as a framed artifact into `writer`.
+///
+/// ```
+/// use razorbus_artifact::{decode, write_to, Encoding};
+///
+/// let mut out = Vec::new();
+/// write_to(&mut out, "word-list", Encoding::Binary, &vec![1u32, 2, 3]).unwrap();
+/// // Byte-identical to the buffered `encode` path:
+/// let back: Vec<u32> = decode("word-list", &out).unwrap();
+/// assert_eq!(back, [1, 2, 3]);
+/// ```
+///
+/// # Errors
+///
+/// Propagates serialization failures, I/O errors, over-long kinds, and
+/// (defensively) a serializer whose counting and writing passes
+/// disagree — the file is already partially written at that point, but
+/// the error makes the corruption loud.
+pub fn write_to<T: Serialize, W: Write>(
+    writer: &mut W,
+    kind: &str,
+    encoding: Encoding,
+    value: &T,
+) -> Result<(), ArtifactError> {
+    let kind_len = u16::try_from(kind.len())
+        .map_err(|_| ArtifactError::Malformed("artifact kind longer than 65535 bytes".into()))?;
+
+    // The length prefix precedes the payload, so learn it first: a
+    // counting pass for binary, the rendered string for JSON.
+    let json_payload = match encoding {
+        Encoding::Binary => None,
+        Encoding::Json => Some(json::to_string_pretty(value)?.into_bytes()),
+    };
+    let payload_len = match &json_payload {
+        Some(text) => text.len() as u64,
+        None => binary::byte_len(value)?,
+    };
+
+    let mut header = Vec::with_capacity(18 + kind.len());
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+    header.push(encoding.byte());
+    header.push(0);
+    header.extend_from_slice(&kind_len.to_le_bytes());
+    header.extend_from_slice(kind.as_bytes());
+    header.extend_from_slice(&payload_len.to_le_bytes());
+
+    let mut out = CrcWriter {
+        inner: writer,
+        crc: 0xFFFF_FFFF,
+        written: 0,
+    };
+    out.write_all(&header)?;
+    let header_len = out.written;
+    match &json_payload {
+        Some(text) => out.write_all(text)?,
+        None => {
+            let written = binary::to_writer(value, &mut out)?;
+            if written != payload_len {
+                return Err(ArtifactError::Malformed(format!(
+                    "binary serializer wrote {written} bytes after declaring {payload_len} \
+                     (non-deterministic Serialize impl?)"
+                )));
+            }
+        }
+    }
+    debug_assert_eq!(out.written, header_len + payload_len);
+    let crc = !out.crc;
+    out.inner.write_all(&crc.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads one framed artifact of the given `kind` from `reader`,
+/// requiring the stream to end right after the checksum (the same
+/// no-trailing-bytes contract as [`crate::decode`]).
+///
+/// # Errors
+///
+/// Every corruption class errors; see the module docs for how the
+/// variant can differ from the buffered path's classification.
+pub fn read_from<T: DeserializeOwned, R: Read>(
+    reader: &mut R,
+    kind: &str,
+) -> Result<T, ArtifactError> {
+    let mut input = CrcReader {
+        inner: reader,
+        crc: 0xFFFF_FFFF,
+    };
+
+    // Magic: mirror the buffered path, which reports BadMagic (with the
+    // zero-padded prefix) for anything shorter than four bytes.
+    let mut magic = [0u8; 4];
+    let got = input.read_up_to(&mut magic)?;
+    if got < 4 || magic != MAGIC {
+        return Err(ArtifactError::BadMagic { found: magic });
+    }
+
+    let mut fixed = [0u8; 6];
+    input.read_exact_or_truncated(&mut fixed)?;
+    let version = u16::from_le_bytes([fixed[0], fixed[1]]);
+    if version > CONTAINER_VERSION {
+        return Err(ArtifactError::UnsupportedVersion { found: version });
+    }
+    let encoding = Encoding::from_byte(fixed[2])?;
+    let kind_len = usize::from(u16::from_le_bytes([fixed[4], fixed[5]]));
+
+    let mut kind_bytes = vec![0u8; kind_len];
+    input.read_exact_or_truncated(&mut kind_bytes)?;
+    let found_kind = String::from_utf8(kind_bytes)
+        .map_err(|_| ArtifactError::Malformed("artifact kind is not UTF-8".into()))?;
+
+    let mut len_bytes = [0u8; 8];
+    input.read_exact_or_truncated(&mut len_bytes)?;
+    let payload_len = u64::from_le_bytes(len_bytes);
+
+    if found_kind != kind {
+        // Keep the buffered path's promise that a *corrupt* kind string
+        // reports as corruption, not as a mismatch: drain the payload,
+        // verify the checksum, and only then report the mismatch.
+        input.drain(payload_len)?;
+        check_crc(&mut input)?;
+        expect_eof(input.inner)?;
+        return Err(ArtifactError::KindMismatch {
+            expected: kind.to_string(),
+            found: found_kind,
+        });
+    }
+
+    let value = match encoding {
+        Encoding::Binary => binary::from_reader(&mut input, payload_len)?,
+        Encoding::Json => {
+            let payload_len = usize::try_from(payload_len).map_err(|_| ArtifactError::Truncated)?;
+            // Grow in bounded chunks, like the binary path: a corrupt
+            // length header must hit `Truncated` on the actual stream
+            // end, never request a giant allocation up front.
+            const CHUNK: usize = 64 * 1024;
+            let mut text = Vec::with_capacity(payload_len.min(CHUNK));
+            while text.len() < payload_len {
+                let step = (payload_len - text.len()).min(CHUNK);
+                let start = text.len();
+                text.resize(start + step, 0);
+                input.read_exact_or_truncated(&mut text[start..])?;
+            }
+            let text = String::from_utf8(text)
+                .map_err(|_| ArtifactError::Malformed("JSON payload is not UTF-8".into()))?;
+            json::from_str(&text)?
+        }
+    };
+
+    check_crc(&mut input)?;
+    expect_eof(input.inner)?;
+    Ok(value)
+}
+
+/// Verifies the stored CRC against the running one.
+fn check_crc<R: Read>(input: &mut CrcReader<'_, R>) -> Result<(), ArtifactError> {
+    let computed = !input.crc;
+    let mut stored = [0u8; 4];
+    input
+        .inner
+        .read_exact(&mut stored)
+        .map_err(eof_is_truncation)?;
+    if u32::from_le_bytes(stored) != computed {
+        return Err(ArtifactError::ChecksumMismatch);
+    }
+    Ok(())
+}
+
+/// Enforces the buffered path's no-trailing-bytes contract on a stream.
+fn expect_eof<R: Read>(reader: &mut R) -> Result<(), ArtifactError> {
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) => Ok(()),
+        Ok(_) => Err(ArtifactError::Malformed(
+            "trailing bytes after the checksum".into(),
+        )),
+        Err(e) => Err(ArtifactError::Io(e)),
+    }
+}
+
+fn eof_is_truncation(e: io::Error) -> ArtifactError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        ArtifactError::Truncated
+    } else {
+        ArtifactError::Io(e)
+    }
+}
+
+/// Wraps a writer, hashing every byte that passes through.
+struct CrcWriter<'w, W: Write> {
+    inner: &'w mut W,
+    crc: u32,
+    written: u64,
+}
+
+impl<W: Write> Write for CrcWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write_all(buf)?;
+        self.crc = crc32_update(self.crc, buf);
+        self.written += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Wraps a reader, hashing every byte that passes through.
+struct CrcReader<'r, R: Read> {
+    inner: &'r mut R,
+    crc: u32,
+}
+
+impl<R: Read> CrcReader<'_, R> {
+    /// Reads as many bytes as the stream still has, up to `buf.len()`.
+    fn read_up_to(&mut self, buf: &mut [u8]) -> Result<usize, ArtifactError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ArtifactError::Io(e)),
+            }
+        }
+        self.crc = crc32_update(self.crc, &buf[..filled]);
+        Ok(filled)
+    }
+
+    fn read_exact_or_truncated(&mut self, buf: &mut [u8]) -> Result<(), ArtifactError> {
+        self.inner.read_exact(buf).map_err(eof_is_truncation)?;
+        self.crc = crc32_update(self.crc, buf);
+        Ok(())
+    }
+
+    /// Consumes and hashes `n` bytes without keeping them.
+    fn drain(&mut self, mut n: u64) -> Result<(), ArtifactError> {
+        let mut chunk = [0u8; 4096];
+        while n > 0 {
+            let step = usize::try_from(n.min(chunk.len() as u64)).expect("bounded chunk");
+            self.read_exact_or_truncated(&mut chunk[..step])?;
+            n -= step as u64;
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> Read for CrcReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+}

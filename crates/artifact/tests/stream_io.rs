@@ -1,0 +1,108 @@
+//! The streaming I/O contract: `write_to`/`read_from` speak exactly the
+//! buffered format, and corruption on a stream still always errors.
+
+use razorbus_artifact::{decode, encode, read_from, write_to, Artifact, ArtifactError, Encoding};
+use razorbus_core::TraceSummary;
+use razorbus_traces::{Benchmark, TraceRecording};
+
+fn recording() -> TraceRecording {
+    TraceRecording::capture(&mut Benchmark::Vortex.trace(9), 4_096)
+}
+
+#[test]
+fn streamed_bytes_match_buffered_bytes() {
+    let rec = recording();
+    for encoding in [Encoding::Binary, Encoding::Json] {
+        let buffered = encode(TraceRecording::KIND, encoding, &rec).unwrap();
+        let mut streamed = Vec::new();
+        write_to(&mut streamed, TraceRecording::KIND, encoding, &rec).unwrap();
+        assert_eq!(streamed, buffered, "{encoding:?}");
+    }
+}
+
+#[test]
+fn read_from_round_trips_both_encodings() {
+    let rec = recording();
+    for encoding in [Encoding::Binary, Encoding::Json] {
+        let bytes = encode(TraceRecording::KIND, encoding, &rec).unwrap();
+        let back: TraceRecording = read_from(&mut bytes.as_slice(), TraceRecording::KIND).unwrap();
+        assert_eq!(back, rec, "{encoding:?}");
+    }
+}
+
+#[test]
+fn file_save_load_streams_round_trip() {
+    let mut trace = Benchmark::Swim.trace(3);
+    let design = razorbus_core::DvsBusDesign::paper_default();
+    let summary = TraceSummary::collect(&design, &mut trace, 5_000);
+    let path = std::env::temp_dir().join("razorbus-test-stream-summary.rzba");
+    summary.save_file(&path, Encoding::Binary).unwrap();
+    let reloaded = TraceSummary::load_file(&path).unwrap();
+    assert_eq!(reloaded, summary);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn every_single_byte_flip_errors_on_the_stream_path() {
+    // The universal corruption contract, replayed against read_from: any
+    // one-byte flip anywhere in the frame must error (classification may
+    // differ from the buffered path; erroring may not).
+    let rec = TraceRecording::from_words(vec![7, 8, 9, 10, 11]);
+    let bytes = encode(TraceRecording::KIND, Encoding::Binary, &rec).unwrap();
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x10;
+        assert!(
+            read_from::<TraceRecording, _>(&mut corrupt.as_slice(), TraceRecording::KIND).is_err(),
+            "flip at byte {i} was accepted"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_errors_on_the_stream_path() {
+    let rec = TraceRecording::from_words(vec![1, 2, 3]);
+    let bytes = encode(TraceRecording::KIND, Encoding::Binary, &rec).unwrap();
+    for end in 0..bytes.len() {
+        assert!(
+            read_from::<TraceRecording, _>(&mut &bytes[..end], TraceRecording::KIND).is_err(),
+            "truncation at {end} was accepted"
+        );
+    }
+}
+
+#[test]
+fn stream_rejects_trailing_bytes() {
+    let rec = TraceRecording::from_words(vec![1]);
+    let mut bytes = encode(TraceRecording::KIND, Encoding::Binary, &rec).unwrap();
+    bytes.push(0);
+    let err =
+        read_from::<TraceRecording, _>(&mut bytes.as_slice(), TraceRecording::KIND).unwrap_err();
+    assert!(matches!(err, ArtifactError::Malformed(_)), "{err:?}");
+}
+
+#[test]
+fn stream_kind_mismatch_still_distinguishes_corruption() {
+    let rec = TraceRecording::from_words(vec![1, 2]);
+    let bytes = encode(TraceRecording::KIND, Encoding::Binary, &rec).unwrap();
+    // Clean frame, wrong kind request: a mismatch.
+    let err = read_from::<TraceRecording, _>(&mut bytes.as_slice(), "summary-bank").unwrap_err();
+    assert!(matches!(err, ArtifactError::KindMismatch { .. }), "{err:?}");
+    // Corrupt kind byte (still valid UTF-8): corruption, not a mismatch
+    // — same promise as the buffered path.
+    let mut corrupt = bytes;
+    corrupt[10] ^= 0x01; // first byte of the kind string, 't' -> 'u'
+    let err =
+        read_from::<TraceRecording, _>(&mut corrupt.as_slice(), TraceRecording::KIND).unwrap_err();
+    assert!(matches!(err, ArtifactError::ChecksumMismatch), "{err:?}");
+}
+
+#[test]
+fn stream_decodes_what_buffered_encodes_and_vice_versa() {
+    // Cross-path interop at the value level.
+    let rec = recording();
+    let mut streamed = Vec::new();
+    write_to(&mut streamed, TraceRecording::KIND, Encoding::Json, &rec).unwrap();
+    let from_buffered: TraceRecording = decode(TraceRecording::KIND, &streamed).unwrap();
+    assert_eq!(from_buffered, rec);
+}

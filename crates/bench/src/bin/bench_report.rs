@@ -21,18 +21,26 @@
 //! through the `razorbus-artifact` writer. See README.md ("Benchmarks in
 //! CI") for the schema.
 
+use razorbus_bench::cli::CliArgs;
 use razorbus_bench::persist::collect_shared_inputs;
 use razorbus_bench::report::BenchReport;
 use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
 use razorbus_core::{experiments, BusSimulator, DvsBusDesign, TraceSummary};
 use razorbus_ctrl::ThresholdController;
 use razorbus_process::{ProcessCorner, PvtCorner};
+use razorbus_scenario::catalog;
 use razorbus_traces::{Benchmark, TraceSource};
 use std::time::Instant;
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args = CliArgs::parse(std::env::args().skip(1), &[]).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: bench_report [OUT_PATH]");
+        std::process::exit(2);
+    });
+    let out_path = args
+        .positionals()
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH.json".to_string());
     let cycles = cycles_from_env(50_000);
     eprintln!("# bench_report: {cycles} cycles/benchmark -> {out_path}");
@@ -99,6 +107,22 @@ fn main() {
         // Same shared-paper-row pipeline `repro all` runs, unprinted.
         let studies = ablations::collect_all(cycles / 4);
         std::hint::black_box(studies.len());
+    });
+    // Scenario-layer timings: one paper spec and one non-paper workload
+    // through the declarative executor (specs, dedup plan, fan-out).
+    time("scenario_fig8", &mut || {
+        let run = catalog::by_name("fig8", cycles, REPRO_SEED)
+            .expect("catalog name")
+            .run()
+            .expect("valid spec");
+        std::hint::black_box(run.result.members.len());
+    });
+    time("scenario_bursty_dma", &mut || {
+        let run = catalog::by_name("bursty-dma", cycles, REPRO_SEED)
+            .expect("catalog name")
+            .run()
+            .expect("valid spec");
+        std::hint::black_box(run.result.members.len());
     });
     let total_ms = total.elapsed().as_secs_f64() * 1e3;
 

@@ -1,190 +1,347 @@
-//! `repro` — regenerates every table and figure of Kaul et al., DATE 2005.
+//! `repro` — regenerates every table and figure of Kaul et al., DATE
+//! 2005, and runs named scenarios from the catalog — all through the
+//! declarative scenario layer (`razorbus-scenario`).
 //!
 //! ```sh
 //! cargo run -p razorbus-bench --bin repro --release -- all
 //! cargo run -p razorbus-bench --bin repro --release -- table1
 //! RAZORBUS_CYCLES=10000000 cargo run -p razorbus-bench --bin repro --release -- fig8
 //!
+//! # Named scenarios (paper figures and the non-paper workloads):
+//! cargo run -p razorbus-bench --bin repro --release -- scenario bursty-dma
+//! cargo run -p razorbus-bench --bin repro --release -- scenario governor-shootout --save-result
+//! cargo run -p razorbus-bench --bin repro --release -- scenario governor-shootout --load-result
+//!
 //! # Collect the shared heavy inputs once, then reuse them (bit-identical):
 //! cargo run -p razorbus-bench --bin repro --release -- all --save-summaries
 //! cargo run -p razorbus-bench --bin repro --release -- all --load-summaries
+//!
+//! # Cache the design tables so warm runs skip BusTables::build:
+//! cargo run -p razorbus-bench --bin repro --release -- all --save-tables
+//! cargo run -p razorbus-bench --bin repro --release -- all --load-tables
 //! ```
 //!
 //! Artifacts: `fig4`, `fig5`, `fig6`, `fig8`, `table1`, `fig10`,
-//! `scaling`, `ablations`, or `all`. `RAZORBUS_CYCLES` sets the cycles
-//! per benchmark (default 2,000,000; the paper uses 10,000,000 — expect
-//! a few minutes at full scale).
+//! `scaling`, `ablations`, `scenario <name>`, `scenarios` (list), or
+//! `all`. `RAZORBUS_CYCLES` sets the cycles per benchmark (default
+//! 2,000,000; the paper uses 10,000,000 — expect a few minutes at full
+//! scale).
 //!
 //! `--save-summaries[=PATH]` / `--load-summaries[=PATH]` (valid with
-//! `all` only) persist/reuse the three shared heavy inputs through the
-//! `razorbus-artifact` layer; the default path is
-//! `repro-summaries.rzba`. Loaded summaries must have been collected at
-//! the same `RAZORBUS_CYCLES` and seed, and the reused run's output is
-//! bit-identical to a cold run (pinned by CI's cache-reuse smoke job).
+//! `all` only) persist/reuse the three shared heavy inputs; loaded
+//! summaries must match the current `RAZORBUS_CYCLES` and seed, and the
+//! reused run's output is bit-identical to a cold run (pinned by CI's
+//! cache-reuse job). `--save-tables[=PATH]` / `--load-tables[=PATH]`
+//! (also `all` only) persist/reuse the two designs' look-up tables;
+//! tables stamped for a different bus are refused.
+//! `--save-result[=PATH]` / `--load-result[=PATH]` (with `scenario`
+//! only) persist/reload a scenario run so it re-renders without
+//! re-simulating.
 
-use razorbus_bench::persist::{collect_shared_inputs, ReproSummaries};
+use razorbus_bench::cli::CliArgs;
+use razorbus_bench::persist::{ReproSummaries, ReproTables};
 use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
 use razorbus_core::{experiments, DvsBusDesign};
 use razorbus_process::PvtCorner;
+use razorbus_scenario::{catalog, paper, DesignSpec, ScenarioSetResult, ScenarioSetRun};
 
 /// Default path for `--save-summaries`/`--load-summaries`.
 const DEFAULT_SUMMARIES_PATH: &str = "repro-summaries.rzba";
+/// Default path for `--save-tables`/`--load-tables`.
+const DEFAULT_TABLES_PATH: &str = "repro-tables.rzba";
+/// Default path for `--save-result`/`--load-result`.
+const DEFAULT_RESULT_PATH: &str = "scenario-result.rzba";
+
+const ARTIFACTS: [&str; 10] = [
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "table1",
+    "fig10",
+    "scaling",
+    "ablations",
+    "scenario",
+    "scenarios",
+];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut what: Option<String> = None;
-    let mut save_path: Option<String> = None;
-    let mut load_path: Option<String> = None;
-    for arg in &args {
-        if let Some(rest) = arg.strip_prefix("--save-summaries") {
-            save_path = Some(parse_path_flag(rest, arg));
-        } else if let Some(rest) = arg.strip_prefix("--load-summaries") {
-            load_path = Some(parse_path_flag(rest, arg));
-        } else if arg.starts_with("--") {
-            usage_error(&format!("unknown flag '{arg}'"));
-        } else if what.is_some() {
-            usage_error(&format!("unexpected extra artifact '{arg}'"));
-        } else {
-            what = Some(arg.clone());
+    let args = CliArgs::parse(
+        std::env::args().skip(1),
+        &[
+            "save-summaries",
+            "load-summaries",
+            "save-tables",
+            "load-tables",
+            "save-result",
+            "load-result",
+        ],
+    )
+    .unwrap_or_else(|e| usage_error(&e));
+
+    let (what, scenario_name) = match args.positionals() {
+        [] => ("all".to_string(), None),
+        [what] => (what.clone(), None),
+        [what, name] if what == "scenario" => (what.clone(), Some(name.clone())),
+        [what, _, extra, ..] if what == "scenario" => {
+            usage_error(&format!("unexpected extra argument '{extra}'"))
         }
-    }
-    let what = what.unwrap_or_else(|| "all".to_string());
+        [_, extra, ..] => usage_error(&format!("unexpected extra artifact '{extra}'")),
+    };
     let what = what.as_str();
-    let cycles = cycles_from_env(2_000_000);
-    eprintln!("# razorbus repro: {what} ({cycles} cycles/benchmark, seed {REPRO_SEED})");
+    if !ARTIFACTS.contains(&what) && what != "all" {
+        usage_error(&format!(
+            "unknown artifact '{what}'; expected one of {} all",
+            ARTIFACTS.join(" ")
+        ));
+    }
+
+    let save_path = args.valued_flag("save-summaries", DEFAULT_SUMMARIES_PATH);
+    let load_path = args.valued_flag("load-summaries", DEFAULT_SUMMARIES_PATH);
+    let save_tables = args.valued_flag("save-tables", DEFAULT_TABLES_PATH);
+    let load_tables = args.valued_flag("load-tables", DEFAULT_TABLES_PATH);
+    let save_result = args.valued_flag("save-result", DEFAULT_RESULT_PATH);
+    let load_result = args.valued_flag("load-result", DEFAULT_RESULT_PATH);
 
     if (save_path.is_some() || load_path.is_some()) && what != "all" {
         usage_error("--save-summaries/--load-summaries are only valid with `all`");
     }
+    if (save_tables.is_some() || load_tables.is_some()) && what != "all" {
+        usage_error("--save-tables/--load-tables are only valid with `all`");
+    }
     if save_path.is_some() && load_path.is_some() {
         usage_error("--save-summaries and --load-summaries are mutually exclusive");
     }
+    if save_tables.is_some() && load_tables.is_some() {
+        usage_error("--save-tables and --load-tables are mutually exclusive");
+    }
+    if (save_result.is_some() || load_result.is_some()) && what != "scenario" {
+        usage_error("--save-result/--load-result are only valid with `scenario`");
+    }
+    if save_result.is_some() && load_result.is_some() {
+        usage_error("--save-result and --load-result are mutually exclusive");
+    }
 
-    let design = DvsBusDesign::paper_default();
-    let run_all = what == "all";
+    let cycles = cycles_from_env(2_000_000);
+    eprintln!("# razorbus repro: {what} ({cycles} cycles/benchmark, seed {REPRO_SEED})");
 
-    if run_all {
-        let modified = DvsBusDesign::modified_paper_bus();
-        let shared = match &load_path {
-            Some(path) => match ReproSummaries::load(path, cycles, REPRO_SEED) {
-                Ok(shared) => {
-                    eprintln!("# loaded shared summaries from {path}");
-                    shared
-                }
-                Err(e) => {
-                    eprintln!("error: cannot reuse summaries from {path}: {e}");
-                    std::process::exit(2);
-                }
-            },
-            None => collect_shared_inputs(&design, &modified, cycles, REPRO_SEED),
-        };
-        if let Some(path) = &save_path {
-            if let Err(e) = shared.save(path) {
-                eprintln!("error: cannot save summaries to {path}: {e}");
-                std::process::exit(2);
+    match what {
+        "scenarios" => {
+            println!("named scenarios:");
+            for name in catalog::NAMES {
+                println!("  {name}");
             }
-            eprintln!("# saved shared summaries to {path}");
         }
-        run_everything(&design, &modified, cycles, &shared);
-    }
-
-    if what == "fig4" {
-        banner("Fig. 4 (energy & error rate vs. static VDD)");
-        // Both panels share one summary collection (the histogram is
-        // corner-independent); only the sweep differs per corner.
-        let summary = experiments::combined_summary(&design, cycles, REPRO_SEED);
-        experiments::fig4::from_summary(&design, PvtCorner::WORST, &summary).print();
-        println!();
-        experiments::fig4::from_summary(&design, PvtCorner::TYPICAL, &summary).print();
-    }
-
-    if what == "fig5" {
-        banner("Fig. 5 (gains vs. PVT delay spread)");
-        experiments::fig5::run(&design, cycles, REPRO_SEED).print();
-    }
-
-    if what == "fig6" {
-        banner("Fig. 6 (optimal supply residency)");
-        let windows = (cycles / 10_000).max(10) as usize;
-        experiments::fig6::run(&design, windows, 10_000, REPRO_SEED).print();
-    }
-
-    if what == "fig8" {
-        banner("Fig. 8 (closed-loop trajectory, typical corner)");
-        experiments::fig8::run(&design, PvtCorner::TYPICAL, cycles, REPRO_SEED).print();
-    }
-
-    if what == "table1" {
-        banner("Table 1 (fixed VS vs. proposed DVS)");
-        experiments::table1::run(&design, cycles, REPRO_SEED).print();
-    }
-
-    if what == "fig10" {
-        banner("Fig. 10 / §6 (modified bus)");
-        let modified = DvsBusDesign::modified_paper_bus();
-        experiments::fig10::run(&design, &modified, cycles, REPRO_SEED).print();
-    }
-
-    if what == "scaling" {
-        banner("§6 technology scaling");
-        experiments::scaling::run(cycles / 4, REPRO_SEED).print();
-    }
-
-    if what == "ablations" {
-        banner("Ablations (DESIGN.md §6)");
-        ablations::run_all(cycles / 4);
-    }
-
-    if !run_all
-        && ![
-            "fig4",
-            "fig5",
-            "fig6",
-            "fig8",
-            "table1",
-            "fig10",
-            "scaling",
-            "ablations",
-        ]
-        .contains(&what)
-    {
-        eprintln!(
-            "unknown artifact '{what}'; expected one of fig4 fig5 fig6 fig8 table1 fig10 scaling ablations all"
-        );
-        std::process::exit(2);
+        "scenario" => {
+            let name = scenario_name
+                .unwrap_or_else(|| usage_error("`scenario` needs a name (see `repro scenarios`)"));
+            run_scenario(&name, cycles, save_result, load_result);
+        }
+        "all" => run_all(cycles, save_path, load_path, save_tables, load_tables),
+        "fig4" => {
+            banner("Fig. 4 (energy & error rate vs. static VDD)");
+            let run = run_set(paper::fig4_set(cycles, REPRO_SEED));
+            adapter(paper::fig4_panel(&run, "fig4@worst")).print();
+            println!();
+            adapter(paper::fig4_panel(&run, "fig4@typical")).print();
+        }
+        "fig5" => {
+            banner("Fig. 5 (gains vs. PVT delay spread)");
+            let run = run_set(paper::fig5_set(cycles, REPRO_SEED));
+            adapter(paper::fig5_data(&run)).print();
+        }
+        "fig6" => {
+            banner("Fig. 6 (optimal supply residency)");
+            let design = DvsBusDesign::paper_default();
+            let windows = (cycles / 10_000).max(10) as usize;
+            experiments::fig6::run(&design, windows, 10_000, REPRO_SEED).print();
+        }
+        "fig8" => {
+            banner("Fig. 8 (closed-loop trajectory, typical corner)");
+            let run = run_set(paper::fig8_set(cycles, REPRO_SEED));
+            adapter(paper::fig8_data(&run)).print();
+        }
+        "table1" => {
+            banner("Table 1 (fixed VS vs. proposed DVS)");
+            let run = run_set(paper::table1_set(cycles, REPRO_SEED));
+            adapter(paper::table1_data(&run)).print();
+        }
+        "fig10" => {
+            banner("Fig. 10 / §6 (modified bus)");
+            let run = run_set(paper::fig10_set(cycles, REPRO_SEED));
+            adapter(paper::fig10_data(&run)).print();
+        }
+        "scaling" => {
+            banner("§6 technology scaling");
+            experiments::scaling::run(cycles / 4, REPRO_SEED).print();
+        }
+        "ablations" => {
+            banner("Ablations (DESIGN.md §6)");
+            ablations::run_all(cycles / 4);
+        }
+        _ => unreachable!("artifact validated above"),
     }
 }
 
-/// `""` or `=PATH` after a `--*-summaries` flag.
-fn parse_path_flag(rest: &str, arg: &str) -> String {
-    match rest.strip_prefix('=') {
-        Some(path) if !path.is_empty() => path.to_string(),
-        None if rest.is_empty() => DEFAULT_SUMMARIES_PATH.to_string(),
-        _ => usage_error(&format!(
-            "malformed flag '{arg}' (use --flag or --flag=PATH)"
-        )),
+/// Runs (or reloads) one named scenario and renders it.
+fn run_scenario(name: &str, cycles: u64, save_result: Option<String>, load_result: Option<String>) {
+    let Some(set) = catalog::by_name(name, cycles, REPRO_SEED) else {
+        usage_error(&format!(
+            "unknown scenario '{name}'; known: {}",
+            catalog::NAMES.join(" ")
+        ));
+    };
+    let run = match &load_result {
+        Some(path) => {
+            use razorbus_artifact::Artifact;
+            let result = ScenarioSetResult::load_file(path)
+                .unwrap_or_else(|e| fail(&format!("cannot reload scenario result {path}: {e}")));
+            if result.name != set.name {
+                fail(&format!(
+                    "result in {path} is for scenario set `{}`, not `{}`",
+                    result.name, set.name
+                ));
+            }
+            // A result rendered under this banner must be the result of
+            // *this* campaign: same members, same cycles/benchmark, same
+            // seed — the same staleness contract `--load-summaries`
+            // enforces (a 1 000-cycle result must not silently render
+            // under a 10 M-cycle banner).
+            let expected = set.expand().unwrap_or_else(|e| fail(&e));
+            let stored: Vec<_> = result.members.iter().map(|m| &m.spec).collect();
+            if !stored.iter().copied().eq(expected.iter()) {
+                fail(&format!(
+                    "result in {path} was produced by different member specs \
+                     (likely another RAZORBUS_CYCLES cycles/benchmark or seed) — \
+                     re-save or match the environment"
+                ));
+            }
+            eprintln!("# reloaded scenario result from {path} (no simulation)");
+            ScenarioSetRun::from_result(result).unwrap_or_else(|e| fail(&e))
+        }
+        None => set.run().unwrap_or_else(|e| fail(&e)),
+    };
+    if let Some(path) = &save_result {
+        use razorbus_artifact::Artifact;
+        run.result
+            .save_file(path, razorbus_artifact::Encoding::Binary)
+            .unwrap_or_else(|e| fail(&format!("cannot save scenario result to {path}: {e}")));
+        eprintln!("# saved scenario result to {path}");
     }
+    // Paper sets render through the exact figure adapters; everything
+    // else gets the generic member render.
+    match name {
+        "fig4" => {
+            adapter(paper::fig4_panel(&run, "fig4@worst")).print();
+            println!();
+            adapter(paper::fig4_panel(&run, "fig4@typical")).print();
+        }
+        "fig5" => adapter(paper::fig5_data(&run)).print(),
+        "fig8" => adapter(paper::fig8_data(&run)).print(),
+        "table1" => adapter(paper::table1_data(&run)).print(),
+        "fig10" => adapter(paper::fig10_data(&run)).print(),
+        "paper-all" => {
+            adapter(paper::fig4_panel(&run, "fig4@worst")).print();
+            println!();
+            adapter(paper::fig4_panel(&run, "fig4@typical")).print();
+            adapter(paper::fig5_data(&run)).print();
+            adapter(paper::fig8_data(&run)).print();
+            adapter(paper::table1_data(&run)).print();
+            adapter(paper::fig10_data(&run)).print();
+        }
+        _ => run.print(),
+    }
+}
+
+/// The `all` pipeline: the `paper-all` scenario set supplies every
+/// shared heavy input (deduplicated and fanned out by the executor —
+/// the same three concurrent jobs the old hand-wired collection ran),
+/// then the figures print from those inputs exactly as before.
+fn run_all(
+    cycles: u64,
+    save_path: Option<String>,
+    load_path: Option<String>,
+    save_tables: Option<String>,
+    load_tables: Option<String>,
+) {
+    let (design, modified) = match &load_tables {
+        Some(path) => match ReproTables::load_designs(path) {
+            Ok(pair) => {
+                eprintln!("# loaded design tables from {path} (BusTables::build skipped)");
+                pair
+            }
+            Err(e) => fail(&format!("cannot reuse tables from {path}: {e}")),
+        },
+        None => (
+            DvsBusDesign::paper_default(),
+            DvsBusDesign::modified_paper_bus(),
+        ),
+    };
+    if let Some(path) = &save_tables {
+        ReproTables::capture(&design, &modified)
+            .save(path)
+            .unwrap_or_else(|e| fail(&format!("cannot save tables to {path}: {e}")));
+        eprintln!("# saved design tables to {path}");
+    }
+
+    let shared = match &load_path {
+        Some(path) => match ReproSummaries::load(path, cycles, REPRO_SEED) {
+            Ok(shared) => {
+                eprintln!("# loaded shared summaries from {path}");
+                shared
+            }
+            Err(e) => fail(&format!("cannot reuse summaries from {path}: {e}")),
+        },
+        None => {
+            let run = paper::paper_all_set(cycles, REPRO_SEED)
+                .run_with_designs(vec![
+                    (DesignSpec::Paper, design.clone()),
+                    (DesignSpec::ModifiedCoupling, modified.clone()),
+                ])
+                .unwrap_or_else(|e| fail(&e));
+            ReproSummaries::from_scenario_run(&run, cycles, REPRO_SEED).unwrap_or_else(|e| fail(&e))
+        }
+    };
+    if let Some(path) = &save_path {
+        shared
+            .save(path)
+            .unwrap_or_else(|e| fail(&format!("cannot save summaries to {path}: {e}")));
+        eprintln!("# saved shared summaries to {path}");
+    }
+    run_everything(&design, &modified, cycles, &shared);
+}
+
+fn adapter<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|e| fail(&e))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!(
-        "error: {msg}\nusage: repro [fig4|fig5|fig6|fig8|table1|fig10|scaling|ablations|all] \
-         [--save-summaries[=PATH] | --load-summaries[=PATH]]"
+        "error: {msg}\nusage: repro [fig4|fig5|fig6|fig8|table1|fig10|scaling|ablations|\
+         scenario <name>|scenarios|all] \
+         [--save-summaries[=PATH] | --load-summaries[=PATH]] \
+         [--save-tables[=PATH] | --load-tables[=PATH]] \
+         [--save-result[=PATH] | --load-result[=PATH]]"
     );
     std::process::exit(2);
 }
 
-/// The `all` pipeline: every figure/table of the paper from one shared
-/// set of heavy inputs.
+/// Prints every figure/table of the paper from one shared set of heavy
+/// inputs.
 ///
-/// The expensive inputs arrive pre-collected (or pre-loaded) as a
-/// [`ReproSummaries`]: one [`experiments::SummaryBank`] (reused by
-/// Fig. 4's two panels, Fig. 5, Table 1's two corners and Fig. 10's
-/// original-bus side — five collections of the identical data before the
-/// PR 2 restructuring), the modified bus's combined summary, and one
-/// consecutive closed-loop run per unique (design, corner) pair (the
-/// typical-corner run serves both Fig. 8 and Table 1; the worst-corner
-/// run serves both Table 1 and Fig. 10).
+/// The expensive inputs arrive pre-collected (through the scenario
+/// executor) or pre-loaded as a [`ReproSummaries`]: one
+/// [`experiments::SummaryBank`] (reused by Fig. 4's two panels, Fig. 5,
+/// Table 1's two corners and Fig. 10's original-bus side), the modified
+/// bus's combined summary, and one consecutive closed-loop run per
+/// unique (design, corner) pair (the typical-corner run serves both
+/// Fig. 8 and Table 1; the worst-corner run serves both Table 1 and
+/// Fig. 10).
 fn run_everything(
     design: &DvsBusDesign,
     modified: &DvsBusDesign,
@@ -226,6 +383,10 @@ fn run_everything(
 
     banner("Ablations (DESIGN.md §6)");
     ablations::run_all(cycles / 4);
+}
+
+fn run_set(set: razorbus_scenario::ScenarioSet) -> ScenarioSetRun {
+    set.run().unwrap_or_else(|e| fail(&e))
 }
 
 fn banner(title: &str) {

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cli;
 pub mod persist;
 pub mod report;
 

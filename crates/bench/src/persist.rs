@@ -15,7 +15,11 @@ use razorbus_artifact::{Artifact, ArtifactError, Encoding};
 use razorbus_core::experiments::{self, fig8::Fig8Data, SummaryBank};
 use razorbus_core::{DvsBusDesign, TraceSummary};
 use razorbus_process::PvtCorner;
+use razorbus_scenario::{LoopData, ScenarioSetRun, SweepData};
+use razorbus_tables::BusTables;
 use razorbus_traces::Benchmark;
+use razorbus_units::VoltageGrid;
+use razorbus_wire::BusPhysical;
 
 /// The three shared heavy inputs of `repro all`, plus the parameters
 /// they were collected under.
@@ -121,6 +125,108 @@ impl ReproSummaries {
             check(name, &mut data.segments.iter().map(|s| s.benchmark))?;
         }
         Ok(())
+    }
+}
+
+impl ReproSummaries {
+    /// Extracts the `repro all` shared inputs from an executed
+    /// `paper-all` scenario set — the scenario-layer twin of
+    /// [`collect_shared_inputs`], bit-identical to it (the executor runs
+    /// the same three heavy jobs; differential tests pin the figures).
+    ///
+    /// # Errors
+    ///
+    /// Errors when `run` is not a `paper-all`-shaped set.
+    pub fn from_scenario_run(
+        run: &ScenarioSetRun,
+        cycles_per_benchmark: u64,
+        seed: u64,
+    ) -> Result<Self, String> {
+        let suite_loop = |name: &str| -> Result<Fig8Data, String> {
+            match &run.result.member(name)?.closed_loop {
+                Some(LoopData::Suite(data)) => Ok(data.clone()),
+                _ => Err(format!("member `{name}` carries no suite closed loop")),
+            }
+        };
+        let bank_of = |name: &str| -> Result<SummaryBank, String> {
+            match &run.result.member(name)?.sweep {
+                Some(SweepData::Bank(bank)) => Ok(bank.clone()),
+                _ => Err(format!("member `{name}` carries no summary bank")),
+            }
+        };
+        Ok(Self {
+            cycles_per_benchmark,
+            seed,
+            dvs_typical: suite_loop("fig8")?,
+            bank: bank_of("table1@typical")?,
+            dvs_worst: suite_loop("table1@worst")?,
+            mod_dvs: suite_loop("fig10-modified")?,
+            mod_summary: bank_of("fig10-modified")?.into_combined(),
+        })
+    }
+}
+
+/// The table cache of `repro --save-tables`/`--load-tables`: both
+/// designs' `BusTables` (the output of the `BusTables::build` a warm
+/// run skips), persisted as one artifact.
+///
+/// The tables carry no provenance, so
+/// [`razorbus_core::DvsBusDesign::from_bus_with_tables`] re-derives
+/// every cheap stamp from the actual bus (grid, width, setup budget,
+/// shadow skew, worst-case load, repeater cap) and refuses tables built
+/// for a different technology/corner calibration — the moral twin of
+/// `--load-summaries` refusing a stale cycle budget.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReproTables {
+    /// Tables of the paper's §3 reference design.
+    pub paper: BusTables,
+    /// Tables of the §6 modified (coupling × 1.95) bus.
+    pub modified: BusTables,
+}
+
+impl Artifact for ReproTables {
+    const KIND: &'static str = "repro-tables";
+}
+
+impl ReproTables {
+    /// Captures the cache from already-built designs.
+    #[must_use]
+    pub fn capture(design: &DvsBusDesign, modified: &DvsBusDesign) -> Self {
+        Self {
+            paper: design.tables().clone(),
+            modified: modified.tables().clone(),
+        }
+    }
+
+    /// Saves to `path` as a framed binary artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and filesystem errors.
+    pub fn save(&self, path: &str) -> Result<(), ArtifactError> {
+        self.save_file(path, Encoding::Binary)
+    }
+
+    /// Loads the cache and reassembles both designs around it, skipping
+    /// their `BusTables::build`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact errors; reports stamp mismatches (tables
+    /// built for a different bus) as [`ArtifactError::Malformed`].
+    pub fn load_designs(path: &str) -> Result<(DvsBusDesign, DvsBusDesign), ArtifactError> {
+        let cache = Self::load_file(path)?;
+        let grid = VoltageGrid::paper_default();
+        let design =
+            DvsBusDesign::from_bus_with_tables(BusPhysical::paper_default(), grid, cache.paper)
+                .map_err(|e| ArtifactError::Malformed(format!("paper tables: {e}")))?;
+        let modified = DvsBusDesign::from_bus_with_tables(
+            BusPhysical::paper_default().with_boosted_coupling(1.95),
+            grid,
+            cache.modified,
+        )
+        .map_err(|e| ArtifactError::Malformed(format!("modified-bus tables: {e}")))?;
+        Ok((design, modified))
     }
 }
 
@@ -236,6 +342,53 @@ mod tests {
             &cached.mod_dvs,
         );
         assert_eq!(format!("{f10_fresh:?}"), format!("{f10_cached:?}"));
+    }
+
+    #[test]
+    fn scenario_run_shared_inputs_match_hand_collected() {
+        // The scenario executor is now the collection path of
+        // `repro all`; its products must be bit-identical to the
+        // hand-wired collect_shared_inputs it replaced.
+        let run = razorbus_scenario::paper::paper_all_set(1_000, 7)
+            .run()
+            .unwrap();
+        let via_scenario = ReproSummaries::from_scenario_run(&run, 1_000, 7).unwrap();
+        assert_eq!(via_scenario, small_inputs());
+    }
+
+    #[test]
+    fn table_cache_round_trips_bit_identically() {
+        let design = DvsBusDesign::paper_default();
+        let modified = DvsBusDesign::modified_paper_bus();
+        let cache = ReproTables::capture(&design, &modified);
+        let path = std::env::temp_dir().join("razorbus-test-tables.rzba");
+        let path = path.to_str().unwrap();
+        cache.save(path).unwrap();
+        let (d2, m2) = ReproTables::load_designs(path).unwrap();
+        // A figure driven off the reassembled designs is bit-identical.
+        let fresh = experiments::fig4::run(&design, PvtCorner::TYPICAL, 2_000, 3);
+        let warm = experiments::fig4::run(&d2, PvtCorner::TYPICAL, 2_000, 3);
+        assert_eq!(format!("{fresh:?}"), format!("{warm:?}"));
+        assert_eq!(m2.skew().chosen_skew(), modified.skew().chosen_skew());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn table_cache_refuses_mismatched_stamps() {
+        // Paper tables under the modified bus (and vice versa) carry
+        // the wrong shadow-skew/worst-load stamps and must be refused.
+        let design = DvsBusDesign::paper_default();
+        let modified = DvsBusDesign::modified_paper_bus();
+        let swapped = ReproTables {
+            paper: modified.tables().clone(),
+            modified: design.tables().clone(),
+        };
+        let path = std::env::temp_dir().join("razorbus-test-tables-swapped.rzba");
+        let path = path.to_str().unwrap();
+        swapped.save(path).unwrap();
+        let err = ReproTables::load_designs(path).unwrap_err();
+        assert!(err.to_string().contains("tables"), "{err}");
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

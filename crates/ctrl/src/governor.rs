@@ -79,6 +79,35 @@ pub trait VoltageGovernor {
     }
 }
 
+/// Forwarding impl so spec-built [`crate::BoxedGovernor`]s run through
+/// the same simulator as concrete governors. Every method forwards —
+/// notably [`VoltageGovernor::steady_cycles`] and
+/// [`VoltageGovernor::record_batch`], where falling back to the trait
+/// defaults would silently disable the batched fast path.
+impl<G: VoltageGovernor + ?Sized> VoltageGovernor for Box<G> {
+    fn voltage(&self) -> Millivolts {
+        (**self).voltage()
+    }
+    fn record_cycle(&mut self, error: bool) {
+        (**self).record_cycle(error);
+    }
+    fn cycles(&self) -> u64 {
+        (**self).cycles()
+    }
+    fn errors(&self) -> u64 {
+        (**self).errors()
+    }
+    fn steady_cycles(&self) -> u64 {
+        (**self).steady_cycles()
+    }
+    fn record_batch(&mut self, cycles: u64, errors: u64) {
+        (**self).record_batch(cycles, errors);
+    }
+    fn average_error_rate(&self) -> f64 {
+        (**self).average_error_rate()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

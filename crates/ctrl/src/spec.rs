@@ -1,0 +1,132 @@
+//! Spec-driven governor selection: a serializable description of *which*
+//! governor to run, turned into a live [`VoltageGovernor`] on demand.
+//!
+//! The scenario layer describes whole experiment campaigns as data
+//! (design knobs, workload, controller, sweep axes); this type is the
+//! controller half of that vocabulary. A [`GovernorSpec`] names one of
+//! the crate's governors and [`GovernorSpec::build`] instantiates it
+//! against a concrete [`ControllerConfig`], boxed so heterogeneous
+//! sweeps (threshold vs. proportional vs. fixed) run through one
+//! simulator type.
+
+use crate::fixed::FixedVoltage;
+use crate::governor::VoltageGovernor;
+use crate::proportional::ProportionalController;
+use crate::threshold::{ControllerConfig, ThresholdController};
+use razorbus_units::Millivolts;
+
+/// A boxed governor, ready to drop into the simulator. `Send` so
+/// scenario executors can fan members out across scoped threads.
+pub type BoxedGovernor = Box<dyn VoltageGovernor + Send>;
+
+/// Which governor a scenario member runs.
+///
+/// ```
+/// use razorbus_ctrl::{ControllerConfig, GovernorSpec, VoltageGovernor};
+/// use razorbus_units::Millivolts;
+///
+/// let cfg = ControllerConfig::paper_default(Millivolts::new(860));
+/// let governor = GovernorSpec::Threshold.build(cfg);
+/// assert_eq!(governor.voltage(), Millivolts::new(1_200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum GovernorSpec {
+    /// The paper's §5 hysteresis controller ([`ThresholdController`]).
+    Threshold,
+    /// The proportional variant §5 declines to build
+    /// ([`ProportionalController::paper_band`]).
+    Proportional,
+    /// A static supply ([`FixedVoltage`]) — sweeps and baselines.
+    Fixed(Millivolts),
+}
+
+impl GovernorSpec {
+    /// Instantiates the governor against `config` (ignored by
+    /// [`GovernorSpec::Fixed`], which never moves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see [`ControllerConfig`]).
+    #[must_use]
+    pub fn build(self, config: ControllerConfig) -> BoxedGovernor {
+        match self {
+            Self::Threshold => Box::new(ThresholdController::new(config)),
+            Self::Proportional => Box::new(ProportionalController::paper_band(config)),
+            Self::Fixed(v) => Box::new(FixedVoltage::new(v)),
+        }
+    }
+
+    /// Short human-readable label for sweep-axis member names.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Self::Threshold => "threshold".to_string(),
+            Self::Proportional => "proportional".to_string(),
+            Self::Fixed(v) => format!("fixed-{}mV", v.mv()),
+        }
+    }
+}
+
+impl core::fmt::Display for GovernorSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ControllerConfig {
+        ControllerConfig::paper_default(Millivolts::new(860))
+    }
+
+    #[test]
+    fn builds_every_kind() {
+        for spec in [
+            GovernorSpec::Threshold,
+            GovernorSpec::Proportional,
+            GovernorSpec::Fixed(Millivolts::new(1_000)),
+        ] {
+            let g = spec.build(config());
+            let expected = match spec {
+                GovernorSpec::Fixed(v) => v,
+                _ => Millivolts::new(1_200),
+            };
+            assert_eq!(g.voltage(), expected, "{spec}");
+        }
+    }
+
+    #[test]
+    fn boxed_governor_behaves_like_the_concrete_one() {
+        // The Box forwarding impl must preserve the steady-state batching
+        // contract — a default-method fallback would silently change the
+        // simulator's chunking (and with it, perf).
+        let mut concrete = ThresholdController::new(config());
+        let mut boxed = GovernorSpec::Threshold.build(config());
+        assert_eq!(boxed.steady_cycles(), concrete.steady_cycles());
+        for _ in 0..3 {
+            let n = concrete.steady_cycles();
+            concrete.record_batch(n, 0);
+            let m = boxed.steady_cycles();
+            boxed.record_batch(m, 0);
+        }
+        assert_eq!(boxed.voltage(), concrete.voltage());
+        assert_eq!(boxed.cycles(), concrete.cycles());
+        assert_eq!(boxed.steady_cycles(), concrete.steady_cycles());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            GovernorSpec::Threshold.label(),
+            GovernorSpec::Proportional.label(),
+            GovernorSpec::Fixed(Millivolts::new(900)).label(),
+            GovernorSpec::Fixed(Millivolts::new(1_000)).label(),
+        ];
+        let mut unique = labels.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

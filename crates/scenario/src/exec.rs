@@ -1,0 +1,639 @@
+//! The scenario executor: sweep expansion → deduplicated job plan →
+//! scoped-thread fan-out → per-member results.
+//!
+//! Two levels of sharing keep a [`ScenarioSet`] as cheap as the
+//! hand-wired pipelines it replaces (`repro all` used to do all of this
+//! manually):
+//!
+//! * **Designs** — each unique [`DesignSpec`] is built once
+//!   (`BusTables::build` and repeater sizing included) and shared by
+//!   reference across every member that names it.
+//! * **Heavy inputs** — members wanting the same closed loop (same
+//!   design, corner, workload, controller, cycles, seed) share one run,
+//!   and a member that only needs the sweep histogram rides along as a
+//!   `with_histogram` by-product of *any* loop over the same
+//!   (design, workload, cycles, seed) — the histogram is corner- and
+//!   governor-independent, and bit-identical to a dedicated
+//!   `TraceSummary::collect` pass (pinned in `razorbus-core`).
+//!
+//! Jobs then fan out on `std::thread::scope`, exactly the way the old
+//! `repro all` fanned out its three shared collections by hand.
+
+use crate::result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
+use crate::spec::{ControllerSpec, DesignSpec, ScenarioSpec, WorkloadSpec};
+use razorbus_core::experiments::{fig8, SummaryBank};
+use razorbus_core::{BusSimulator, DvsBusDesign, TraceSummary};
+use razorbus_ctrl::BoxedGovernor;
+use razorbus_process::PvtCorner;
+use razorbus_traces::TraceSource;
+
+/// A named list of scenarios executed as one deduplicated, parallel
+/// campaign.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioSet {
+    /// Campaign name (also the artifact's self-description).
+    pub name: String,
+    /// Member scenarios; sweep axes expand at run time.
+    pub members: Vec<ScenarioSpec>,
+}
+
+/// An executed set: the serializable [`ScenarioSetResult`] plus the
+/// built designs the render-side adapters query.
+#[derive(Debug)]
+pub struct ScenarioSetRun {
+    design_specs: Vec<DesignSpec>,
+    designs: Vec<DvsBusDesign>,
+    /// The persistable products.
+    pub result: ScenarioSetResult,
+}
+
+/// Everything that identifies one closed-loop simulation.
+#[derive(Debug, Clone, PartialEq)]
+struct LoopKey {
+    design_idx: usize,
+    corner: PvtCorner,
+    workload: WorkloadSpec,
+    controller: ControllerSpec,
+    cycles: u64,
+    seed: u64,
+}
+
+/// Everything that identifies one sweep histogram (corner- and
+/// controller-independent).
+#[derive(Debug, Clone, PartialEq)]
+struct SummaryKey {
+    design_idx: usize,
+    workload: WorkloadSpec,
+    cycles: u64,
+    seed: u64,
+}
+
+impl LoopKey {
+    fn summary_key(&self) -> SummaryKey {
+        SummaryKey {
+            design_idx: self.design_idx,
+            workload: self.workload.clone(),
+            cycles: self.cycles,
+            seed: self.seed,
+        }
+    }
+}
+
+struct LoopProduct {
+    data: LoopData,
+    sweep: Option<SweepData>,
+}
+
+impl ScenarioSet {
+    /// A set with a single (possibly swept) scenario.
+    #[must_use]
+    pub fn single(spec: ScenarioSpec) -> Self {
+        Self {
+            name: spec.name.clone(),
+            members: vec![spec],
+        }
+    }
+
+    /// Expands every member's sweep axes, requiring the resolved names
+    /// to be distinct (adapters and renders look members up by name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates member expansion errors; rejects duplicate names.
+    pub fn expand(&self) -> Result<Vec<ScenarioSpec>, String> {
+        let mut out: Vec<ScenarioSpec> = Vec::new();
+        for member in &self.members {
+            for resolved in member.expand()? {
+                if out.iter().any(|m| m.name == resolved.name) {
+                    return Err(format!(
+                        "scenario set `{}` expands to duplicate member `{}`",
+                        self.name, resolved.name
+                    ));
+                }
+                out.push(resolved);
+            }
+        }
+        if out.is_empty() {
+            return Err(format!("scenario set `{}` has no members", self.name));
+        }
+        Ok(out)
+    }
+
+    /// Executes the set: builds each unique design once, deduplicates
+    /// loop runs and summary passes across members, fans the remaining
+    /// jobs out on scoped threads, and assembles per-member results in
+    /// expansion order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expansion, design-build, governor-build and trace
+    /// construction errors. A malformed (but decodable) spec artifact
+    /// surfaces here as an `Err`, never a panic.
+    pub fn run(&self) -> Result<ScenarioSetRun, String> {
+        self.run_with_designs(Vec::new())
+    }
+
+    /// Like [`ScenarioSet::run`], with caller-supplied designs for some
+    /// (or all) of the member [`DesignSpec`]s — the table-cache path:
+    /// `repro --load-tables` reconstitutes designs from persisted
+    /// `BusTables` and hands them in, skipping their `BusTables::build`.
+    /// Specs without a prebuilt entry are built as usual.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioSet::run`].
+    pub fn run_with_designs(
+        &self,
+        prebuilt: Vec<(DesignSpec, DvsBusDesign)>,
+    ) -> Result<ScenarioSetRun, String> {
+        let members = self.expand()?;
+
+        // Unique designs, first-appearance order.
+        let mut design_specs: Vec<DesignSpec> = Vec::new();
+        for m in &members {
+            if !design_specs.contains(&m.design) {
+                design_specs.push(m.design);
+            }
+        }
+        let mut prebuilt: Vec<(DesignSpec, Option<DvsBusDesign>)> = prebuilt
+            .into_iter()
+            .map(|(spec, design)| (spec, Some(design)))
+            .collect();
+        let designs = design_specs
+            .iter()
+            .map(
+                |spec| match prebuilt.iter_mut().find(|(s, d)| s == spec && d.is_some()) {
+                    Some((_, slot)) => Ok(slot.take().expect("checked is_some")),
+                    None => spec.build(),
+                },
+            )
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let design_idx = |spec: &DesignSpec| {
+            design_specs
+                .iter()
+                .position(|d| d == spec)
+                .expect("design collected above")
+        };
+
+        // Job plan: deduplicated loop runs, histogram attachment, and
+        // summary-only passes for banks no loop can provide. Loop jobs
+        // are planned over *all* members first so histogram attachment
+        // is member-order-independent: a sweep-only member rides a loop
+        // planned later in the set rather than spawning a redundant
+        // trace pass.
+        let mut loop_jobs: Vec<LoopKey> = Vec::new();
+        for m in &members {
+            let key = LoopKey {
+                design_idx: design_idx(&m.design),
+                corner: m.run.corner.resolve(),
+                workload: m.workload.clone(),
+                controller: m.controller,
+                cycles: m.run.cycles_per_benchmark,
+                seed: m.run.seed,
+            };
+            if m.analysis.wants_loop() && !loop_jobs.contains(&key) {
+                loop_jobs.push(key);
+            }
+        }
+        let mut loop_hist = vec![false; loop_jobs.len()];
+        let mut summary_jobs: Vec<SummaryKey> = Vec::new();
+        for m in &members {
+            if !m.analysis.wants_sweep() {
+                continue;
+            }
+            let skey = SummaryKey {
+                design_idx: design_idx(&m.design),
+                workload: m.workload.clone(),
+                cycles: m.run.cycles_per_benchmark,
+                seed: m.run.seed,
+            };
+            match loop_jobs.iter().position(|j| j.summary_key() == skey) {
+                Some(i) => loop_hist[i] = true,
+                None => {
+                    if !summary_jobs.contains(&skey) {
+                        summary_jobs.push(skey);
+                    }
+                }
+            }
+        }
+
+        // Build governors (and validate recipes) before spawning, so
+        // every spec-level error surfaces as a clean Err.
+        let mut governors: Vec<BoxedGovernor> = Vec::new();
+        for job in &loop_jobs {
+            let design = &designs[job.design_idx];
+            governors.push(job.controller.build(design, job.corner)?);
+            if let WorkloadSpec::Recipe(recipe) = &job.workload {
+                recipe.build_trace(job.seed)?;
+            }
+        }
+        for job in &summary_jobs {
+            if let WorkloadSpec::Recipe(recipe) = &job.workload {
+                recipe.build_trace(job.seed)?;
+            }
+        }
+
+        // Fan out: one scoped thread per remaining job, mirroring the
+        // hand-rolled `std::thread::scope` of the old `repro all`.
+        let (loop_products, summary_products) = std::thread::scope(|scope| {
+            let mut loop_handles = Vec::new();
+            for (i, (job, governor)) in loop_jobs.iter().zip(governors.drain(..)).enumerate() {
+                let design = &designs[job.design_idx];
+                let with_hist = loop_hist[i];
+                loop_handles
+                    .push(scope.spawn(move || run_loop_job(design, job, governor, with_hist)));
+            }
+            let mut summary_handles = Vec::new();
+            for job in &summary_jobs {
+                let design = &designs[job.design_idx];
+                summary_handles.push(scope.spawn(move || run_summary_job(design, job)));
+            }
+            let loops: Vec<Result<LoopProduct, String>> = loop_handles
+                .into_iter()
+                .map(|h| h.join().expect("loop job thread"))
+                .collect();
+            let summaries: Vec<Result<SweepData, String>> = summary_handles
+                .into_iter()
+                .map(|h| h.join().expect("summary job thread"))
+                .collect();
+            (loops, summaries)
+        });
+        let loop_products = loop_products
+            .into_iter()
+            .collect::<Result<Vec<_>, String>>()?;
+        let summary_products = summary_products
+            .into_iter()
+            .collect::<Result<Vec<_>, String>>()?;
+
+        // Assemble member results in expansion order.
+        let mut results = Vec::with_capacity(members.len());
+        for m in &members {
+            let key = LoopKey {
+                design_idx: design_idx(&m.design),
+                corner: m.run.corner.resolve(),
+                workload: m.workload.clone(),
+                controller: m.controller,
+                cycles: m.run.cycles_per_benchmark,
+                seed: m.run.seed,
+            };
+            let closed_loop = if m.analysis.wants_loop() {
+                let i = loop_jobs
+                    .iter()
+                    .position(|j| *j == key)
+                    .expect("loop job planned above");
+                Some(loop_products[i].data.clone())
+            } else {
+                None
+            };
+            let sweep = if m.analysis.wants_sweep() {
+                let skey = key.summary_key();
+                let from_loop = loop_jobs
+                    .iter()
+                    .enumerate()
+                    .find(|(i, j)| loop_hist[*i] && j.summary_key() == skey)
+                    .map(|(i, _)| {
+                        loop_products[i]
+                            .sweep
+                            .clone()
+                            .expect("histogram requested on this job")
+                    });
+                Some(match from_loop {
+                    Some(sweep) => sweep,
+                    None => {
+                        let i = summary_jobs
+                            .iter()
+                            .position(|j| *j == skey)
+                            .expect("summary job planned above");
+                        summary_products[i].clone()
+                    }
+                })
+            } else {
+                None
+            };
+            results.push(MemberResult {
+                spec: m.clone(),
+                closed_loop,
+                sweep,
+            });
+        }
+
+        Ok(ScenarioSetRun {
+            design_specs,
+            designs,
+            result: ScenarioSetResult {
+                name: self.name.clone(),
+                members: results,
+            },
+        })
+    }
+}
+
+fn run_loop_job(
+    design: &DvsBusDesign,
+    job: &LoopKey,
+    governor: BoxedGovernor,
+    with_hist: bool,
+) -> Result<LoopProduct, String> {
+    match &job.workload {
+        WorkloadSpec::Suite => {
+            let (data, per) = fig8::run_protocol(
+                design,
+                job.corner,
+                job.cycles,
+                job.seed,
+                governor,
+                job.controller.sampling,
+                with_hist,
+            );
+            let sweep = with_hist.then(|| SweepData::Bank(SummaryBank::from_per_benchmark(per)));
+            Ok(LoopProduct {
+                data: LoopData::Suite(data),
+                sweep,
+            })
+        }
+        WorkloadSpec::Single(benchmark) => Ok(run_stream_job(
+            design,
+            job,
+            benchmark.trace(job.seed),
+            governor,
+            with_hist,
+        )),
+        WorkloadSpec::Recipe(recipe) => Ok(run_stream_job(
+            design,
+            job,
+            recipe.build_trace(job.seed)?,
+            governor,
+            with_hist,
+        )),
+    }
+}
+
+fn run_stream_job<S: TraceSource>(
+    design: &DvsBusDesign,
+    job: &LoopKey,
+    trace: S,
+    governor: BoxedGovernor,
+    with_hist: bool,
+) -> LoopProduct {
+    let mut sim = BusSimulator::new(design, job.corner, trace, governor);
+    if let Some(window) = job.controller.sampling {
+        sim = sim.with_sampling(window);
+    }
+    if with_hist {
+        sim = sim.with_histogram();
+    }
+    let mut report = sim.run(job.cycles);
+    let sweep = report.summary.take().map(SweepData::Summary);
+    LoopProduct {
+        data: LoopData::Stream(StreamRun {
+            corner: job.corner,
+            report,
+        }),
+        sweep,
+    }
+}
+
+fn run_summary_job(design: &DvsBusDesign, job: &SummaryKey) -> Result<SweepData, String> {
+    match &job.workload {
+        WorkloadSpec::Suite => Ok(SweepData::Bank(SummaryBank::collect(
+            design, job.cycles, job.seed,
+        ))),
+        WorkloadSpec::Single(benchmark) => {
+            let mut trace = benchmark.trace(job.seed);
+            Ok(SweepData::Summary(TraceSummary::collect(
+                design, &mut trace, job.cycles,
+            )))
+        }
+        WorkloadSpec::Recipe(recipe) => {
+            let mut trace = recipe.build_trace(job.seed)?;
+            Ok(SweepData::Summary(TraceSummary::collect(
+                design, &mut trace, job.cycles,
+            )))
+        }
+    }
+}
+
+impl ScenarioSetRun {
+    /// The design built for `spec` during this run.
+    ///
+    /// # Errors
+    ///
+    /// Errors when no member of the set uses `spec`.
+    pub fn design_for(&self, spec: &DesignSpec) -> Result<&DvsBusDesign, String> {
+        self.design_specs
+            .iter()
+            .position(|d| d == spec)
+            .map(|i| &self.designs[i])
+            .ok_or_else(|| format!("no member of `{}` uses design {spec:?}", self.result.name))
+    }
+
+    /// Reattaches designs to a reloaded [`ScenarioSetResult`], so a
+    /// persisted scenario run re-renders without re-simulating (designs
+    /// rebuild in milliseconds; the simulations they gate do not).
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-build errors.
+    pub fn from_result(result: ScenarioSetResult) -> Result<Self, String> {
+        let mut design_specs: Vec<DesignSpec> = Vec::new();
+        for m in &result.members {
+            if !design_specs.contains(&m.spec.design) {
+                design_specs.push(m.spec.design);
+            }
+        }
+        let designs = design_specs
+            .iter()
+            .map(DesignSpec::build)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            design_specs,
+            designs,
+            result,
+        })
+    }
+
+    /// Prints a generic render of every member: closed-loop aggregates
+    /// and/or static-sweep gains at the paper's 0 / 2 / 5 % targets.
+    pub fn print(&self) {
+        println!("scenario set `{}`:", self.result.name);
+        for member in &self.result.members {
+            let spec = &member.spec;
+            println!(
+                "\n  {} [{} / {} / {} / {}]",
+                spec.name,
+                spec.design.label(),
+                spec.workload.label(),
+                spec.run.corner.label(),
+                spec.controller.governor.label(),
+            );
+            if let Some(loop_data) = &member.closed_loop {
+                println!(
+                    "    closed loop: gain {:>5.1}%  avg err {:>5.2}%  peak err {:>5.1}%  \
+                     min VDD {} mV  shadow violations {}",
+                    loop_data.energy_gain() * 100.0,
+                    loop_data.error_rate() * 100.0,
+                    loop_data.peak_window_error_rate() * 100.0,
+                    loop_data.min_voltage_mv(),
+                    loop_data.shadow_violations(),
+                );
+            }
+            if let Some(sweep) = &member.sweep {
+                if let Ok(design) = self.design_for(&spec.design) {
+                    let corner = spec.run.corner.resolve();
+                    let summary = sweep.combined();
+                    let mut cells = Vec::new();
+                    for target in razorbus_core::experiments::fig5::TARGETS {
+                        let v = summary.lowest_voltage_for_error_rate(design, corner, target);
+                        let gain = summary.energy_gain(design, corner, v);
+                        cells.push(format!(
+                            "{:.0}%: {:>4.1}% @ {} mV",
+                            target * 100.0,
+                            gain * 100.0,
+                            v.mv()
+                        ));
+                    }
+                    println!("    static gains:  {}", cells.join("   "));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AnalysisSpec, CornerSpec, RunSpec, SweepAxis};
+    use razorbus_ctrl::GovernorSpec;
+
+    fn member(name: &str, analysis: AnalysisSpec, corner: CornerSpec) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.to_string(),
+            design: DesignSpec::Paper,
+            workload: WorkloadSpec::Suite,
+            controller: ControllerSpec::paper(),
+            run: RunSpec {
+                corner,
+                cycles_per_benchmark: 1_000,
+                seed: 3,
+            },
+            analysis,
+            sweep: vec![],
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let set = ScenarioSet {
+            name: "dup".to_string(),
+            members: vec![
+                member("a", AnalysisSpec::ClosedLoop, CornerSpec::Typical),
+                member("a", AnalysisSpec::ClosedLoop, CornerSpec::Worst),
+            ],
+        };
+        assert!(set.expand().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn identical_members_share_one_loop_run() {
+        // Two members over the same loop + one sweep-only member: one
+        // loop job carries the histogram, zero extra passes.
+        let set = ScenarioSet {
+            name: "shared".to_string(),
+            members: vec![
+                member("loop-a", AnalysisSpec::ClosedLoop, CornerSpec::Typical),
+                member("loop-b", AnalysisSpec::Full, CornerSpec::Typical),
+                member("sweep-only", AnalysisSpec::StaticSweep, CornerSpec::Worst),
+            ],
+        };
+        let run = set.run().unwrap();
+        let a = run.result.member("loop-a").unwrap();
+        let b = run.result.member("loop-b").unwrap();
+        let s = run.result.member("sweep-only").unwrap();
+        // Shared loop product: bit-identical.
+        assert_eq!(a.closed_loop, b.closed_loop);
+        // The sweep-only member's bank came from the loop's histogram
+        // (corner-independent), not a separate pass.
+        assert_eq!(b.sweep, s.sweep);
+        assert!(s.closed_loop.is_none());
+    }
+
+    #[test]
+    fn histogram_attachment_is_member_order_independent() {
+        // A sweep-only member listed *before* the loop it could ride
+        // must still ride it (no redundant summary pass), producing the
+        // same products as the loop-first ordering.
+        let forward = ScenarioSet {
+            name: "fwd".to_string(),
+            members: vec![
+                member("loop", AnalysisSpec::ClosedLoop, CornerSpec::Typical),
+                member("sweep", AnalysisSpec::StaticSweep, CornerSpec::Typical),
+            ],
+        }
+        .run()
+        .unwrap();
+        let reversed = ScenarioSet {
+            name: "rev".to_string(),
+            members: vec![
+                member("sweep", AnalysisSpec::StaticSweep, CornerSpec::Typical),
+                member("loop", AnalysisSpec::ClosedLoop, CornerSpec::Typical),
+            ],
+        }
+        .run()
+        .unwrap();
+        assert_eq!(
+            forward.result.member("sweep").unwrap().sweep,
+            reversed.result.member("sweep").unwrap().sweep,
+        );
+        assert_eq!(
+            forward.result.member("loop").unwrap().closed_loop,
+            reversed.result.member("loop").unwrap().closed_loop,
+        );
+    }
+
+    #[test]
+    fn governor_sweep_produces_distinct_loops() {
+        let mut spec = member("duel", AnalysisSpec::ClosedLoop, CornerSpec::Typical);
+        spec.sweep = vec![SweepAxis::Governors(vec![
+            GovernorSpec::Threshold,
+            GovernorSpec::Fixed(razorbus_units::Millivolts::new(1_200)),
+        ])];
+        let run = ScenarioSet::single(spec).run().unwrap();
+        assert_eq!(run.result.members.len(), 2);
+        let dvs = run.result.member("duel+threshold").unwrap();
+        let fixed = run.result.member("duel+fixed-1200mV").unwrap();
+        // At nominal the fixed governor gains nothing; the controller does.
+        let fixed_gain = fixed.closed_loop.as_ref().unwrap().energy_gain();
+        assert!(fixed_gain.abs() < 1e-9, "{fixed_gain}");
+        assert!(dvs.closed_loop.as_ref().unwrap().energy_gain() >= 0.0);
+    }
+
+    #[test]
+    fn rerendering_a_result_rebuilds_designs() {
+        let set = ScenarioSet::single(member(
+            "solo",
+            AnalysisSpec::ClosedLoop,
+            CornerSpec::Typical,
+        ));
+        let run = set.run().unwrap();
+        let reloaded = ScenarioSetRun::from_result(run.result.clone()).unwrap();
+        assert!(reloaded.design_for(&DesignSpec::Paper).is_ok());
+        assert_eq!(reloaded.result, run.result);
+    }
+
+    #[test]
+    fn spec_errors_surface_cleanly() {
+        // Fixed governor off the grid: Err, not panic.
+        let mut spec = member("bad", AnalysisSpec::ClosedLoop, CornerSpec::Typical);
+        spec.controller.governor = GovernorSpec::Fixed(razorbus_units::Millivolts::new(905));
+        assert!(ScenarioSet::single(spec).run().is_err());
+        // Malformed recipe: Err, not panic.
+        let mut spec = member("bad2", AnalysisSpec::ClosedLoop, CornerSpec::Typical);
+        spec.workload = WorkloadSpec::Recipe(crate::spec::TrafficRecipe::IdleDominated(
+            crate::spec::IdleProfile {
+                nonzero_permille: 9_999,
+            },
+        ));
+        assert!(ScenarioSet::single(spec).run().is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Declarative scenario layer for razorbus: experiments, repro runs and
+//! ablations described as data and executed by one spec-driven parallel
+//! executor.
+//!
+//! The paper's evaluation is a fixed set of figure experiments, each of
+//! which used to hand-wire its own design construction, trace selection
+//! and run loop. This crate replaces that with a vocabulary:
+//!
+//! * [`ScenarioSpec`] — design knobs ([`DesignSpec`]), workload
+//!   ([`WorkloadSpec`]: the SPEC2000 suite, one program, or a synthetic
+//!   [`TrafficRecipe`]), controller ([`ControllerSpec`] over
+//!   `razorbus_ctrl::GovernorSpec`), run geometry ([`RunSpec`]) and
+//!   requested products ([`AnalysisSpec`]), optionally swept along
+//!   [`SweepAxis`] dimensions (corner / governor / fixed supply).
+//! * [`ScenarioSet`] — a campaign of specs; [`ScenarioSet::run`]
+//!   expands sweeps, builds each unique design once, deduplicates loop
+//!   runs and summary passes across members, and fans the remaining
+//!   jobs out on scoped threads.
+//! * [`ScenarioSetResult`] — per-member products ([`LoopData`] /
+//!   [`SweepData`]) as plain serializable data; specs, sets and results
+//!   are [`razorbus_artifact::Artifact`] kinds, so a scenario run can
+//!   be saved, reloaded ([`ScenarioSetRun::from_result`]) and
+//!   re-rendered without re-simulating.
+//! * [`paper`] — the paper's figures as named sets plus adapters that
+//!   reproduce `razorbus_core::experiments` data **bit-identically**
+//!   (differential tests pin this).
+//! * [`catalog`] — named scenarios: the five paper figures, the
+//!   combined `paper-all` pipeline, and four non-paper workloads
+//!   (bursty DMA, idle-dominated, adversarial crosstalk, a governor
+//!   shootout).
+//!
+//! # Example
+//!
+//! ```
+//! use razorbus_scenario::catalog;
+//!
+//! let run = catalog::by_name("idle-churn", 50_000, 2005)
+//!     .expect("catalog name")
+//!     .run()
+//!     .expect("valid spec");
+//! let member = &run.result.members[0];
+//! // The controller scales an idle-dominated bus without corruption.
+//! let loop_data = member.closed_loop.as_ref().unwrap();
+//! assert!(loop_data.energy_gain() > 0.0);
+//! assert_eq!(loop_data.shadow_violations(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod exec;
+pub mod paper;
+mod result;
+mod spec;
+
+pub use exec::{ScenarioSet, ScenarioSetRun};
+pub use result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
+pub use spec::{
+    AnalysisSpec, ControllerSpec, CornerSpec, DesignSpec, DmaProfile, IdleProfile, RunSpec,
+    ScenarioSpec, StormProfile, SweepAxis, TrafficRecipe, VoltageSweep, WorkloadSpec,
+};
+
+use razorbus_artifact::Artifact;
+
+impl Artifact for ScenarioSpec {
+    const KIND: &'static str = "scenario-spec";
+}
+
+impl Artifact for ScenarioSet {
+    const KIND: &'static str = "scenario-set";
+}
+
+impl Artifact for ScenarioSetResult {
+    const KIND: &'static str = "scenario-result";
+}

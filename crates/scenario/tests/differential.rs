@@ -1,0 +1,95 @@
+//! Differential pins: every paper figure produced through the scenario
+//! executor must be **bit-identical** to the legacy experiment
+//! functions it refactors (`experiments::fig4::run` & friends), which
+//! stay in place as thin wrappers around the shared kernels.
+//!
+//! Identity is asserted on the full `Debug` rendering — every voltage,
+//! energy ratio and error count, not a summary statistic.
+
+use razorbus_core::{experiments, DvsBusDesign};
+use razorbus_process::PvtCorner;
+use razorbus_scenario::paper;
+
+const CYCLES: u64 = 10_000;
+const SEED: u64 = 2005;
+
+fn debug<T: std::fmt::Debug>(value: &T) -> String {
+    format!("{value:?}")
+}
+
+#[test]
+fn fig4_both_panels_match_legacy() {
+    let design = DvsBusDesign::paper_default();
+    let run = paper::fig4_set(CYCLES, SEED).run().unwrap();
+    for (member, corner) in [
+        ("fig4@worst", PvtCorner::WORST),
+        ("fig4@typical", PvtCorner::TYPICAL),
+    ] {
+        let scenario = paper::fig4_panel(&run, member).unwrap();
+        let legacy = experiments::fig4::run(&design, corner, CYCLES, SEED);
+        assert_eq!(debug(&scenario), debug(&legacy), "{member}");
+    }
+}
+
+#[test]
+fn fig5_matches_legacy() {
+    let design = DvsBusDesign::paper_default();
+    let run = paper::fig5_set(CYCLES, SEED).run().unwrap();
+    let scenario = paper::fig5_data(&run).unwrap();
+    let legacy = experiments::fig5::run(&design, CYCLES, SEED);
+    assert_eq!(debug(&scenario), debug(&legacy));
+}
+
+#[test]
+fn fig8_matches_legacy() {
+    let design = DvsBusDesign::paper_default();
+    let run = paper::fig8_set(CYCLES, SEED).run().unwrap();
+    let scenario = paper::fig8_data(&run).unwrap();
+    let legacy = experiments::fig8::run(&design, PvtCorner::TYPICAL, CYCLES, SEED);
+    // Fig8Data derives PartialEq: assert true bit-identity, then the
+    // rendering too (what `repro` prints).
+    assert_eq!(*scenario, legacy);
+    assert_eq!(debug(scenario), debug(&legacy));
+}
+
+#[test]
+fn table1_matches_legacy() {
+    let design = DvsBusDesign::paper_default();
+    let run = paper::table1_set(CYCLES, SEED).run().unwrap();
+    let scenario = paper::table1_data(&run).unwrap();
+    let legacy = experiments::table1::run(&design, CYCLES, SEED);
+    assert_eq!(debug(&scenario), debug(&legacy));
+}
+
+#[test]
+fn fig10_matches_legacy() {
+    let design = DvsBusDesign::paper_default();
+    let modified = DvsBusDesign::modified_paper_bus();
+    let run = paper::fig10_set(CYCLES, SEED).run().unwrap();
+    let scenario = paper::fig10_data(&run).unwrap();
+    let legacy = experiments::fig10::run(&design, &modified, CYCLES, SEED);
+    assert_eq!(debug(&scenario), debug(&legacy));
+}
+
+#[test]
+fn paper_all_set_figures_match_standalone_sets() {
+    // The combined `repro all` set shares heavy inputs across figures;
+    // sharing must not change a single figure relative to running each
+    // set on its own.
+    let all = paper::paper_all_set(CYCLES, SEED).run().unwrap();
+    let fig4 = paper::fig4_set(CYCLES, SEED).run().unwrap();
+    assert_eq!(
+        debug(&paper::fig4_panel(&all, "fig4@typical").unwrap()),
+        debug(&paper::fig4_panel(&fig4, "fig4@typical").unwrap()),
+    );
+    let table1 = paper::table1_set(CYCLES, SEED).run().unwrap();
+    assert_eq!(
+        debug(&paper::table1_data(&all).unwrap()),
+        debug(&paper::table1_data(&table1).unwrap()),
+    );
+    let fig10 = paper::fig10_set(CYCLES, SEED).run().unwrap();
+    assert_eq!(
+        debug(&paper::fig10_data(&all).unwrap()),
+        debug(&paper::fig10_data(&fig10).unwrap()),
+    );
+}

@@ -24,7 +24,7 @@ use razorbus_wire::BusPhysical;
 /// let tables = BusTables::build(&bus, VoltageGrid::paper_default(), Picoseconds::new(220.0));
 /// tables.validate().unwrap();
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BusTables {
     grid: VoltageGrid,
     setup: Picoseconds,
@@ -40,7 +40,107 @@ pub struct BusTables {
     worst_ceff: Femtofarads,
 }
 
+impl serde::Serialize for BusTables {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut state = serializer.serialize_struct("BusTables", 10)?;
+        state.serialize_field("grid", &self.grid)?;
+        state.serialize_field("setup", &self.setup)?;
+        state.serialize_field("shadow_skew", &self.shadow_skew)?;
+        state.serialize_field("n_bits", &self.n_bits)?;
+        state.serialize_field("factor_tables", &self.factor_tables)?;
+        state.serialize_field("energy_tables", &self.energy_tables)?;
+        state.serialize_field("thresholds", &self.thresholds)?;
+        state.serialize_field("shadow_thresholds", &self.shadow_thresholds)?;
+        state.serialize_field("repeater_cap_per_toggle", &self.repeater_cap_per_toggle)?;
+        state.serialize_field("worst_ceff", &self.worst_ceff)?;
+        state.end()
+    }
+}
+
+/// Validating deserialization for the table-cache workflow: a decodable
+/// artifact must still be internally consistent (one table per paper
+/// condition *in paper order*, every component indexed by the same
+/// supply grid, monotone pass limits) before any hot-loop index trusts
+/// it. Violations error; they never panic downstream.
+impl<'de> serde::Deserialize<'de> for BusTables {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr {
+            grid: VoltageGrid,
+            setup: Picoseconds,
+            shadow_skew: Picoseconds,
+            n_bits: usize,
+            factor_tables: Vec<DeviceFactorTable>,
+            energy_tables: Vec<EnergyTable>,
+            thresholds: Vec<[ThresholdMatrix; 2]>,
+            shadow_thresholds: Vec<[ThresholdMatrix; 2]>,
+            repeater_cap_per_toggle: Femtofarads,
+            worst_ceff: Femtofarads,
+        }
+        use serde::de::Error;
+        let r = Repr::deserialize(deserializer)?;
+        let tables = BusTables {
+            grid: r.grid,
+            setup: r.setup,
+            shadow_skew: r.shadow_skew,
+            n_bits: r.n_bits,
+            factor_tables: r.factor_tables,
+            energy_tables: r.energy_tables,
+            thresholds: r.thresholds,
+            shadow_thresholds: r.shadow_thresholds,
+            repeater_cap_per_toggle: r.repeater_cap_per_toggle,
+            worst_ceff: r.worst_ceff,
+        };
+        tables.validate_shape().map_err(D::Error::custom)?;
+        tables.validate().map_err(D::Error::custom)?;
+        Ok(tables)
+    }
+}
+
 impl BusTables {
+    /// Structural invariants [`BusTables::validate`] assumes: per-paper-
+    /// condition table counts and orders, and one shared supply grid —
+    /// checked first so `validate`'s indexed sweeps cannot go out of
+    /// bounds on hostile input.
+    fn validate_shape(&self) -> Result<(), String> {
+        if self.n_bits == 0 {
+            return Err("bus tables for a zero-width bus".into());
+        }
+        let n = EnvCondition::PAPER_SET.len();
+        for (name, len) in [
+            ("factor_tables", self.factor_tables.len()),
+            ("energy_tables", self.energy_tables.len()),
+            ("thresholds", self.thresholds.len()),
+            ("shadow_thresholds", self.shadow_thresholds.len()),
+        ] {
+            if len != n {
+                return Err(format!("{name} holds {len} tables, expected {n}"));
+            }
+        }
+        for (i, cond) in EnvCondition::PAPER_SET.iter().enumerate() {
+            if self.factor_tables[i].condition() != *cond {
+                return Err(format!("factor table {i} is not for condition {cond}"));
+            }
+            if self.energy_tables[i].condition() != *cond {
+                return Err(format!("energy table {i} is not for condition {cond}"));
+            }
+            if self.energy_tables[i].grid() != self.grid {
+                return Err(format!("energy table {i} is on a different supply grid"));
+            }
+            for ir in 0..2 {
+                if self.thresholds[i][ir].grid() != self.grid
+                    || self.shadow_thresholds[i][ir].grid() != self.grid
+                {
+                    return Err(format!(
+                        "threshold matrix [{cond}][ir={ir}] is on a different supply grid"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Builds every table for `bus` over `grid`, with the shadow latch
     /// clocked `shadow_skew` after the main flop.
     ///

@@ -10,6 +10,9 @@
 //! * Primitive generators — [`RandomWords`] (high-entropy FP-mantissa-like
 //!   data), [`SmallIntWords`], [`StrideWords`] (pointer/address streams),
 //!   [`ValueLocalityWords`] (LRU reuse), [`ZeroBurstWords`].
+//! * Non-program traffic shapes for the scenario layer — [`BurstyDma`]
+//!   (idle-parked bus with dense DMA bursts) and [`AdversarialCrosstalk`]
+//!   (the Fig. 9 worst victim/aggressor pattern at a dialed-in rate).
 //! * [`Mixture`] and [`PhaseModulated`] — per-benchmark blends with
 //!   SimPoint-like program phases.
 //! * [`Benchmark`] — the ten SPEC2000 programs of Table 1, each with a
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod benchmark;
+mod burst;
 mod generators;
 mod mixture;
 mod recording;
@@ -44,6 +48,7 @@ mod source;
 mod stats;
 
 pub use benchmark::{Benchmark, BenchmarkProfile};
+pub use burst::{AdversarialCrosstalk, BurstyDma};
 pub use generators::{RandomWords, SmallIntWords, StrideWords, ValueLocalityWords, ZeroBurstWords};
 pub use mixture::{Mixture, MixtureWeights, PhaseModulated};
 pub use recording::{Replay, TraceRecording};

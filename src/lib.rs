@@ -19,7 +19,9 @@
 //! * statistically shaped SPEC2000 memory-read traces ([`traces`]),
 //! * the §5 threshold controller with a 1 µs/10 mV regulator ([`ctrl`]),
 //! * the cycle-level simulator and one driver per paper figure/table
-//!   ([`core`]).
+//!   ([`core`]),
+//! * a declarative scenario layer that runs experiments, repro
+//!   pipelines and ablations from data ([`scenario`]).
 //!
 //! # Quickstart
 //!
@@ -105,6 +107,24 @@ pub mod core {
 /// ```
 pub mod artifact {
     pub use razorbus_artifact::*;
+}
+
+/// Declarative scenarios: spec-driven, deduplicated, parallel execution
+/// of experiments, repro runs and ablations.
+///
+/// ```
+/// use razorbus::scenario::catalog;
+///
+/// let run = catalog::by_name("crosstalk-storm", 2_000, 1)
+///     .expect("catalog name")
+///     .run()
+///     .expect("valid spec");
+/// // Even under adversarial worst-pattern traffic, no silent corruption.
+/// let member = &run.result.members[0];
+/// assert_eq!(member.closed_loop.as_ref().unwrap().shadow_violations(), 0);
+/// ```
+pub mod scenario {
+    pub use razorbus_scenario::*;
 }
 
 pub use razorbus_artifact::{Artifact, ArtifactError};
