@@ -108,6 +108,10 @@ impl Artifact for razorbus_core::TraceSummary {
     const KIND: &'static str = "trace-summary";
 }
 
+impl Artifact for razorbus_core::CompiledTrace {
+    const KIND: &'static str = "compiled-trace";
+}
+
 impl Artifact for razorbus_core::experiments::SummaryBank {
     const KIND: &'static str = "summary-bank";
 }

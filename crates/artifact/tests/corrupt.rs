@@ -158,6 +158,39 @@ fn invariant_breaking_values_error_instead_of_panicking() {
          \"total_toggles\": 0, \"cycles\": 0}}"
     ))
     .is_err());
+    // Compiled traces must keep arrays aligned with the cycle count and
+    // every value in range — a CRC-clean but inconsistent payload errors
+    // instead of replaying garbage.
+    let compiled = |cycles: u64, toggles: &str, bins: &str, n_bits: u32| {
+        format!(
+            "{{\"cycles\": {cycles}, \"toggles\": {toggles}, \"bins\": {bins}, \
+             \"switched\": [1.0, 2.0], \"n_bits\": {n_bits}, \"worst_load_ff\": 300.0, \
+             \"best_load_ff\": 80.0, \"coupling_ratio\": 1.5}}"
+        )
+    };
+    for (case, text) in [
+        ("length mismatch", compiled(3, "[1, 2]", "[0, 0]", 32)),
+        ("zero cycles", compiled(0, "[]", "[]", 32)),
+        ("toggle over width", compiled(2, "[9, 0]", "[0, 0]", 8)),
+        ("bin out of range", compiled(2, "[1, 1]", "[0, 600]", 32)),
+        ("zero-bit bus", compiled(2, "[0, 0]", "[0, 0]", 0)),
+        // A quiet cycle must carry bin 0 and 0 fF/mm: the second cycle
+        // toggles nothing yet claims 2.0 fF/mm of switched capacitance,
+        // which a replay would silently add to the energy account.
+        ("quiet cycle with load", compiled(2, "[1, 0]", "[0, 0]", 32)),
+        (
+            "quiet cycle with bin",
+            "{\"cycles\": 2, \"toggles\": [1, 0], \"bins\": [0, 3], \
+             \"switched\": [1.0, 0.0], \"n_bits\": 32, \"worst_load_ff\": 300.0, \
+             \"best_load_ff\": 80.0, \"coupling_ratio\": 1.5}"
+                .to_string(),
+        ),
+    ] {
+        assert!(
+            json::from_str::<razorbus_core::CompiledTrace>(&text).is_err(),
+            "accepted compiled trace with {case}"
+        );
+    }
     // Voltage grids must keep floor <= ceiling, positive step, exact span.
     for grid in [
         "{\"floor\": 1000, \"ceiling\": 900, \"step\": 20}",

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use razorbus_artifact::{binary, decode, encode, json, Artifact, Encoding};
 use razorbus_core::experiments::SummaryBank;
-use razorbus_core::{DvsBusDesign, TraceSummary};
+use razorbus_core::{CompiledTrace, DvsBusDesign, TraceSummary};
 use razorbus_process::{IrDrop, PvtCorner};
 use razorbus_tables::{BusTables, EnvCondition};
 use razorbus_traces::{Benchmark, TraceRecording};
@@ -105,6 +105,52 @@ proptest! {
     #[test]
     fn device_factor_table_round_trips(cond in conditions()) {
         assert_round_trip(tables().factor_table(cond));
+    }
+
+    /// Compiled traces round-trip bit-exactly (the f64 switched
+    /// capacitances included) and keep answering replay-side queries
+    /// identically.
+    #[test]
+    fn compiled_trace_round_trips(benchmark in benchmarks(), seed in 0u64..1_000, cycles in 64u64..512) {
+        let compiled = CompiledTrace::compile(design(), &mut benchmark.trace(seed), cycles);
+        assert_round_trip(&compiled);
+        let bytes = encode(CompiledTrace::KIND, Encoding::Binary, &compiled).unwrap();
+        let reloaded: CompiledTrace = decode(CompiledTrace::KIND, &bytes).unwrap();
+        // The reloaded trace still stamps clean against its design and
+        // yields the identical histogram.
+        prop_assert!(reloaded.matches(design()).is_ok());
+        prop_assert_eq!(reloaded.summary(), compiled.summary());
+    }
+
+    /// Corruption contract for compiled traces: any single-byte flip of
+    /// the framed artifact errors (CRC or validation), never panics and
+    /// never yields a trace that silently replays wrong.
+    #[test]
+    fn compiled_trace_byte_flip_is_detected(
+        seed in 0u64..200,
+        cycles in 64u64..256,
+        position in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let compiled = CompiledTrace::compile(design(), &mut Benchmark::Crafty.trace(seed), cycles);
+        let mut bytes = encode(CompiledTrace::KIND, Encoding::Binary, &compiled).unwrap();
+        let position = position % bytes.len();
+        bytes[position] ^= mask;
+        prop_assert!(decode::<CompiledTrace>(CompiledTrace::KIND, &bytes).is_err());
+    }
+
+    /// Corruption contract for compiled traces: every strict prefix of
+    /// the framed artifact fails to decode, and never panics.
+    #[test]
+    fn compiled_trace_truncation_is_detected(
+        seed in 0u64..200,
+        cycles in 64u64..256,
+        cut in any::<usize>(),
+    ) {
+        let compiled = CompiledTrace::compile(design(), &mut Benchmark::Crafty.trace(seed), cycles);
+        let bytes = encode(CompiledTrace::KIND, Encoding::Binary, &compiled).unwrap();
+        let cut = cut % bytes.len();
+        prop_assert!(decode::<CompiledTrace>(CompiledTrace::KIND, &bytes[..cut]).is_err());
     }
 
     /// Corruption contract: flipping any single byte of a framed artifact

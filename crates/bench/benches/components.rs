@@ -118,6 +118,35 @@ fn bench_closed_loop_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_compile_and_replay(c: &mut Criterion) {
+    let design = DvsBusDesign::paper_default();
+    let mut group = c.benchmark_group("compiled");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("compile_50k_cycles", |b| {
+        b.iter(|| {
+            let compiled = razorbus_core::CompiledTrace::compile(
+                &design,
+                &mut Benchmark::Gap.trace(REPRO_SEED),
+                50_000,
+            );
+            black_box(compiled.cycles())
+        });
+    });
+    let compiled = razorbus_core::CompiledTrace::compile(
+        &design,
+        &mut Benchmark::Gap.trace(REPRO_SEED),
+        50_000,
+    );
+    group.bench_function("replay_50k_cycles", |b| {
+        b.iter(|| {
+            let ctrl = ThresholdController::new(design.controller_config(ProcessCorner::Typical));
+            let (r, _) = compiled.replay(&design, PvtCorner::TYPICAL, ctrl, None, false);
+            black_box(r.errors)
+        });
+    });
+    group.finish();
+}
+
 fn bench_controller_step(c: &mut Criterion) {
     let design = DvsBusDesign::paper_default();
     let mut group = c.benchmark_group("ctrl");
@@ -140,6 +169,7 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_analyze_cycle, bench_trace_generation, bench_table_build,
               bench_design_build, bench_summary_collect_and_sweep,
-              bench_closed_loop_throughput, bench_controller_step
+              bench_closed_loop_throughput, bench_compile_and_replay,
+              bench_controller_step
 }
 criterion_main!(components);

@@ -23,20 +23,32 @@
 
 use razorbus_bench::cli::CliArgs;
 use razorbus_bench::persist::collect_shared_inputs;
-use razorbus_bench::report::BenchReport;
+use razorbus_bench::report::{check_components, BenchReport};
 use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
-use razorbus_core::{experiments, BusSimulator, DvsBusDesign, TraceSummary};
+use razorbus_core::{experiments, BusSimulator, CompiledTrace, DvsBusDesign, TraceSummary};
 use razorbus_ctrl::ThresholdController;
 use razorbus_process::{ProcessCorner, PvtCorner};
 use razorbus_scenario::catalog;
 use razorbus_traces::{Benchmark, TraceSource};
 use std::time::Instant;
 
+/// Tolerance of the `--check` regression guard: component throughputs
+/// may deviate ±40 % from the committed baseline before the bench job
+/// fails (generous, because CI runners vary — but loud, so the perf
+/// trajectory cannot drift silently).
+const CHECK_TOLERANCE: f64 = 0.40;
+
 fn main() {
-    let args = CliArgs::parse(std::env::args().skip(1), &[]).unwrap_or_else(|e| {
-        eprintln!("error: {e}\nusage: bench_report [OUT_PATH]");
+    let args = CliArgs::parse(std::env::args().skip(1), &["check"]).unwrap_or_else(|e| {
+        eprintln!(
+            "error: {e}\nusage: bench_report [OUT_PATH] | bench_report --check BASELINE CURRENT"
+        );
         std::process::exit(2);
     });
+    if args.has("check") {
+        run_check(args.positionals());
+        return;
+    }
     let out_path = args
         .positionals()
         .first()
@@ -124,6 +136,24 @@ fn main() {
             .expect("valid spec");
         std::hint::black_box(run.result.members.len());
     });
+    // The governor shootout both ways: every member on the live
+    // `analyze_cycle` path, then with the workload compiled once and
+    // replayed per governor — the stage ratio is the sweep-sharing
+    // speedup the compile/replay split is accountable for.
+    time("scenario_shootout_cold", &mut || {
+        let run = catalog::by_name("governor-shootout", cycles, REPRO_SEED)
+            .expect("catalog name")
+            .run_with_options(Vec::new(), false)
+            .expect("valid spec");
+        std::hint::black_box(run.result.members.len());
+    });
+    time("scenario_shootout", &mut || {
+        let run = catalog::by_name("governor-shootout", cycles, REPRO_SEED)
+            .expect("catalog name")
+            .run()
+            .expect("valid spec");
+        std::hint::black_box(run.result.members.len());
+    });
     let total_ms = total.elapsed().as_secs_f64() * 1e3;
 
     // Component throughputs (Mcycles/s), warmup + best-of-3 so one
@@ -152,8 +182,26 @@ fn main() {
         std::hint::black_box(acc);
         (words.len() - 1) as f64 / 1e6 / start.elapsed().as_secs_f64()
     });
+    // Compile-vs-replay split on the same trace as the closed loop: the
+    // compile pass is an analyze-dominated one-off, the replay is what
+    // every additional sweep member pays.
+    let compile = best_of_3(&mut || {
+        let start = Instant::now();
+        let c = CompiledTrace::compile(&design, &mut Benchmark::Gap.trace(REPRO_SEED), comp_cycles);
+        std::hint::black_box(c.cycles());
+        comp_cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
+    });
+    let compiled =
+        CompiledTrace::compile(&design, &mut Benchmark::Gap.trace(REPRO_SEED), comp_cycles);
+    let replay = best_of_3(&mut || {
+        let ctrl = ThresholdController::new(design.controller_config(ProcessCorner::Typical));
+        let start = Instant::now();
+        let (r, _) = compiled.replay(&design, PvtCorner::TYPICAL, ctrl, None, false);
+        std::hint::black_box(r.errors);
+        comp_cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
+    });
     eprintln!(
-        "  components: batched {batched:.1} / reference {reference:.1} Mcyc/s (x{:.2}), collect {collect:.1}, analyze {analyze:.1}",
+        "  components: batched {batched:.1} / reference {reference:.1} Mcyc/s (x{:.2}), collect {collect:.1}, analyze {analyze:.1}, compile {compile:.1}, replay {replay:.1}",
         batched / reference
     );
 
@@ -168,11 +216,44 @@ fn main() {
             ("batched_speedup", round2(batched / reference)),
             ("summary_collect", round2(collect)),
             ("analyze_cycle", round2(analyze)),
+            ("trace_compile", round2(compile)),
+            ("compiled_replay", round2(replay)),
+            ("replay_speedup", round2(replay / batched)),
         ],
     };
     let json = report.to_json().expect("render bench report");
     std::fs::write(&out_path, &json).expect("write bench report");
     eprintln!("# wrote {out_path} (total {total_ms:.0} ms)");
+}
+
+/// `bench_report --check BASELINE CURRENT`: the bench-job regression
+/// guard. Compares the two reports' component throughputs with the
+/// ±40 % tolerance and exits non-zero (listing the offenders) when the
+/// trajectory drifted — a regression, or a stale committed baseline
+/// that needs re-recording.
+fn run_check(paths: &[String]) {
+    let [baseline_path, current_path] = paths else {
+        eprintln!("error: --check needs exactly BASELINE and CURRENT paths");
+        std::process::exit(2);
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+    match check_components(&baseline, &current, CHECK_TOLERANCE) {
+        Ok(table) => {
+            eprintln!("# component throughputs within ±40% of {baseline_path}:");
+            eprintln!("{table}");
+        }
+        Err(report) => {
+            eprintln!("error: {report}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Rounds to one decimal (milliseconds keep the old `{:.1}` precision).

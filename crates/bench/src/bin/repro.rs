@@ -19,6 +19,10 @@
 //! # Cache the design tables so warm runs skip BusTables::build:
 //! cargo run -p razorbus-bench --bin repro --release -- all --save-tables
 //! cargo run -p razorbus-bench --bin repro --release -- all --load-tables
+//!
+//! # Cache the compiled traces so warm runs skip the cycle analysis:
+//! cargo run -p razorbus-bench --bin repro --release -- all --save-compiled
+//! cargo run -p razorbus-bench --bin repro --release -- all --load-compiled
 //! ```
 //!
 //! Artifacts: `fig4`, `fig5`, `fig6`, `fig8`, `table1`, `fig10`,
@@ -34,12 +38,19 @@
 //! cache-reuse job). `--save-tables[=PATH]` / `--load-tables[=PATH]`
 //! (also `all` only) persist/reuse the two designs' look-up tables;
 //! tables stamped for a different bus are refused.
-//! `--save-result[=PATH]` / `--load-result[=PATH]` (with `scenario`
-//! only) persist/reload a scenario run so it re-renders without
-//! re-simulating.
+//! `--save-compiled[=PATH]` / `--load-compiled[=PATH]` (also `all`
+//! only) persist/reuse both suites' compiled traces, so a warm run
+//! replays the stored per-cycle classification instead of re-running
+//! the cycle analysis — bit-identically; stale budgets/seeds and
+//! foreign-bus stamps are refused. `--save-result[=PATH]` /
+//! `--load-result[=PATH]` (with `scenario` only) persist/reload a
+//! scenario run so it re-renders without re-simulating. `--no-compiled`
+//! (with `scenario` or `all`) disables compiled-trace sharing inside
+//! the executor — the live-path baseline CI diffs the shared path
+//! against.
 
 use razorbus_bench::cli::CliArgs;
-use razorbus_bench::persist::{ReproSummaries, ReproTables};
+use razorbus_bench::persist::{ReproCompiled, ReproSummaries, ReproTables};
 use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
 use razorbus_core::{experiments, DvsBusDesign};
 use razorbus_process::PvtCorner;
@@ -51,6 +62,8 @@ const DEFAULT_SUMMARIES_PATH: &str = "repro-summaries.rzba";
 const DEFAULT_TABLES_PATH: &str = "repro-tables.rzba";
 /// Default path for `--save-result`/`--load-result`.
 const DEFAULT_RESULT_PATH: &str = "scenario-result.rzba";
+/// Default path for `--save-compiled`/`--load-compiled`.
+const DEFAULT_COMPILED_PATH: &str = "repro-compiled.rzba";
 
 const ARTIFACTS: [&str; 10] = [
     "fig4",
@@ -75,6 +88,9 @@ fn main() {
             "load-tables",
             "save-result",
             "load-result",
+            "save-compiled",
+            "load-compiled",
+            "no-compiled",
         ],
     )
     .unwrap_or_else(|e| usage_error(&e));
@@ -102,6 +118,9 @@ fn main() {
     let load_tables = args.valued_flag("load-tables", DEFAULT_TABLES_PATH);
     let save_result = args.valued_flag("save-result", DEFAULT_RESULT_PATH);
     let load_result = args.valued_flag("load-result", DEFAULT_RESULT_PATH);
+    let save_compiled = args.valued_flag("save-compiled", DEFAULT_COMPILED_PATH);
+    let load_compiled = args.valued_flag("load-compiled", DEFAULT_COMPILED_PATH);
+    let no_compiled = args.has("no-compiled");
 
     if (save_path.is_some() || load_path.is_some()) && what != "all" {
         usage_error("--save-summaries/--load-summaries are only valid with `all`");
@@ -121,6 +140,21 @@ fn main() {
     if save_result.is_some() && load_result.is_some() {
         usage_error("--save-result and --load-result are mutually exclusive");
     }
+    if (save_compiled.is_some() || load_compiled.is_some()) && what != "all" {
+        usage_error("--save-compiled/--load-compiled are only valid with `all`");
+    }
+    if save_compiled.is_some() && load_compiled.is_some() {
+        usage_error("--save-compiled and --load-compiled are mutually exclusive");
+    }
+    if (save_compiled.is_some() || load_compiled.is_some()) && load_path.is_some() {
+        usage_error("--load-summaries already skips the simulations a compiled cache would feed");
+    }
+    if no_compiled && !matches!(what, "scenario" | "all") {
+        usage_error("--no-compiled is only valid with `scenario` or `all`");
+    }
+    if no_compiled && (save_compiled.is_some() || load_compiled.is_some()) {
+        usage_error("--no-compiled contradicts --save-compiled/--load-compiled");
+    }
 
     let cycles = cycles_from_env(2_000_000);
     eprintln!("# razorbus repro: {what} ({cycles} cycles/benchmark, seed {REPRO_SEED})");
@@ -135,9 +169,18 @@ fn main() {
         "scenario" => {
             let name = scenario_name
                 .unwrap_or_else(|| usage_error("`scenario` needs a name (see `repro scenarios`)"));
-            run_scenario(&name, cycles, save_result, load_result);
+            run_scenario(&name, cycles, save_result, load_result, !no_compiled);
         }
-        "all" => run_all(cycles, save_path, load_path, save_tables, load_tables),
+        "all" => run_all(
+            cycles,
+            save_path,
+            load_path,
+            save_tables,
+            load_tables,
+            save_compiled,
+            load_compiled,
+            !no_compiled,
+        ),
         "fig4" => {
             banner("Fig. 4 (energy & error rate vs. static VDD)");
             let run = run_set(paper::fig4_set(cycles, REPRO_SEED));
@@ -184,7 +227,13 @@ fn main() {
 }
 
 /// Runs (or reloads) one named scenario and renders it.
-fn run_scenario(name: &str, cycles: u64, save_result: Option<String>, load_result: Option<String>) {
+fn run_scenario(
+    name: &str,
+    cycles: u64,
+    save_result: Option<String>,
+    load_result: Option<String>,
+    share_compiled: bool,
+) {
     let Some(set) = catalog::by_name(name, cycles, REPRO_SEED) else {
         usage_error(&format!(
             "unknown scenario '{name}'; known: {}",
@@ -219,7 +268,9 @@ fn run_scenario(name: &str, cycles: u64, save_result: Option<String>, load_resul
             eprintln!("# reloaded scenario result from {path} (no simulation)");
             ScenarioSetRun::from_result(result).unwrap_or_else(|e| fail(&e))
         }
-        None => set.run().unwrap_or_else(|e| fail(&e)),
+        None => set
+            .run_with_options(Vec::new(), share_compiled)
+            .unwrap_or_else(|e| fail(&e)),
     };
     if let Some(path) = &save_result {
         use razorbus_artifact::Artifact;
@@ -257,12 +308,16 @@ fn run_scenario(name: &str, cycles: u64, save_result: Option<String>, load_resul
 /// shared heavy input (deduplicated and fanned out by the executor —
 /// the same three concurrent jobs the old hand-wired collection ran),
 /// then the figures print from those inputs exactly as before.
+#[allow(clippy::too_many_arguments)] // one parameter per CLI cache flag
 fn run_all(
     cycles: u64,
     save_path: Option<String>,
     load_path: Option<String>,
     save_tables: Option<String>,
     load_tables: Option<String>,
+    save_compiled: Option<String>,
+    load_compiled: Option<String>,
+    share_compiled: bool,
 ) {
     let (design, modified) = match &load_tables {
         Some(path) => match ReproTables::load_designs(path) {
@@ -284,23 +339,37 @@ fn run_all(
         eprintln!("# saved design tables to {path}");
     }
 
-    let shared = match &load_path {
-        Some(path) => match ReproSummaries::load(path, cycles, REPRO_SEED) {
+    let shared = if let Some(path) = &load_path {
+        match ReproSummaries::load(path, cycles, REPRO_SEED) {
             Ok(shared) => {
                 eprintln!("# loaded shared summaries from {path}");
                 shared
             }
             Err(e) => fail(&format!("cannot reuse summaries from {path}: {e}")),
-        },
-        None => {
-            let run = paper::paper_all_set(cycles, REPRO_SEED)
-                .run_with_designs(vec![
+        }
+    } else if let Some(path) = &load_compiled {
+        let bundle = ReproCompiled::load(path, &design, &modified, cycles, REPRO_SEED)
+            .unwrap_or_else(|e| fail(&format!("cannot reuse compiled traces from {path}: {e}")));
+        eprintln!("# loaded compiled traces from {path} (cycle analysis skipped)");
+        bundle.into_shared_inputs(&design, &modified)
+    } else if let Some(path) = &save_compiled {
+        let bundle = ReproCompiled::compile(&design, &modified, cycles, REPRO_SEED);
+        bundle
+            .save(path)
+            .unwrap_or_else(|e| fail(&format!("cannot save compiled traces to {path}: {e}")));
+        eprintln!("# saved compiled traces to {path}");
+        bundle.into_shared_inputs(&design, &modified)
+    } else {
+        let run = paper::paper_all_set(cycles, REPRO_SEED)
+            .run_with_options(
+                vec![
                     (DesignSpec::Paper, design.clone()),
                     (DesignSpec::ModifiedCoupling, modified.clone()),
-                ])
-                .unwrap_or_else(|e| fail(&e));
-            ReproSummaries::from_scenario_run(&run, cycles, REPRO_SEED).unwrap_or_else(|e| fail(&e))
-        }
+                ],
+                share_compiled,
+            )
+            .unwrap_or_else(|e| fail(&e));
+        ReproSummaries::from_scenario_run(&run, cycles, REPRO_SEED).unwrap_or_else(|e| fail(&e))
     };
     if let Some(path) = &save_path {
         shared
@@ -326,7 +395,8 @@ fn usage_error(msg: &str) -> ! {
          scenario <name>|scenarios|all] \
          [--save-summaries[=PATH] | --load-summaries[=PATH]] \
          [--save-tables[=PATH] | --load-tables[=PATH]] \
-         [--save-result[=PATH] | --load-result[=PATH]]"
+         [--save-compiled[=PATH] | --load-compiled[=PATH]] \
+         [--save-result[=PATH] | --load-result[=PATH]] [--no-compiled]"
     );
     std::process::exit(2);
 }

@@ -12,14 +12,16 @@
 //! this module's test suite and CI's cache-reuse smoke job both pin.
 
 use razorbus_artifact::{Artifact, ArtifactError, Encoding};
-use razorbus_core::experiments::{self, fig8::Fig8Data, SummaryBank};
-use razorbus_core::{DvsBusDesign, TraceSummary};
+use razorbus_core::experiments::{self, fig8, fig8::Fig8Data, SummaryBank};
+use razorbus_core::{CompiledTrace, DvsBusDesign, TraceSummary};
+use razorbus_ctrl::ThresholdController;
 use razorbus_process::PvtCorner;
 use razorbus_scenario::{LoopData, ScenarioSetRun, SweepData};
 use razorbus_tables::BusTables;
 use razorbus_traces::Benchmark;
 use razorbus_units::VoltageGrid;
 use razorbus_wire::BusPhysical;
+use std::sync::Arc;
 
 /// The three shared heavy inputs of `repro all`, plus the parameters
 /// they were collected under.
@@ -230,6 +232,202 @@ impl ReproTables {
     }
 }
 
+/// The compiled-trace cache of `repro all --save-compiled` /
+/// `--load-compiled`: the governor-independent per-cycle classification
+/// of both designs' ten-benchmark suites, persisted as one artifact.
+/// A warm run replays these instead of re-running `analyze_cycle` —
+/// bit-identically, like the other caches (pinned by the differential
+/// test below and CI's `artifact-cache` job).
+///
+/// Each embedded [`CompiledTrace`] carries its own bus stamps, so
+/// [`ReproCompiled::load`] refuses traces compiled against a different
+/// bus (the moral twin of `--load-tables` refusing foreign tables) on
+/// top of the cycle-budget/seed staleness contract.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReproCompiled {
+    /// Cycles per benchmark the traces were compiled at.
+    pub cycles_per_benchmark: u64,
+    /// Trace seed in force during compilation.
+    pub seed: u64,
+    /// Paper-bus suite, one trace per benchmark in Table 1 order.
+    pub paper: Vec<CompiledTrace>,
+    /// Modified (§6 coupling × 1.95) bus suite, same order.
+    pub modified: Vec<CompiledTrace>,
+}
+
+impl Artifact for ReproCompiled {
+    const KIND: &'static str = "repro-compiled";
+}
+
+impl ReproCompiled {
+    /// Compiles both designs' suites, fanned out on scoped threads.
+    /// Delegates to [`fig8::compile_suite`] — the same compile the
+    /// scenario executor shares — so the persisted cache can never
+    /// drift from the in-memory protocol.
+    #[must_use]
+    pub fn compile(
+        design: &DvsBusDesign,
+        modified: &DvsBusDesign,
+        cycles_per_benchmark: u64,
+        seed: u64,
+    ) -> Self {
+        let owned = |design: &DvsBusDesign| {
+            fig8::compile_suite(design, cycles_per_benchmark, seed)
+                .into_iter()
+                .map(|trace| Arc::try_unwrap(trace).expect("freshly compiled, sole owner"))
+                .collect::<Vec<_>>()
+        };
+        let (paper, modified_suite) = std::thread::scope(|s| {
+            let h_paper = s.spawn(|| owned(design));
+            let h_mod = s.spawn(|| owned(modified));
+            (
+                h_paper.join().expect("paper suite compile"),
+                h_mod.join().expect("modified suite compile"),
+            )
+        });
+        Self {
+            cycles_per_benchmark,
+            seed,
+            paper,
+            modified: modified_suite,
+        }
+    }
+
+    /// Saves to `path` as a framed binary artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and filesystem errors.
+    pub fn save(&self, path: &str) -> Result<(), ArtifactError> {
+        self.save_file(path, Encoding::Binary)
+    }
+
+    /// Loads from `path`, requiring the stored cycle budget and seed to
+    /// match the current run's and every trace's bus stamps to match
+    /// the design it will replay against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact errors; reports parameter and stamp
+    /// mismatches as [`ArtifactError::Malformed`].
+    pub fn load(
+        path: &str,
+        design: &DvsBusDesign,
+        modified: &DvsBusDesign,
+        cycles_per_benchmark: u64,
+        seed: u64,
+    ) -> Result<Self, ArtifactError> {
+        let loaded = Self::load_file(path)?;
+        if loaded.cycles_per_benchmark != cycles_per_benchmark {
+            return Err(ArtifactError::Malformed(format!(
+                "compiled traces cover {} cycles/benchmark but this run wants {} \
+                 (set RAZORBUS_CYCLES to match or re-save)",
+                loaded.cycles_per_benchmark, cycles_per_benchmark
+            )));
+        }
+        if loaded.seed != seed {
+            return Err(ArtifactError::Malformed(format!(
+                "compiled traces used seed {} but this run wants {}",
+                loaded.seed, seed
+            )));
+        }
+        for (name, suite, against) in [
+            ("paper", &loaded.paper, design),
+            ("modified", &loaded.modified, modified),
+        ] {
+            if suite.len() != Benchmark::ALL.len() {
+                return Err(ArtifactError::Malformed(format!(
+                    "{name} suite holds {} traces, expected one per benchmark",
+                    suite.len()
+                )));
+            }
+            for (benchmark, trace) in Benchmark::ALL.iter().zip(suite) {
+                if trace.cycles() != cycles_per_benchmark {
+                    return Err(ArtifactError::Malformed(format!(
+                        "{name}/{benchmark} trace covers {} cycles, expected {}",
+                        trace.cycles(),
+                        cycles_per_benchmark
+                    )));
+                }
+                trace
+                    .matches(against)
+                    .map_err(|e| ArtifactError::Malformed(format!("{name}/{benchmark}: {e}")))?;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Replays the compiled suites into the three shared heavy inputs —
+    /// bit-identical to [`collect_shared_inputs`] over the live traces
+    /// (the replay path shares the simulator's loop), with zero
+    /// `analyze_cycle` work. Consumes `self`: the arrays move into the
+    /// replay jobs without copying.
+    #[must_use]
+    pub fn into_shared_inputs(
+        self,
+        design: &DvsBusDesign,
+        modified: &DvsBusDesign,
+    ) -> ReproSummaries {
+        let cycles_per_benchmark = self.cycles_per_benchmark;
+        let seed = self.seed;
+        let paper: Vec<Arc<CompiledTrace>> = self.paper.into_iter().map(Arc::new).collect();
+        let mod_suite: Vec<Arc<CompiledTrace>> = self.modified.into_iter().map(Arc::new).collect();
+        let controller = |design: &DvsBusDesign, corner: PvtCorner| {
+            ThresholdController::new(design.controller_config(corner.process))
+        };
+        let ((dvs_typical, bank), dvs_worst, (mod_dvs, mod_summary)) = std::thread::scope(|s| {
+            let (paper_typ, paper_wst, mod_ref) = (&paper, &paper, &mod_suite);
+            let h_typ = s.spawn(move || {
+                let (data, per) = fig8::replay_protocol(
+                    design,
+                    PvtCorner::TYPICAL,
+                    paper_typ,
+                    controller(design, PvtCorner::TYPICAL),
+                    Some(10_000),
+                    true,
+                );
+                (data, SummaryBank::from_per_benchmark(per))
+            });
+            let h_wst = s.spawn(move || {
+                fig8::replay_protocol(
+                    design,
+                    PvtCorner::WORST,
+                    paper_wst,
+                    controller(design, PvtCorner::WORST),
+                    Some(10_000),
+                    false,
+                )
+                .0
+            });
+            let h_mod = s.spawn(move || {
+                let (data, per) = fig8::replay_protocol(
+                    modified,
+                    PvtCorner::WORST,
+                    mod_ref,
+                    controller(modified, PvtCorner::WORST),
+                    Some(10_000),
+                    true,
+                );
+                (data, SummaryBank::from_per_benchmark(per).into_combined())
+            });
+            (
+                h_typ.join().expect("typical replay + summary bank"),
+                h_wst.join().expect("worst replay"),
+                h_mod.join().expect("modified replay + summary"),
+            )
+        });
+        ReproSummaries {
+            cycles_per_benchmark,
+            seed,
+            dvs_typical,
+            bank,
+            dvs_worst,
+            mod_dvs,
+            mod_summary,
+        }
+    }
+}
+
 /// Collects the three shared heavy inputs exactly as `repro all` does,
 /// fanned out on scoped threads: the closed-loop runs double as the
 /// summary passes (one for the paper bus at the typical corner, one for
@@ -388,6 +586,45 @@ mod tests {
         swapped.save(path).unwrap();
         let err = ReproTables::load_designs(path).unwrap_err();
         assert!(err.to_string().contains("tables"), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn compiled_replay_matches_live_collection_bitwise() {
+        // `repro all --load-compiled` must be indistinguishable from a
+        // cold run: replaying the compiled suites yields the exact
+        // ReproSummaries the live collection produces.
+        let design = DvsBusDesign::paper_default();
+        let modified = DvsBusDesign::modified_paper_bus();
+        let compiled = ReproCompiled::compile(&design, &modified, 1_000, 7);
+        let via_replay = compiled.into_shared_inputs(&design, &modified);
+        assert_eq!(via_replay, small_inputs());
+    }
+
+    #[test]
+    fn compiled_bundle_round_trips_and_validates() {
+        let design = DvsBusDesign::paper_default();
+        let modified = DvsBusDesign::modified_paper_bus();
+        let compiled = ReproCompiled::compile(&design, &modified, 500, 7);
+        let path = std::env::temp_dir().join("razorbus-test-compiled.rzba");
+        let path = path.to_str().unwrap();
+        compiled.save(path).unwrap();
+        let back = ReproCompiled::load(path, &design, &modified, 500, 7).unwrap();
+        assert_eq!(back, compiled);
+        // Stale parameters are refused.
+        let wrong_cycles = ReproCompiled::load(path, &design, &modified, 600, 7).unwrap_err();
+        assert!(wrong_cycles.to_string().contains("cycles/benchmark"));
+        let wrong_seed = ReproCompiled::load(path, &design, &modified, 500, 8).unwrap_err();
+        assert!(wrong_seed.to_string().contains("seed"));
+        // Traces compiled for the other bus are refused by their stamps.
+        let swapped = ReproCompiled {
+            paper: compiled.modified.clone(),
+            modified: compiled.paper.clone(),
+            ..compiled
+        };
+        swapped.save(path).unwrap();
+        let err = ReproCompiled::load(path, &design, &modified, 500, 7).unwrap_err();
+        assert!(err.to_string().contains("stamp"), "{err}");
         std::fs::remove_file(path).unwrap();
     }
 

@@ -70,6 +70,105 @@ impl BenchReport {
     }
 }
 
+/// Extracts the `components_mcycles_per_s` entries from a rendered
+/// `BENCH_*.json` report (the schema this module writes — a flat object
+/// of name → number pairs).
+///
+/// # Errors
+///
+/// Returns a description when the object is missing, unterminated, or
+/// holds a non-numeric throughput (e.g. the writer's `"NaN"` spelling —
+/// a pathological measurement must fail the comparison loudly).
+pub fn parse_components(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let key = "\"components_mcycles_per_s\":";
+    let start = json
+        .find(key)
+        .ok_or("report has no components_mcycles_per_s object")?;
+    let rest = &json[start + key.len()..];
+    let open = rest.find('{').ok_or("malformed components object")?;
+    let close = rest[open..]
+        .find('}')
+        .ok_or("unterminated components object")?
+        + open;
+    let mut out = Vec::new();
+    for entry in rest[open + 1..close].split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed component entry `{entry}`"))?;
+        let name = name.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-numeric throughput for `{name}`: {}", value.trim()))?;
+        out.push((name, value));
+    }
+    Ok(out)
+}
+
+/// The bench-job regression guard: compares the component throughputs
+/// of `current` against the committed `baseline` report, allowing a
+/// multiplicative deviation of `tolerance` (0.40 = ±40 %) per
+/// component.
+///
+/// Deviations in *either* direction fail: a drop is a perf regression,
+/// a large gain means the committed baseline no longer reflects reality
+/// and must be re-recorded deliberately — both beat silent drift. A
+/// component present only in `current` is reported but tolerated (new
+/// measurements need a baseline refresh to become binding); a component
+/// that disappeared fails.
+///
+/// Returns the rendered comparison table on success.
+///
+/// # Errors
+///
+/// Returns the rendered table with per-component failure markers.
+pub fn check_components(baseline: &str, current: &str, tolerance: f64) -> Result<String, String> {
+    let base = parse_components(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = parse_components(current).map_err(|e| format!("current: {e}"))?;
+    let mut lines = Vec::new();
+    let mut failed = false;
+    for (name, base_value) in &base {
+        match cur.iter().find(|(n, _)| n == name) {
+            None => {
+                failed = true;
+                lines.push(format!("  {name:<24} {base_value:>8.2} -> MISSING  FAIL"));
+            }
+            Some((_, cur_value)) => {
+                let lo = base_value * (1.0 - tolerance);
+                let hi = base_value * (1.0 + tolerance);
+                let ok = (lo..=hi).contains(cur_value);
+                failed |= !ok;
+                lines.push(format!(
+                    "  {name:<24} {base_value:>8.2} -> {cur_value:>8.2}  ({:+5.1}%){}",
+                    (cur_value / base_value - 1.0) * 100.0,
+                    if ok { "" } else { "  FAIL" }
+                ));
+            }
+        }
+    }
+    for (name, value) in &cur {
+        if !base.iter().any(|(n, _)| n == name) {
+            lines.push(format!(
+                "  {name:<24}   (new)  -> {value:>8.2}  (not in baseline)"
+            ));
+        }
+    }
+    let table = lines.join("\n");
+    if failed {
+        Err(format!(
+            "component throughputs drifted beyond ±{:.0}% of the committed baseline \
+             (regression, or a stale baseline that needs re-recording):\n{table}",
+            tolerance * 100.0
+        ))
+    } else {
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +185,60 @@ mod tests {
         let json = report.to_json().unwrap();
         let expected = "{\n  \"schema\": \"razorbus-bench/v1\",\n  \"cycles_per_benchmark\": 50000,\n  \"threads\": 8,\n  \"stages_ms\": {\n    \"design_build\": 0.5,\n    \"fig8_typical+bank\": 78.4\n  },\n  \"total_ms\": 78.9,\n  \"components_mcycles_per_s\": {\n    \"closed_loop_batched\": 13.7\n  }\n}\n";
         assert_eq!(json, expected);
+    }
+
+    fn report_with(components: Vec<(&'static str, f64)>) -> String {
+        BenchReport {
+            cycles_per_benchmark: 50_000,
+            threads: 1,
+            stages_ms: vec![("ablations", 100.0)],
+            total_ms: 100.0,
+            components_mcycles_per_s: components,
+        }
+        .to_json()
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_components_round_trips_the_writer() {
+        let json = report_with(vec![("analyze_cycle", 10.69), ("batched_speedup", 1.03)]);
+        let parsed = parse_components(&json).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ("analyze_cycle".to_string(), 10.69),
+                ("batched_speedup".to_string(), 1.03)
+            ]
+        );
+        assert!(parse_components("{}").is_err());
+        // A NaN throughput (written as a string) must not parse silently.
+        let bad = report_with(vec![("broken", f64::NAN)]);
+        assert!(parse_components(&bad).unwrap_err().contains("broken"));
+    }
+
+    #[test]
+    fn check_components_tolerates_noise_but_catches_drift() {
+        let base = report_with(vec![("analyze_cycle", 10.0), ("summary_collect", 4.0)]);
+        // Within ±40%: fine, in both directions.
+        let ok = report_with(vec![("analyze_cycle", 13.9), ("summary_collect", 2.9)]);
+        assert!(check_components(&base, &ok, 0.40).is_ok());
+        // A 2x regression on one component fails loudly, naming it.
+        let slow = report_with(vec![("analyze_cycle", 5.0), ("summary_collect", 4.0)]);
+        let err = check_components(&base, &slow, 0.40).unwrap_err();
+        assert!(
+            err.contains("analyze_cycle") && err.contains("FAIL"),
+            "{err}"
+        );
+        // A disappeared component fails; a new one is tolerated.
+        let missing = report_with(vec![("analyze_cycle", 10.0)]);
+        assert!(check_components(&base, &missing, 0.40).is_err());
+        let extra = report_with(vec![
+            ("analyze_cycle", 10.0),
+            ("summary_collect", 4.0),
+            ("trace_compile", 9.0),
+        ]);
+        let table = check_components(&base, &extra, 0.40).unwrap();
+        assert!(table.contains("trace_compile"));
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Compiled traces: the governor-independent part of a closed-loop run,
+//! computed once and replayed everywhere.
+//!
+//! The paper's evaluation is one trace under many operating points — the
+//! same benchmark words are re-judged under different supplies, corners
+//! and controllers. But the *physical* classification of a cycle (how
+//! many wires toggle, the worst Miller-weighted load, the switched
+//! capacitance) depends only on the bus and the words, never on the
+//! governor or the supply. [`CompiledTrace`] captures exactly that: a
+//! struct-of-arrays stream of per-cycle `(toggle count, quantized load
+//! bin, switched capacitance)` tuples — everything the simulator's hot
+//! loop consumes — so a sweep over N governors/corners pays the
+//! `analyze_cycle` cost once instead of N times.
+//!
+//! Replaying a compiled trace (`CompiledTrace::replay`, in `sim.rs`) is
+//! **bit-identical** to simulating the original words: the replay path
+//! shares the simulator's chunked loop verbatim, reading stored tuples
+//! where the live path calls `analyze_cycle`. Errors and violations
+//! match bitwise, energies are exact (same per-cycle add sequence) —
+//! pinned by differential tests across governors × corners.
+//!
+//! Compiled traces persist through `razorbus-artifact` as the
+//! `compiled-trace` kind; the embedded bus stamps refuse replay against
+//! a design the trace was not compiled for (see [`CompiledTrace::matches`]).
+
+use crate::design::DvsBusDesign;
+use crate::summary::{bin_of, bucket_of, N_BUCKETS, N_CEFF_BINS};
+use razorbus_traces::TraceSource;
+
+/// A trace compiled against one bus design: per-cycle physical
+/// classification, ready to replay under any governor/corner/supply.
+///
+/// ```
+/// use razorbus_core::{CompiledTrace, DvsBusDesign};
+/// use razorbus_ctrl::FixedVoltage;
+/// use razorbus_process::PvtCorner;
+/// use razorbus_traces::Benchmark;
+/// use razorbus_units::Millivolts;
+///
+/// let design = DvsBusDesign::paper_default();
+/// let compiled = CompiledTrace::compile(&design, &mut Benchmark::Crafty.trace(7), 5_000);
+/// // One compile, any number of replays — here two supplies.
+/// let (hi, _) = compiled.replay(
+///     &design, PvtCorner::TYPICAL, FixedVoltage::new(Millivolts::new(1_200)), None, false);
+/// let (lo, _) = compiled.replay(
+///     &design, PvtCorner::TYPICAL, FixedVoltage::new(Millivolts::new(900)), None, false);
+/// assert_eq!(hi.errors, 0);
+/// assert!(lo.energy < hi.energy);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct CompiledTrace {
+    /// Cycles compiled (each array below holds exactly this many).
+    cycles: u64,
+    /// Per-cycle toggle counts (the bus is ≤32 bits wide).
+    toggles: Vec<u8>,
+    /// Per-cycle quantized worst-load bins (`bin_of(worst_ceff_per_mm)`),
+    /// the value the error comparison consumes.
+    bins: Vec<u16>,
+    /// Per-cycle charge-weighted switched capacitance (fF/mm), bit-exact.
+    switched: Vec<f64>,
+    /// Stamp: bus width the trace was compiled against.
+    n_bits: u32,
+    /// Stamp: the bus's worst-case Miller-weighted load (fF/mm).
+    worst_load_ff: f64,
+    /// Stamp: the bus's best-case load (fF/mm).
+    best_load_ff: f64,
+    /// Stamp: the parasitics' coupling ratio (distinguishes the §6
+    /// boosted-coupling bus from the paper bus).
+    coupling_ratio: f64,
+}
+
+/// Validating deserialization: a compiled trace read back from an
+/// artifact must hold arrays of consistent length, in-range toggle
+/// counts and bins, and finite capacitances — corrupt cache files error
+/// instead of panicking (or silently mis-simulating) mid-replay.
+impl<'de> serde::Deserialize<'de> for CompiledTrace {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr {
+            cycles: u64,
+            toggles: Vec<u8>,
+            bins: Vec<u16>,
+            switched: Vec<f64>,
+            n_bits: u32,
+            worst_load_ff: f64,
+            best_load_ff: f64,
+            coupling_ratio: f64,
+        }
+        use serde::de::Error;
+        let r = Repr::deserialize(deserializer)?;
+        if r.cycles == 0 {
+            return Err(D::Error::custom("compiled trace over zero cycles"));
+        }
+        let n = usize::try_from(r.cycles)
+            .map_err(|_| D::Error::custom("compiled trace cycle count overflows this platform"))?;
+        if r.toggles.len() != n || r.bins.len() != n || r.switched.len() != n {
+            return Err(D::Error::custom(format!(
+                "compiled trace arrays disagree with the cycle count: \
+                 {} toggles / {} bins / {} switched for {} cycles",
+                r.toggles.len(),
+                r.bins.len(),
+                r.switched.len(),
+                r.cycles
+            )));
+        }
+        if !(1..=32).contains(&r.n_bits) {
+            return Err(D::Error::custom(format!(
+                "compiled trace claims a {}-bit bus",
+                r.n_bits
+            )));
+        }
+        if let Some(t) = r.toggles.iter().find(|&&t| u32::from(t) > r.n_bits) {
+            return Err(D::Error::custom(format!(
+                "toggle count {t} exceeds the {}-bit bus width",
+                r.n_bits
+            )));
+        }
+        if let Some(b) = r.bins.iter().find(|&&b| usize::from(b) >= N_CEFF_BINS) {
+            return Err(D::Error::custom(format!(
+                "load bin {b} outside the {N_CEFF_BINS}-bin histogram range"
+            )));
+        }
+        if r.switched.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return Err(D::Error::custom(
+                "non-finite or negative switched capacitance",
+            ));
+        }
+        // A quiet cycle classifies to exactly (bin 0, 0 fF/mm); a
+        // CRC-clean payload claiming otherwise would silently skew
+        // replayed energy or error counts, so it errors here.
+        for c in 0..r.toggles.len() {
+            if r.toggles[c] == 0 && (r.bins[c] != 0 || r.switched[c] != 0.0) {
+                return Err(D::Error::custom(format!(
+                    "cycle {c} toggles no wire but carries load bin {} and {} fF/mm",
+                    r.bins[c], r.switched[c]
+                )));
+            }
+        }
+        for (name, v) in [
+            ("worst_load_ff", r.worst_load_ff),
+            ("best_load_ff", r.best_load_ff),
+            ("coupling_ratio", r.coupling_ratio),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(D::Error::custom(format!("bad bus stamp {name}: {v}")));
+            }
+        }
+        Ok(Self {
+            cycles: r.cycles,
+            toggles: r.toggles,
+            bins: r.bins,
+            switched: r.switched,
+            n_bits: r.n_bits,
+            worst_load_ff: r.worst_load_ff,
+            best_load_ff: r.best_load_ff,
+            coupling_ratio: r.coupling_ratio,
+        })
+    }
+}
+
+impl CompiledTrace {
+    /// Drains `cycles` words from `trace` through `design`'s bus —
+    /// exactly the word protocol of [`crate::BusSimulator::new`] (the
+    /// first word primes `prev`) — and records each cycle's
+    /// classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    #[must_use]
+    pub fn compile<S: TraceSource>(design: &DvsBusDesign, trace: &mut S, cycles: u64) -> Self {
+        assert!(cycles > 0, "need at least one cycle");
+        let bus = design.bus();
+        let n = usize::try_from(cycles).expect("cycle count fits in memory");
+        let mut toggles = Vec::with_capacity(n);
+        let mut bins = Vec::with_capacity(n);
+        let mut switched = Vec::with_capacity(n);
+        let mut prev = trace.next_word();
+        for _ in 0..cycles {
+            let cur = trace.next_word();
+            let a = bus.analyze_cycle(prev, cur);
+            prev = cur;
+            toggles.push(a.toggled_wires as u8);
+            bins.push(bin_of(a.worst_ceff_per_mm) as u16);
+            switched.push(a.switched_cap_per_mm);
+        }
+        Self {
+            cycles,
+            toggles,
+            bins,
+            switched,
+            n_bits: design.bus().layout().n_bits() as u32,
+            worst_load_ff: design.bus().worst_effective_cap_per_mm().ff(),
+            best_load_ff: design.bus().best_effective_cap_per_mm().ff(),
+            coupling_ratio: design.bus().parasitics().coupling_ratio(),
+        }
+    }
+
+    /// Cycles compiled.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Checks the embedded bus stamps against `design` — a compiled
+    /// trace must only ever replay against the design it was compiled
+    /// for (the load bins and switched capacitances are functions of the
+    /// bus parasitics and coupling model).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching stamp.
+    pub fn matches(&self, design: &DvsBusDesign) -> Result<(), String> {
+        let bus = design.bus();
+        if self.n_bits != bus.layout().n_bits() as u32 {
+            return Err(format!(
+                "compiled trace is for a {}-bit bus, design has {} bits",
+                self.n_bits,
+                bus.layout().n_bits()
+            ));
+        }
+        let checks = [
+            (
+                "worst-case load",
+                self.worst_load_ff,
+                bus.worst_effective_cap_per_mm().ff(),
+            ),
+            (
+                "best-case load",
+                self.best_load_ff,
+                bus.best_effective_cap_per_mm().ff(),
+            ),
+            (
+                "coupling ratio",
+                self.coupling_ratio,
+                bus.parasitics().coupling_ratio(),
+            ),
+        ];
+        for (name, stamped, actual) in checks {
+            if stamped != actual {
+                return Err(format!(
+                    "compiled trace {name} stamp {stamped} does not match the design's {actual}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The sweep-engine histogram of the compiled stream — bit-identical
+    /// to [`crate::TraceSummary::collect`] over the same words (same
+    /// per-cycle accumulation in the same order), without touching the
+    /// bus again.
+    #[must_use]
+    pub fn summary(&self) -> crate::TraceSummary {
+        let mut hist = vec![0u64; N_BUCKETS * N_CEFF_BINS];
+        let mut total_cap = 0.0f64;
+        let mut total_toggles = 0u64;
+        for c in 0..self.toggles.len() {
+            let t = u32::from(self.toggles[c]);
+            if t == 0 {
+                continue;
+            }
+            hist[bucket_of(t) * N_CEFF_BINS + usize::from(self.bins[c])] += 1;
+            total_cap += self.switched[c];
+            total_toggles += u64::from(t);
+        }
+        crate::TraceSummary::from_parts(hist, total_cap, total_toggles, self.cycles)
+    }
+
+    /// Per-cycle tuple access for the replay loop in `sim.rs`.
+    #[inline]
+    pub(crate) fn cycle(&self, c: usize) -> (u32, usize, f64) {
+        (
+            u32::from(self.toggles[c]),
+            usize::from(self.bins[c]),
+            self.switched[c],
+        )
+    }
+
+    /// Approximate resident size (bytes) of the compiled arrays — lets
+    /// planners reason about memory before compiling long traces.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.toggles.len()
+            + self.bins.len() * core::mem::size_of::<u16>()
+            + self.switched.len() * core::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use razorbus_traces::Benchmark;
+
+    #[test]
+    fn summary_matches_collect_bitwise() {
+        let d = DvsBusDesign::paper_default();
+        let compiled = CompiledTrace::compile(&d, &mut Benchmark::Swim.trace(3), 20_000);
+        let collected = crate::TraceSummary::collect(&d, &mut Benchmark::Swim.trace(3), 20_000);
+        assert_eq!(compiled.summary(), collected);
+    }
+
+    #[test]
+    fn stamps_refuse_the_wrong_design() {
+        let d = DvsBusDesign::paper_default();
+        let modified = DvsBusDesign::modified_paper_bus();
+        let compiled = CompiledTrace::compile(&d, &mut Benchmark::Crafty.trace(1), 1_000);
+        assert!(compiled.matches(&d).is_ok());
+        let err = compiled.matches(&modified).unwrap_err();
+        assert!(err.contains("stamp"), "{err}");
+    }
+
+    #[test]
+    fn memory_estimate_tracks_cycles() {
+        let d = DvsBusDesign::paper_default();
+        let compiled = CompiledTrace::compile(&d, &mut Benchmark::Crafty.trace(1), 1_000);
+        assert_eq!(compiled.cycles(), 1_000);
+        assert_eq!(compiled.memory_bytes(), 1_000 * (1 + 2 + 8));
+    }
+}

@@ -36,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod design;
 pub mod experiments;
 mod sim;
 mod summary;
 
+pub use compiled::CompiledTrace;
 pub use design::DvsBusDesign;
 pub use sim::{BusSimulator, SimReport, VoltageSample};
 pub use summary::{TraceSummary, WindowedSummary, CEFF_BIN_WIDTH, N_CEFF_BINS};

@@ -17,7 +17,15 @@
 //!
 //! [`BusSimulator::run_reference`] keeps the original cycle-at-a-time
 //! loop; differential tests pin the batched path to it cycle-for-cycle.
+//!
+//! The batched loop itself is generic over a [`CycleStream`]: the live
+//! path classifies words through `analyze_cycle` on the fly, while the
+//! compiled path ([`crate::CompiledTrace::replay`]) reads the stored
+//! per-cycle tuples. Both run the *same* chunked loop body — one shared
+//! function, so the replay is bit-identical to the live run by
+//! construction, not by coincidence.
 
+use crate::compiled::CompiledTrace;
 use crate::design::DvsBusDesign;
 use razorbus_ctrl::VoltageGovernor;
 use razorbus_process::PvtCorner;
@@ -25,7 +33,7 @@ use razorbus_tables::EnvCondition;
 use razorbus_traces::TraceSource;
 use razorbus_units::{Femtojoules, Millivolts};
 
-use crate::summary::N_BUCKETS;
+use crate::summary::{bin_of, bucket_of, CEFF_BIN_WIDTH, N_BUCKETS, N_CEFF_BINS};
 
 /// Everything the hot loop needs about one supply grid point, gathered so
 /// the steady-state inner loop runs without any matrix/table indexing.
@@ -187,36 +195,6 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
         self.governor
     }
 
-    /// Builds the per-voltage hot rows: one [`VoltageRow`] per grid
-    /// point, so the steady-state inner loop never touches the matrices
-    /// or energy tables.
-    fn voltage_rows(&self, recovery_cap: f64) -> Vec<VoltageRow> {
-        let design = self.design;
-        let tables = design.tables();
-        let cond = EnvCondition::from_pvt(self.pvt);
-        let matrix = tables.threshold_matrix(cond, self.pvt.ir);
-        let shadow_matrix = tables.shadow_threshold_matrix(cond, self.pvt.ir);
-        let energy_table = tables.energy_table(cond);
-        (0..design.grid().len())
-            .map(|vi| {
-                let mut pass = [0.0; N_BUCKETS];
-                let mut shadow = [0.0; N_BUCKETS];
-                for b in 0..N_BUCKETS {
-                    pass[b] = matrix.pass_limit_at(vi, b);
-                    shadow[b] = shadow_matrix.pass_limit_at(vi, b);
-                }
-                let v2 = energy_table.v_squared_at(vi);
-                VoltageRow {
-                    pass,
-                    shadow,
-                    v2,
-                    leak_fj: energy_table.leakage_per_cycle_at(vi).fj(),
-                    recovery_fj: recovery_cap * v2,
-                }
-            })
-            .collect()
-    }
-
     /// Runs `cycles` cycles and reports.
     ///
     /// This is the batched fast path: per-voltage rows are precomputed
@@ -225,154 +203,28 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
     /// lookups, energy scaling and governor bookkeeping. It is pinned to
     /// [`BusSimulator::run_reference`] by differential tests: identical
     /// error/violation counts cycle-for-cycle, energies equal to ≤1e-9
-    /// relative (the accumulation order differs).
+    /// relative (the accumulation order differs). The loop body
+    /// (`run_stream`) is shared verbatim with the compiled-trace replay
+    /// path, [`crate::CompiledTrace::replay`].
     ///
     /// # Panics
     ///
     /// Panics if the governor commands a voltage off the design grid.
     pub fn run(&mut self, cycles: u64) -> SimReport {
-        let design = self.design;
-        let grid = design.grid();
-        let tables = design.tables();
-        let bus = design.bus();
-        let fe = design.flop_energy();
-
-        let n_flops = tables.n_bits();
-        let length_mm = bus.line().total_length().mm();
-        let rep_cap = tables.repeater_cap_per_toggle().ff();
-        let clock_cap = fe.clock_capacitance(n_flops).ff();
-        let data_cap = fe.data_capacitance().ff();
-        // Recovery ~ one extra bank clock + one restored bit (paper: the
-        // extra clocking dominates).
-        let recovery_cap = clock_cap + data_cap;
-        let rows = self.voltage_rows(recovery_cap);
-
-        let nominal_idx = grid.index_of(design.nominal()).expect("nominal on grid");
-        let v2_nominal = rows[nominal_idx].v2;
-        let leak_nominal = rows[nominal_idx].leak_fj;
-
-        let mut errors = 0u64;
-        let mut shadow_violations = 0u64;
-        let mut energy_fj = 0.0f64;
-        let mut baseline_fj = 0.0f64;
-        let mut mv_sum = 0.0f64;
-        let mut min_v = self.governor.voltage();
-        let mut samples = Vec::new();
-        let mut window_errors = 0u64;
-        let mut window_cycles = 0u64;
-        let mut hist = self.collect_histogram.then(|| HistogramAccum {
-            hist: vec![0u64; crate::summary::N_BUCKETS * crate::summary::N_CEFF_BINS],
-            total_cap: 0.0,
-            toggles: 0,
-        });
-
-        let mut cycle = 0u64;
-        while cycle < cycles {
-            // Slow path: re-resolve the supply and chunk length. The
-            // chunk never outlives the governor's steady guarantee, the
-            // sample window, or the run itself.
-            let v = self.governor.voltage();
-            let vi = grid
-                .index_of(v)
-                .unwrap_or_else(|| panic!("governor voltage {v} off grid"));
-            let row = &rows[vi];
-            let mut chunk = self.governor.steady_cycles().max(1).min(cycles - cycle);
-            if let Some(window) = self.sample_every {
-                chunk = chunk.min(window - window_cycles);
-            }
-
-            // Fast path: the whole chunk at one supply, no table lookups.
-            let mut chunk_errors = 0u64;
-            let mut chunk_shadow = 0u64;
-            let mut chunk_wire_cap = 0.0f64;
-            let mut chunk_toggles = 0u64;
-            for _ in 0..chunk {
-                let cur = self.trace.next_word();
-                let analysis = bus.analyze_cycle(self.prev_word, cur);
-                self.prev_word = cur;
-                let bucket = ((analysis.toggled_wires / 4) as usize).min(N_BUCKETS - 1);
-                // Quantized exactly like the histogram engine (1 fF/mm
-                // bins) so the two agree cycle-for-cycle.
-                let bin = crate::summary::bin_of(analysis.worst_ceff_per_mm);
-                let load = bin as f64 * crate::summary::CEFF_BIN_WIDTH;
-                let error = analysis.toggled_wires > 0 && load > row.pass[bucket];
-                chunk_errors += u64::from(error);
-                chunk_shadow += u64::from(error && load > row.shadow[bucket]);
-                chunk_wire_cap += analysis.switched_cap_per_mm;
-                chunk_toggles += u64::from(analysis.toggled_wires);
-                if let Some(h) = hist.as_mut() {
-                    // Same accumulation (and the same float-add order)
-                    // as `TraceSummary::collect` over these words.
-                    if analysis.toggled_wires > 0 {
-                        h.hist[bucket * crate::summary::N_CEFF_BINS + bin] += 1;
-                        h.total_cap += analysis.switched_cap_per_mm;
-                        h.toggles += u64::from(analysis.toggled_wires);
-                    }
-                }
-            }
-
-            let switched = chunk_wire_cap * length_mm
-                + chunk_toggles as f64 * (rep_cap + data_cap)
-                + chunk as f64 * clock_cap;
-            energy_fj += switched * row.v2
-                + chunk as f64 * row.leak_fj
-                + chunk_errors as f64 * row.recovery_fj;
-            baseline_fj += switched * v2_nominal + chunk as f64 * leak_nominal;
-            errors += chunk_errors;
-            shadow_violations += chunk_shadow;
-            mv_sum += f64::from(v.mv()) * chunk as f64;
-            min_v = min_v.min(v);
-            self.governor.record_batch(chunk, chunk_errors);
-            cycle += chunk;
-
-            if let Some(window) = self.sample_every {
-                window_errors += chunk_errors;
-                window_cycles += chunk;
-                if window_cycles == window {
-                    samples.push(VoltageSample {
-                        cycle,
-                        voltage: self.governor.voltage(),
-                        window_error_rate: window_errors as f64 / window as f64,
-                    });
-                    window_errors = 0;
-                    window_cycles = 0;
-                }
-            }
-        }
-        if window_cycles > 0 {
-            // Trailing partial window: report it rather than dropping the
-            // tail of the trajectory.
-            samples.push(VoltageSample {
-                cycle: cycles,
-                voltage: self.governor.voltage(),
-                window_error_rate: window_errors as f64 / window_cycles as f64,
-            });
-        }
-
-        let summary = match hist {
-            Some(h) if cycles > 0 => Some(crate::TraceSummary::from_parts(
-                h.hist,
-                h.total_cap,
-                h.toggles,
-                cycles,
-            )),
-            _ => None,
+        let stream = AnalyzeStream {
+            bus: self.design.bus(),
+            trace: &mut self.trace,
+            prev: &mut self.prev_word,
         };
-        SimReport {
+        run_stream(
+            self.design,
+            self.pvt,
+            &mut self.governor,
+            self.sample_every,
+            self.collect_histogram,
+            stream,
             cycles,
-            errors,
-            shadow_violations,
-            energy: Femtojoules::new(energy_fj),
-            baseline_energy: Femtojoules::new(baseline_fj),
-            mean_voltage_mv: if cycles == 0 {
-                0.0
-            } else {
-                mv_sum / cycles as f64
-            },
-            min_voltage: min_v,
-            samples,
-            summary,
-        }
+        )
     }
 
     /// Runs `cycles` cycles through the original cycle-at-a-time loop:
@@ -428,7 +280,7 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
             let analysis = bus.analyze_cycle(self.prev_word, cur);
             self.prev_word = cur;
 
-            let bucket = ((analysis.toggled_wires / 4) as usize).min(N_BUCKETS - 1);
+            let bucket = bucket_of(analysis.toggled_wires);
             let error = analysis.toggled_wires > 0
                 && crate::summary::ceff_bin_floor(analysis.worst_ceff_per_mm)
                     > matrix.pass_limit_at(vi, bucket);
@@ -493,6 +345,278 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
             samples,
             summary: None,
         }
+    }
+}
+
+/// Builds the per-voltage hot rows: one [`VoltageRow`] per grid point,
+/// so the steady-state inner loop never touches the matrices or energy
+/// tables. Shared by the live and compiled-replay paths.
+fn voltage_rows(design: &DvsBusDesign, pvt: PvtCorner, recovery_cap: f64) -> Vec<VoltageRow> {
+    let tables = design.tables();
+    let cond = EnvCondition::from_pvt(pvt);
+    let matrix = tables.threshold_matrix(cond, pvt.ir);
+    let shadow_matrix = tables.shadow_threshold_matrix(cond, pvt.ir);
+    let energy_table = tables.energy_table(cond);
+    (0..design.grid().len())
+        .map(|vi| {
+            let mut pass = [0.0; N_BUCKETS];
+            let mut shadow = [0.0; N_BUCKETS];
+            for b in 0..N_BUCKETS {
+                pass[b] = matrix.pass_limit_at(vi, b);
+                shadow[b] = shadow_matrix.pass_limit_at(vi, b);
+            }
+            let v2 = energy_table.v_squared_at(vi);
+            VoltageRow {
+                pass,
+                shadow,
+                v2,
+                leak_fj: energy_table.leakage_per_cycle_at(vi).fj(),
+                recovery_fj: recovery_cap * v2,
+            }
+        })
+        .collect()
+}
+
+/// The per-cycle input of the batched loop: one `(toggle count,
+/// quantized load bin, switched capacitance fF/mm)` tuple per cycle.
+/// The live path computes it through `analyze_cycle`; the compiled path
+/// reads it back from a [`CompiledTrace`]. Keeping the loop body
+/// generic over this trait (instead of duplicating it) is what makes
+/// the replay bit-identical to the live run by construction.
+trait CycleStream {
+    fn next_cycle(&mut self) -> (u32, usize, f64);
+}
+
+/// Live classification: words → `analyze_cycle` → tuple.
+struct AnalyzeStream<'a, S> {
+    bus: &'a razorbus_wire::BusPhysical,
+    trace: &'a mut S,
+    prev: &'a mut u32,
+}
+
+impl<S: TraceSource> CycleStream for AnalyzeStream<'_, S> {
+    #[inline]
+    fn next_cycle(&mut self) -> (u32, usize, f64) {
+        let cur = self.trace.next_word();
+        let a = self.bus.analyze_cycle(*self.prev, cur);
+        *self.prev = cur;
+        // Quantized exactly like the histogram engine (1 fF/mm bins) so
+        // the two agree cycle-for-cycle.
+        (
+            a.toggled_wires,
+            bin_of(a.worst_ceff_per_mm),
+            a.switched_cap_per_mm,
+        )
+    }
+}
+
+/// Stored classification: the compiled arrays, read front to back.
+struct CompiledStream<'a> {
+    trace: &'a CompiledTrace,
+    cursor: usize,
+}
+
+impl CycleStream for CompiledStream<'_> {
+    #[inline]
+    fn next_cycle(&mut self) -> (u32, usize, f64) {
+        let t = self.trace.cycle(self.cursor);
+        self.cursor += 1;
+        t
+    }
+}
+
+/// The batched closed-loop body shared by [`BusSimulator::run`] and
+/// [`CompiledTrace::replay`]: per-voltage rows precomputed once,
+/// governor-guaranteed-steady chunks evaluated in a tight inner loop.
+/// See [`BusSimulator::run`] for the contract.
+fn run_stream<C: CycleStream, G: VoltageGovernor>(
+    design: &DvsBusDesign,
+    pvt: PvtCorner,
+    governor: &mut G,
+    sample_every: Option<u64>,
+    collect_histogram: bool,
+    mut stream: C,
+    cycles: u64,
+) -> SimReport {
+    let grid = design.grid();
+    let tables = design.tables();
+    let fe = design.flop_energy();
+
+    let n_flops = tables.n_bits();
+    let length_mm = design.bus().line().total_length().mm();
+    let rep_cap = tables.repeater_cap_per_toggle().ff();
+    let clock_cap = fe.clock_capacitance(n_flops).ff();
+    let data_cap = fe.data_capacitance().ff();
+    // Recovery ~ one extra bank clock + one restored bit (paper: the
+    // extra clocking dominates).
+    let recovery_cap = clock_cap + data_cap;
+    let rows = voltage_rows(design, pvt, recovery_cap);
+
+    let nominal_idx = grid.index_of(design.nominal()).expect("nominal on grid");
+    let v2_nominal = rows[nominal_idx].v2;
+    let leak_nominal = rows[nominal_idx].leak_fj;
+
+    let mut errors = 0u64;
+    let mut shadow_violations = 0u64;
+    let mut energy_fj = 0.0f64;
+    let mut baseline_fj = 0.0f64;
+    let mut mv_sum = 0.0f64;
+    let mut min_v = governor.voltage();
+    let mut samples = Vec::new();
+    let mut window_errors = 0u64;
+    let mut window_cycles = 0u64;
+    let mut hist = collect_histogram.then(|| HistogramAccum {
+        hist: vec![0u64; N_BUCKETS * N_CEFF_BINS],
+        total_cap: 0.0,
+        toggles: 0,
+    });
+
+    let mut cycle = 0u64;
+    while cycle < cycles {
+        // Slow path: re-resolve the supply and chunk length. The
+        // chunk never outlives the governor's steady guarantee, the
+        // sample window, or the run itself.
+        let v = governor.voltage();
+        let vi = grid
+            .index_of(v)
+            .unwrap_or_else(|| panic!("governor voltage {v} off grid"));
+        let row = &rows[vi];
+        let mut chunk = governor.steady_cycles().max(1).min(cycles - cycle);
+        if let Some(window) = sample_every {
+            chunk = chunk.min(window - window_cycles);
+        }
+
+        // Fast path: the whole chunk at one supply, no table lookups.
+        let mut chunk_errors = 0u64;
+        let mut chunk_shadow = 0u64;
+        let mut chunk_wire_cap = 0.0f64;
+        let mut chunk_toggles = 0u64;
+        for _ in 0..chunk {
+            let (toggles, bin, switched_cap) = stream.next_cycle();
+            let bucket = bucket_of(toggles);
+            let load = bin as f64 * CEFF_BIN_WIDTH;
+            let error = toggles > 0 && load > row.pass[bucket];
+            chunk_errors += u64::from(error);
+            chunk_shadow += u64::from(error && load > row.shadow[bucket]);
+            chunk_wire_cap += switched_cap;
+            chunk_toggles += u64::from(toggles);
+            if let Some(h) = hist.as_mut() {
+                // Same accumulation (and the same float-add order)
+                // as `TraceSummary::collect` over these words.
+                if toggles > 0 {
+                    h.hist[bucket * N_CEFF_BINS + bin] += 1;
+                    h.total_cap += switched_cap;
+                    h.toggles += u64::from(toggles);
+                }
+            }
+        }
+
+        let switched = chunk_wire_cap * length_mm
+            + chunk_toggles as f64 * (rep_cap + data_cap)
+            + chunk as f64 * clock_cap;
+        energy_fj +=
+            switched * row.v2 + chunk as f64 * row.leak_fj + chunk_errors as f64 * row.recovery_fj;
+        baseline_fj += switched * v2_nominal + chunk as f64 * leak_nominal;
+        errors += chunk_errors;
+        shadow_violations += chunk_shadow;
+        mv_sum += f64::from(v.mv()) * chunk as f64;
+        min_v = min_v.min(v);
+        governor.record_batch(chunk, chunk_errors);
+        cycle += chunk;
+
+        if let Some(window) = sample_every {
+            window_errors += chunk_errors;
+            window_cycles += chunk;
+            if window_cycles == window {
+                samples.push(VoltageSample {
+                    cycle,
+                    voltage: governor.voltage(),
+                    window_error_rate: window_errors as f64 / window as f64,
+                });
+                window_errors = 0;
+                window_cycles = 0;
+            }
+        }
+    }
+    if window_cycles > 0 {
+        // Trailing partial window: report it rather than dropping the
+        // tail of the trajectory.
+        samples.push(VoltageSample {
+            cycle: cycles,
+            voltage: governor.voltage(),
+            window_error_rate: window_errors as f64 / window_cycles as f64,
+        });
+    }
+
+    let summary = match hist {
+        Some(h) if cycles > 0 => Some(crate::TraceSummary::from_parts(
+            h.hist,
+            h.total_cap,
+            h.toggles,
+            cycles,
+        )),
+        _ => None,
+    };
+    SimReport {
+        cycles,
+        errors,
+        shadow_violations,
+        energy: Femtojoules::new(energy_fj),
+        baseline_energy: Femtojoules::new(baseline_fj),
+        mean_voltage_mv: if cycles == 0 {
+            0.0
+        } else {
+            mv_sum / cycles as f64
+        },
+        min_voltage: min_v,
+        samples,
+        summary,
+    }
+}
+
+impl CompiledTrace {
+    /// Replays the compiled stream through the batched closed-loop body
+    /// — the exact loop [`BusSimulator::run`] executes, reading stored
+    /// per-cycle tuples instead of analyzing words. Bit-identical to
+    /// running [`BusSimulator`] over the original trace with the same
+    /// governor: errors, violations and samples match bitwise, energies
+    /// are exact (same per-cycle add sequence).
+    ///
+    /// Replays all [`CompiledTrace::cycles`] cycles and returns the
+    /// governor (carried across program boundaries by suite protocols).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace's bus stamps do not match `design` (see
+    /// [`CompiledTrace::matches`]), when `sampling` is `Some(0)`, or if
+    /// the governor commands a voltage off the design grid.
+    #[must_use]
+    pub fn replay<G: VoltageGovernor>(
+        &self,
+        design: &DvsBusDesign,
+        pvt: PvtCorner,
+        mut governor: G,
+        sampling: Option<u64>,
+        with_summary: bool,
+    ) -> (SimReport, G) {
+        if let Err(e) = self.matches(design) {
+            panic!("refusing to replay a compiled trace against the wrong design: {e}");
+        }
+        assert!(sampling != Some(0), "sampling window must be positive");
+        let stream = CompiledStream {
+            trace: self,
+            cursor: 0,
+        };
+        let report = run_stream(
+            design,
+            pvt,
+            &mut governor,
+            sampling,
+            with_summary,
+            stream,
+            self.cycles(),
+        );
+        (report, governor)
     }
 }
 
@@ -758,6 +882,160 @@ mod tests {
         let r = sim.run(10_001);
         assert_eq!(r.samples.len(), 2);
         assert_eq!(r.samples[1].cycle, 10_001);
+    }
+
+    /// Differential harness for the compiled-replay path: compiling a
+    /// trace once and replaying it must be **bit-identical** to running
+    /// the simulator over the live words — errors, violations and
+    /// samples bitwise, energies exact (same per-cycle add sequence),
+    /// histogram by-product included.
+    fn assert_replay_matches_run<G: VoltageGovernor + Clone>(
+        d: &DvsBusDesign,
+        pvt: PvtCorner,
+        bench: Benchmark,
+        seed: u64,
+        governor: G,
+        cycles: u64,
+        sampling: Option<u64>,
+    ) {
+        let mut sim = BusSimulator::new(d, pvt, bench.trace(seed), governor.clone());
+        if let Some(w) = sampling {
+            sim = sim.with_sampling(w);
+        }
+        let live = sim.with_histogram().run(cycles);
+
+        let compiled = crate::CompiledTrace::compile(d, &mut bench.trace(seed), cycles);
+        let (replayed, _) = compiled.replay(d, pvt, governor, sampling, true);
+
+        let ctx = format!("{bench} @ {pvt}, {cycles} cycles");
+        assert_eq!(live.errors, replayed.errors, "errors diverged: {ctx}");
+        assert_eq!(
+            live.shadow_violations, replayed.shadow_violations,
+            "violations diverged: {ctx}"
+        );
+        assert_eq!(
+            live.energy.fj().to_bits(),
+            replayed.energy.fj().to_bits(),
+            "energy not exact: {ctx}"
+        );
+        assert_eq!(
+            live.baseline_energy.fj().to_bits(),
+            replayed.baseline_energy.fj().to_bits(),
+            "baseline not exact: {ctx}"
+        );
+        assert_eq!(live.min_voltage, replayed.min_voltage, "{ctx}");
+        assert_eq!(
+            live.mean_voltage_mv.to_bits(),
+            replayed.mean_voltage_mv.to_bits(),
+            "mean V not exact: {ctx}"
+        );
+        assert_eq!(live.samples, replayed.samples, "samples diverged: {ctx}");
+        assert_eq!(
+            live.summary, replayed.summary,
+            "histogram by-product diverged: {ctx}"
+        );
+    }
+
+    #[test]
+    fn replay_matches_run_across_governors() {
+        let d = design();
+        assert_replay_matches_run(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Crafty,
+            5,
+            ThresholdController::new(d.controller_config(ProcessCorner::Typical)),
+            120_000,
+            Some(10_000),
+        );
+        assert_replay_matches_run(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Gap,
+            9,
+            razorbus_ctrl::ProportionalController::paper_band(
+                d.controller_config(ProcessCorner::Typical),
+            ),
+            120_000,
+            Some(17_500),
+        );
+        assert_replay_matches_run(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Mgrid,
+            5,
+            FixedVoltage::new(Millivolts::new(900)),
+            60_000,
+            None,
+        );
+    }
+
+    #[test]
+    fn replay_matches_run_across_corners_and_designs() {
+        // The worst corner exercises a different threshold matrix; the
+        // modified bus exercises rebuilt tables and a different compile.
+        let d = design();
+        assert_replay_matches_run(
+            &d,
+            PvtCorner::WORST,
+            Benchmark::Swim,
+            2,
+            ThresholdController::new(d.controller_config(ProcessCorner::Slow)),
+            120_000,
+            None,
+        );
+        let modified = DvsBusDesign::modified_paper_bus();
+        assert_replay_matches_run(
+            &modified,
+            PvtCorner::WORST,
+            Benchmark::Vortex,
+            11,
+            ThresholdController::new(modified.controller_config(ProcessCorner::Slow)),
+            60_000,
+            Some(10_000),
+        );
+    }
+
+    #[test]
+    fn one_compile_serves_many_operating_points() {
+        // The cross-sweep reuse contract: a single compiled trace
+        // replayed at several supplies reproduces each fixed-voltage
+        // live run exactly.
+        let d = design();
+        let compiled = crate::CompiledTrace::compile(&d, &mut Benchmark::Mgrid.trace(8), 40_000);
+        for v_mv in [880, 940, 1_000, 1_200] {
+            let v = Millivolts::new(v_mv);
+            let mut sim = BusSimulator::new(
+                &d,
+                PvtCorner::TYPICAL,
+                Benchmark::Mgrid.trace(8),
+                FixedVoltage::new(v),
+            );
+            let live = sim.run(40_000);
+            let (replayed, _) =
+                compiled.replay(&d, PvtCorner::TYPICAL, FixedVoltage::new(v), None, false);
+            assert_eq!(live.errors, replayed.errors, "{v}");
+            assert_eq!(
+                live.energy.fj().to_bits(),
+                replayed.energy.fj().to_bits(),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong design")]
+    fn replay_refuses_mismatched_design() {
+        let d = design();
+        let modified = DvsBusDesign::modified_paper_bus();
+        let compiled = crate::CompiledTrace::compile(&d, &mut Benchmark::Crafty.trace(1), 1_000);
+        let _ = compiled.replay(
+            &modified,
+            PvtCorner::TYPICAL,
+            FixedVoltage::new(Millivolts::new(1_200)),
+            None,
+            false,
+        );
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub(crate) fn bin_of(ceff: f64) -> usize {
     ((ceff / CEFF_BIN_WIDTH) as usize).min(N_CEFF_BINS - 1)
 }
 
+/// Activity bucket of a cycle's toggle count — the single quantization
+/// rule shared by the histogram engine ([`TraceSummary::collect`]), the
+/// streaming simulator's hot loops and the compiled-trace replay path,
+/// so the three can never drift apart.
+#[inline]
+pub(crate) fn bucket_of(toggled_wires: u32) -> usize {
+    ((toggled_wires / 4) as usize).min(N_BUCKETS - 1)
+}
+
 /// Lower edge (fF/mm) of the histogram bin containing `ceff` — the
 /// quantized load both the histogram engine and the streaming simulator
 /// compare against pass limits, keeping them in exact agreement.
@@ -124,7 +133,7 @@ impl TraceSummary {
             if a.toggled_wires == 0 {
                 continue;
             }
-            let bucket = ((a.toggled_wires / 4) as usize).min(N_BUCKETS - 1);
+            let bucket = bucket_of(a.toggled_wires);
             hist[bucket * N_CEFF_BINS + bin_of(a.worst_ceff_per_mm)] += 1;
             total_cap += a.switched_cap_per_mm;
             toggles += u64::from(a.toggled_wires);

@@ -22,10 +22,11 @@
 use crate::result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
 use crate::spec::{ControllerSpec, DesignSpec, ScenarioSpec, WorkloadSpec};
 use razorbus_core::experiments::{fig8, SummaryBank};
-use razorbus_core::{BusSimulator, DvsBusDesign, TraceSummary};
+use razorbus_core::{BusSimulator, CompiledTrace, DvsBusDesign, TraceSummary};
 use razorbus_ctrl::BoxedGovernor;
 use razorbus_process::PvtCorner;
 use razorbus_traces::TraceSource;
+use std::sync::Arc;
 
 /// A named list of scenarios executed as one deduplicated, parallel
 /// campaign.
@@ -82,6 +83,73 @@ impl LoopKey {
 struct LoopProduct {
     data: LoopData,
     sweep: Option<SweepData>,
+}
+
+/// A workload compiled against its design: the governor-independent
+/// per-cycle classification, shared by reference across every loop job
+/// over the same (design, workload, cycles, seed).
+#[derive(Clone)]
+enum CompiledWorkload {
+    /// One compiled trace per benchmark, [`razorbus_traces::Benchmark::ALL`] order.
+    Suite(Vec<Arc<CompiledTrace>>),
+    /// A single compiled stream (one benchmark or a synthetic recipe).
+    Stream(Arc<CompiledTrace>),
+}
+
+/// Default ceiling (bytes) on the resident size of shared compiled
+/// traces; above it the executor falls back to direct (live) runs so a
+/// paper-scale 10 M-cycle campaign cannot exhaust memory. Override with
+/// `RAZORBUS_COMPILE_BUDGET_MB`.
+const DEFAULT_COMPILE_BUDGET: u64 = 768 * 1024 * 1024;
+
+/// Per-cycle resident bytes of one compiled stream (u8 toggle, u16 bin,
+/// f64 switched capacitance) — kept in sync with
+/// [`CompiledTrace::memory_bytes`] by a test.
+const COMPILED_BYTES_PER_CYCLE: u64 = 11;
+
+fn compile_budget() -> u64 {
+    std::env::var("RAZORBUS_COMPILE_BUDGET_MB")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map_or(DEFAULT_COMPILE_BUDGET, |mb| mb * 1024 * 1024)
+}
+
+/// Estimated resident bytes of compiling `key`'s workload.
+fn compiled_footprint(key: &SummaryKey) -> u64 {
+    let streams = match &key.workload {
+        WorkloadSpec::Suite => razorbus_traces::Benchmark::ALL.len() as u64,
+        WorkloadSpec::Single(_) | WorkloadSpec::Recipe(_) => 1,
+    };
+    streams * key.cycles * COMPILED_BYTES_PER_CYCLE
+}
+
+/// The compile plan: a (design, workload, cycles, seed) analyzed by two
+/// or more loop jobs (a governor shootout, a corner sweep, `repro
+/// all`'s typical+worst pair, ...) is compiled once and replayed per
+/// job, so the `analyze_cycle` cost is paid once instead of N times.
+/// Single-user keys stay on the live path — compiling would only add
+/// work — as does anything that would blow the compiled-memory
+/// `budget` (bytes).
+fn plan_compile_jobs(loop_jobs: &[LoopKey], budget: u64) -> Vec<SummaryKey> {
+    let mut compile_jobs: Vec<SummaryKey> = Vec::new();
+    let mut footprint = 0u64;
+    for job in loop_jobs {
+        let skey = job.summary_key();
+        if compile_jobs.contains(&skey) {
+            continue;
+        }
+        let users = loop_jobs.iter().filter(|j| j.summary_key() == skey).count();
+        if users < 2 {
+            continue;
+        }
+        let bytes = compiled_footprint(&skey);
+        if footprint + bytes > budget {
+            continue;
+        }
+        footprint += bytes;
+        compile_jobs.push(skey);
+    }
+    compile_jobs
 }
 
 impl ScenarioSet {
@@ -145,6 +213,23 @@ impl ScenarioSet {
     pub fn run_with_designs(
         &self,
         prebuilt: Vec<(DesignSpec, DvsBusDesign)>,
+    ) -> Result<ScenarioSetRun, String> {
+        self.run_with_options(prebuilt, true)
+    }
+
+    /// The fully-parameterized executor entry point:
+    /// `share_compiled = false` disables compiled-trace sharing, forcing
+    /// every loop job onto the live `analyze_cycle` path — the
+    /// comparison baseline CI uses to pin the shared path bit-identical
+    /// (`repro scenario <name> --no-compiled`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioSet::run`].
+    pub fn run_with_options(
+        &self,
+        prebuilt: Vec<(DesignSpec, DvsBusDesign)>,
+        share_compiled: bool,
     ) -> Result<ScenarioSetRun, String> {
         let members = self.expand()?;
 
@@ -220,10 +305,10 @@ impl ScenarioSet {
 
         // Build governors (and validate recipes) before spawning, so
         // every spec-level error surfaces as a clean Err.
-        let mut governors: Vec<BoxedGovernor> = Vec::new();
+        let mut governors: Vec<Option<BoxedGovernor>> = Vec::new();
         for job in &loop_jobs {
             let design = &designs[job.design_idx];
-            governors.push(job.controller.build(design, job.corner)?);
+            governors.push(Some(job.controller.build(design, job.corner)?));
             if let WorkloadSpec::Recipe(recipe) = &job.workload {
                 recipe.build_trace(job.seed)?;
             }
@@ -234,24 +319,79 @@ impl ScenarioSet {
             }
         }
 
-        // Fan out: one scoped thread per remaining job, mirroring the
-        // hand-rolled `std::thread::scope` of the old `repro all`.
+        let compile_jobs = if share_compiled {
+            plan_compile_jobs(&loop_jobs, compile_budget())
+        } else {
+            Vec::new()
+        };
+        let compiled_idx =
+            |job: &LoopKey| compile_jobs.iter().position(|k| *k == job.summary_key());
+
+        // Fan out on scoped threads, in two phases sharing one scope:
+        // phase A compiles the shared workloads while the unshared loop
+        // jobs and summary passes run alongside; phase B replays the
+        // shared jobs against the compiled streams (`Arc`-shared, one
+        // clone per job).
         let (loop_products, summary_products) = std::thread::scope(|scope| {
-            let mut loop_handles = Vec::new();
-            for (i, (job, governor)) in loop_jobs.iter().zip(governors.drain(..)).enumerate() {
+            let compile_handles: Vec<_> = compile_jobs
+                .iter()
+                .map(|key| {
+                    let design = &designs[key.design_idx];
+                    scope.spawn(move || compile_workload(design, key))
+                })
+                .collect();
+
+            let mut loop_handles: Vec<(usize, _)> = Vec::new();
+            for (i, job) in loop_jobs.iter().enumerate() {
+                if compiled_idx(job).is_some() {
+                    continue; // phase B
+                }
                 let design = &designs[job.design_idx];
+                let governor = governors[i].take().expect("governor built above");
                 let with_hist = loop_hist[i];
-                loop_handles
-                    .push(scope.spawn(move || run_loop_job(design, job, governor, with_hist)));
+                loop_handles.push((
+                    i,
+                    scope.spawn(move || run_loop_job(design, job, governor, with_hist)),
+                ));
             }
             let mut summary_handles = Vec::new();
             for job in &summary_jobs {
                 let design = &designs[job.design_idx];
                 summary_handles.push(scope.spawn(move || run_summary_job(design, job)));
             }
-            let loops: Vec<Result<LoopProduct, String>> = loop_handles
+
+            let compiled: Vec<Result<CompiledWorkload, String>> = compile_handles
                 .into_iter()
-                .map(|h| h.join().expect("loop job thread"))
+                .map(|h| h.join().expect("compile job thread"))
+                .collect();
+
+            let mut loops: Vec<Option<Result<LoopProduct, String>>> =
+                (0..loop_jobs.len()).map(|_| None).collect();
+            for (i, job) in loop_jobs.iter().enumerate() {
+                let Some(c) = compiled_idx(job) else { continue };
+                match &compiled[c] {
+                    Ok(workload) => {
+                        let design = &designs[job.design_idx];
+                        let governor = governors[i].take().expect("governor built above");
+                        let with_hist = loop_hist[i];
+                        let workload = workload.clone();
+                        loop_handles.push((
+                            i,
+                            scope.spawn(move || {
+                                run_replay_job(design, job, governor, with_hist, &workload)
+                            }),
+                        ));
+                    }
+                    Err(e) => loops[i] = Some(Err(e.clone())),
+                }
+            }
+
+            for (i, handle) in loop_handles {
+                loops[i] = Some(handle.join().expect("loop job thread"));
+            }
+            let loops: Vec<Result<LoopProduct, String>> = loops
+                .into_iter()
+                .map(|p| p.expect("every loop job produced or errored"))
                 .collect();
             let summaries: Vec<Result<SweepData, String>> = summary_handles
                 .into_iter()
@@ -326,6 +466,73 @@ impl ScenarioSet {
                 members: results,
             },
         })
+    }
+}
+
+/// Compiles one shared workload against its design (phase A of the
+/// executor fan-out).
+fn compile_workload(design: &DvsBusDesign, key: &SummaryKey) -> Result<CompiledWorkload, String> {
+    match &key.workload {
+        WorkloadSpec::Suite => Ok(CompiledWorkload::Suite(fig8::compile_suite(
+            design, key.cycles, key.seed,
+        ))),
+        WorkloadSpec::Single(benchmark) => Ok(CompiledWorkload::Stream(Arc::new(
+            CompiledTrace::compile(design, &mut benchmark.trace(key.seed), key.cycles),
+        ))),
+        WorkloadSpec::Recipe(recipe) => {
+            let mut trace = recipe.build_trace(key.seed)?;
+            Ok(CompiledWorkload::Stream(Arc::new(CompiledTrace::compile(
+                design, &mut trace, key.cycles,
+            ))))
+        }
+    }
+}
+
+/// Replays one loop job against a shared compiled workload (phase B) —
+/// bit-identical to [`run_loop_job`] over the live trace, pinned by the
+/// replay differential tests in `razorbus-core` and the executor tests
+/// below.
+fn run_replay_job(
+    design: &DvsBusDesign,
+    job: &LoopKey,
+    governor: BoxedGovernor,
+    with_hist: bool,
+    workload: &CompiledWorkload,
+) -> Result<LoopProduct, String> {
+    match workload {
+        CompiledWorkload::Suite(per) => {
+            let (data, per_summaries) = fig8::replay_protocol(
+                design,
+                job.corner,
+                per,
+                governor,
+                job.controller.sampling,
+                with_hist,
+            );
+            let sweep =
+                with_hist.then(|| SweepData::Bank(SummaryBank::from_per_benchmark(per_summaries)));
+            Ok(LoopProduct {
+                data: LoopData::Suite(data),
+                sweep,
+            })
+        }
+        CompiledWorkload::Stream(trace) => {
+            let (mut report, _governor) = trace.replay(
+                design,
+                job.corner,
+                governor,
+                job.controller.sampling,
+                with_hist,
+            );
+            let sweep = report.summary.take().map(SweepData::Summary);
+            Ok(LoopProduct {
+                data: LoopData::Stream(StreamRun {
+                    corner: job.corner,
+                    report,
+                }),
+                sweep,
+            })
+        }
     }
 }
 
@@ -606,6 +813,91 @@ mod tests {
         let fixed_gain = fixed.closed_loop.as_ref().unwrap().energy_gain();
         assert!(fixed_gain.abs() < 1e-9, "{fixed_gain}");
         assert!(dvs.closed_loop.as_ref().unwrap().energy_gain() >= 0.0);
+    }
+
+    #[test]
+    fn shared_compiled_run_is_bit_identical_to_live_run() {
+        // A governor sweep (the canonical >=2-jobs-per-trace shape) must
+        // produce the exact same member results whether the executor
+        // compiles the workload once and replays it, or runs every
+        // member against the live trace.
+        let mut spec = member("duel", AnalysisSpec::Full, CornerSpec::Typical);
+        spec.run.cycles_per_benchmark = 3_000;
+        spec.sweep = vec![SweepAxis::Governors(vec![
+            GovernorSpec::Threshold,
+            GovernorSpec::Proportional,
+            GovernorSpec::Fixed(razorbus_units::Millivolts::new(1_100)),
+        ])];
+        let set = ScenarioSet::single(spec);
+        let shared = set.run_with_options(Vec::new(), true).unwrap();
+        let live = set.run_with_options(Vec::new(), false).unwrap();
+        assert_eq!(shared.result, live.result);
+    }
+
+    #[test]
+    fn seed_axis_members_share_their_seed_compile() {
+        // Two governors x two seeds: each seed compiles once and serves
+        // both of its governors; results equal the live path exactly.
+        let mut spec = member("bands", AnalysisSpec::ClosedLoop, CornerSpec::Typical);
+        spec.run.cycles_per_benchmark = 2_000;
+        spec.sweep = vec![
+            SweepAxis::Seeds(vec![3, 4]),
+            SweepAxis::Governors(vec![GovernorSpec::Threshold, GovernorSpec::Proportional]),
+        ];
+        let set = ScenarioSet::single(spec);
+        let shared = set.run_with_options(Vec::new(), true).unwrap();
+        assert_eq!(shared.result.members.len(), 4);
+        let live = set.run_with_options(Vec::new(), false).unwrap();
+        assert_eq!(shared.result, live.result);
+        // Different seeds really produce different trajectories.
+        let a = shared.result.member("bands#seed3+threshold").unwrap();
+        let b = shared.result.member("bands#seed4+threshold").unwrap();
+        assert_ne!(a.closed_loop, b.closed_loop);
+    }
+
+    #[test]
+    fn compile_plan_shares_only_multi_user_keys_within_budget() {
+        let job = |corner: PvtCorner, cycles: u64| LoopKey {
+            design_idx: 0,
+            corner,
+            workload: WorkloadSpec::Suite,
+            controller: ControllerSpec::paper(),
+            cycles,
+            seed: 3,
+        };
+        // Two corners over one suite: one compile key. The single-user
+        // 7 k-cycle job stays live.
+        let jobs = [
+            job(PvtCorner::TYPICAL, 5_000),
+            job(PvtCorner::WORST, 5_000),
+            job(PvtCorner::TYPICAL, 7_000),
+        ];
+        let plan = plan_compile_jobs(&jobs, DEFAULT_COMPILE_BUDGET);
+        assert_eq!(plan, vec![jobs[0].summary_key()]);
+        // A zero budget compiles nothing — the executor falls back to
+        // the live path (which `run_with_options(.., false)` pins
+        // bit-identical to the shared one above).
+        assert!(plan_compile_jobs(&jobs, 0).is_empty());
+        // The budget is cumulative: once the suite's footprint is
+        // spent, a second shareable key is left on the live path.
+        let mut more = jobs.to_vec();
+        more.push(job(PvtCorner::WORST, 7_000));
+        let footprint = compiled_footprint(&jobs[0].summary_key());
+        let tight = plan_compile_jobs(&more, footprint);
+        assert_eq!(tight, vec![jobs[0].summary_key()]);
+    }
+
+    #[test]
+    fn compiled_footprint_matches_memory_estimate() {
+        // The planner's per-cycle byte constant must track the real
+        // compiled layout, or the budget gate silently skews.
+        let d = DvsBusDesign::paper_default();
+        let compiled =
+            CompiledTrace::compile(&d, &mut razorbus_traces::Benchmark::Crafty.trace(1), 1_000);
+        assert_eq!(
+            compiled.memory_bytes() as u64,
+            1_000 * COMPILED_BYTES_PER_CYCLE
+        );
     }
 
     #[test]

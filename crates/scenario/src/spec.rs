@@ -343,6 +343,10 @@ pub enum SweepAxis {
     /// Run the member at each fixed supply of this range (replaces the
     /// governor with [`GovernorSpec::Fixed`]).
     Voltages(VoltageSweep),
+    /// Run the member once per trace seed — variance bands through the
+    /// executor. Every member of one seed shares that seed's compiled
+    /// trace; different seeds compile separately.
+    Seeds(Vec<u64>),
 }
 
 /// An inclusive fixed-supply range for [`SweepAxis::Voltages`].
@@ -467,6 +471,17 @@ impl ScenarioSpec {
                             next.push(m);
                         }
                     }
+                    SweepAxis::Seeds(seeds) => {
+                        if seeds.is_empty() {
+                            return Err(format!("scenario `{}` sweeps zero seeds", self.name));
+                        }
+                        for seed in seeds {
+                            let mut m = member.clone();
+                            m.run.seed = *seed;
+                            m.name = format!("{}#seed{}", member.name, seed);
+                            next.push(m);
+                        }
+                    }
                 }
             }
             members = next;
@@ -535,10 +550,30 @@ mod tests {
     }
 
     #[test]
+    fn seed_axis_expands_to_labeled_members() {
+        let mut spec = base();
+        spec.sweep = vec![
+            SweepAxis::Seeds(vec![1, 2, 3]),
+            SweepAxis::Governors(vec![GovernorSpec::Threshold, GovernorSpec::Proportional]),
+        ];
+        let members = spec.expand().unwrap();
+        assert_eq!(members.len(), 6);
+        assert_eq!(members[0].name, "base#seed1+threshold");
+        assert_eq!(members[0].run.seed, 1);
+        assert_eq!(members[5].name, "base#seed3+proportional");
+        assert_eq!(members[5].run.seed, 3);
+        // Both governors of one seed share that seed's trace identity.
+        assert_eq!(members[4].run.seed, members[5].run.seed);
+    }
+
+    #[test]
     fn empty_axes_and_zero_budgets_are_rejected() {
         let mut spec = base();
         spec.sweep = vec![SweepAxis::Corners(vec![])];
         assert!(spec.expand().unwrap_err().contains("zero corners"));
+        let mut spec = base();
+        spec.sweep = vec![SweepAxis::Seeds(vec![])];
+        assert!(spec.expand().unwrap_err().contains("zero seeds"));
         let mut spec = base();
         spec.run.cycles_per_benchmark = 0;
         assert!(spec.expand().unwrap_err().contains("cycle budget"));

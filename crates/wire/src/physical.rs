@@ -38,6 +38,16 @@ impl CycleAnalysis {
     }
 }
 
+/// Word mask selecting the `n` bus bits of a 32-bit trace word.
+#[inline]
+fn word_mask(n: usize) -> u32 {
+    if n == 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
 /// Sentinel-coded neighbor for the hot classification loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slot {
@@ -89,6 +99,10 @@ pub struct BusPhysical {
     /// Slot-ordered Σ scale over non-open slots — the energy weight of a
     /// wire whose whole neighborhood is quiet.
     quiet_energy: Vec<f64>,
+    /// Per-wire neighborhood LUT: the slot loop, precompiled to one
+    /// lookup per toggling wire (plus an exact alignment fold only when
+    /// an opposing aggressor could beat the running worst).
+    lut: NeighborhoodLut,
 }
 
 /// Builds the quiet-neighborhood fast-path tables. The sums are
@@ -128,6 +142,158 @@ fn quiet_tables(
         quiet_energy.push(k_energy);
     }
     (sig_mask, quiet_delay, quiet_energy)
+}
+
+/// One precompiled neighborhood pattern of one wire: everything the slot
+/// loop would compute for this (own direction, per-signal-neighbor
+/// toggled/direction) combination, folded at table-build time in slot
+/// order so the sums are bit-identical to running the loop.
+#[derive(Debug, Clone, Copy)]
+struct LutEntry {
+    /// `cg + k_delay` of this pattern with every opposing aggressor at
+    /// perfect alignment (`u = 0`). When `opp_mask == 0` this *is* the
+    /// wire's exact load; otherwise it is an upper bound (alignment only
+    /// ever reduces the opposing weight), used to skip the exact fold
+    /// when the wire cannot beat the running worst.
+    ceff: f64,
+    /// `cg + k_energy` — never alignment-dependent, always exact.
+    switched: f64,
+    /// Slot-ordered delay terms of the non-open slots: the constant
+    /// contribution for quiet/aligned/shield slots, `opp_w[side]` for
+    /// opposing slots (to be scaled by the per-cycle alignment draw).
+    terms: [f64; 4],
+    /// Bitmask over `terms`: which are opposing (alignment-dependent).
+    opp_mask: u8,
+}
+
+/// Per-wire constants of the neighborhood LUT: how to gather the key
+/// bits and which physical slots the entry terms correspond to.
+#[derive(Debug, Clone, Copy)]
+struct LutWire {
+    /// Start of this wire's entry block in [`NeighborhoodLut::entries`].
+    offset: u32,
+    /// Bit indices of the signal-neighbor slots, in slot order.
+    sig_bits: [u8; 4],
+    /// Number of signal-neighbor slots (key width = `1 + 2 * n_sig`).
+    n_sig: u8,
+    /// Original slot index of each term (for the alignment hash).
+    term_slots: [u8; 4],
+    /// Number of non-open slots (= number of terms per entry).
+    n_terms: u8,
+}
+
+/// The per-wire neighborhood look-up table behind
+/// [`BusPhysical::analyze_cycle`]: for every wire, one entry per local
+/// (own direction × signal-neighbor toggled/direction) pattern — at most
+/// `2^(1+2·4) = 512` entries per wire, typically 32–128 on the paper
+/// layout. Rebuilt whenever the parasitics change
+/// ([`BusPhysical::with_boosted_coupling`]).
+#[derive(Debug, Clone)]
+struct NeighborhoodLut {
+    wires: Vec<LutWire>,
+    entries: Vec<LutEntry>,
+}
+
+/// Builds the neighborhood LUT. Every arithmetic expression mirrors the
+/// reference slot loop ([`BusPhysical::analyze_cycle_reference`])
+/// operand-for-operand, so each entry's folded sums are bit-identical to
+/// what the loop would produce for that pattern.
+fn build_lut(
+    slots: &[[Slot; 4]],
+    parasitics: &WireParasitics,
+    coupling: &CouplingModel,
+) -> NeighborhoodLut {
+    let cg = parasitics.cg_per_mm().ff();
+    let cc = parasitics.cc_per_mm().ff();
+    let cc2 = parasitics.cc2_per_mm().ff();
+    let m = coupling;
+    let static_w = [cc * m.miller_static, cc2 * m.miller_static];
+    let same_w = [cc * m.miller_same, cc2 * m.miller_same];
+    let opp_w = [cc * m.miller_opposite, cc2 * m.miller_opposite];
+    let energy_2w = [cc * 2.0, cc2 * 2.0];
+
+    let mut wires = Vec::with_capacity(slots.len());
+    let mut entries = Vec::new();
+    for wire_slots in slots {
+        let mut sig_bits = [0u8; 4];
+        let mut n_sig = 0u8;
+        let mut term_slots = [0u8; 4];
+        let mut n_terms = 0u8;
+        for (idx, slot) in wire_slots.iter().enumerate() {
+            match *slot {
+                Slot::Open => {}
+                Slot::Shield => {
+                    term_slots[n_terms as usize] = idx as u8;
+                    n_terms += 1;
+                }
+                Slot::Signal(j) => {
+                    sig_bits[n_sig as usize] = j;
+                    n_sig += 1;
+                    term_slots[n_terms as usize] = idx as u8;
+                    n_terms += 1;
+                }
+            }
+        }
+        let offset = entries.len() as u32;
+        for key in 0..1usize << (1 + 2 * n_sig) {
+            let rising = key & 1 == 1;
+            let mut k_delay = 0.0f64;
+            let mut k_energy = 0.0f64;
+            let mut terms = [0.0f64; 4];
+            let mut opp_mask = 0u8;
+            let mut t = 0usize;
+            let mut p = 0usize;
+            for (idx, slot) in wire_slots.iter().enumerate() {
+                let side = usize::from(idx >= 2);
+                match *slot {
+                    Slot::Open => {}
+                    Slot::Shield => {
+                        terms[t] = static_w[side];
+                        k_delay += static_w[side];
+                        k_energy += if side == 0 { cc } else { cc2 };
+                        t += 1;
+                    }
+                    Slot::Signal(_) => {
+                        let toggled_j = (key >> (1 + 2 * p)) & 1 == 1;
+                        let cur_j = (key >> (2 + 2 * p)) & 1 == 1;
+                        p += 1;
+                        if !toggled_j {
+                            terms[t] = static_w[side];
+                            k_delay += static_w[side];
+                            k_energy += if side == 0 { cc } else { cc2 };
+                        } else if cur_j == rising {
+                            terms[t] = same_w[side];
+                            k_delay += same_w[side];
+                            // aligned: no charge across the coupling cap
+                        } else {
+                            terms[t] = opp_w[side];
+                            opp_mask |= 1 << t;
+                            // Perfect-alignment (u = 0) fold: the exact
+                            // load when every draw lands in the atom, an
+                            // upper bound otherwise.
+                            k_delay += opp_w[side];
+                            k_energy += energy_2w[side];
+                        }
+                        t += 1;
+                    }
+                }
+            }
+            entries.push(LutEntry {
+                ceff: cg + k_delay,
+                switched: cg + k_energy,
+                terms,
+                opp_mask,
+            });
+        }
+        wires.push(LutWire {
+            offset,
+            sig_bits,
+            n_sig,
+            term_slots,
+            n_terms,
+        });
+    }
+    NeighborhoodLut { wires, entries }
 }
 
 impl BusPhysical {
@@ -180,6 +346,7 @@ impl BusPhysical {
             })
             .collect();
         let (sig_mask, quiet_delay, quiet_energy) = quiet_tables(&slots, &parasitics, &coupling);
+        let lut = build_lut(&slots, &parasitics, &coupling);
         Ok(Self {
             layout,
             parasitics,
@@ -193,6 +360,7 @@ impl BusPhysical {
             sig_mask,
             quiet_delay,
             quiet_energy,
+            lut,
         })
     }
 
@@ -234,10 +402,11 @@ impl BusPhysical {
     pub fn with_boosted_coupling(&self, ratio_boost: f64) -> Self {
         let (k1w, k2w) = worst_weights(&self.layout, &self.coupling);
         let parasitics = self.parasitics.boost_coupling_ratio(ratio_boost, k1w, k2w);
-        // The coupling caps changed, so the quiet-path tables must be
-        // rebuilt from the new parasitics.
+        // The coupling caps changed, so the quiet-path tables and the
+        // neighborhood LUT must be rebuilt from the new parasitics.
         let (sig_mask, quiet_delay, quiet_energy) =
             quiet_tables(&self.slots, &parasitics, &self.coupling);
+        let lut = build_lut(&self.slots, &parasitics, &self.coupling);
         Self {
             parasitics,
             slots: self.slots.clone(),
@@ -245,6 +414,7 @@ impl BusPhysical {
             sig_mask,
             quiet_delay,
             quiet_energy,
+            lut,
             ..self.clone()
         }
     }
@@ -455,26 +625,24 @@ impl BusPhysical {
     /// Classifies one bus cycle: per-wire transitions from `prev`/`cur`
     /// words, Miller-weighted worst load, charge-weighted switched
     /// capacitance and toggle count.
+    ///
+    /// The slot loop is precompiled into a per-wire neighborhood LUT:
+    /// each toggling wire's delay/energy sums are one table lookup keyed
+    /// on its ≤9 local bits, with the exact alignment fold run only for
+    /// patterns with opposing aggressors that could still beat the
+    /// running worst. Bit-identical to
+    /// [`BusPhysical::analyze_cycle_reference`] by construction (each
+    /// entry stores the same slot-ordered f64 sums), pinned by unit and
+    /// property tests.
     #[must_use]
     pub fn analyze_cycle(&self, prev: u32, cur: u32) -> CycleAnalysis {
-        let n = self.layout.n_bits();
-        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-        let toggled = (prev ^ cur) & mask;
+        let toggled = (prev ^ cur) & word_mask(self.layout.n_bits());
         if toggled == 0 {
             return CycleAnalysis::default();
         }
 
         let cg = self.parasitics.cg_per_mm().ff();
-        let cc = self.parasitics.cc_per_mm().ff();
-        let cc2 = self.parasitics.cc2_per_mm().ff();
         let m = &self.coupling;
-        // Hoist the scale·weight products out of the slot loop. Each is
-        // the same two operands the loop used to multiply per slot, so
-        // the accumulated sums are bit-identical.
-        let static_w = [cc * m.miller_static, cc2 * m.miller_static];
-        let same_w = [cc * m.miller_same, cc2 * m.miller_same];
-        let opp_w = [cc * m.miller_opposite, cc2 * m.miller_opposite];
-        let energy_2w = [cc * 2.0, cc2 * 2.0];
 
         let mut worst: f64 = 0.0;
         let mut switched: f64 = 0.0;
@@ -488,9 +656,8 @@ impl BusPhysical {
 
             if toggled & self.sig_mask[i] == 0 {
                 // Quiet neighborhood: every neighbor contributes its
-                // static Miller weight, which is precomputed in slot
-                // order — bit-identical to the loop below, without
-                // running it.
+                // static Miller weight, precomputed in slot order — no
+                // key gather, no entry load.
                 let ceff = cg + self.quiet_delay[i];
                 if ceff > worst {
                     worst = ceff;
@@ -498,33 +665,107 @@ impl BusPhysical {
                 switched += cg + self.quiet_energy[i];
                 continue;
             }
+
+            let w = &self.lut.wires[i];
+            let mut key = ((cur >> i) & 1) as usize;
+            for p in 0..w.n_sig as usize {
+                let j = w.sig_bits[p] as usize;
+                key |= (((toggled >> j) & 1) as usize) << (1 + 2 * p);
+                key |= (((cur >> j) & 1) as usize) << (2 + 2 * p);
+            }
+            let e = &self.lut.entries[w.offset as usize + key];
+            switched += e.switched;
+            if e.opp_mask == 0 {
+                // No opposing aggressor: the entry is the exact
+                // slot-ordered fold.
+                if e.ceff > worst {
+                    worst = e.ceff;
+                }
+            } else if e.ceff > worst {
+                // An opposing aggressor at most reaches the entry's
+                // perfect-alignment bound, so the alignment hashes only
+                // need evaluating when that bound beats the running
+                // worst; the fold below replays the slot-ordered term
+                // sequence exactly.
+                let mut k = 0.0f64;
+                for (t, &v) in e.terms[..w.n_terms as usize].iter().enumerate() {
+                    if e.opp_mask & (1 << t) != 0 {
+                        let u = m.misalignment(crate::coupling::alignment_unit(
+                            prev,
+                            cur,
+                            i,
+                            w.term_slots[t] as usize,
+                        ));
+                        k += v * (1.0 - m.alignment_spread * u);
+                    } else {
+                        k += v;
+                    }
+                }
+                let ceff = cg + k;
+                if ceff > worst {
+                    worst = ceff;
+                }
+            }
+        }
+
+        CycleAnalysis {
+            worst_ceff_per_mm: worst,
+            switched_cap_per_mm: switched,
+            toggled_wires: count,
+        }
+    }
+
+    /// The reference implementation of [`BusPhysical::analyze_cycle`]:
+    /// the full per-slot classification loop with no precomputed tables,
+    /// no quiet fast path and no LUT. Slower, but trivially auditable —
+    /// kept so differential and property tests can pin the LUT-backed
+    /// hot path to it bitwise on every pattern.
+    #[must_use]
+    pub fn analyze_cycle_reference(&self, prev: u32, cur: u32) -> CycleAnalysis {
+        let toggled = (prev ^ cur) & word_mask(self.layout.n_bits());
+        if toggled == 0 {
+            return CycleAnalysis::default();
+        }
+
+        let cg = self.parasitics.cg_per_mm().ff();
+        let cc = self.parasitics.cc_per_mm().ff();
+        let cc2 = self.parasitics.cc2_per_mm().ff();
+        let m = &self.coupling;
+
+        let mut worst: f64 = 0.0;
+        let mut switched: f64 = 0.0;
+        let mut count: u32 = 0;
+
+        let mut bits = toggled;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            count += 1;
             let rising = (cur >> i) & 1 == 1;
 
             let mut k_delay = 0.0;
             let mut k_energy = 0.0;
-            let slots = &self.slots[i];
-            for (idx, slot) in slots.iter().enumerate() {
-                let side = usize::from(idx >= 2);
+            for (idx, slot) in self.slots[i].iter().enumerate() {
+                let scale = if idx < 2 { cc } else { cc2 };
                 match *slot {
                     Slot::Open => {}
                     Slot::Shield => {
-                        k_delay += static_w[side];
-                        k_energy += if side == 0 { cc } else { cc2 };
+                        k_delay += scale * m.miller_static;
+                        k_energy += scale;
                     }
                     Slot::Signal(j) => {
                         let j = usize::from(j);
                         if (toggled >> j) & 1 == 0 {
-                            k_delay += static_w[side];
-                            k_energy += if side == 0 { cc } else { cc2 };
+                            k_delay += scale * m.miller_static;
+                            k_energy += scale;
                         } else if ((cur >> j) & 1 == 1) == rising {
-                            k_delay += same_w[side];
+                            k_delay += scale * m.miller_same;
                             // aligned: no charge across the coupling cap
                         } else {
                             let u =
                                 m.misalignment(crate::coupling::alignment_unit(prev, cur, i, idx));
-                            let align = 1.0 - m.alignment_spread * u;
-                            k_delay += opp_w[side] * align;
-                            k_energy += energy_2w[side];
+                            k_delay += scale * m.miller_opposite * (1.0 - m.alignment_spread * u);
+                            k_energy += scale * 2.0;
                         }
                     }
                 }
@@ -550,8 +791,7 @@ impl BusPhysical {
     #[must_use]
     pub fn per_wire_effective_caps(&self, prev: u32, cur: u32) -> Vec<Option<Femtofarads>> {
         let n = self.layout.n_bits();
-        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-        let toggled = (prev ^ cur) & mask;
+        let toggled = (prev ^ cur) & word_mask(n);
         let cg = self.parasitics.cg_per_mm().ff();
         let cc = self.parasitics.cc_per_mm().ff();
         let cc2 = self.parasitics.cc2_per_mm().ff();
@@ -771,11 +1011,12 @@ mod tests {
 
     #[test]
     fn analyze_cycle_fast_path_matches_per_wire_reference() {
-        // per_wire_effective_caps keeps the original full slot loop, so
-        // the quiet-neighborhood fast path must reproduce its worst-wire
-        // load *bitwise* on every pattern — isolated toggles (fast path),
-        // dense toggles (slow path), and mixtures, on both the paper bus
-        // and the boosted-coupling variant (whose tables are rebuilt).
+        // per_wire_effective_caps and analyze_cycle_reference keep the
+        // original full slot loop, so the LUT-backed hot path must
+        // reproduce their results *bitwise* on every pattern — isolated
+        // toggles (quiet fast path), dense toggles (LUT + alignment
+        // fold), and mixtures, on both the paper bus and the
+        // boosted-coupling variant (whose tables are rebuilt).
         for b in [bus(), bus().with_boosted_coupling(1.95)] {
             let mut x = 0x1234_5678_9ABC_DEFFu64;
             let mut prev = 0u32;
@@ -790,6 +1031,7 @@ mod tests {
                     _ => prev ^ ((x >> 32) as u32 & 0x1111), // scattered
                 };
                 let a = b.analyze_cycle(prev, cur);
+                assert_eq!(a, b.analyze_cycle_reference(prev, cur), "step {step}");
                 let per_wire = b.per_wire_effective_caps(prev, cur);
                 let worst_ref = per_wire
                     .iter()

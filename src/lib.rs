@@ -128,7 +128,7 @@ pub mod scenario {
 }
 
 pub use razorbus_artifact::{Artifact, ArtifactError};
-pub use razorbus_core::{BusSimulator, DvsBusDesign, SimReport, TraceSummary};
+pub use razorbus_core::{BusSimulator, CompiledTrace, DvsBusDesign, SimReport, TraceSummary};
 pub use razorbus_ctrl::{ThresholdController, VoltageGovernor};
 pub use razorbus_process::PvtCorner;
 pub use razorbus_traces::Benchmark;
