@@ -1,0 +1,154 @@
+//! Content digests over the canonical binary encoding.
+//!
+//! A [`ContentDigest`] fingerprints *any* serializable value by
+//! streaming it through the [`crate::binary`] serializer into a CRC-32
+//! accumulator, also keeping the exact encoded length. Because the
+//! binary encoding is positional and bit-exact (`f64`s round-trip by
+//! bit pattern), two values digest equal **iff** their canonical
+//! encodings are byte-identical — which for the workspace types means
+//! the values themselves are bit-identical. The length makes the
+//! fingerprint strictly stronger than CRC-32 alone: an
+//! extension/truncation that happens to preserve the checksum still
+//! changes the length.
+//!
+//! This is the primitive the campaign record/replay flow builds on: a
+//! `campaign-recording` artifact stores one digest per scenario-result
+//! component, and a replay recomputes and diffs them to localize the
+//! first bit divergence.
+
+use crate::binary;
+use crate::container::{crc32_update, Encoding};
+use crate::error::ArtifactError;
+use serde::Serialize;
+use std::fmt;
+use std::io::{self, Write};
+
+/// A content fingerprint: CRC-32 (IEEE) plus exact byte length of the
+/// value's canonical binary encoding.
+///
+/// Displayed (and compared in divergence reports) as
+/// `crc32-hex/length`, e.g. `9ae16a3b/1024`.
+///
+/// ```
+/// use razorbus_artifact::ContentDigest;
+///
+/// let a = ContentDigest::of(&vec![1u32, 2, 3]).unwrap();
+/// let b = ContentDigest::of(&vec![1u32, 2, 3]).unwrap();
+/// let c = ContentDigest::of(&vec![1u32, 2, 4]).unwrap();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ContentDigest {
+    /// CRC-32 (IEEE 802.3) over the canonical binary encoding.
+    pub crc32: u32,
+    /// Length in bytes of that encoding.
+    pub len: u64,
+}
+
+impl ContentDigest {
+    /// Digests `value` by streaming its canonical binary encoding —
+    /// the bytes [`crate::binary::to_bytes`] would produce — through a
+    /// CRC accumulator without materializing them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (e.g. a map with non-string
+    /// keys). I/O can never fail: the sink is the accumulator itself.
+    pub fn of<T: Serialize>(value: &T) -> Result<Self, ArtifactError> {
+        let mut sink = DigestSink {
+            crc: 0xFFFF_FFFF,
+            len: 0,
+        };
+        binary::to_writer(value, &mut sink)?;
+        Ok(Self {
+            crc32: !sink.crc,
+            len: sink.len,
+        })
+    }
+
+    /// Digests an already-encoded payload produced with `encoding`.
+    ///
+    /// For [`Encoding::Binary`] payloads this equals
+    /// [`ContentDigest::of`] on the decoded value; it exists so callers
+    /// holding raw payload bytes need not deserialize first.
+    #[must_use]
+    pub fn of_bytes(encoding: Encoding, payload: &[u8]) -> Self {
+        // The encoding tag is deliberately *not* folded in: a digest
+        // always describes the canonical binary bytes, and JSON payloads
+        // digest as themselves (callers comparing across encodings must
+        // decode first).
+        let _ = encoding;
+        Self {
+            crc32: crate::container::crc32(payload),
+            len: payload.len() as u64,
+        }
+    }
+}
+
+impl fmt::Display for ContentDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}/{}", self.crc32, self.len)
+    }
+}
+
+/// An `io::Write` that discards bytes while folding them into a CRC-32
+/// state and a running length.
+struct DigestSink {
+    crc: u32,
+    len: u64,
+}
+
+impl Write for DigestSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.crc = crc32_update(self.crc, buf);
+        self.len += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_digest_matches_buffered_encoding() {
+        let value = (vec![7u32, 8, 9], "label".to_string(), 2.5f64);
+        let bytes = binary::to_bytes(&value).unwrap();
+        let streamed = ContentDigest::of(&value).unwrap();
+        assert_eq!(streamed.len, bytes.len() as u64);
+        assert_eq!(streamed.crc32, crate::container::crc32(&bytes));
+        assert_eq!(streamed, ContentDigest::of_bytes(Encoding::Binary, &bytes));
+    }
+
+    #[test]
+    fn digest_distinguishes_values_and_lengths() {
+        let a = ContentDigest::of(&vec![1u8, 2, 3]).unwrap();
+        let b = ContentDigest::of(&vec![1u8, 2, 4]).unwrap();
+        let longer = ContentDigest::of(&vec![1u8, 2, 3, 0]).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a.len, longer.len);
+    }
+
+    #[test]
+    fn display_is_hex_slash_len() {
+        let d = ContentDigest {
+            crc32: 0x1A,
+            len: 7,
+        };
+        assert_eq!(d.to_string(), "0000001a/7");
+    }
+
+    #[test]
+    fn f64_digests_by_bit_pattern() {
+        // 0.0 and -0.0 compare equal as floats but are different bytes;
+        // the digest must see the bytes (bit-exactness is the contract).
+        let pos = ContentDigest::of(&0.0f64).unwrap();
+        let neg = ContentDigest::of(&-0.0f64).unwrap();
+        assert_ne!(pos, neg);
+    }
+}

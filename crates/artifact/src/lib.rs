@@ -16,6 +16,9 @@
 //!   directly against `std::io::Write`/`Read` so large containers never
 //!   round-trip through an intermediate `Vec<u8>` ([`save`]/[`load`]
 //!   and [`encode`] are thin wrappers over it),
+//! * [`digest`] — [`ContentDigest`], a CRC-32 + length fingerprint of
+//!   any value's canonical binary encoding (the primitive the campaign
+//!   record/replay flow diffs),
 //! * [`Artifact`] — kind strings and one-call [`Artifact::save_file`] /
 //!   [`Artifact::load_file`] for the workspace types worth persisting.
 //!
@@ -48,11 +51,13 @@
 
 pub mod binary;
 pub mod container;
+pub mod digest;
 mod error;
 pub mod json;
 pub mod stream;
 
 pub use container::{decode, encode, load, save, Encoding, CONTAINER_VERSION, MAGIC};
+pub use digest::ContentDigest;
 pub use error::ArtifactError;
 pub use stream::{read_from, write_to};
 

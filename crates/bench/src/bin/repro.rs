@@ -23,13 +23,24 @@
 //! # Cache the compiled traces so warm runs skip the cycle analysis:
 //! cargo run -p razorbus-bench --bin repro --release -- all --save-compiled
 //! cargo run -p razorbus-bench --bin repro --release -- all --load-compiled
+//!
+//! # Record a campaign manifest, then verify a later build replays it
+//! # bit-identically (exit 1 + a localized report on divergence):
+//! cargo run -p razorbus-bench --bin repro --release -- record fig8 --manifest=fig8.rzba
+//! cargo run -p razorbus-bench --bin repro --release -- replay fig8.rzba
+//!
+//! # Replay (or regenerate) the committed GOLDEN_TESTS/ corpus:
+//! cargo run -p razorbus-bench --bin repro --release -- golden
+//! cargo run -p razorbus-bench --bin repro --release -- golden --record
 //! ```
 //!
 //! Artifacts: `fig4`, `fig5`, `fig6`, `fig8`, `table1`, `fig10`,
-//! `scaling`, `ablations`, `scenario <name>`, `scenarios` (list), or
-//! `all`. `RAZORBUS_CYCLES` sets the cycles per benchmark (default
-//! 2,000,000; the paper uses 10,000,000 — expect a few minutes at full
-//! scale).
+//! `scaling`, `ablations`, `scenario <name>`, `scenarios` (list),
+//! `record <name>`, `replay <manifest>`, `golden`, or `all`.
+//! `RAZORBUS_CYCLES` sets the cycles per benchmark (default 2,000,000;
+//! the paper uses 10,000,000 — expect a few minutes at full scale).
+//! `replay` takes its geometry from the manifest and `golden` pins the
+//! corpus geometry, so neither reads `RAZORBUS_CYCLES`.
 //!
 //! `--save-summaries[=PATH]` / `--load-summaries[=PATH]` (valid with
 //! `all` only) persist/reuse the three shared heavy inputs; loaded
@@ -50,33 +61,17 @@
 //! against.
 
 use razorbus_bench::cli::CliArgs;
+use razorbus_bench::defaults::{
+    COMPILED_PATH, GOLDEN_CYCLES, GOLDEN_DIR, MANIFEST_PATH, REPRO_ARTIFACTS, RESULT_PATH,
+    SUMMARIES_PATH, TABLES_PATH,
+};
 use razorbus_bench::persist::{ReproCompiled, ReproSummaries, ReproTables};
-use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
+use razorbus_bench::{ablations, cycles_from_env, golden, REPRO_SEED};
 use razorbus_core::{experiments, DvsBusDesign};
 use razorbus_process::PvtCorner;
-use razorbus_scenario::{catalog, paper, DesignSpec, ScenarioSetResult, ScenarioSetRun};
-
-/// Default path for `--save-summaries`/`--load-summaries`.
-const DEFAULT_SUMMARIES_PATH: &str = "repro-summaries.rzba";
-/// Default path for `--save-tables`/`--load-tables`.
-const DEFAULT_TABLES_PATH: &str = "repro-tables.rzba";
-/// Default path for `--save-result`/`--load-result`.
-const DEFAULT_RESULT_PATH: &str = "scenario-result.rzba";
-/// Default path for `--save-compiled`/`--load-compiled`.
-const DEFAULT_COMPILED_PATH: &str = "repro-compiled.rzba";
-
-const ARTIFACTS: [&str; 10] = [
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig8",
-    "table1",
-    "fig10",
-    "scaling",
-    "ablations",
-    "scenario",
-    "scenarios",
-];
+use razorbus_scenario::{
+    catalog, paper, CampaignRecording, DesignSpec, ScenarioSetResult, ScenarioSetRun,
+};
 
 fn main() {
     let args = CliArgs::parse(
@@ -91,36 +86,44 @@ fn main() {
             "save-compiled",
             "load-compiled",
             "no-compiled",
+            "manifest",
+            "record",
+            "dir",
         ],
     )
     .unwrap_or_else(|e| usage_error(&e));
 
-    let (what, scenario_name) = match args.positionals() {
+    let (what, operand) = match args.positionals() {
         [] => ("all".to_string(), None),
         [what] => (what.clone(), None),
-        [what, name] if what == "scenario" => (what.clone(), Some(name.clone())),
-        [what, _, extra, ..] if what == "scenario" => {
+        [what, operand] if matches!(what.as_str(), "scenario" | "record" | "replay") => {
+            (what.clone(), Some(operand.clone()))
+        }
+        [what, _, extra, ..] if matches!(what.as_str(), "scenario" | "record" | "replay") => {
             usage_error(&format!("unexpected extra argument '{extra}'"))
         }
         [_, extra, ..] => usage_error(&format!("unexpected extra artifact '{extra}'")),
     };
     let what = what.as_str();
-    if !ARTIFACTS.contains(&what) && what != "all" {
+    if !REPRO_ARTIFACTS.contains(&what) && what != "all" {
         usage_error(&format!(
             "unknown artifact '{what}'; expected one of {} all",
-            ARTIFACTS.join(" ")
+            REPRO_ARTIFACTS.join(" ")
         ));
     }
 
-    let save_path = args.valued_flag("save-summaries", DEFAULT_SUMMARIES_PATH);
-    let load_path = args.valued_flag("load-summaries", DEFAULT_SUMMARIES_PATH);
-    let save_tables = args.valued_flag("save-tables", DEFAULT_TABLES_PATH);
-    let load_tables = args.valued_flag("load-tables", DEFAULT_TABLES_PATH);
-    let save_result = args.valued_flag("save-result", DEFAULT_RESULT_PATH);
-    let load_result = args.valued_flag("load-result", DEFAULT_RESULT_PATH);
-    let save_compiled = args.valued_flag("save-compiled", DEFAULT_COMPILED_PATH);
-    let load_compiled = args.valued_flag("load-compiled", DEFAULT_COMPILED_PATH);
+    let save_path = args.valued_flag("save-summaries", SUMMARIES_PATH);
+    let load_path = args.valued_flag("load-summaries", SUMMARIES_PATH);
+    let save_tables = args.valued_flag("save-tables", TABLES_PATH);
+    let load_tables = args.valued_flag("load-tables", TABLES_PATH);
+    let save_result = args.valued_flag("save-result", RESULT_PATH);
+    let load_result = args.valued_flag("load-result", RESULT_PATH);
+    let save_compiled = args.valued_flag("save-compiled", COMPILED_PATH);
+    let load_compiled = args.valued_flag("load-compiled", COMPILED_PATH);
     let no_compiled = args.has("no-compiled");
+    let manifest = args.valued_flag("manifest", MANIFEST_PATH);
+    let golden_record = args.has("record");
+    let golden_dir = args.valued_flag("dir", GOLDEN_DIR);
 
     if (save_path.is_some() || load_path.is_some()) && what != "all" {
         usage_error("--save-summaries/--load-summaries are only valid with `all`");
@@ -149,15 +152,29 @@ fn main() {
     if (save_compiled.is_some() || load_compiled.is_some()) && load_path.is_some() {
         usage_error("--load-summaries already skips the simulations a compiled cache would feed");
     }
-    if no_compiled && !matches!(what, "scenario" | "all") {
-        usage_error("--no-compiled is only valid with `scenario` or `all`");
+    if no_compiled && !matches!(what, "scenario" | "all" | "record" | "replay") {
+        usage_error("--no-compiled is only valid with `scenario`, `all`, `record` or `replay`");
     }
     if no_compiled && (save_compiled.is_some() || load_compiled.is_some()) {
         usage_error("--no-compiled contradicts --save-compiled/--load-compiled");
     }
+    if manifest.is_some() && what != "record" {
+        usage_error("--manifest is only valid with `record`");
+    }
+    if (golden_record || golden_dir.is_some()) && what != "golden" {
+        usage_error("--record/--dir are only valid with `golden`");
+    }
 
     let cycles = cycles_from_env(2_000_000);
-    eprintln!("# razorbus repro: {what} ({cycles} cycles/benchmark, seed {REPRO_SEED})");
+    match what {
+        // The replayed geometry is pinned by the manifest / corpus, not
+        // the environment — don't print a misleading cycle count.
+        "replay" => eprintln!("# razorbus repro: replay (geometry from the manifest)"),
+        "golden" => eprintln!(
+            "# razorbus repro: golden ({GOLDEN_CYCLES} cycles/benchmark pinned, seed {REPRO_SEED})"
+        ),
+        _ => eprintln!("# razorbus repro: {what} ({cycles} cycles/benchmark, seed {REPRO_SEED})"),
+    }
 
     match what {
         "scenarios" => {
@@ -167,9 +184,24 @@ fn main() {
             }
         }
         "scenario" => {
-            let name = scenario_name
+            let name = operand
                 .unwrap_or_else(|| usage_error("`scenario` needs a name (see `repro scenarios`)"));
             run_scenario(&name, cycles, save_result, load_result, !no_compiled);
+        }
+        "record" => {
+            let name = operand.unwrap_or_else(|| {
+                usage_error("`record` needs a scenario name (see `repro scenarios`)")
+            });
+            let path = manifest.unwrap_or_else(|| MANIFEST_PATH.to_string());
+            run_record(&name, cycles, &path, !no_compiled);
+        }
+        "replay" => {
+            let path = operand.unwrap_or_else(|| usage_error("`replay` needs a manifest path"));
+            run_replay(&path, no_compiled);
+        }
+        "golden" => {
+            let dir = golden_dir.unwrap_or_else(|| GOLDEN_DIR.to_string());
+            run_golden(std::path::Path::new(&dir), golden_record);
         }
         "all" => run_all(
             cycles,
@@ -304,6 +336,92 @@ fn run_scenario(
     }
 }
 
+/// Records one named campaign: runs it and writes the
+/// `campaign-recording` manifest that `repro replay` verifies against.
+fn run_record(name: &str, cycles: u64, manifest_path: &str, share_compiled: bool) {
+    use razorbus_artifact::{Artifact, Encoding};
+    let Some(set) = catalog::by_name(name, cycles, REPRO_SEED) else {
+        usage_error(&format!(
+            "unknown scenario '{name}'; known: {}",
+            catalog::NAMES.join(" ")
+        ));
+    };
+    let (recording, _) =
+        CampaignRecording::record(&set, share_compiled).unwrap_or_else(|e| fail(&e));
+    for member in &recording.members {
+        println!(
+            "recorded member `{}` ({} component digests)",
+            member.name,
+            member.components.len()
+        );
+    }
+    recording
+        .save_file(manifest_path, Encoding::Json)
+        .unwrap_or_else(|e| {
+            fail(&format!(
+                "cannot save campaign manifest {manifest_path}: {e}"
+            ))
+        });
+    eprintln!("# saved campaign recording to {manifest_path}");
+}
+
+/// Replays a recorded campaign manifest and exits non-zero on any
+/// digest divergence (exit 1; refusals and usage problems exit 2).
+fn run_replay(manifest_path: &str, no_compiled: bool) {
+    use razorbus_artifact::Artifact;
+    let recording = CampaignRecording::load_file(manifest_path).unwrap_or_else(|e| {
+        fail(&format!(
+            "cannot load campaign manifest {manifest_path}: {e}"
+        ))
+    });
+    let report = if no_compiled {
+        recording.replay_with_sharing(false)
+    } else {
+        recording.replay()
+    }
+    .unwrap_or_else(|e| fail(&e));
+    println!("{report}");
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
+/// Replays (or, with `--record`, regenerates) the committed golden
+/// corpus. Replay exits 1 if any campaign diverged.
+fn run_golden(dir: &std::path::Path, record: bool) {
+    if record {
+        let written = golden::record_full_corpus(dir).unwrap_or_else(|e| fail(&e));
+        for path in &written {
+            eprintln!("# recorded {}", path.display());
+        }
+        println!(
+            "golden corpus recorded: {} manifests in {}",
+            written.len(),
+            dir.display()
+        );
+        return;
+    }
+    let outcomes = golden::replay_full_corpus(dir).unwrap_or_else(|e| fail(&e));
+    let mut diverged = 0usize;
+    for outcome in &outcomes {
+        println!("{}", outcome.report);
+        if !outcome.report.is_clean() {
+            diverged += 1;
+        }
+    }
+    if diverged > 0 {
+        eprintln!(
+            "error: {diverged} of {} golden campaigns diverged",
+            outcomes.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "golden corpus clean: {} campaigns bit-identical",
+        outcomes.len()
+    );
+}
+
 /// The `all` pipeline: the `paper-all` scenario set supplies every
 /// shared heavy input (deduplicated and fanned out by the executor —
 /// the same three concurrent jobs the old hand-wired collection ran),
@@ -392,11 +510,12 @@ fn fail(msg: &str) -> ! {
 fn usage_error(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: repro [fig4|fig5|fig6|fig8|table1|fig10|scaling|ablations|\
-         scenario <name>|scenarios|all] \
+         scenario <name>|scenarios|record <name>|replay <manifest>|golden|all] \
          [--save-summaries[=PATH] | --load-summaries[=PATH]] \
          [--save-tables[=PATH] | --load-tables[=PATH]] \
          [--save-compiled[=PATH] | --load-compiled[=PATH]] \
-         [--save-result[=PATH] | --load-result[=PATH]] [--no-compiled]"
+         [--save-result[=PATH] | --load-result[=PATH]] [--no-compiled] \
+         [--manifest[=PATH]] [--record] [--dir[=PATH]]"
     );
     std::process::exit(2);
 }

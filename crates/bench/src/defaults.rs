@@ -1,0 +1,50 @@
+//! The harness's shared artifact defaults: one copy of the default
+//! on-disk paths, the `repro` artifact-name vocabulary and the golden
+//! corpus geometry.
+//!
+//! `repro` (and its tests, and the golden runner) used to each carry
+//! their own copies of these strings; a renamed default path then
+//! meant chasing literals across files. This module is the single
+//! source.
+
+/// Default path for `repro`'s `--save-summaries`/`--load-summaries`.
+pub const SUMMARIES_PATH: &str = "repro-summaries.rzba";
+
+/// Default path for `repro`'s `--save-tables`/`--load-tables`.
+pub const TABLES_PATH: &str = "repro-tables.rzba";
+
+/// Default path for `repro`'s `--save-result`/`--load-result`.
+pub const RESULT_PATH: &str = "scenario-result.rzba";
+
+/// Default path for `repro`'s `--save-compiled`/`--load-compiled`.
+pub const COMPILED_PATH: &str = "repro-compiled.rzba";
+
+/// Default path for `repro record`'s `--manifest`.
+pub const MANIFEST_PATH: &str = "campaign.rzba";
+
+/// The committed golden-corpus directory (workspace-relative).
+pub const GOLDEN_DIR: &str = "GOLDEN_TESTS";
+
+/// Cycles per benchmark the golden corpus is recorded at: CI-scale —
+/// large enough that every governor actually moves, small enough that
+/// replaying the whole catalog stays in seconds. `repro golden` pins
+/// this (it deliberately ignores `RAZORBUS_CYCLES`) so the committed
+/// manifests and the replays always agree on geometry.
+pub const GOLDEN_CYCLES: u64 = 20_000;
+
+/// The artifact names `repro` accepts (`all` is accepted on top).
+pub const REPRO_ARTIFACTS: [&str; 13] = [
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "table1",
+    "fig10",
+    "scaling",
+    "ablations",
+    "scenario",
+    "scenarios",
+    "record",
+    "replay",
+    "golden",
+];

@@ -1,0 +1,225 @@
+//! The golden-test harness: record and replay a committed corpus of
+//! `campaign-recording` manifests covering the whole scenario catalog.
+//!
+//! The corpus lives in `GOLDEN_TESTS/` (one JSON-encoded `.rzba`
+//! manifest per catalog name, reviewable in diffs) and is recorded at
+//! [`crate::defaults::GOLDEN_CYCLES`] cycles per benchmark. CI's
+//! `golden` job replays it; regenerate after an intentional
+//! numerics change with:
+//!
+//! ```sh
+//! cargo run -p razorbus-bench --bin repro --release -- golden --record
+//! ```
+//!
+//! Replay guards against three distinct failure classes:
+//!
+//! 1. **Catalog drift** — the stored set no longer matches what
+//!    `catalog::by_name` builds for the same name/cycles/seed (someone
+//!    changed a scenario's definition without re-recording): refused
+//!    with a regeneration hint, because replaying the *stored* set
+//!    would silently mask the change.
+//! 2. **Refusals** — version mismatches, foreign manifests, unreadable
+//!    files: errors before any simulation.
+//! 3. **Divergence** — the replay ran but some digest drifted: reported
+//!    per campaign, localized to the first diverging member and
+//!    component.
+
+use crate::defaults::GOLDEN_CYCLES;
+use razorbus_artifact::{Artifact, Encoding};
+use razorbus_scenario::{catalog, CampaignRecording, ReplayReport};
+use std::path::{Path, PathBuf};
+
+/// The manifest path for one named campaign inside `dir`.
+#[must_use]
+pub fn manifest_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.rzba"))
+}
+
+/// Records one manifest per name into `dir` (created if missing) at
+/// `cycles` cycles per benchmark, JSON-encoded so corpus diffs are
+/// reviewable. Returns the written paths.
+///
+/// # Errors
+///
+/// Unknown catalog names, executor errors and filesystem errors.
+pub fn record_corpus(
+    dir: &Path,
+    names: &[&str],
+    cycles: u64,
+    seed: u64,
+) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create golden directory {}: {e}", dir.display()))?;
+    let mut written = Vec::with_capacity(names.len());
+    for name in names {
+        let set = catalog::by_name(name, cycles, seed)
+            .ok_or_else(|| format!("unknown catalog scenario `{name}`"))?;
+        let (recording, _) = CampaignRecording::record(&set, true)?;
+        let path = manifest_path(dir, name);
+        recording
+            .save_file(&path, Encoding::Json)
+            .map_err(|e| format!("cannot save golden manifest {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// One campaign's replay outcome within a corpus replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenOutcome {
+    /// The catalog name (and manifest stem).
+    pub name: String,
+    /// The replay's diff against the committed manifest.
+    pub report: ReplayReport,
+}
+
+/// Replays every named manifest in `dir` against this build, checking
+/// for catalog drift first (see the module docs). Divergences are
+/// *reported*, not errors: callers inspect each outcome's
+/// [`ReplayReport::is_clean`].
+///
+/// # Errors
+///
+/// Missing or unreadable manifests, catalog drift, and replay refusals
+/// (version mismatches, foreign manifests, executor errors).
+pub fn replay_corpus(
+    dir: &Path,
+    names: &[&str],
+    cycles: u64,
+    seed: u64,
+) -> Result<Vec<GoldenOutcome>, String> {
+    let mut outcomes = Vec::with_capacity(names.len());
+    for name in names {
+        let path = manifest_path(dir, name);
+        let recording = CampaignRecording::load_file(&path).map_err(|e| {
+            format!(
+                "cannot load golden manifest {}: {e} — regenerate the corpus with \
+                 `repro golden --record`",
+                path.display()
+            )
+        })?;
+        let current = catalog::by_name(name, cycles, seed)
+            .ok_or_else(|| format!("unknown catalog scenario `{name}`"))?;
+        if recording.set != current {
+            return Err(format!(
+                "golden manifest {} was recorded against a different `{name}` campaign \
+                 than this build's catalog produces at {cycles} cycles, seed {seed} — \
+                 catalog drift; re-record the corpus with `repro golden --record`",
+                path.display()
+            ));
+        }
+        let report = recording.replay()?;
+        outcomes.push(GoldenOutcome {
+            name: (*name).to_string(),
+            report,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// [`record_corpus`] over the whole catalog at the pinned golden
+/// geometry ([`GOLDEN_CYCLES`], [`crate::REPRO_SEED`]).
+///
+/// # Errors
+///
+/// Same as [`record_corpus`].
+pub fn record_full_corpus(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    record_corpus(dir, &catalog::NAMES, GOLDEN_CYCLES, crate::REPRO_SEED)
+}
+
+/// [`replay_corpus`] over the whole catalog at the pinned golden
+/// geometry ([`GOLDEN_CYCLES`], [`crate::REPRO_SEED`]).
+///
+/// # Errors
+///
+/// Same as [`replay_corpus`].
+pub fn replay_full_corpus(dir: &Path) -> Result<Vec<GoldenOutcome>, String> {
+    replay_corpus(dir, &catalog::NAMES, GOLDEN_CYCLES, crate::REPRO_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fresh temp corpus directory per test.
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("razorbus-golden-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const NAMES: [&str; 2] = ["idle-churn", "governor-shootout"];
+    const CYCLES: u64 = 1_000;
+
+    #[test]
+    fn corpus_records_and_replays_clean() {
+        let dir = temp_dir("clean");
+        let written = record_corpus(&dir, &NAMES, CYCLES, 7).unwrap();
+        assert_eq!(written.len(), NAMES.len());
+        assert!(written.iter().all(|p| p.is_file()));
+        let outcomes = replay_corpus(&dir, &NAMES, CYCLES, 7).unwrap();
+        assert_eq!(outcomes.len(), NAMES.len());
+        for outcome in &outcomes {
+            assert!(
+                outcome.report.is_clean(),
+                "{}: {}",
+                outcome.name,
+                outcome.report
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error_with_regeneration_hint() {
+        let dir = temp_dir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = replay_corpus(&dir, &["idle-churn"], CYCLES, 7).unwrap_err();
+        assert!(err.contains("golden --record"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error_not_a_panic() {
+        let dir = temp_dir("corrupt");
+        record_corpus(&dir, &["idle-churn"], CYCLES, 7).unwrap();
+        let path = manifest_path(&dir, "idle-churn");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = replay_corpus(&dir, &["idle-churn"], CYCLES, 7).unwrap_err();
+        assert!(err.contains("cannot load golden manifest"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn catalog_drift_is_refused_before_simulation() {
+        let dir = temp_dir("drift");
+        record_corpus(&dir, &["idle-churn"], CYCLES, 7).unwrap();
+        // Same manifest, different requested geometry: the catalog now
+        // builds a different campaign, so replay must refuse rather
+        // than quietly replay the stored one.
+        let err = replay_corpus(&dir, &["idle-churn"], CYCLES * 2, 7).unwrap_err();
+        assert!(err.contains("catalog drift"), "{err}");
+        let err = replay_corpus(&dir, &["idle-churn"], CYCLES, 8).unwrap_err();
+        assert!(err.contains("catalog drift"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn perturbed_manifest_digest_reports_divergence() {
+        let dir = temp_dir("diverge");
+        record_corpus(&dir, &["idle-churn"], CYCLES, 7).unwrap();
+        let path = manifest_path(&dir, "idle-churn");
+        let mut recording = CampaignRecording::load_file(&path).unwrap();
+        recording.members[0].components[0].digest.crc32 ^= 1;
+        recording.save_file(&path, Encoding::Json).unwrap();
+        let outcomes = replay_corpus(&dir, &["idle-churn"], CYCLES, 7).unwrap();
+        let report = &outcomes[0].report;
+        let divergence = report.divergence.as_ref().expect("divergence detected");
+        assert_eq!(divergence.component, "spec");
+        assert!(report.to_string().contains("digest mismatch"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

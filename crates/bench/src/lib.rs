@@ -4,13 +4,18 @@
 //! The `repro` binary (`cargo run -p razorbus-bench --bin repro --release`)
 //! regenerates every table and figure of the paper; the Criterion benches
 //! (`cargo bench`) time reduced-scale versions of the same drivers plus
-//! component micro-benchmarks.
+//! component micro-benchmarks. The [`golden`] module records and replays
+//! the committed `GOLDEN_TESTS/` corpus of campaign recordings, and
+//! [`defaults`] is the single copy of the harness's artifact paths and
+//! name vocabulary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod cli;
+pub mod defaults;
+pub mod golden;
 pub mod persist;
 pub mod report;
 

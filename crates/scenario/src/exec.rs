@@ -107,7 +107,7 @@ const DEFAULT_COMPILE_BUDGET: u64 = 768 * 1024 * 1024;
 /// [`CompiledTrace::memory_bytes`] by a test.
 const COMPILED_BYTES_PER_CYCLE: u64 = 11;
 
-fn compile_budget() -> u64 {
+pub(crate) fn compile_budget() -> u64 {
     std::env::var("RAZORBUS_COMPILE_BUDGET_MB")
         .ok()
         .and_then(|s| s.parse::<u64>().ok())

@@ -21,6 +21,11 @@
 //!   are [`razorbus_artifact::Artifact`] kinds, so a scenario run can
 //!   be saved, reloaded ([`ScenarioSetRun::from_result`]) and
 //!   re-rendered without re-simulating.
+//! * [`record`] — campaign record/replay: [`CampaignRecording`] binds a
+//!   set, its seeds, tool/format versions and per-member/per-component
+//!   result digests into one `campaign-recording` manifest that replays
+//!   bit-identically or reports the first diverging member and
+//!   component.
 //! * [`paper`] — the paper's figures as named sets plus adapters that
 //!   reproduce `razorbus_core::experiments` data **bit-identically**
 //!   (differential tests pin this).
@@ -51,10 +56,12 @@
 pub mod catalog;
 mod exec;
 pub mod paper;
+pub mod record;
 mod result;
 mod spec;
 
 pub use exec::{ScenarioSet, ScenarioSetRun};
+pub use record::{CampaignRecording, Divergence, MemberRecord, ReplayReport};
 pub use result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
 pub use spec::{
     AnalysisSpec, ControllerSpec, CornerSpec, DesignSpec, DmaProfile, IdleProfile, RunSpec,
@@ -73,4 +80,8 @@ impl Artifact for ScenarioSet {
 
 impl Artifact for ScenarioSetResult {
     const KIND: &'static str = "scenario-result";
+}
+
+impl Artifact for CampaignRecording {
+    const KIND: &'static str = "campaign-recording";
 }

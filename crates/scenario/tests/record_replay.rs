@@ -1,0 +1,323 @@
+//! Contract tests for the `campaign-recording` kind and the
+//! record/replay flow: round-trips in both encodings, the universal
+//! corruption contract, version/foreign-stamp refusals, injected
+//! divergences localized to the first diverging member and component,
+//! and bit-identical record→replay across the whole scenario catalog
+//! (shared and live executor paths).
+
+use proptest::prelude::*;
+use razorbus_artifact::{decode, encode, Artifact, ContentDigest, Encoding};
+use razorbus_scenario::record::{ComponentRecord, COMPONENT_LOOP, COMPONENT_SPEC, COMPONENT_SWEEP};
+use razorbus_scenario::{
+    catalog, AnalysisSpec, CampaignRecording, ControllerSpec, CornerSpec, DesignSpec, IdleProfile,
+    MemberRecord, RunSpec, ScenarioSet, ScenarioSpec, SweepAxis, TrafficRecipe, WorkloadSpec,
+};
+
+use std::sync::OnceLock;
+
+/// A tiny single-member campaign (idle-dominated stream, `Full`
+/// analysis → all three components) cheap enough to replay per test.
+fn tiny_set() -> ScenarioSet {
+    ScenarioSet::single(ScenarioSpec {
+        name: "tiny".to_string(),
+        design: DesignSpec::Paper,
+        workload: WorkloadSpec::Recipe(TrafficRecipe::IdleDominated(IdleProfile {
+            nonzero_permille: 50,
+        })),
+        controller: ControllerSpec::paper(),
+        run: RunSpec {
+            corner: CornerSpec::Typical,
+            cycles_per_benchmark: 2_000,
+            seed: 7,
+        },
+        analysis: AnalysisSpec::Full,
+        sweep: vec![],
+    })
+}
+
+/// A three-member governor sweep over the tiny stream — the multi-member
+/// shape divergence-ordering tests need, still cheap to replay.
+fn sweep_set() -> ScenarioSet {
+    let mut spec = tiny_set().members.remove(0);
+    spec.name = "trio".to_string();
+    spec.analysis = AnalysisSpec::ClosedLoop;
+    spec.sweep = vec![SweepAxis::Governors(vec![
+        razorbus_ctrl::GovernorSpec::Threshold,
+        razorbus_ctrl::GovernorSpec::Proportional,
+        razorbus_ctrl::GovernorSpec::Fixed(razorbus_units::Millivolts::new(1_100)),
+    ])];
+    ScenarioSet {
+        name: "trio-sweep".to_string(),
+        members: vec![spec],
+    }
+}
+
+/// One recorded tiny campaign, shared across cases (recording runs the
+/// simulator; once is enough for serialization-level properties).
+fn tiny_recording() -> &'static CampaignRecording {
+    static REC: OnceLock<CampaignRecording> = OnceLock::new();
+    REC.get_or_init(|| {
+        CampaignRecording::record(&tiny_set(), true)
+            .expect("tiny campaign records")
+            .0
+    })
+}
+
+fn sweep_recording() -> &'static CampaignRecording {
+    static REC: OnceLock<CampaignRecording> = OnceLock::new();
+    REC.get_or_init(|| {
+        CampaignRecording::record(&sweep_set(), true)
+            .expect("sweep campaign records")
+            .0
+    })
+}
+
+fn assert_round_trip(value: &CampaignRecording) {
+    for encoding in [Encoding::Binary, Encoding::Json] {
+        let bytes = encode(CampaignRecording::KIND, encoding, value).expect("encode");
+        let back: CampaignRecording = decode(CampaignRecording::KIND, &bytes).expect("decode");
+        assert_eq!(&back, value, "{encoding:?} round trip drifted");
+    }
+}
+
+/// A synthetic recording (no simulation) whose every field varies with
+/// the drawn integers — serialization coverage beyond the executed one.
+fn synthetic_recording(
+    version_a: u8,
+    version_b: u16,
+    budget: u64,
+    n_members: usize,
+    crc: u32,
+    len: u64,
+) -> CampaignRecording {
+    let members = (0..n_members)
+        .map(|i| MemberRecord {
+            name: format!("m{i}"),
+            components: vec![
+                ComponentRecord {
+                    component: COMPONENT_SPEC.to_string(),
+                    digest: ContentDigest {
+                        crc32: crc.wrapping_add(i as u32),
+                        len: len.wrapping_mul(i as u64 + 1),
+                    },
+                },
+                ComponentRecord {
+                    component: COMPONENT_LOOP.to_string(),
+                    digest: ContentDigest {
+                        crc32: crc.rotate_left(u32::from(version_a) % 32),
+                        len,
+                    },
+                },
+            ],
+        })
+        .collect();
+    CampaignRecording {
+        tool_version: format!("{version_a}.{version_b}.0"),
+        format_version: version_b,
+        share_compiled: version_a.is_multiple_of(2),
+        compile_budget_bytes: budget,
+        set: tiny_set(),
+        members,
+    }
+}
+
+proptest! {
+    /// Recordings — executed and synthetic — round-trip bit-exactly in
+    /// both encodings.
+    #[test]
+    fn campaign_recordings_round_trip(
+        version_a in 0u8..=255,
+        version_b in 0u16..=u16::MAX,
+        budget in any::<u64>(),
+        n_members in 0usize..5,
+        crc in any::<u32>(),
+        len in any::<u64>(),
+    ) {
+        assert_round_trip(tiny_recording());
+        assert_round_trip(&synthetic_recording(version_a, version_b, budget, n_members, crc, len));
+    }
+
+    /// Corruption contract: any single-byte flip of a framed
+    /// `campaign-recording` errors, never panics.
+    #[test]
+    fn any_recording_byte_flip_is_detected(position in any::<usize>(), mask in 1u8..=255) {
+        let mut bytes =
+            encode(CampaignRecording::KIND, Encoding::Binary, tiny_recording()).unwrap();
+        let position = position % bytes.len();
+        bytes[position] ^= mask;
+        prop_assert!(decode::<CampaignRecording>(CampaignRecording::KIND, &bytes).is_err());
+    }
+
+    /// Corruption contract: every strict prefix of a framed
+    /// `campaign-recording` errors, never panics.
+    #[test]
+    fn any_recording_truncation_is_detected(cut in any::<usize>()) {
+        let bytes = encode(CampaignRecording::KIND, Encoding::Binary, tiny_recording()).unwrap();
+        let cut = cut % bytes.len();
+        prop_assert!(decode::<CampaignRecording>(CampaignRecording::KIND, &bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn replay_of_unmodified_recording_is_clean() {
+    let report = tiny_recording().replay().expect("replay runs");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.members_matched, 1);
+    // spec + closed-loop + sweep.
+    assert_eq!(report.components_matched, 3);
+    assert!(report.to_string().contains("replay clean"), "{report}");
+}
+
+#[test]
+fn mismatched_tool_version_is_refused() {
+    let mut recording = tiny_recording().clone();
+    recording.tool_version = "99.0.0".to_string();
+    let err = recording.replay().unwrap_err();
+    assert!(err.contains("99.0.0") && err.contains("re-record"), "{err}");
+}
+
+#[test]
+fn mismatched_format_version_is_refused() {
+    let mut recording = tiny_recording().clone();
+    recording.format_version = razorbus_artifact::CONTAINER_VERSION + 1;
+    let err = recording.replay().unwrap_err();
+    assert!(err.contains("artifact-format version"), "{err}");
+}
+
+#[test]
+fn foreign_member_stamps_are_refused() {
+    // A member record renamed away from its set's expansion: refused
+    // before any simulation runs.
+    let mut recording = tiny_recording().clone();
+    recording.members[0].name = "somebody-elses-member".to_string();
+    let err = recording.replay().unwrap_err();
+    assert!(err.contains("foreign"), "{err}");
+
+    // A grafted extra member record: refused.
+    let mut recording = tiny_recording().clone();
+    let extra = recording.members[0].clone();
+    recording.members.push(extra);
+    let err = recording.replay().unwrap_err();
+    assert!(err.contains("member records"), "{err}");
+
+    // A component list that disagrees with the member's analysis spec
+    // (dropped sweep component): refused.
+    let mut recording = tiny_recording().clone();
+    recording.members[0]
+        .components
+        .retain(|c| c.component != COMPONENT_SWEEP);
+    let err = recording.replay().unwrap_err();
+    assert!(err.contains("components"), "{err}");
+}
+
+#[test]
+fn from_run_refuses_results_of_a_different_set() {
+    let run = tiny_set().run().expect("tiny set runs");
+    let err = CampaignRecording::from_run(&sweep_set(), &run.result, true).unwrap_err();
+    assert!(err.contains("not the product"), "{err}");
+}
+
+#[test]
+fn perturbed_stored_digest_is_localized_to_member_and_component() {
+    // Flip one bit of the recorded closed-loop digest: replay must fail
+    // loudly, naming exactly that member and component.
+    let mut recording = tiny_recording().clone();
+    let stored = recording.members[0]
+        .components
+        .iter_mut()
+        .find(|c| c.component == COMPONENT_LOOP)
+        .expect("closed-loop recorded");
+    stored.digest.crc32 ^= 1;
+    let expected = stored.digest;
+
+    let report = recording.replay().expect("replay still runs");
+    let rendered = report.to_string();
+    let divergence = report.divergence.expect("divergence detected");
+    assert_eq!(divergence.member, "tiny");
+    assert_eq!(divergence.member_index, 0);
+    assert_eq!(divergence.component, COMPONENT_LOOP);
+    assert_eq!(divergence.expected, expected);
+    assert_ne!(divergence.got, expected);
+    assert!(
+        rendered.contains("digest mismatch in member `tiny`")
+            && rendered.contains("component `closed-loop`")
+            && rendered.contains("expected"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn perturbed_seed_diverges_at_the_spec_component() {
+    // Changing a recorded seed changes the expanded spec (and the
+    // results): the first divergence is the spec component itself, so
+    // the report points at the input drift, not just its consequences.
+    let mut recording = tiny_recording().clone();
+    recording.set.members[0].run.seed += 1;
+    let report = recording.replay().expect("replay runs");
+    let divergence = report.divergence.expect("seed drift detected");
+    assert_eq!(divergence.member, "tiny");
+    assert_eq!(divergence.component, COMPONENT_SPEC);
+}
+
+#[test]
+fn first_diverging_member_is_reported_when_several_diverge() {
+    // Perturb the digests of members 1 and 2 (of 3): the report must
+    // name member 1 — the *first* divergence — and count member 0 as
+    // matched.
+    let recording = sweep_recording();
+    assert_eq!(recording.members.len(), 3);
+    let mut perturbed = recording.clone();
+    for i in [1, 2] {
+        let c = perturbed.members[i]
+            .components
+            .iter_mut()
+            .find(|c| c.component == COMPONENT_LOOP)
+            .expect("closed-loop recorded");
+        c.digest.len ^= 0x10;
+    }
+    let report = perturbed.replay().expect("replay runs");
+    let divergence = report.divergence.expect("divergence detected");
+    assert_eq!(divergence.member_index, 1);
+    assert_eq!(divergence.member, perturbed.members[1].name);
+    assert_eq!(report.members_matched, 1);
+    assert_eq!(report.members_total, 3);
+}
+
+#[test]
+fn replay_digests_are_sharing_independent() {
+    // A campaign recorded on the shared compiled path must replay clean
+    // on the live path and vice versa — shared ≡ live, per digest.
+    let (shared_rec, _) = CampaignRecording::record(&sweep_set(), true).unwrap();
+    assert!(shared_rec
+        .replay_with_sharing(false)
+        .expect("live replay runs")
+        .is_clean());
+    let (live_rec, _) = CampaignRecording::record(&sweep_set(), false).unwrap();
+    assert!(live_rec
+        .replay_with_sharing(true)
+        .expect("shared replay runs")
+        .is_clean());
+    // Identical digests both ways, member by member.
+    assert_eq!(shared_rec.members, live_rec.members);
+}
+
+#[test]
+fn whole_catalog_records_and_replays_bit_identically() {
+    // Every named scenario — paper figures and the non-paper workloads —
+    // round-trips record → save → load → replay with zero divergence,
+    // on both executor paths, at a small cycle budget.
+    for name in catalog::NAMES {
+        let set = catalog::by_name(name, 1_000, 7).expect("catalog name");
+        let (recording, _) =
+            CampaignRecording::record(&set, true).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let bytes = encode(CampaignRecording::KIND, Encoding::Binary, &recording).unwrap();
+        let reloaded: CampaignRecording = decode(CampaignRecording::KIND, &bytes).unwrap();
+        assert_eq!(reloaded, recording, "{name}: manifest drifted in transit");
+        let shared = reloaded.replay().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(shared.is_clean(), "{name}: {shared}");
+        let live = reloaded
+            .replay_with_sharing(false)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(live.is_clean(), "{name}: {live}");
+    }
+}
