@@ -12,10 +12,14 @@
 //!   inputs, same work, printing suppressed),
 //! * `components` — steady-state throughputs of the simulator's batched
 //!   loop, its cycle-at-a-time reference loop (their ratio is the
-//!   fast-path speedup), the sweep-engine collector and the wire
-//!   analyzer,
-//! * environment echoes (`cycles_per_benchmark`, `threads`) so numbers
-//!   from different runners can be compared honestly.
+//!   fast-path speedup), the sweep-engine collector, the wire analyzer,
+//!   the compile/replay split, and the executor's aggregate sweep
+//!   throughput at 1, 2 and N pool workers (`sweep_aggregate_w*` — the
+//!   multi-core scaling record; N and therefore the `w2`/`wmax` numbers
+//!   depend on the runner's core count),
+//! * environment echoes (`cycles_per_benchmark`, `threads` — the
+//!   resolved pool worker count) so numbers from different runners can
+//!   be compared honestly.
 //!
 //! The JSON is produced by [`razorbus_bench::report::BenchReport`]
 //! through the `razorbus-artifact` writer. See README.md ("Benchmarks in
@@ -205,9 +209,38 @@ fn main() {
         batched / reference
     );
 
+    // Multi-core executor scaling: the governor shootout (three members
+    // sharing one compiled 10-benchmark suite) through the
+    // work-stealing pool, pinned to 1, 2 and N workers. Aggregate
+    // Mcyc/s counts every member's simulated cycles against the whole
+    // campaign's wall clock — compile pass, pool overheads and all — so
+    // the number is the throughput a sweep user actually sees. The
+    // wmax leg records this runner's core-count ceiling; on a
+    // single-core runner it duplicates w1 by construction.
+    let shootout = catalog::by_name("governor-shootout", cycles, REPRO_SEED).expect("catalog name");
+    let sweep_members = shootout.expand().expect("valid spec").len() as u64;
+    let sweep_cycles = sweep_members * Benchmark::ALL.len() as u64 * cycles;
+    let sweep_at = |workers: usize| {
+        best_of_3(&mut || {
+            let start = Instant::now();
+            let run = shootout
+                .run_with_workers(Vec::new(), true, Some(workers))
+                .expect("valid spec");
+            std::hint::black_box(run.result.members.len());
+            sweep_cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
+        })
+    };
+    let sweep_w1 = sweep_at(1);
+    let sweep_w2 = sweep_at(2);
+    let max_workers = razorbus_scenario::worker_count(None);
+    let sweep_wmax = sweep_at(max_workers);
+    eprintln!(
+        "  sweep aggregate: w1 {sweep_w1:.1} / w2 {sweep_w2:.1} / w{max_workers} {sweep_wmax:.1} Mcyc/s"
+    );
+
     let report = BenchReport {
         cycles_per_benchmark: cycles,
-        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        threads: max_workers,
         stages_ms: stages,
         total_ms: round1(total_ms),
         components_mcycles_per_s: vec![
@@ -219,6 +252,9 @@ fn main() {
             ("trace_compile", round2(compile)),
             ("compiled_replay", round2(replay)),
             ("replay_speedup", round2(replay / batched)),
+            ("sweep_aggregate_w1", round2(sweep_w1)),
+            ("sweep_aggregate_w2", round2(sweep_w2)),
+            ("sweep_aggregate_wmax", round2(sweep_wmax)),
         ],
     };
     let json = report.to_json().expect("render bench report");

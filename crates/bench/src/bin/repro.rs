@@ -58,7 +58,11 @@
 //! scenario run so it re-renders without re-simulating. `--no-compiled`
 //! (with `scenario` or `all`) disables compiled-trace sharing inside
 //! the executor — the live-path baseline CI diffs the shared path
-//! against.
+//! against. `--threads=N` pins the executor's work-stealing pool to
+//! `N` workers for the whole run, overriding `RAZORBUS_THREADS`
+//! (default: available parallelism); `N` must be at least 1, and any
+//! worker count produces bit-identical results — the flag only trades
+//! wall-clock time.
 
 use razorbus_bench::cli::CliArgs;
 use razorbus_bench::defaults::{
@@ -89,6 +93,7 @@ fn main() {
             "manifest",
             "record",
             "dir",
+            "threads",
         ],
     )
     .unwrap_or_else(|e| usage_error(&e));
@@ -163,6 +168,18 @@ fn main() {
     }
     if (golden_record || golden_dir.is_some()) && what != "golden" {
         usage_error("--record/--dir are only valid with `golden`");
+    }
+    // `--threads=N` pins the executor pool for the whole process: the
+    // env var is how every run path (scenario, record, golden, all)
+    // reaches the pool, so the flag simply takes precedence over it.
+    if let Some(value) = args.valued_flag("threads", "") {
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => std::env::set_var("RAZORBUS_THREADS", n.to_string()),
+            Ok(_) => usage_error("--threads=0 is refused; use --threads=1 for a serial run"),
+            Err(_) => usage_error(&format!(
+                "--threads needs a positive integer worker count, got '{value}'"
+            )),
+        }
     }
 
     let cycles = cycles_from_env(2_000_000);
@@ -515,7 +532,7 @@ fn usage_error(msg: &str) -> ! {
          [--save-tables[=PATH] | --load-tables[=PATH]] \
          [--save-compiled[=PATH] | --load-compiled[=PATH]] \
          [--save-result[=PATH] | --load-result[=PATH]] [--no-compiled] \
-         [--manifest[=PATH]] [--record] [--dir[=PATH]]"
+         [--manifest[=PATH]] [--record] [--dir[=PATH]] [--threads=N]"
     );
     std::process::exit(2);
 }

@@ -267,7 +267,7 @@ impl CompiledTrace {
         crate::TraceSummary::from_parts(hist, total_cap, total_toggles, self.cycles)
     }
 
-    /// Per-cycle tuple access for the replay loop in `sim.rs`.
+    /// Per-cycle tuple access for the scalar replay loop in `sim.rs`.
     #[inline]
     pub(crate) fn cycle(&self, c: usize) -> (u32, usize, f64) {
         (
@@ -275,6 +275,15 @@ impl CompiledTrace {
             usize::from(self.bins[c]),
             self.switched[c],
         )
+    }
+
+    /// The raw struct-of-arrays view the lane-vectorized replay path
+    /// consumes directly (`sim.rs`): per-cycle toggle counts, load bins
+    /// and switched capacitances, all exactly [`CompiledTrace::cycles`]
+    /// long.
+    #[inline]
+    pub(crate) fn arrays(&self) -> (&[u8], &[u16], &[f64]) {
+        (&self.toggles, &self.bins, &self.switched)
     }
 
     /// Approximate resident size (bytes) of the compiled arrays — lets

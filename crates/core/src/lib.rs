@@ -39,6 +39,7 @@
 mod compiled;
 mod design;
 pub mod experiments;
+mod lane;
 mod sim;
 mod summary;
 

@@ -18,15 +18,21 @@
 //! [`BusSimulator::run_reference`] keeps the original cycle-at-a-time
 //! loop; differential tests pin the batched path to it cycle-for-cycle.
 //!
-//! The batched loop itself is generic over a [`CycleStream`]: the live
-//! path classifies words through `analyze_cycle` on the fly, while the
-//! compiled path ([`crate::CompiledTrace::replay`]) reads the stored
-//! per-cycle tuples. Both run the *same* chunked loop body — one shared
-//! function, so the replay is bit-identical to the live run by
-//! construction, not by coincidence.
+//! The batched loop itself is generic over a [`ChunkStream`]: asked for
+//! a chunk of cycles at one supply, the live path classifies words
+//! through `analyze_cycle` on the fly (the scalar per-cycle body over a
+//! [`CycleStream`]), while the compiled path
+//! ([`crate::CompiledTrace::replay`]) runs the lane-vectorized kernel
+//! (`lane.rs`) directly over the stored struct-of-arrays tuples. The
+//! chunk accumulators and everything around them — energy folds,
+//! sampling, governor batching — are one shared function, and the lane
+//! kernel is pinned bit-identical to the scalar body
+//! ([`CompiledTrace::replay_scalar`]) by differential tests, so every
+//! path reports the same numbers to the last bit.
 
 use crate::compiled::CompiledTrace;
 use crate::design::DvsBusDesign;
+use crate::lane::{self, LaneAccum, LaneThresholds};
 use razorbus_ctrl::VoltageGovernor;
 use razorbus_process::PvtCorner;
 use razorbus_tables::EnvCondition;
@@ -211,11 +217,11 @@ impl<'d, S: TraceSource, G: VoltageGovernor> BusSimulator<'d, S, G> {
     ///
     /// Panics if the governor commands a voltage off the design grid.
     pub fn run(&mut self, cycles: u64) -> SimReport {
-        let stream = AnalyzeStream {
+        let stream = ScalarChunks(AnalyzeStream {
             bus: self.design.bus(),
             trace: &mut self.trace,
             prev: &mut self.prev_word,
-        };
+        });
         run_stream(
             self.design,
             self.pvt,
@@ -425,11 +431,143 @@ impl CycleStream for CompiledStream<'_> {
     }
 }
 
+/// The chunk-granular input of the batched loop: advance `chunk` cycles
+/// at supply grid point `vi` (whose precomputed row is `row`), return
+/// the chunk's accumulators, and feed `hist` when the histogram
+/// by-product is enabled. [`run_stream`] owns everything around the
+/// chunk (energy folds, sampling, governor batching); implementations
+/// own only the per-cycle classification — scalar for live streams,
+/// lane-vectorized for compiled arrays.
+trait ChunkStream {
+    fn run_chunk(
+        &mut self,
+        chunk: u64,
+        vi: usize,
+        row: &VoltageRow,
+        hist: Option<&mut HistogramAccum>,
+    ) -> LaneAccum;
+}
+
+/// The scalar per-cycle chunk body over any [`CycleStream`] — the
+/// original inner loop, verbatim. The live path always runs this; the
+/// compiled path runs it for histogram replays (whose per-cycle array
+/// increments must land in collection order) and keeps it as the pinned
+/// reference for the lane kernel.
+fn scalar_chunk<C: CycleStream>(
+    stream: &mut C,
+    chunk: u64,
+    row: &VoltageRow,
+    mut hist: Option<&mut HistogramAccum>,
+) -> LaneAccum {
+    let mut acc = LaneAccum::default();
+    for _ in 0..chunk {
+        let (toggles, bin, switched_cap) = stream.next_cycle();
+        let bucket = bucket_of(toggles);
+        let load = bin as f64 * CEFF_BIN_WIDTH;
+        let error = toggles > 0 && load > row.pass[bucket];
+        acc.errors += u64::from(error);
+        acc.shadow += u64::from(error && load > row.shadow[bucket]);
+        acc.wire_cap += switched_cap;
+        acc.toggles += u64::from(toggles);
+        if let Some(h) = hist.as_deref_mut() {
+            // Same accumulation (and the same float-add order)
+            // as `TraceSummary::collect` over these words.
+            if toggles > 0 {
+                h.hist[bucket * N_CEFF_BINS + bin] += 1;
+                h.total_cap += switched_cap;
+                h.toggles += u64::from(toggles);
+            }
+        }
+    }
+    acc
+}
+
+/// Scalar chunking over any [`CycleStream`].
+struct ScalarChunks<C>(C);
+
+impl<C: CycleStream> ChunkStream for ScalarChunks<C> {
+    fn run_chunk(
+        &mut self,
+        chunk: u64,
+        _vi: usize,
+        row: &VoltageRow,
+        hist: Option<&mut HistogramAccum>,
+    ) -> LaneAccum {
+        scalar_chunk(&mut self.0, chunk, row, hist)
+    }
+}
+
+/// Lane-vectorized chunking over the compiled struct-of-arrays stream:
+/// per-supply integer thresholds built lazily (once per grid point the
+/// governor actually visits), then eight cycles per step through the
+/// u64 kernel in `lane.rs`. Histogram chunks fall back to the scalar
+/// body — identical numbers, collection-order array increments.
+struct LaneChunks<'a> {
+    toggles: &'a [u8],
+    bins: &'a [u16],
+    switched: &'a [f64],
+    cursor: usize,
+    thresholds: Vec<Option<LaneThresholds>>,
+}
+
+impl<'a> LaneChunks<'a> {
+    fn new(trace: &'a CompiledTrace, grid_len: usize) -> Self {
+        let (toggles, bins, switched) = trace.arrays();
+        Self {
+            toggles,
+            bins,
+            switched,
+            cursor: 0,
+            thresholds: (0..grid_len).map(|_| None).collect(),
+        }
+    }
+}
+
+impl CycleStream for LaneChunks<'_> {
+    #[inline]
+    fn next_cycle(&mut self) -> (u32, usize, f64) {
+        let c = self.cursor;
+        self.cursor += 1;
+        (
+            u32::from(self.toggles[c]),
+            usize::from(self.bins[c]),
+            self.switched[c],
+        )
+    }
+}
+
+impl ChunkStream for LaneChunks<'_> {
+    fn run_chunk(
+        &mut self,
+        chunk: u64,
+        vi: usize,
+        row: &VoltageRow,
+        hist: Option<&mut HistogramAccum>,
+    ) -> LaneAccum {
+        if hist.is_some() {
+            return scalar_chunk(self, chunk, row, hist);
+        }
+        let start = self.cursor;
+        let end = start + usize::try_from(chunk).expect("chunk fits in memory");
+        let thr = self.thresholds[vi]
+            .get_or_insert_with(|| LaneThresholds::from_limits(&row.pass, &row.shadow));
+        let acc = lane::process(
+            &self.toggles[start..end],
+            &self.bins[start..end],
+            &self.switched[start..end],
+            thr,
+        );
+        self.cursor = end;
+        acc
+    }
+}
+
 /// The batched closed-loop body shared by [`BusSimulator::run`] and
 /// [`CompiledTrace::replay`]: per-voltage rows precomputed once,
-/// governor-guaranteed-steady chunks evaluated in a tight inner loop.
-/// See [`BusSimulator::run`] for the contract.
-fn run_stream<C: CycleStream, G: VoltageGovernor>(
+/// governor-guaranteed-steady chunks evaluated by the stream's chunk
+/// body (scalar or lane-vectorized). See [`BusSimulator::run`] for the
+/// contract.
+fn run_stream<C: ChunkStream, G: VoltageGovernor>(
     design: &DvsBusDesign,
     pvt: PvtCorner,
     governor: &mut G,
@@ -487,45 +625,23 @@ fn run_stream<C: CycleStream, G: VoltageGovernor>(
         }
 
         // Fast path: the whole chunk at one supply, no table lookups.
-        let mut chunk_errors = 0u64;
-        let mut chunk_shadow = 0u64;
-        let mut chunk_wire_cap = 0.0f64;
-        let mut chunk_toggles = 0u64;
-        for _ in 0..chunk {
-            let (toggles, bin, switched_cap) = stream.next_cycle();
-            let bucket = bucket_of(toggles);
-            let load = bin as f64 * CEFF_BIN_WIDTH;
-            let error = toggles > 0 && load > row.pass[bucket];
-            chunk_errors += u64::from(error);
-            chunk_shadow += u64::from(error && load > row.shadow[bucket]);
-            chunk_wire_cap += switched_cap;
-            chunk_toggles += u64::from(toggles);
-            if let Some(h) = hist.as_mut() {
-                // Same accumulation (and the same float-add order)
-                // as `TraceSummary::collect` over these words.
-                if toggles > 0 {
-                    h.hist[bucket * N_CEFF_BINS + bin] += 1;
-                    h.total_cap += switched_cap;
-                    h.toggles += u64::from(toggles);
-                }
-            }
-        }
+        let acc = stream.run_chunk(chunk, vi, row, hist.as_mut());
 
-        let switched = chunk_wire_cap * length_mm
-            + chunk_toggles as f64 * (rep_cap + data_cap)
+        let switched = acc.wire_cap * length_mm
+            + acc.toggles as f64 * (rep_cap + data_cap)
             + chunk as f64 * clock_cap;
         energy_fj +=
-            switched * row.v2 + chunk as f64 * row.leak_fj + chunk_errors as f64 * row.recovery_fj;
+            switched * row.v2 + chunk as f64 * row.leak_fj + acc.errors as f64 * row.recovery_fj;
         baseline_fj += switched * v2_nominal + chunk as f64 * leak_nominal;
-        errors += chunk_errors;
-        shadow_violations += chunk_shadow;
+        errors += acc.errors;
+        shadow_violations += acc.shadow;
         mv_sum += f64::from(v.mv()) * chunk as f64;
         min_v = min_v.min(v);
-        governor.record_batch(chunk, chunk_errors);
+        governor.record_batch(chunk, acc.errors);
         cycle += chunk;
 
         if let Some(window) = sample_every {
-            window_errors += chunk_errors;
+            window_errors += acc.errors;
             window_cycles += chunk;
             if window_cycles == window {
                 samples.push(VoltageSample {
@@ -576,11 +692,16 @@ fn run_stream<C: CycleStream, G: VoltageGovernor>(
 
 impl CompiledTrace {
     /// Replays the compiled stream through the batched closed-loop body
-    /// — the exact loop [`BusSimulator::run`] executes, reading stored
-    /// per-cycle tuples instead of analyzing words. Bit-identical to
-    /// running [`BusSimulator`] over the original trace with the same
-    /// governor: errors, violations and samples match bitwise, energies
-    /// are exact (same per-cycle add sequence).
+    /// — the exact loop [`BusSimulator::run`] executes, with the
+    /// per-cycle classification running through the lane-vectorized
+    /// kernel (`lane.rs`): integer bin-threshold compares in eight-cycle
+    /// u64 lanes, float accumulation untouched. Bit-identical to running
+    /// [`BusSimulator`] over the original trace with the same governor
+    /// — and to [`CompiledTrace::replay_scalar`] — errors, violations
+    /// and samples match bitwise, energies are exact (same per-cycle add
+    /// sequence). Histogram replays (`with_summary`) take the scalar
+    /// chunk body so the by-product's array increments land in
+    /// collection order.
     ///
     /// Replays all [`CompiledTrace::cycles`] cycles and returns the
     /// governor (carried across program boundaries by suite protocols).
@@ -599,14 +720,8 @@ impl CompiledTrace {
         sampling: Option<u64>,
         with_summary: bool,
     ) -> (SimReport, G) {
-        if let Err(e) = self.matches(design) {
-            panic!("refusing to replay a compiled trace against the wrong design: {e}");
-        }
-        assert!(sampling != Some(0), "sampling window must be positive");
-        let stream = CompiledStream {
-            trace: self,
-            cursor: 0,
-        };
+        self.check_replay(design, sampling);
+        let stream = LaneChunks::new(self, design.grid().len());
         let report = run_stream(
             design,
             pvt,
@@ -617,6 +732,49 @@ impl CompiledTrace {
             self.cycles(),
         );
         (report, governor)
+    }
+
+    /// Replays through the scalar per-cycle loop body — the pinned
+    /// semantic reference for the lane-vectorized
+    /// [`CompiledTrace::replay`]. Same contract, same numbers to the
+    /// last bit (differential tests enforce `to_bits()` equality across
+    /// designs, governors and corners); kept callable so any future
+    /// kernel change always has an executable baseline to diff against.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CompiledTrace::replay`].
+    #[must_use]
+    pub fn replay_scalar<G: VoltageGovernor>(
+        &self,
+        design: &DvsBusDesign,
+        pvt: PvtCorner,
+        mut governor: G,
+        sampling: Option<u64>,
+        with_summary: bool,
+    ) -> (SimReport, G) {
+        self.check_replay(design, sampling);
+        let stream = ScalarChunks(CompiledStream {
+            trace: self,
+            cursor: 0,
+        });
+        let report = run_stream(
+            design,
+            pvt,
+            &mut governor,
+            sampling,
+            with_summary,
+            stream,
+            self.cycles(),
+        );
+        (report, governor)
+    }
+
+    fn check_replay(&self, design: &DvsBusDesign, sampling: Option<u64>) {
+        if let Err(e) = self.matches(design) {
+            panic!("refusing to replay a compiled trace against the wrong design: {e}");
+        }
+        assert!(sampling != Some(0), "sampling window must be positive");
     }
 }
 
@@ -1052,6 +1210,172 @@ mod tests {
         let r = sim.run(20_000);
         assert_eq!(r.errors, 0);
         assert!(r.energy.fj() > 0.0);
+    }
+
+    /// Differential harness for the lane-vectorized kernel: `replay`
+    /// (u64 lanes) against `replay_scalar` (the per-cycle reference
+    /// body) over the same compiled trace and governor — every reported
+    /// number must match to the bit, including the sampled trajectory.
+    fn assert_vectorized_matches_scalar<G: VoltageGovernor + Clone>(
+        d: &DvsBusDesign,
+        pvt: PvtCorner,
+        bench: Benchmark,
+        seed: u64,
+        governor: G,
+        cycles: u64,
+        sampling: Option<u64>,
+    ) {
+        let compiled = crate::CompiledTrace::compile(d, &mut bench.trace(seed), cycles);
+        let (fast, _) = compiled.replay(d, pvt, governor.clone(), sampling, false);
+        let (slow, _) = compiled.replay_scalar(d, pvt, governor, sampling, false);
+        let ctx = format!("{bench} @ {pvt}, {cycles} cycles");
+        assert_eq!(fast.errors, slow.errors, "errors diverged: {ctx}");
+        assert_eq!(
+            fast.shadow_violations, slow.shadow_violations,
+            "violations diverged: {ctx}"
+        );
+        assert_eq!(
+            fast.energy.fj().to_bits(),
+            slow.energy.fj().to_bits(),
+            "energy not exact: {ctx}"
+        );
+        assert_eq!(
+            fast.baseline_energy.fj().to_bits(),
+            slow.baseline_energy.fj().to_bits(),
+            "baseline not exact: {ctx}"
+        );
+        assert_eq!(fast.min_voltage, slow.min_voltage, "{ctx}");
+        assert_eq!(
+            fast.mean_voltage_mv.to_bits(),
+            slow.mean_voltage_mv.to_bits(),
+            "mean V not exact: {ctx}"
+        );
+        assert_eq!(fast.samples.len(), slow.samples.len(), "{ctx}");
+        for (f, s) in fast.samples.iter().zip(&slow.samples) {
+            assert_eq!(f.cycle, s.cycle, "{ctx}");
+            assert_eq!(f.voltage, s.voltage, "{ctx}");
+            assert_eq!(
+                f.window_error_rate.to_bits(),
+                s.window_error_rate.to_bits(),
+                "window rate not exact at cycle {}: {ctx}",
+                f.cycle
+            );
+        }
+    }
+
+    #[test]
+    fn vectorized_replay_matches_scalar_across_governors() {
+        // Each governor shapes chunks differently: the threshold
+        // controller's decision windows, the proportional variant's
+        // batch override, and a fixed supply's single maximal chunk
+        // (one lane run over the whole trace, tail included).
+        let d = design();
+        assert_vectorized_matches_scalar(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Crafty,
+            5,
+            ThresholdController::new(d.controller_config(ProcessCorner::Typical)),
+            120_000,
+            Some(10_000),
+        );
+        assert_vectorized_matches_scalar(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Gap,
+            9,
+            razorbus_ctrl::ProportionalController::paper_band(
+                d.controller_config(ProcessCorner::Typical),
+            ),
+            120_000,
+            Some(17_500),
+        );
+        assert_vectorized_matches_scalar(
+            &d,
+            PvtCorner::TYPICAL,
+            Benchmark::Mgrid,
+            5,
+            FixedVoltage::new(Millivolts::new(900)),
+            60_007, // deliberately not a multiple of the 8-cycle lane
+            None,
+        );
+    }
+
+    #[test]
+    fn vectorized_replay_matches_scalar_across_corners_and_designs() {
+        // The worst corner requantizes a different threshold matrix;
+        // the modified bus stresses different bins; idle-heavy swim
+        // exercises the quiet-lane skip at scale.
+        let d = design();
+        assert_vectorized_matches_scalar(
+            &d,
+            PvtCorner::WORST,
+            Benchmark::Swim,
+            2,
+            ThresholdController::new(d.controller_config(ProcessCorner::Slow)),
+            120_000,
+            None,
+        );
+        let modified = DvsBusDesign::modified_paper_bus();
+        assert_vectorized_matches_scalar(
+            &modified,
+            PvtCorner::WORST,
+            Benchmark::Vortex,
+            11,
+            ThresholdController::new(modified.controller_config(ProcessCorner::Slow)),
+            60_000,
+            Some(10_000),
+        );
+        assert_vectorized_matches_scalar(
+            &modified,
+            PvtCorner::TYPICAL,
+            Benchmark::Gap,
+            1,
+            FixedVoltage::new(Millivolts::new(1_000)),
+            40_000,
+            None,
+        );
+    }
+
+    #[test]
+    fn vectorized_replay_matches_live_run_without_histogram() {
+        // The lane path end-to-end against the live simulator (the
+        // existing replay harness pins the histogram/scalar path; this
+        // pins the vectorized one).
+        let d = design();
+        let cycles = 80_000;
+        let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Typical));
+        let mut sim = BusSimulator::new(&d, PvtCorner::TYPICAL, Benchmark::Crafty.trace(7), ctrl);
+        let live = sim.run(cycles);
+        let compiled = crate::CompiledTrace::compile(&d, &mut Benchmark::Crafty.trace(7), cycles);
+        let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Typical));
+        let (replayed, _) = compiled.replay(&d, PvtCorner::TYPICAL, ctrl, None, false);
+        assert_eq!(live.errors, replayed.errors);
+        assert_eq!(live.shadow_violations, replayed.shadow_violations);
+        assert_eq!(live.energy.fj().to_bits(), replayed.energy.fj().to_bits());
+        assert_eq!(
+            live.baseline_energy.fj().to_bits(),
+            replayed.baseline_energy.fj().to_bits()
+        );
+        assert_eq!(
+            live.mean_voltage_mv.to_bits(),
+            replayed.mean_voltage_mv.to_bits()
+        );
+    }
+
+    #[test]
+    fn histogram_replay_takes_the_scalar_body_and_matches() {
+        // `with_summary` falls back to the scalar chunk body; its
+        // report (histogram included) must equal the scalar replay's
+        // exactly.
+        let d = design();
+        let compiled = crate::CompiledTrace::compile(&d, &mut Benchmark::Mgrid.trace(8), 40_000);
+        let ctrl = ThresholdController::new(d.controller_config(ProcessCorner::Typical));
+        let (fast, _) = compiled.replay(&d, PvtCorner::TYPICAL, ctrl.clone(), Some(10_000), true);
+        let (slow, _) = compiled.replay_scalar(&d, PvtCorner::TYPICAL, ctrl, Some(10_000), true);
+        assert_eq!(fast.summary, slow.summary);
+        assert_eq!(fast.energy.fj().to_bits(), slow.energy.fj().to_bits());
+        assert_eq!(fast.samples, slow.samples);
     }
 
     #[test]

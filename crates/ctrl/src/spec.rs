@@ -16,7 +16,7 @@ use crate::threshold::{ControllerConfig, ThresholdController};
 use razorbus_units::Millivolts;
 
 /// A boxed governor, ready to drop into the simulator. `Send` so
-/// scenario executors can fan members out across scoped threads.
+/// scenario executors can move members across worker threads.
 pub type BoxedGovernor = Box<dyn VoltageGovernor + Send>;
 
 /// Which governor a scenario member runs.

@@ -1,5 +1,5 @@
 //! The scenario executor: sweep expansion → deduplicated job plan →
-//! scoped-thread fan-out → per-member results.
+//! work-stealing pool → per-member results.
 //!
 //! Two levels of sharing keep a [`ScenarioSet`] as cheap as the
 //! hand-wired pipelines it replaces (`repro all` used to do all of this
@@ -16,9 +16,17 @@
 //!   governor-independent, and bit-identical to a dedicated
 //!   `TraceSummary::collect` pass (pinned in `razorbus-core`).
 //!
-//! Jobs then fan out on `std::thread::scope`, exactly the way the old
-//! `repro all` fanned out its three shared collections by hand.
+//! The planned jobs then drain on a bounded work-stealing pool
+//! ([`crate::pool`]) instead of one OS thread per job: the worker count
+//! comes from `--threads` / `RAZORBUS_THREADS` / available parallelism,
+//! compile jobs are scheduled ahead of loop and summary jobs, and each
+//! finished compile spawns its replay continuations onto the finishing
+//! worker's own deque, where idle workers steal them. Every job writes
+//! into a pre-assigned result slot, so scheduling order never touches
+//! the output — results are bit-identical at any worker count (pinned
+//! by a test below).
 
+use crate::pool;
 use crate::result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
 use crate::spec::{ControllerSpec, DesignSpec, ScenarioSpec, WorkloadSpec};
 use razorbus_core::experiments::{fig8, SummaryBank};
@@ -26,7 +34,7 @@ use razorbus_core::{BusSimulator, CompiledTrace, DvsBusDesign, TraceSummary};
 use razorbus_ctrl::BoxedGovernor;
 use razorbus_process::PvtCorner;
 use razorbus_traces::TraceSource;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A named list of scenarios executed as one deduplicated, parallel
 /// campaign.
@@ -94,6 +102,21 @@ enum CompiledWorkload {
     Suite(Vec<Arc<CompiledTrace>>),
     /// A single compiled stream (one benchmark or a synthetic recipe).
     Stream(Arc<CompiledTrace>),
+}
+
+/// One schedulable unit of a campaign, indexing into the plan's job
+/// vectors. The initial pool feed lists every `Compile` first, then the
+/// live (unshared) `Loop`s and the `Summary` passes; `Replay`s are
+/// continuations a finished compile spawns for each waiting loop index.
+enum Job {
+    /// Compile `compile_jobs[i]`'s workload, then spawn its replays.
+    Compile(usize),
+    /// Run `loop_jobs[i]` against the live trace.
+    Loop(usize),
+    /// Run `summary_jobs[i]` (a histogram-only pass no loop provides).
+    Summary(usize),
+    /// Replay `loop_jobs[i]` against its shared compiled workload.
+    Replay(usize, CompiledWorkload),
 }
 
 /// Default ceiling (bytes) on the resident size of shared compiled
@@ -188,9 +211,9 @@ impl ScenarioSet {
     }
 
     /// Executes the set: builds each unique design once, deduplicates
-    /// loop runs and summary passes across members, fans the remaining
-    /// jobs out on scoped threads, and assembles per-member results in
-    /// expansion order.
+    /// loop runs and summary passes across members, drains the
+    /// remaining jobs on the work-stealing pool, and assembles
+    /// per-member results in expansion order.
     ///
     /// # Errors
     ///
@@ -230,6 +253,24 @@ impl ScenarioSet {
         &self,
         prebuilt: Vec<(DesignSpec, DvsBusDesign)>,
         share_compiled: bool,
+    ) -> Result<ScenarioSetRun, String> {
+        self.run_with_workers(prebuilt, share_compiled, None)
+    }
+
+    /// [`ScenarioSet::run_with_options`] with an explicit pool size:
+    /// `workers = Some(n)` pins the executor to `n` workers, bypassing
+    /// `RAZORBUS_THREADS` and the hardware default — how `bench_report`
+    /// measures 1/2/N-worker scaling in one process, and how the tests
+    /// pin results bit-identical across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioSet::run`].
+    pub fn run_with_workers(
+        &self,
+        prebuilt: Vec<(DesignSpec, DvsBusDesign)>,
+        share_compiled: bool,
+        workers: Option<usize>,
     ) -> Result<ScenarioSetRun, String> {
         let members = self.expand()?;
 
@@ -327,83 +368,106 @@ impl ScenarioSet {
         let compiled_idx =
             |job: &LoopKey| compile_jobs.iter().position(|k| *k == job.summary_key());
 
-        // Fan out on scoped threads, in two phases sharing one scope:
-        // phase A compiles the shared workloads while the unshared loop
-        // jobs and summary passes run alongside; phase B replays the
-        // shared jobs against the compiled streams (`Arc`-shared, one
-        // clone per job).
-        let (loop_products, summary_products) = std::thread::scope(|scope| {
-            let compile_handles: Vec<_> = compile_jobs
+        // Which loop indices replay each compiled workload — fixed
+        // before the pool starts, drained when the compile finishes.
+        let mut replayers: Vec<Vec<usize>> = vec![Vec::new(); compile_jobs.len()];
+        for (i, job) in loop_jobs.iter().enumerate() {
+            if let Some(c) = compiled_idx(job) {
+                replayers[c].push(i);
+            }
+        }
+
+        // Drain the plan on the work-stealing pool. Compiles feed the
+        // injector first so shared workloads materialize while the live
+        // loops and summary passes fill the remaining slots; a finished
+        // compile spawns one `Replay` continuation per waiting loop
+        // (the compiled stream `Arc`-shared, one clone per job). Every
+        // job writes its pre-assigned slot, so worker count and steal
+        // order never affect the assembled result.
+        let governors: Vec<Mutex<Option<BoxedGovernor>>> =
+            governors.into_iter().map(Mutex::new).collect();
+        let take_governor = |i: usize| {
+            governors[i]
+                .lock()
+                .expect("governor slot")
+                .take()
+                .expect("governor built above, taken once")
+        };
+        let loops: Mutex<Vec<Option<Result<LoopProduct, String>>>> =
+            Mutex::new((0..loop_jobs.len()).map(|_| None).collect());
+        let summaries: Mutex<Vec<Option<Result<SweepData, String>>>> =
+            Mutex::new((0..summary_jobs.len()).map(|_| None).collect());
+
+        let mut initial: Vec<Job> = (0..compile_jobs.len()).map(Job::Compile).collect();
+        initial.extend(
+            loop_jobs
                 .iter()
-                .map(|key| {
-                    let design = &designs[key.design_idx];
-                    scope.spawn(move || compile_workload(design, key))
-                })
-                .collect();
+                .enumerate()
+                .filter(|(_, job)| compiled_idx(job).is_none())
+                .map(|(i, _)| Job::Loop(i)),
+        );
+        initial.extend((0..summary_jobs.len()).map(Job::Summary));
 
-            let mut loop_handles: Vec<(usize, _)> = Vec::new();
-            for (i, job) in loop_jobs.iter().enumerate() {
-                if compiled_idx(job).is_some() {
-                    continue; // phase B
-                }
-                let design = &designs[job.design_idx];
-                let governor = governors[i].take().expect("governor built above");
-                let with_hist = loop_hist[i];
-                loop_handles.push((
-                    i,
-                    scope.spawn(move || run_loop_job(design, job, governor, with_hist)),
-                ));
-            }
-            let mut summary_handles = Vec::new();
-            for job in &summary_jobs {
-                let design = &designs[job.design_idx];
-                summary_handles.push(scope.spawn(move || run_summary_job(design, job)));
-            }
-
-            let compiled: Vec<Result<CompiledWorkload, String>> = compile_handles
-                .into_iter()
-                .map(|h| h.join().expect("compile job thread"))
-                .collect();
-
-            let mut loops: Vec<Option<Result<LoopProduct, String>>> =
-                (0..loop_jobs.len()).map(|_| None).collect();
-            for (i, job) in loop_jobs.iter().enumerate() {
-                let Some(c) = compiled_idx(job) else { continue };
-                match &compiled[c] {
-                    Ok(workload) => {
-                        let design = &designs[job.design_idx];
-                        let governor = governors[i].take().expect("governor built above");
-                        let with_hist = loop_hist[i];
-                        let workload = workload.clone();
-                        loop_handles.push((
-                            i,
-                            scope.spawn(move || {
-                                run_replay_job(design, job, governor, with_hist, &workload)
-                            }),
-                        ));
+        pool::run(
+            pool::worker_count(workers),
+            initial,
+            |job, spawner| match job {
+                Job::Compile(c) => {
+                    let key = &compile_jobs[c];
+                    match compile_workload(&designs[key.design_idx], key) {
+                        Ok(workload) => {
+                            for &i in &replayers[c] {
+                                spawner.spawn(Job::Replay(i, workload.clone()));
+                            }
+                        }
+                        Err(e) => {
+                            let mut slots = loops.lock().expect("loop results");
+                            for &i in &replayers[c] {
+                                slots[i] = Some(Err(e.clone()));
+                            }
+                        }
                     }
-                    Err(e) => loops[i] = Some(Err(e.clone())),
                 }
-            }
+                Job::Loop(i) => {
+                    let job = &loop_jobs[i];
+                    let product = run_loop_job(
+                        &designs[job.design_idx],
+                        job,
+                        take_governor(i),
+                        loop_hist[i],
+                    );
+                    loops.lock().expect("loop results")[i] = Some(product);
+                }
+                Job::Replay(i, workload) => {
+                    let job = &loop_jobs[i];
+                    let product = run_replay_job(
+                        &designs[job.design_idx],
+                        job,
+                        take_governor(i),
+                        loop_hist[i],
+                        &workload,
+                    );
+                    loops.lock().expect("loop results")[i] = Some(product);
+                }
+                Job::Summary(s) => {
+                    let job = &summary_jobs[s];
+                    summaries.lock().expect("summary results")[s] =
+                        Some(run_summary_job(&designs[job.design_idx], job));
+                }
+            },
+        );
 
-            for (i, handle) in loop_handles {
-                loops[i] = Some(handle.join().expect("loop job thread"));
-            }
-            let loops: Vec<Result<LoopProduct, String>> = loops
-                .into_iter()
-                .map(|p| p.expect("every loop job produced or errored"))
-                .collect();
-            let summaries: Vec<Result<SweepData, String>> = summary_handles
-                .into_iter()
-                .map(|h| h.join().expect("summary job thread"))
-                .collect();
-            (loops, summaries)
-        });
-        let loop_products = loop_products
+        let loop_products = loops
+            .into_inner()
+            .expect("loop results")
             .into_iter()
+            .map(|p| p.expect("every loop job produced or errored"))
             .collect::<Result<Vec<_>, String>>()?;
-        let summary_products = summary_products
+        let summary_products = summaries
+            .into_inner()
+            .expect("summary results")
             .into_iter()
+            .map(|p| p.expect("every summary job produced"))
             .collect::<Result<Vec<_>, String>>()?;
 
         // Assemble member results in expansion order.
@@ -832,6 +896,34 @@ mod tests {
         let shared = set.run_with_options(Vec::new(), true).unwrap();
         let live = set.run_with_options(Vec::new(), false).unwrap();
         assert_eq!(shared.result, live.result);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_worker_counts() {
+        // The full job mix — a compile feeding three replays plus a
+        // sweep-only summary pass — must assemble the exact same result
+        // on 1 worker (pure FIFO), 2 workers (stealing active) and the
+        // hardware default. Worker count is pinned via the explicit
+        // parameter, so the test is immune to `RAZORBUS_THREADS`.
+        let mut spec = member("pooled", AnalysisSpec::Full, CornerSpec::Typical);
+        spec.run.cycles_per_benchmark = 2_000;
+        spec.sweep = vec![SweepAxis::Governors(vec![
+            GovernorSpec::Threshold,
+            GovernorSpec::Proportional,
+            GovernorSpec::Fixed(razorbus_units::Millivolts::new(1_100)),
+        ])];
+        let set = ScenarioSet {
+            name: "pooled".to_string(),
+            members: vec![
+                spec,
+                member("sweep-only", AnalysisSpec::StaticSweep, CornerSpec::Worst),
+            ],
+        };
+        let one = set.run_with_workers(Vec::new(), true, Some(1)).unwrap();
+        let two = set.run_with_workers(Vec::new(), true, Some(2)).unwrap();
+        let many = set.run_with_workers(Vec::new(), true, None).unwrap();
+        assert_eq!(one.result, two.result);
+        assert_eq!(one.result, many.result);
     }
 
     #[test]

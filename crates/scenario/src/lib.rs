@@ -14,8 +14,9 @@
 //!   [`SweepAxis`] dimensions (corner / governor / fixed supply).
 //! * [`ScenarioSet`] — a campaign of specs; [`ScenarioSet::run`]
 //!   expands sweeps, builds each unique design once, deduplicates loop
-//!   runs and summary passes across members, and fans the remaining
-//!   jobs out on scoped threads.
+//!   runs and summary passes across members, and drains the remaining
+//!   jobs on a bounded work-stealing pool (worker count from
+//!   `RAZORBUS_THREADS` or the machine's parallelism).
 //! * [`ScenarioSetResult`] — per-member products ([`LoopData`] /
 //!   [`SweepData`]) as plain serializable data; specs, sets and results
 //!   are [`razorbus_artifact::Artifact`] kinds, so a scenario run can
@@ -56,11 +57,13 @@
 pub mod catalog;
 mod exec;
 pub mod paper;
+mod pool;
 pub mod record;
 mod result;
 mod spec;
 
 pub use exec::{ScenarioSet, ScenarioSetRun};
+pub use pool::worker_count;
 pub use record::{CampaignRecording, Divergence, MemberRecord, ReplayReport};
 pub use result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
 pub use spec::{
