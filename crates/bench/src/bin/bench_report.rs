@@ -140,6 +140,18 @@ fn main() {
             .expect("valid spec");
         std::hint::black_box(run.result.members.len());
     });
+    // The 1 k-member Monte-Carlo campaign through the streaming
+    // aggregation path: 125 shared compiled traces fanned out across
+    // 1 000 aggregate-mode members folding into one constant-memory
+    // digest — the throughput record for `AnalysisSpec::Aggregate`.
+    time("scenario_monte_carlo_1k", &mut || {
+        let run = catalog::by_name("monte-carlo-dvs-1k", cycles, REPRO_SEED)
+            .expect("catalog name")
+            .run()
+            .expect("valid spec");
+        let digest = run.result.digest.expect("aggregate campaign digests");
+        std::hint::black_box(digest.members);
+    });
     // The governor shootout both ways: every member on the live
     // `analyze_cycle` path, then with the workload compiled once and
     // replayed per governor — the stage ratio is the sweep-sharing

@@ -12,6 +12,10 @@
 //! cargo run -p razorbus-bench --bin repro --release -- scenario governor-shootout --save-result
 //! cargo run -p razorbus-bench --bin repro --release -- scenario governor-shootout --load-result
 //!
+//! # A 10 000-member Monte-Carlo campaign, streamed into one digest:
+//! cargo run -p razorbus-bench --bin repro --release -- scenario monte-carlo-dvs \
+//!     --save-digest --digest-csv
+//!
 //! # Collect the shared heavy inputs once, then reuse them (bit-identical):
 //! cargo run -p razorbus-bench --bin repro --release -- all --save-summaries
 //! cargo run -p razorbus-bench --bin repro --release -- all --load-summaries
@@ -55,7 +59,11 @@
 //! the cycle analysis — bit-identically; stale budgets/seeds and
 //! foreign-bus stamps are refused. `--save-result[=PATH]` /
 //! `--load-result[=PATH]` (with `scenario` only) persist/reload a
-//! scenario run so it re-renders without re-simulating. `--no-compiled`
+//! scenario run so it re-renders without re-simulating.
+//! `--save-digest[=PATH]` / `--digest-csv[=PATH]` (with `scenario`
+//! only) write an aggregate campaign's streaming digest as a framed
+//! `campaign-digest` artifact / a one-row-per-metric CSV; both fail if
+//! the set has no aggregate-mode members. `--no-compiled`
 //! (with `scenario` or `all`) disables compiled-trace sharing inside
 //! the executor — the live-path baseline CI diffs the shared path
 //! against. `--threads=N` pins the executor's work-stealing pool to
@@ -66,8 +74,8 @@
 
 use razorbus_bench::cli::CliArgs;
 use razorbus_bench::defaults::{
-    COMPILED_PATH, GOLDEN_CYCLES, GOLDEN_DIR, MANIFEST_PATH, REPRO_ARTIFACTS, RESULT_PATH,
-    SUMMARIES_PATH, TABLES_PATH,
+    COMPILED_PATH, DIGEST_CSV_PATH, DIGEST_PATH, GOLDEN_CYCLES, GOLDEN_DIR, MANIFEST_PATH,
+    REPRO_ARTIFACTS, RESULT_PATH, SUMMARIES_PATH, TABLES_PATH,
 };
 use razorbus_bench::persist::{ReproCompiled, ReproSummaries, ReproTables};
 use razorbus_bench::{ablations, cycles_from_env, golden, REPRO_SEED};
@@ -87,6 +95,8 @@ fn main() {
             "load-tables",
             "save-result",
             "load-result",
+            "save-digest",
+            "digest-csv",
             "save-compiled",
             "load-compiled",
             "no-compiled",
@@ -123,6 +133,8 @@ fn main() {
     let load_tables = args.valued_flag("load-tables", TABLES_PATH);
     let save_result = args.valued_flag("save-result", RESULT_PATH);
     let load_result = args.valued_flag("load-result", RESULT_PATH);
+    let save_digest = args.valued_flag("save-digest", DIGEST_PATH);
+    let digest_csv = args.valued_flag("digest-csv", DIGEST_CSV_PATH);
     let save_compiled = args.valued_flag("save-compiled", COMPILED_PATH);
     let load_compiled = args.valued_flag("load-compiled", COMPILED_PATH);
     let no_compiled = args.has("no-compiled");
@@ -147,6 +159,9 @@ fn main() {
     }
     if save_result.is_some() && load_result.is_some() {
         usage_error("--save-result and --load-result are mutually exclusive");
+    }
+    if (save_digest.is_some() || digest_csv.is_some()) && what != "scenario" {
+        usage_error("--save-digest/--digest-csv are only valid with `scenario`");
     }
     if (save_compiled.is_some() || load_compiled.is_some()) && what != "all" {
         usage_error("--save-compiled/--load-compiled are only valid with `all`");
@@ -203,7 +218,17 @@ fn main() {
         "scenario" => {
             let name = operand
                 .unwrap_or_else(|| usage_error("`scenario` needs a name (see `repro scenarios`)"));
-            run_scenario(&name, cycles, save_result, load_result, !no_compiled);
+            run_scenario(
+                &name,
+                cycles,
+                &ScenarioOutputs {
+                    save_result,
+                    load_result,
+                    save_digest,
+                    digest_csv,
+                },
+                !no_compiled,
+            );
         }
         "record" => {
             let name = operand.unwrap_or_else(|| {
@@ -275,14 +300,22 @@ fn main() {
     }
 }
 
-/// Runs (or reloads) one named scenario and renders it.
-fn run_scenario(
-    name: &str,
-    cycles: u64,
+/// The scenario subcommand's output flags, bundled.
+struct ScenarioOutputs {
     save_result: Option<String>,
     load_result: Option<String>,
-    share_compiled: bool,
-) {
+    save_digest: Option<String>,
+    digest_csv: Option<String>,
+}
+
+/// Runs (or reloads) one named scenario and renders it.
+fn run_scenario(name: &str, cycles: u64, outputs: &ScenarioOutputs, share_compiled: bool) {
+    let ScenarioOutputs {
+        save_result,
+        load_result,
+        save_digest,
+        digest_csv,
+    } = outputs;
     let Some(set) = catalog::by_name(name, cycles, REPRO_SEED) else {
         usage_error(&format!(
             "unknown scenario '{name}'; known: {}",
@@ -328,6 +361,25 @@ fn run_scenario(
             .unwrap_or_else(|e| fail(&format!("cannot save scenario result to {path}: {e}")));
         eprintln!("# saved scenario result to {path}");
     }
+    let digest = run.result.digest.as_ref();
+    if (save_digest.is_some() || digest_csv.is_some()) && digest.is_none() {
+        fail(&format!(
+            "scenario `{name}` has no aggregate-mode members, so there is no campaign \
+             digest to write (--save-digest/--digest-csv need one)"
+        ));
+    }
+    if let (Some(path), Some(digest)) = (&save_digest, digest) {
+        use razorbus_artifact::Artifact;
+        digest
+            .save_file(path, razorbus_artifact::Encoding::Binary)
+            .unwrap_or_else(|e| fail(&format!("cannot save campaign digest to {path}: {e}")));
+        eprintln!("# saved campaign digest to {path}");
+    }
+    if let (Some(path), Some(digest)) = (&digest_csv, digest) {
+        std::fs::write(path, digest.csv())
+            .unwrap_or_else(|e| fail(&format!("cannot write digest CSV to {path}: {e}")));
+        eprintln!("# wrote campaign digest CSV to {path}");
+    }
     // Paper sets render through the exact figure adapters; everything
     // else gets the generic member render.
     match name {
@@ -371,6 +423,9 @@ fn run_record(name: &str, cycles: u64, manifest_path: &str, share_compiled: bool
             member.name,
             member.components.len()
         );
+    }
+    if recording.digest.is_some() {
+        println!("recorded campaign-digest stamp (aggregate members fold into one digest)");
     }
     recording
         .save_file(manifest_path, Encoding::Json)
@@ -531,7 +586,8 @@ fn usage_error(msg: &str) -> ! {
          [--save-summaries[=PATH] | --load-summaries[=PATH]] \
          [--save-tables[=PATH] | --load-tables[=PATH]] \
          [--save-compiled[=PATH] | --load-compiled[=PATH]] \
-         [--save-result[=PATH] | --load-result[=PATH]] [--no-compiled] \
+         [--save-result[=PATH] | --load-result[=PATH]] \
+         [--save-digest[=PATH]] [--digest-csv[=PATH]] [--no-compiled] \
          [--manifest[=PATH]] [--record] [--dir[=PATH]] [--threads=N]"
     );
     std::process::exit(2);

@@ -22,6 +22,14 @@ pub const COMPILED_PATH: &str = "repro-compiled.rzba";
 /// Default path for `repro record`'s `--manifest`.
 pub const MANIFEST_PATH: &str = "campaign.rzba";
 
+/// Default path for `repro scenario`'s `--save-digest` (the framed
+/// `campaign-digest` artifact of an aggregate campaign).
+pub const DIGEST_PATH: &str = "campaign-digest.rzba";
+
+/// Default path for `repro scenario`'s `--digest-csv` (one row per
+/// aggregated metric, machine-readable).
+pub const DIGEST_CSV_PATH: &str = "campaign-digest.csv";
+
 /// The committed golden-corpus directory (workspace-relative).
 pub const GOLDEN_DIR: &str = "GOLDEN_TESTS";
 

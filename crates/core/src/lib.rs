@@ -46,4 +46,6 @@ mod summary;
 pub use compiled::CompiledTrace;
 pub use design::DvsBusDesign;
 pub use sim::{BusSimulator, SimReport, VoltageSample};
-pub use summary::{TraceSummary, WindowedSummary, CEFF_BIN_WIDTH, N_CEFF_BINS};
+pub use summary::{
+    bucket_of, TraceSummary, WindowedSummary, CEFF_BIN_WIDTH, N_BUCKETS, N_CEFF_BINS,
+};

@@ -18,8 +18,11 @@ pub const CEFF_BIN_WIDTH: f64 = 1.0;
 /// Number of capacitance bins (covers 0 – 512 fF/mm, beyond any load the
 /// paper bus can present).
 pub const N_CEFF_BINS: usize = 512;
-/// Activity buckets (must match the threshold matrix).
-pub(crate) const N_BUCKETS: usize = 9;
+/// Activity buckets (must match the threshold matrix). Also the bucket
+/// count of every fixed-range campaign-digest histogram in
+/// `razorbus-scenario`, which quantizes through [`bucket_of`] so the
+/// whole stack shares one bucketing rule.
+pub const N_BUCKETS: usize = 9;
 
 #[inline]
 pub(crate) fn bin_of(ceff: f64) -> usize {
@@ -28,10 +31,14 @@ pub(crate) fn bin_of(ceff: f64) -> usize {
 
 /// Activity bucket of a cycle's toggle count — the single quantization
 /// rule shared by the histogram engine ([`TraceSummary::collect`]), the
-/// streaming simulator's hot loops and the compiled-trace replay path,
-/// so the three can never drift apart.
+/// streaming simulator's hot loops, the compiled-trace replay path and
+/// the scenario layer's campaign-digest histograms, so none of them can
+/// drift apart. The unit is a *quarter step*: four consecutive units
+/// per bucket, everything past the last edge clamped into the top
+/// bucket.
 #[inline]
-pub(crate) fn bucket_of(toggled_wires: u32) -> usize {
+#[must_use]
+pub fn bucket_of(toggled_wires: u32) -> usize {
     ((toggled_wires / 4) as usize).min(N_BUCKETS - 1)
 }
 

@@ -21,11 +21,26 @@
 //! comes from `--threads` / `RAZORBUS_THREADS` / available parallelism,
 //! compile jobs are scheduled ahead of loop and summary jobs, and each
 //! finished compile spawns its replay continuations onto the finishing
-//! worker's own deque, where idle workers steal them. Every job writes
-//! into a pre-assigned result slot, so scheduling order never touches
-//! the output — results are bit-identical at any worker count (pinned
-//! by a test below).
+//! worker's own deque, where idle workers steal them. Suite compiles
+//! and suite summary passes split into one job per benchmark with a
+//! slot-ordered merge (the last finisher assembles in
+//! [`razorbus_traces::Benchmark::ALL`] order), so a small campaign's
+//! parallelism is no longer capped at its member count. Every job
+//! writes into a pre-assigned result slot, so scheduling order never
+//! touches the output — results are bit-identical at any worker count
+//! (pinned by a test below).
+//!
+//! Members in [`AnalysisSpec::Aggregate`] mode never materialize
+//! products: as their loops complete, the executor extracts
+//! [`MemberMetrics`] and folds them into one streaming
+//! [`CampaignDigest`] through a rank-ordered reorder buffer
+//! ([`DigestBuilder`]), keeping memory constant at Monte-Carlo scale
+//! while preserving the same bit-identical-at-any-worker-count
+//! contract.
+//!
+//! [`AnalysisSpec::Aggregate`]: crate::AnalysisSpec::Aggregate
 
+use crate::aggregate::{CampaignDigest, DigestBuilder, MemberMetrics};
 use crate::pool;
 use crate::result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
 use crate::spec::{ControllerSpec, DesignSpec, ScenarioSpec, WorkloadSpec};
@@ -33,7 +48,8 @@ use razorbus_core::experiments::{fig8, SummaryBank};
 use razorbus_core::{BusSimulator, CompiledTrace, DvsBusDesign, TraceSummary};
 use razorbus_ctrl::BoxedGovernor;
 use razorbus_process::PvtCorner;
-use razorbus_traces::TraceSource;
+use razorbus_traces::{Benchmark, TraceSource};
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// A named list of scenarios executed as one deduplicated, parallel
@@ -105,19 +121,77 @@ enum CompiledWorkload {
 }
 
 /// One schedulable unit of a campaign, indexing into the plan's job
-/// vectors. The initial pool feed lists every `Compile` first, then the
-/// live (unshared) `Loop`s and the `Summary` passes; `Replay`s are
+/// vectors. The initial pool feed lists every compile first (suite
+/// compiles split per benchmark), then the live (unshared) `Loop`s and
+/// the summary passes (suite summaries likewise split); `Replay`s are
 /// continuations a finished compile spawns for each waiting loop index.
 enum Job {
-    /// Compile `compile_jobs[i]`'s workload, then spawn its replays.
+    /// Compile `compile_jobs[i]`'s single-stream workload, then spawn
+    /// its replays.
     Compile(usize),
+    /// Compile benchmark `b` of suite compile job `c`; the last bench
+    /// to finish assembles the suite and spawns its replays.
+    CompileBench(usize, usize),
     /// Run `loop_jobs[i]` against the live trace.
     Loop(usize),
-    /// Run `summary_jobs[i]` (a histogram-only pass no loop provides).
+    /// Run single-stream `summary_jobs[i]` (a histogram-only pass no
+    /// loop provides).
     Summary(usize),
+    /// Summarize benchmark `b` of suite summary job `s`; the last
+    /// bench to finish merges the bank in `Benchmark::ALL` order.
+    SummaryBench(usize, usize),
     /// Replay `loop_jobs[i]` against its shared compiled workload.
     Replay(usize, CompiledWorkload),
 }
+
+/// Slot-ordered assembly of a suite's per-benchmark products: each
+/// finishing bench job fills its pre-assigned slot, and the **last**
+/// finisher takes the completed list — always in
+/// [`Benchmark::ALL`] order, so the merged value is bit-identical to
+/// the old serial pass regardless of completion order.
+struct BenchSlots<T> {
+    slots: Vec<Option<T>>,
+    remaining: usize,
+}
+
+impl<T> BenchSlots<T> {
+    fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n).map(|_| None).collect(),
+            remaining: n,
+        }
+    }
+
+    /// Fills slot `b`, returning the full slot-ordered list when this
+    /// was the last empty slot.
+    fn fill(&mut self, b: usize, value: T) -> Option<Vec<T>> {
+        assert!(self.slots[b].is_none(), "bench slot {b} filled twice");
+        self.slots[b] = Some(value);
+        self.remaining -= 1;
+        (self.remaining == 0).then(|| {
+            self.slots
+                .iter_mut()
+                .map(|s| s.take().expect("all slots filled"))
+                .collect()
+        })
+    }
+}
+
+/// How a sweep-wanting member's product is sourced: riding a loop
+/// job's histogram by-product, or a dedicated summary job.
+#[derive(Clone, Copy)]
+enum SweepSource {
+    Loop(usize),
+    Job(usize),
+}
+
+/// One loop job's result slot: `None` until the job finishes; the
+/// product itself is kept only for members that materialize it.
+type LoopSlot = Option<Result<Option<LoopProduct>, String>>;
+
+/// Per-benchmark assembly slots for one suite job (`None` for stream
+/// jobs, which produce their single result in one piece).
+type SuiteSlots<T> = Option<Mutex<BenchSlots<T>>>;
 
 /// Default ceiling (bytes) on the resident size of shared compiled
 /// traces; above it the executor falls back to direct (live) runs so a
@@ -154,15 +228,24 @@ fn compiled_footprint(key: &SummaryKey) -> u64 {
 /// work — as does anything that would blow the compiled-memory
 /// `budget` (bytes).
 fn plan_compile_jobs(loop_jobs: &[LoopKey], budget: u64) -> Vec<SummaryKey> {
+    // Keys index by their Debug rendering: `f64::Debug` is shortest
+    // round-trip, so equal values render equally and the map agrees
+    // with `PartialEq` — and planning stays linear at Monte-Carlo
+    // member counts.
+    let mut users: HashMap<String, usize> = HashMap::new();
+    for job in loop_jobs {
+        *users.entry(format!("{:?}", job.summary_key())).or_insert(0) += 1;
+    }
     let mut compile_jobs: Vec<SummaryKey> = Vec::new();
+    let mut planned: HashSet<String> = HashSet::new();
     let mut footprint = 0u64;
     for job in loop_jobs {
         let skey = job.summary_key();
-        if compile_jobs.contains(&skey) {
+        let key = format!("{skey:?}");
+        if planned.contains(&key) {
             continue;
         }
-        let users = loop_jobs.iter().filter(|j| j.summary_key() == skey).count();
-        if users < 2 {
+        if users[&key] < 2 {
             continue;
         }
         let bytes = compiled_footprint(&skey);
@@ -170,6 +253,7 @@ fn plan_compile_jobs(loop_jobs: &[LoopKey], budget: u64) -> Vec<SummaryKey> {
             continue;
         }
         footprint += bytes;
+        planned.insert(key);
         compile_jobs.push(skey);
     }
     compile_jobs
@@ -193,9 +277,10 @@ impl ScenarioSet {
     /// Propagates member expansion errors; rejects duplicate names.
     pub fn expand(&self) -> Result<Vec<ScenarioSpec>, String> {
         let mut out: Vec<ScenarioSpec> = Vec::new();
+        let mut names: HashSet<String> = HashSet::new();
         for member in &self.members {
             for resolved in member.expand()? {
-                if out.iter().any(|m| m.name == resolved.name) {
+                if !names.insert(resolved.name.clone()) {
                     return Err(format!(
                         "scenario set `{}` expands to duplicate member `{}`",
                         self.name, resolved.name
@@ -307,9 +392,18 @@ impl ScenarioSet {
         // are planned over *all* members first so histogram attachment
         // is member-order-independent: a sweep-only member rides a loop
         // planned later in the set rather than spawning a redundant
-        // trace pass.
+        // trace pass. Dedup and member→job mapping go through
+        // Debug-keyed hash maps (f64's shortest-round-trip rendering
+        // agrees with `PartialEq`), keeping planning linear at
+        // Monte-Carlo member counts.
         let mut loop_jobs: Vec<LoopKey> = Vec::new();
+        let mut loop_idx_by_key: HashMap<String, usize> = HashMap::new();
+        let mut member_loop: Vec<Option<usize>> = Vec::with_capacity(members.len());
         for m in &members {
+            if !(m.analysis.wants_loop() || m.analysis.wants_aggregate()) {
+                member_loop.push(None);
+                continue;
+            }
             let key = LoopKey {
                 design_idx: design_idx(&m.design),
                 corner: m.run.corner.resolve(),
@@ -318,14 +412,27 @@ impl ScenarioSet {
                 cycles: m.run.cycles_per_benchmark,
                 seed: m.run.seed,
             };
-            if m.analysis.wants_loop() && !loop_jobs.contains(&key) {
-                loop_jobs.push(key);
-            }
+            let i = *loop_idx_by_key
+                .entry(format!("{key:?}"))
+                .or_insert_with(|| {
+                    loop_jobs.push(key);
+                    loop_jobs.len() - 1
+                });
+            member_loop.push(Some(i));
+        }
+        let mut loop_by_skey: HashMap<String, usize> = HashMap::new();
+        for (i, job) in loop_jobs.iter().enumerate() {
+            loop_by_skey
+                .entry(format!("{:?}", job.summary_key()))
+                .or_insert(i);
         }
         let mut loop_hist = vec![false; loop_jobs.len()];
         let mut summary_jobs: Vec<SummaryKey> = Vec::new();
+        let mut summary_idx_by_key: HashMap<String, usize> = HashMap::new();
+        let mut member_sweep: Vec<Option<SweepSource>> = Vec::with_capacity(members.len());
         for m in &members {
             if !m.analysis.wants_sweep() {
+                member_sweep.push(None);
                 continue;
             }
             let skey = SummaryKey {
@@ -334,13 +441,43 @@ impl ScenarioSet {
                 cycles: m.run.cycles_per_benchmark,
                 seed: m.run.seed,
             };
-            match loop_jobs.iter().position(|j| j.summary_key() == skey) {
-                Some(i) => loop_hist[i] = true,
-                None => {
-                    if !summary_jobs.contains(&skey) {
-                        summary_jobs.push(skey);
-                    }
+            let key = format!("{skey:?}");
+            match loop_by_skey.get(&key) {
+                Some(&i) => {
+                    loop_hist[i] = true;
+                    member_sweep.push(Some(SweepSource::Loop(i)));
                 }
+                None => {
+                    let s = *summary_idx_by_key.entry(key).or_insert_with(|| {
+                        summary_jobs.push(skey);
+                        summary_jobs.len() - 1
+                    });
+                    member_sweep.push(Some(SweepSource::Job(s)));
+                }
+            }
+        }
+
+        // Aggregate ranks: each aggregate-mode member folds into the
+        // campaign digest at its position among the set's aggregate
+        // members (expansion order). A shared loop job may carry
+        // several ranks; the rank order — not the completion order —
+        // fixes the fold order.
+        let mut job_agg: Vec<Vec<usize>> = vec![Vec::new(); loop_jobs.len()];
+        let mut agg_count = 0usize;
+        for (mi, m) in members.iter().enumerate() {
+            if m.analysis.wants_aggregate() {
+                let i = member_loop[mi].expect("aggregate members plan a loop job");
+                job_agg[i].push(agg_count);
+                agg_count += 1;
+            }
+        }
+        // Aggregate-only loop products are dropped at the fold; a job
+        // is materialized only if a member keeps its data or its
+        // histogram rider feeds a sweep product.
+        let mut materialize = loop_hist.clone();
+        for (mi, m) in members.iter().enumerate() {
+            if m.analysis.wants_loop() {
+                materialize[member_loop[mi].expect("loop wanted")] = true;
             }
         }
 
@@ -365,8 +502,16 @@ impl ScenarioSet {
         } else {
             Vec::new()
         };
-        let compiled_idx =
-            |job: &LoopKey| compile_jobs.iter().position(|k| *k == job.summary_key());
+        let compile_idx_by_key: HashMap<String, usize> = compile_jobs
+            .iter()
+            .enumerate()
+            .map(|(c, k)| (format!("{k:?}"), c))
+            .collect();
+        let compiled_idx = |job: &LoopKey| {
+            compile_idx_by_key
+                .get(&format!("{:?}", job.summary_key()))
+                .copied()
+        };
 
         // Which loop indices replay each compiled workload — fixed
         // before the pool starts, drained when the compile finishes.
@@ -381,9 +526,12 @@ impl ScenarioSet {
         // injector first so shared workloads materialize while the live
         // loops and summary passes fill the remaining slots; a finished
         // compile spawns one `Replay` continuation per waiting loop
-        // (the compiled stream `Arc`-shared, one clone per job). Every
-        // job writes its pre-assigned slot, so worker count and steal
-        // order never affect the assembled result.
+        // (the compiled stream `Arc`-shared, one clone per job). Suite
+        // compiles and summaries split into per-benchmark jobs whose
+        // last finisher assembles the slot-ordered whole. Every job
+        // writes its pre-assigned slot — and aggregate metrics fold
+        // through the rank-ordered `DigestBuilder` — so worker count
+        // and steal order never affect the assembled result.
         let governors: Vec<Mutex<Option<BoxedGovernor>>> =
             governors.into_iter().map(Mutex::new).collect();
         let take_governor = |i: usize| {
@@ -393,12 +541,59 @@ impl ScenarioSet {
                 .take()
                 .expect("governor built above, taken once")
         };
-        let loops: Mutex<Vec<Option<Result<LoopProduct, String>>>> =
-            Mutex::new((0..loop_jobs.len()).map(|_| None).collect());
+        let loops: Mutex<Vec<LoopSlot>> = Mutex::new((0..loop_jobs.len()).map(|_| None).collect());
         let summaries: Mutex<Vec<Option<Result<SweepData, String>>>> =
             Mutex::new((0..summary_jobs.len()).map(|_| None).collect());
+        let folder: Option<Mutex<DigestBuilder>> =
+            (agg_count > 0).then(|| Mutex::new(DigestBuilder::new(&self.name)));
+        let suite_compiles: Vec<SuiteSlots<Arc<CompiledTrace>>> = compile_jobs
+            .iter()
+            .map(|k| {
+                matches!(k.workload, WorkloadSpec::Suite)
+                    .then(|| Mutex::new(BenchSlots::new(Benchmark::ALL.len())))
+            })
+            .collect();
+        let suite_summaries: Vec<SuiteSlots<(Benchmark, TraceSummary)>> = summary_jobs
+            .iter()
+            .map(|k| {
+                matches!(k.workload, WorkloadSpec::Suite)
+                    .then(|| Mutex::new(BenchSlots::new(Benchmark::ALL.len())))
+            })
+            .collect();
 
-        let mut initial: Vec<Job> = (0..compile_jobs.len()).map(Job::Compile).collect();
+        // A finished loop (live or replayed): fold its metrics into the
+        // digest for every rank it carries, then keep or drop the
+        // product as planned.
+        let finish_loop = |i: usize, product: Result<LoopProduct, String>| {
+            let slot = match product {
+                Ok(product) => {
+                    if !job_agg[i].is_empty() {
+                        let metrics = MemberMetrics::of(&product.data);
+                        let mut folder = folder
+                            .as_ref()
+                            .expect("aggregate ranks imply a folder")
+                            .lock()
+                            .expect("digest folder");
+                        for &rank in &job_agg[i] {
+                            folder.submit(rank, metrics.clone());
+                        }
+                    }
+                    Ok(materialize[i].then_some(product))
+                }
+                Err(e) => Err(e),
+            };
+            loops.lock().expect("loop results")[i] = Some(slot);
+        };
+
+        let mut initial: Vec<Job> = Vec::new();
+        for (c, key) in compile_jobs.iter().enumerate() {
+            match key.workload {
+                WorkloadSpec::Suite => {
+                    initial.extend((0..Benchmark::ALL.len()).map(|b| Job::CompileBench(c, b)));
+                }
+                _ => initial.push(Job::Compile(c)),
+            }
+        }
         initial.extend(
             loop_jobs
                 .iter()
@@ -406,7 +601,14 @@ impl ScenarioSet {
                 .filter(|(_, job)| compiled_idx(job).is_none())
                 .map(|(i, _)| Job::Loop(i)),
         );
-        initial.extend((0..summary_jobs.len()).map(Job::Summary));
+        for (s, key) in summary_jobs.iter().enumerate() {
+            match key.workload {
+                WorkloadSpec::Suite => {
+                    initial.extend((0..Benchmark::ALL.len()).map(|b| Job::SummaryBench(s, b)));
+                }
+                _ => initial.push(Job::Summary(s)),
+            }
+        }
 
         pool::run(
             pool::worker_count(workers),
@@ -414,7 +616,7 @@ impl ScenarioSet {
             |job, spawner| match job {
                 Job::Compile(c) => {
                     let key = &compile_jobs[c];
-                    match compile_workload(&designs[key.design_idx], key) {
+                    match compile_stream(&designs[key.design_idx], key) {
                         Ok(workload) => {
                             for &i in &replayers[c] {
                                 spawner.spawn(Job::Replay(i, workload.clone()));
@@ -428,6 +630,26 @@ impl ScenarioSet {
                         }
                     }
                 }
+                Job::CompileBench(c, b) => {
+                    let key = &compile_jobs[c];
+                    let compiled = Arc::new(CompiledTrace::compile(
+                        &designs[key.design_idx],
+                        &mut Benchmark::ALL[b].trace(key.seed),
+                        key.cycles,
+                    ));
+                    let done = suite_compiles[c]
+                        .as_ref()
+                        .expect("suite compile assembly")
+                        .lock()
+                        .expect("suite compile slots")
+                        .fill(b, compiled);
+                    if let Some(per) = done {
+                        let workload = CompiledWorkload::Suite(per);
+                        for &i in &replayers[c] {
+                            spawner.spawn(Job::Replay(i, workload.clone()));
+                        }
+                    }
+                }
                 Job::Loop(i) => {
                     let job = &loop_jobs[i];
                     let product = run_loop_job(
@@ -436,7 +658,7 @@ impl ScenarioSet {
                         take_governor(i),
                         loop_hist[i],
                     );
-                    loops.lock().expect("loop results")[i] = Some(product);
+                    finish_loop(i, product);
                 }
                 Job::Replay(i, workload) => {
                     let job = &loop_jobs[i];
@@ -447,12 +669,31 @@ impl ScenarioSet {
                         loop_hist[i],
                         &workload,
                     );
-                    loops.lock().expect("loop results")[i] = Some(product);
+                    finish_loop(i, product);
                 }
                 Job::Summary(s) => {
                     let job = &summary_jobs[s];
                     summaries.lock().expect("summary results")[s] =
                         Some(run_summary_job(&designs[job.design_idx], job));
+                }
+                Job::SummaryBench(s, b) => {
+                    let key = &summary_jobs[s];
+                    let benchmark = Benchmark::ALL[b];
+                    let summary = TraceSummary::collect(
+                        &designs[key.design_idx],
+                        &mut benchmark.trace(key.seed),
+                        key.cycles,
+                    );
+                    let done = suite_summaries[s]
+                        .as_ref()
+                        .expect("suite summary assembly")
+                        .lock()
+                        .expect("suite summary slots")
+                        .fill(b, (benchmark, summary));
+                    if let Some(per) = done {
+                        summaries.lock().expect("summary results")[s] =
+                            Some(Ok(SweepData::Bank(SummaryBank::from_per_benchmark(per))));
+                    }
                 }
             },
         );
@@ -469,51 +710,33 @@ impl ScenarioSet {
             .into_iter()
             .map(|p| p.expect("every summary job produced"))
             .collect::<Result<Vec<_>, String>>()?;
+        let digest: Option<CampaignDigest> =
+            folder.map(|f| f.into_inner().expect("digest folder").finish());
 
-        // Assemble member results in expansion order.
+        // Assemble member results in expansion order, through the
+        // member→job maps fixed at planning time.
         let mut results = Vec::with_capacity(members.len());
-        for m in &members {
-            let key = LoopKey {
-                design_idx: design_idx(&m.design),
-                corner: m.run.corner.resolve(),
-                workload: m.workload.clone(),
-                controller: m.controller,
-                cycles: m.run.cycles_per_benchmark,
-                seed: m.run.seed,
-            };
+        for (mi, m) in members.iter().enumerate() {
             let closed_loop = if m.analysis.wants_loop() {
-                let i = loop_jobs
-                    .iter()
-                    .position(|j| *j == key)
-                    .expect("loop job planned above");
-                Some(loop_products[i].data.clone())
+                let i = member_loop[mi].expect("loop job planned above");
+                let product = loop_products[i]
+                    .as_ref()
+                    .expect("loop-wanting members materialize their job");
+                Some(product.data.clone())
             } else {
                 None
             };
-            let sweep = if m.analysis.wants_sweep() {
-                let skey = key.summary_key();
-                let from_loop = loop_jobs
-                    .iter()
-                    .enumerate()
-                    .find(|(i, j)| loop_hist[*i] && j.summary_key() == skey)
-                    .map(|(i, _)| {
-                        loop_products[i]
-                            .sweep
-                            .clone()
-                            .expect("histogram requested on this job")
-                    });
-                Some(match from_loop {
-                    Some(sweep) => sweep,
-                    None => {
-                        let i = summary_jobs
-                            .iter()
-                            .position(|j| *j == skey)
-                            .expect("summary job planned above");
-                        summary_products[i].clone()
-                    }
-                })
-            } else {
-                None
+            let sweep = match member_sweep[mi] {
+                Some(SweepSource::Loop(i)) => Some(
+                    loop_products[i]
+                        .as_ref()
+                        .expect("histogram riders materialize their job")
+                        .sweep
+                        .clone()
+                        .expect("histogram requested on this job"),
+                ),
+                Some(SweepSource::Job(s)) => Some(summary_products[s].clone()),
+                None => None,
             };
             results.push(MemberResult {
                 spec: m.clone(),
@@ -528,18 +751,18 @@ impl ScenarioSet {
             result: ScenarioSetResult {
                 name: self.name.clone(),
                 members: results,
+                digest,
             },
         })
     }
 }
 
-/// Compiles one shared workload against its design (phase A of the
-/// executor fan-out).
-fn compile_workload(design: &DvsBusDesign, key: &SummaryKey) -> Result<CompiledWorkload, String> {
+/// Compiles one shared single-stream workload against its design
+/// (phase A of the executor fan-out). Suite workloads never reach
+/// here — they split into per-benchmark [`Job::CompileBench`] jobs.
+fn compile_stream(design: &DvsBusDesign, key: &SummaryKey) -> Result<CompiledWorkload, String> {
     match &key.workload {
-        WorkloadSpec::Suite => Ok(CompiledWorkload::Suite(fig8::compile_suite(
-            design, key.cycles, key.seed,
-        ))),
+        WorkloadSpec::Suite => unreachable!("suite compiles split into per-benchmark jobs"),
         WorkloadSpec::Single(benchmark) => Ok(CompiledWorkload::Stream(Arc::new(
             CompiledTrace::compile(design, &mut benchmark.trace(key.seed), key.cycles),
         ))),
@@ -667,9 +890,7 @@ fn run_stream_job<S: TraceSource>(
 
 fn run_summary_job(design: &DvsBusDesign, job: &SummaryKey) -> Result<SweepData, String> {
     match &job.workload {
-        WorkloadSpec::Suite => Ok(SweepData::Bank(SummaryBank::collect(
-            design, job.cycles, job.seed,
-        ))),
+        WorkloadSpec::Suite => unreachable!("suite summaries split into per-benchmark jobs"),
         WorkloadSpec::Single(benchmark) => {
             let mut trace = benchmark.trace(job.seed);
             Ok(SweepData::Summary(TraceSummary::collect(
@@ -726,10 +947,15 @@ impl ScenarioSetRun {
 
     /// Prints a generic render of every member: closed-loop aggregates
     /// and/or static-sweep gains at the paper's 0 / 2 / 5 % targets.
+    /// Aggregate-mode members are rendered collectively through the
+    /// campaign digest table instead of one line each.
     pub fn print(&self) {
         println!("scenario set `{}`:", self.result.name);
         for member in &self.result.members {
             let spec = &member.spec;
+            if spec.analysis.wants_aggregate() {
+                continue;
+            }
             println!(
                 "\n  {} [{} / {} / {} / {}]",
                 spec.name,
@@ -767,6 +993,10 @@ impl ScenarioSetRun {
                     println!("    static gains:  {}", cells.join("   "));
                 }
             }
+        }
+        if let Some(digest) = &self.result.digest {
+            println!();
+            print!("{}", digest.table());
         }
     }
 }
@@ -990,6 +1220,50 @@ mod tests {
             compiled.memory_bytes() as u64,
             1_000 * COMPILED_BYTES_PER_CYCLE
         );
+    }
+
+    #[test]
+    fn bench_slots_assemble_in_slot_order_whatever_the_fill_order() {
+        let mut slots = BenchSlots::new(3);
+        assert!(slots.fill(2, "c").is_none());
+        assert!(slots.fill(0, "a").is_none());
+        let done = slots.fill(1, "b").expect("last fill completes");
+        assert_eq!(done, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "filled twice")]
+    fn bench_slots_reject_a_double_fill() {
+        let mut slots = BenchSlots::new(2);
+        slots.fill(0, "a");
+        slots.fill(0, "b");
+    }
+
+    #[test]
+    fn aggregate_members_fold_without_materializing() {
+        // Suite members in aggregate mode: per-benchmark compile jobs
+        // feed replays whose metrics fold into the digest, and no
+        // products are kept. The digest is identical on every worker
+        // count and on the live path (order independence through the
+        // real executor).
+        let mut spec = member("agg", AnalysisSpec::Aggregate, CornerSpec::Typical);
+        spec.sweep = vec![SweepAxis::Governors(vec![
+            GovernorSpec::Threshold,
+            GovernorSpec::Proportional,
+        ])];
+        let set = ScenarioSet::single(spec);
+        let one = set.run_with_workers(Vec::new(), true, Some(1)).unwrap();
+        let digest = one.result.digest.as_ref().expect("digest produced");
+        assert_eq!(digest.members, 2);
+        assert!(one
+            .result
+            .members
+            .iter()
+            .all(|m| m.closed_loop.is_none() && m.sweep.is_none()));
+        let two = set.run_with_workers(Vec::new(), true, Some(2)).unwrap();
+        assert_eq!(one.result, two.result);
+        let live = set.run_with_workers(Vec::new(), false, None).unwrap();
+        assert_eq!(one.result, live.result);
     }
 
     #[test]

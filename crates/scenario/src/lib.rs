@@ -22,6 +22,13 @@
 //!   are [`razorbus_artifact::Artifact`] kinds, so a scenario run can
 //!   be saved, reloaded ([`ScenarioSetRun::from_result`]) and
 //!   re-rendered without re-simulating.
+//! * [`aggregate`] — streaming campaign aggregation: members in
+//!   [`AnalysisSpec::Aggregate`] mode fold their scalar metrics into
+//!   one constant-memory [`CampaignDigest`] (count / mean / variance /
+//!   extrema / histogram / quantile sketch per metric) in member-rank
+//!   order, bit-identical at any worker count — the `campaign-digest`
+//!   artifact kind that makes 10 k-member Monte-Carlo campaigns
+//!   reportable without materializing 10 k results.
 //! * [`record`] — campaign record/replay: [`CampaignRecording`] binds a
 //!   set, its seeds, tool/format versions and per-member/per-component
 //!   result digests into one `campaign-recording` manifest that replays
@@ -54,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod catalog;
 mod exec;
 pub mod paper;
@@ -62,13 +70,14 @@ pub mod record;
 mod result;
 mod spec;
 
+pub use aggregate::{CampaignDigest, DigestBuilder, MemberMetrics, QuantileSketch, ScalarAgg};
 pub use exec::{ScenarioSet, ScenarioSetRun};
 pub use pool::worker_count;
 pub use record::{CampaignRecording, Divergence, MemberRecord, ReplayReport};
 pub use result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
 pub use spec::{
-    AnalysisSpec, ControllerSpec, CornerSpec, DesignSpec, DmaProfile, IdleProfile, RunSpec,
-    ScenarioSpec, StormProfile, SweepAxis, TrafficRecipe, VoltageSweep, WorkloadSpec,
+    AnalysisSpec, ControllerSpec, CornerSpec, DesignSpec, DmaProfile, IdleProfile, MixProfile,
+    RunSpec, ScenarioSpec, StormProfile, SweepAxis, TrafficRecipe, VoltageSweep, WorkloadSpec,
 };
 
 use razorbus_artifact::Artifact;
@@ -87,4 +96,8 @@ impl Artifact for ScenarioSetResult {
 
 impl Artifact for CampaignRecording {
     const KIND: &'static str = "campaign-recording";
+}
+
+impl Artifact for CampaignDigest {
+    const KIND: &'static str = "campaign-digest";
 }

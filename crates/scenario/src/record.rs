@@ -40,6 +40,10 @@ pub const COMPONENT_SPEC: &str = "spec";
 pub const COMPONENT_LOOP: &str = "closed-loop";
 /// Component name for the member's sweep product.
 pub const COMPONENT_SWEEP: &str = "sweep";
+/// Component name for the campaign-level streaming digest — a
+/// set-level component, reported with the member index one past the
+/// last expanded member.
+pub const COMPONENT_DIGEST: &str = "campaign-digest";
 
 /// One digested component of one member's result.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -82,8 +86,15 @@ pub struct CampaignRecording {
     /// The recorded set. Specs carry every non-deterministic input:
     /// cycles, seeds, corners, governors, workload recipes.
     pub set: ScenarioSet,
-    /// Per-member digests in expansion order.
+    /// Per-member digests in expansion order — **aggregate-mode
+    /// members excluded**: they materialize no products, so a
+    /// Monte-Carlo campaign's manifest stays a few hundred bytes
+    /// instead of one record per member. Their collective result is
+    /// pinned by `digest` below.
     pub members: Vec<MemberRecord>,
+    /// Digest of the campaign's streaming [`crate::CampaignDigest`],
+    /// present exactly when the set has aggregate-mode members.
+    pub digest: Option<ContentDigest>,
 }
 
 /// The first digest mismatch of a replay, localized to a member and a
@@ -200,8 +211,16 @@ impl CampaignRecording {
         let members = result
             .members
             .iter()
+            .filter(|m| !m.spec.analysis.wants_aggregate())
             .map(digest_member)
             .collect::<Result<Vec<_>, _>>()?;
+        let digest = match &result.digest {
+            Some(d) => Some(
+                ContentDigest::of(d)
+                    .map_err(|e| format!("cannot digest campaign digest of `{}`: {e}", set.name))?,
+            ),
+            None => None,
+        };
         Ok(Self {
             tool_version: TOOL_VERSION.to_string(),
             format_version: razorbus_artifact::CONTAINER_VERSION,
@@ -209,6 +228,7 @@ impl CampaignRecording {
             compile_budget_bytes: compile_budget(),
             set: set.clone(),
             members,
+            digest,
         })
     }
 
@@ -254,10 +274,28 @@ impl CampaignRecording {
     /// Returns a description of the first structural mismatch.
     pub fn verify_self_consistent(&self) -> Result<(), String> {
         let expanded = self.set.expand()?;
+        let wants_digest = expanded.iter().any(|s| s.analysis.wants_aggregate());
+        if wants_digest != self.digest.is_some() {
+            return Err(format!(
+                "recording of `{}` {} a campaign digest but the set {} aggregate \
+                 members — foreign or hand-edited recording",
+                self.set.name,
+                if self.digest.is_some() {
+                    "carries"
+                } else {
+                    "lacks"
+                },
+                if wants_digest { "expands to" } else { "has no" },
+            ));
+        }
+        let expanded: Vec<_> = expanded
+            .into_iter()
+            .filter(|s| !s.analysis.wants_aggregate())
+            .collect();
         if expanded.len() != self.members.len() {
             return Err(format!(
                 "recording of `{}` holds {} member records but the set expands to {} \
-                 members — foreign or hand-edited recording",
+                 materialized members — foreign or hand-edited recording",
                 self.set.name,
                 self.members.len(),
                 expanded.len()
@@ -338,15 +376,20 @@ impl CampaignRecording {
     /// Errors when `result`'s shape doesn't match the recording (it
     /// must come from the same set) or a digest fails.
     pub fn diff(&self, result: &ScenarioSetResult) -> Result<ReplayReport, String> {
-        if result.members.len() != self.members.len() {
+        let fresh_members: Vec<&MemberResult> = result
+            .members
+            .iter()
+            .filter(|m| !m.spec.analysis.wants_aggregate())
+            .collect();
+        if fresh_members.len() != self.members.len() {
             return Err(format!(
-                "cannot diff: result holds {} members, recording {}",
-                result.members.len(),
+                "cannot diff: result holds {} materialized members, recording {}",
+                fresh_members.len(),
                 self.members.len()
             ));
         }
         let mut components_matched = 0usize;
-        for (index, (recorded, fresh)) in self.members.iter().zip(&result.members).enumerate() {
+        for (index, (recorded, &fresh)) in self.members.iter().zip(&fresh_members).enumerate() {
             let fresh_digests = digest_member(fresh)?;
             for stored in &recorded.components {
                 let Some(now) = fresh_digests
@@ -375,6 +418,46 @@ impl CampaignRecording {
                     });
                 }
                 components_matched += 1;
+            }
+        }
+        // The campaign digest is a set-level component: compare it
+        // last, reported with the member index one past the expansion.
+        match (&self.digest, &result.digest) {
+            (None, None) => {}
+            (Some(expected), Some(digest)) => {
+                let got = ContentDigest::of(digest).map_err(|e| {
+                    format!("cannot digest campaign digest of `{}`: {e}", self.set.name)
+                })?;
+                if got != *expected {
+                    return Ok(ReplayReport {
+                        campaign: self.set.name.clone(),
+                        members_matched: self.members.len(),
+                        members_total: self.members.len(),
+                        components_matched,
+                        divergence: Some(Divergence {
+                            member_index: result.members.len(),
+                            member: self.set.name.clone(),
+                            component: COMPONENT_DIGEST.to_string(),
+                            expected: *expected,
+                            got,
+                        }),
+                    });
+                }
+                components_matched += 1;
+            }
+            (Some(_), None) => {
+                return Err(format!(
+                    "cannot diff: recording of `{}` expects a campaign digest but the \
+                     result carries none",
+                    self.set.name
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(format!(
+                    "cannot diff: result of `{}` carries a campaign digest the \
+                     recording does not expect",
+                    self.set.name
+                ));
             }
         }
         Ok(ReplayReport {

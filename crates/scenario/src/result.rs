@@ -135,8 +135,13 @@ pub struct MemberResult {
 pub struct ScenarioSetResult {
     /// The set's name.
     pub name: String,
-    /// Member results in expansion order.
+    /// Member results in expansion order. Aggregate-mode members keep
+    /// their resolved spec here but no products — their metrics live
+    /// in the campaign digest.
     pub members: Vec<MemberResult>,
+    /// The streaming digest of the set's aggregate-mode members
+    /// (`None` when the set has none).
+    pub digest: Option<crate::aggregate::CampaignDigest>,
 }
 
 impl ScenarioSetResult {

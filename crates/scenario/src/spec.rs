@@ -127,6 +127,10 @@ pub enum TrafficRecipe {
     /// Worst victim/aggressor coupling patterns at a dialed-in rate
     /// ([`razorbus_traces::AdversarialCrosstalk`]).
     CrosstalkStorm(StormProfile),
+    /// Deterministic phase rotation through all three generators — the
+    /// mixed-traffic workload Monte-Carlo campaigns sweep, so one seed
+    /// exercises burst, idle and crosstalk regimes in a single stream.
+    Mixed(MixProfile),
 }
 
 impl TrafficRecipe {
@@ -169,6 +173,33 @@ impl TrafficRecipe {
                     aggression,
                 )))
             }
+            Self::Mixed(p) => {
+                if p.dma_words + p.idle_words + p.storm_words == 0 {
+                    return Err("mixed recipe rotates zero words".to_string());
+                }
+                if p.dma.mean_burst == 0 || p.dma.mean_idle == 0 {
+                    return Err("DMA burst/idle lengths must be positive".to_string());
+                }
+                let housekeeping = fraction(p.dma.housekeeping_permille, "housekeeping rate")?;
+                let nonzero = fraction(p.idle.nonzero_permille, "non-zero rate")?;
+                let aggression = fraction(p.storm.aggression_permille, "aggression")?;
+                // An extra fold keeps the mixed phases off the streams
+                // the pure recipes would emit at the same scenario seed.
+                let seed = seed ^ 0xD3A_0004;
+                Ok(Box::new(MixedTraffic {
+                    dma: BurstyDma::new(
+                        seed ^ 0xD3A_0001,
+                        p.dma.mean_burst,
+                        p.dma.mean_idle,
+                        housekeeping,
+                    ),
+                    idle: ZeroBurstWords::new(seed ^ 0xD3A_0002, nonzero),
+                    storm: AdversarialCrosstalk::new(seed ^ 0xD3A_0003, aggression),
+                    lens: [p.dma_words, p.idle_words, p.storm_words],
+                    phase: 2,
+                    remaining: 0,
+                }))
+            }
         }
     }
 
@@ -179,6 +210,39 @@ impl TrafficRecipe {
             Self::BurstyDma(_) => "bursty-dma".to_string(),
             Self::IdleDominated(_) => "idle".to_string(),
             Self::CrosstalkStorm(p) => format!("crosstalk{}", p.aggression_permille),
+            Self::Mixed(_) => "mixed".to_string(),
+        }
+    }
+}
+
+/// The rotating source behind [`TrafficRecipe::Mixed`]: cycles through
+/// DMA → idle → crosstalk phases of the configured word counts,
+/// skipping zero-length phases. Each sub-generator keeps its own state
+/// across phases, so the stream is a pure function of the seed — no
+/// extra randomness enters the rotation.
+struct MixedTraffic {
+    dma: BurstyDma,
+    idle: ZeroBurstWords,
+    storm: AdversarialCrosstalk,
+    /// Phase lengths in words: DMA, idle, crosstalk.
+    lens: [u64; 3],
+    /// Current phase index into `lens`.
+    phase: usize,
+    /// Words left in the current phase.
+    remaining: u64,
+}
+
+impl TraceSource for MixedTraffic {
+    fn next_word(&mut self) -> u32 {
+        while self.remaining == 0 {
+            self.phase = (self.phase + 1) % self.lens.len();
+            self.remaining = self.lens[self.phase];
+        }
+        self.remaining -= 1;
+        match self.phase {
+            0 => self.dma.next_word(),
+            1 => self.idle.next_word(),
+            _ => self.storm.next_word(),
         }
     }
 }
@@ -208,6 +272,25 @@ pub struct IdleProfile {
 pub struct StormProfile {
     /// Fraction (‰) of cycles carrying the worst coupling pattern.
     pub aggression_permille: u32,
+}
+
+/// [`TrafficRecipe::Mixed`] parameters: the three sub-generator
+/// profiles plus how many words each contributes per rotation.
+/// Zero-length phases are skipped; at least one must be non-zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MixProfile {
+    /// The DMA phase's generator profile.
+    pub dma: DmaProfile,
+    /// Words per DMA phase.
+    pub dma_words: u64,
+    /// The idle phase's generator profile.
+    pub idle: IdleProfile,
+    /// Words per idle phase.
+    pub idle_words: u64,
+    /// The crosstalk phase's generator profile.
+    pub storm: StormProfile,
+    /// Words per crosstalk phase.
+    pub storm_words: u64,
 }
 
 /// The control side of a member: governor choice plus optional
@@ -321,15 +404,31 @@ pub enum AnalysisSpec {
     StaticSweep,
     /// Both.
     Full,
+    /// Streaming aggregation: the member's closed loop runs, but only
+    /// its scalar metrics fold into the set's campaign digest — the
+    /// per-member products are dropped, so campaigns scale to tens of
+    /// thousands of members in constant memory.
+    Aggregate,
 }
 
 impl AnalysisSpec {
-    pub(crate) fn wants_loop(self) -> bool {
+    /// Whether this member materializes a closed-loop product.
+    #[must_use]
+    pub fn wants_loop(self) -> bool {
         matches!(self, Self::ClosedLoop | Self::Full)
     }
 
-    pub(crate) fn wants_sweep(self) -> bool {
+    /// Whether this member materializes a sweep product.
+    #[must_use]
+    pub fn wants_sweep(self) -> bool {
         matches!(self, Self::StaticSweep | Self::Full)
+    }
+
+    /// Whether this member folds into the campaign digest instead of
+    /// materializing per-member products.
+    #[must_use]
+    pub fn wants_aggregate(self) -> bool {
+        matches!(self, Self::Aggregate)
     }
 }
 
@@ -347,6 +446,11 @@ pub enum SweepAxis {
     /// executor. Every member of one seed shares that seed's compiled
     /// trace; different seeds compile separately.
     Seeds(Vec<u64>),
+    /// Run the member at each of these cycle budgets — the per-member
+    /// cycle override that lets one catalog entry cap a Monte-Carlo
+    /// campaign's compiled footprint regardless of the CLI's global
+    /// `RAZORBUS_CYCLES` budget.
+    Cycles(Vec<u64>),
 }
 
 /// An inclusive fixed-supply range for [`SweepAxis::Voltages`].
@@ -479,6 +583,23 @@ impl ScenarioSpec {
                             let mut m = member.clone();
                             m.run.seed = *seed;
                             m.name = format!("{}#seed{}", member.name, seed);
+                            next.push(m);
+                        }
+                    }
+                    SweepAxis::Cycles(budgets) => {
+                        if budgets.is_empty() {
+                            return Err(format!("scenario `{}` sweeps zero budgets", self.name));
+                        }
+                        for budget in budgets {
+                            if *budget == 0 {
+                                return Err(format!(
+                                    "scenario `{}` sweeps a zero cycle budget",
+                                    self.name
+                                ));
+                            }
+                            let mut m = member.clone();
+                            m.run.cycles_per_benchmark = *budget;
+                            m.name = format!("{}^{}c", member.name, budget);
                             next.push(m);
                         }
                     }

@@ -1,0 +1,280 @@
+//! Contract tests for streaming campaign aggregation: the
+//! order-independence property (any member completion order, any worker
+//! count, one bit-identical digest), the differential guarantee that
+//! streaming equals materialize-then-aggregate, and the universal
+//! corruption contract of the `campaign-digest` artifact kind.
+
+use proptest::prelude::*;
+use razorbus_artifact::{decode, encode, Artifact, Encoding};
+use razorbus_scenario::{
+    AnalysisSpec, CampaignDigest, ControllerSpec, CornerSpec, DesignSpec, DigestBuilder,
+    IdleProfile, MemberMetrics, RunSpec, ScenarioSet, ScenarioSpec, SweepAxis, TrafficRecipe,
+    WorkloadSpec,
+};
+
+/// Raw scalars one synthetic member is drawn from (the vendored
+/// proptest has no mapping combinators, so structs are assembled in
+/// the test body via [`metrics_from`]).
+type RawMetrics = (f64, f64, f64, f64, u64, u64);
+
+/// The strategy behind [`RawMetrics`]: gain, error rate, supply (mV),
+/// energy (fJ), error count, cycle count — each ranged inside its
+/// digest accumulator's histogram domain.
+fn raw_metrics() -> impl Strategy<Value = RawMetrics> {
+    (
+        -1.0f64..1.0,
+        0.0f64..1.0,
+        800.0f64..1300.0,
+        0.0f64..1e9,
+        0u64..500,
+        1u64..100_000,
+    )
+}
+
+/// A fully synthetic member-metrics value from drawn scalars.
+fn metrics_from((gain, rate, volt, energy_fj, errors, cycles): RawMetrics) -> MemberMetrics {
+    MemberMetrics {
+        energy_gain: gain,
+        error_rate: rate,
+        peak_window_error_rate: rate,
+        mean_voltage_mv: volt,
+        min_voltage_mv: volt as i32,
+        shadow_violations: errors % 3,
+        errors,
+        cycles,
+        energy_fj,
+        baseline_energy_fj: energy_fj + 1.0,
+    }
+}
+
+fn members_from(raws: &[RawMetrics]) -> Vec<MemberMetrics> {
+    raws.iter().copied().map(metrics_from).collect()
+}
+
+/// Applies drawn index swaps to `0..len` — a deterministic stand-in for
+/// a shuffle strategy: every permutation is reachable, and shrinking
+/// walks toward the identity.
+fn permutation(len: usize, swaps: &[(usize, usize)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    for &(a, b) in swaps {
+        order.swap(a % len, b % len);
+    }
+    order
+}
+
+/// Folds `members` through a [`DigestBuilder`], submitting ranks in
+/// `order`, and returns the framed binary artifact bytes.
+fn digest_bytes(members: &[MemberMetrics], order: &[usize]) -> Vec<u8> {
+    let mut builder = DigestBuilder::new("prop-campaign");
+    for &rank in order {
+        builder.submit(rank, members[rank].clone());
+    }
+    let digest = builder.finish();
+    encode(CampaignDigest::KIND, Encoding::Binary, &digest).expect("digest encodes")
+}
+
+/// A synthetic digest for serialization-level properties (no
+/// simulation; `n` drawn members folded in rank order).
+fn synthetic_digest(members: &[MemberMetrics]) -> CampaignDigest {
+    let mut digest = CampaignDigest::new("prop-campaign");
+    for m in members {
+        digest.observe(m);
+    }
+    digest
+}
+
+proptest! {
+    /// THE order-independence property: whatever order member results
+    /// arrive in — serial rank order, fully reversed, any interleaving
+    /// a 2- or N-worker pool could produce — the finished digest is
+    /// bit-identical to the sequential in-order fold.
+    #[test]
+    fn digest_is_independent_of_completion_order(
+        raws in proptest::collection::vec(raw_metrics(), 1..40),
+        swaps in proptest::collection::vec((any::<usize>(), any::<usize>()), 0..64),
+    ) {
+        let members = members_from(&raws);
+        let in_order: Vec<usize> = (0..members.len()).collect();
+        let reference = digest_bytes(&members, &in_order);
+
+        let reversed: Vec<usize> = (0..members.len()).rev().collect();
+        prop_assert_eq!(&digest_bytes(&members, &reversed), &reference);
+
+        let shuffled = permutation(members.len(), &swaps);
+        prop_assert_eq!(&digest_bytes(&members, &shuffled), &reference);
+    }
+
+    /// Sharded folding (one builder per worker's slice, shards merged
+    /// in slice order) conserves the exact invariants: counts, totals,
+    /// extrema, histograms and sketch weight all match the serial fold.
+    #[test]
+    fn shard_merge_conserves_exact_invariants(
+        raws in proptest::collection::vec(raw_metrics(), 1..40),
+        cut in any::<usize>(),
+    ) {
+        let members = members_from(&raws);
+        let serial = synthetic_digest(&members);
+        let cut = cut % (members.len() + 1);
+        let mut left = synthetic_digest(&members[..cut]);
+        let right = synthetic_digest(&members[cut..]);
+        left.merge(&right);
+
+        prop_assert_eq!(left.members, serial.members);
+        prop_assert_eq!(left.total_cycles, serial.total_cycles);
+        prop_assert_eq!(left.total_errors, serial.total_errors);
+        prop_assert_eq!(left.total_shadow_violations, serial.total_shadow_violations);
+        for ((name, merged), (_, serial_agg)) in left.metrics().zip(serial.metrics()) {
+            prop_assert_eq!(merged.count(), serial_agg.count(), "{}", name);
+            prop_assert_eq!(merged.min(), serial_agg.min(), "{}", name);
+            prop_assert_eq!(merged.max(), serial_agg.max(), "{}", name);
+            prop_assert_eq!(merged.histogram(), serial_agg.histogram(), "{}", name);
+            prop_assert!(
+                (merged.mean() - serial_agg.mean()).abs() <= 1e-9 * serial_agg.mean().abs() + 1e-12,
+                "{}: merged mean {} vs serial {}",
+                name, merged.mean(), serial_agg.mean()
+            );
+        }
+    }
+
+    /// Digests round-trip bit-exactly in both encodings.
+    #[test]
+    fn campaign_digests_round_trip(
+        raws in proptest::collection::vec(raw_metrics(), 0..30),
+    ) {
+        let digest = synthetic_digest(&members_from(&raws));
+        for encoding in [Encoding::Binary, Encoding::Json] {
+            let bytes = encode(CampaignDigest::KIND, encoding, &digest).expect("encode");
+            let back: CampaignDigest = decode(CampaignDigest::KIND, &bytes).expect("decode");
+            prop_assert_eq!(&back, &digest, "{:?} round trip drifted", encoding);
+        }
+    }
+
+    /// Corruption contract: any single-byte flip of a framed
+    /// `campaign-digest` errors, never panics.
+    #[test]
+    fn any_digest_byte_flip_is_detected(
+        raws in proptest::collection::vec(raw_metrics(), 1..20),
+        position in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let digest = synthetic_digest(&members_from(&raws));
+        let mut bytes = encode(CampaignDigest::KIND, Encoding::Binary, &digest).unwrap();
+        let position = position % bytes.len();
+        bytes[position] ^= mask;
+        prop_assert!(decode::<CampaignDigest>(CampaignDigest::KIND, &bytes).is_err());
+    }
+
+    /// Corruption contract: every strict prefix of a framed
+    /// `campaign-digest` errors, never panics.
+    #[test]
+    fn any_digest_truncation_is_detected(
+        raws in proptest::collection::vec(raw_metrics(), 1..20),
+        cut in any::<usize>(),
+    ) {
+        let digest = synthetic_digest(&members_from(&raws));
+        let bytes = encode(CampaignDigest::KIND, Encoding::Binary, &digest).unwrap();
+        let cut = cut % bytes.len();
+        prop_assert!(decode::<CampaignDigest>(CampaignDigest::KIND, &bytes[..cut]).is_err());
+    }
+}
+
+/// A 12-member aggregate campaign through the real executor: 2 seeds ×
+/// 2 corners × 3 governors over an idle-dominated stream, small enough
+/// to run repeatedly at several worker counts.
+fn aggregate_set(analysis: AnalysisSpec) -> ScenarioSet {
+    let spec = ScenarioSpec {
+        name: "mc".to_string(),
+        design: DesignSpec::Paper,
+        workload: WorkloadSpec::Recipe(TrafficRecipe::IdleDominated(IdleProfile {
+            nonzero_permille: 50,
+        })),
+        controller: ControllerSpec::paper(),
+        run: RunSpec {
+            corner: CornerSpec::Typical,
+            cycles_per_benchmark: 1_500,
+            seed: 7,
+        },
+        analysis,
+        sweep: vec![
+            SweepAxis::Seeds(vec![7, 8]),
+            SweepAxis::Corners(vec![CornerSpec::Typical, CornerSpec::Worst]),
+            SweepAxis::Governors(vec![
+                razorbus_ctrl::GovernorSpec::Threshold,
+                razorbus_ctrl::GovernorSpec::Proportional,
+                razorbus_ctrl::GovernorSpec::Fixed(razorbus_units::Millivolts::new(1_100)),
+            ]),
+        ],
+    };
+    ScenarioSet {
+        name: "agg-exec".to_string(),
+        members: vec![spec],
+    }
+}
+
+fn executor_digest_bytes(workers: Option<usize>, share_compiled: bool) -> Vec<u8> {
+    let run = aggregate_set(AnalysisSpec::Aggregate)
+        .run_with_workers(Vec::new(), share_compiled, workers)
+        .expect("valid spec");
+    let digest = run.result.digest.expect("aggregate campaign digests");
+    encode(CampaignDigest::KIND, Encoding::Binary, &digest).expect("digest encodes")
+}
+
+/// The executor-level order-independence guarantee: 1 worker (strictly
+/// serial), 2 workers and the machine's full pool — and both the
+/// shared-compiled and live paths — produce byte-identical digests.
+#[test]
+fn executor_digest_is_bit_identical_across_worker_counts_and_paths() {
+    let serial = executor_digest_bytes(Some(1), true);
+    assert_eq!(executor_digest_bytes(Some(2), true), serial, "2 workers");
+    assert_eq!(executor_digest_bytes(None, true), serial, "full pool");
+    assert_eq!(executor_digest_bytes(Some(2), false), serial, "live path");
+}
+
+/// The differential guarantee: the streaming fold (constant memory, no
+/// products kept) equals materializing every member's closed-loop
+/// product and aggregating afterwards — bit-exactly.
+#[test]
+fn streaming_equals_materialize_then_aggregate() {
+    let streamed = aggregate_set(AnalysisSpec::Aggregate).run().expect("runs");
+    let streamed_digest = streamed.result.digest.expect("digest produced");
+    for member in &streamed.result.members {
+        assert!(member.closed_loop.is_none(), "streaming kept a product");
+    }
+
+    let materialized = aggregate_set(AnalysisSpec::ClosedLoop).run().expect("runs");
+    assert!(materialized.result.digest.is_none());
+    let mut builder = DigestBuilder::new("agg-exec");
+    for (rank, member) in materialized.result.members.iter().enumerate() {
+        let product = member.closed_loop.as_ref().expect("materialized product");
+        builder.submit(rank, MemberMetrics::of(product));
+    }
+    let rebuilt = builder.finish();
+
+    let streamed_bytes = encode(CampaignDigest::KIND, Encoding::Binary, &streamed_digest).unwrap();
+    let rebuilt_bytes = encode(CampaignDigest::KIND, Encoding::Binary, &rebuilt).unwrap();
+    assert_eq!(
+        streamed_bytes, rebuilt_bytes,
+        "streaming drifted from materialized"
+    );
+}
+
+/// Mixed campaigns (aggregate members sharing an executor run with
+/// materialized ones) keep both contracts: the digest covers exactly
+/// the aggregate members, the others keep their products.
+#[test]
+fn aggregate_and_materialized_members_coexist() {
+    let mut set = aggregate_set(AnalysisSpec::Aggregate);
+    let mut full = set.members[0].clone();
+    full.name = "probe".to_string();
+    full.analysis = AnalysisSpec::Full;
+    full.sweep = vec![];
+    set.members.push(full);
+
+    let run = set.run().expect("runs");
+    let digest = run.result.digest.as_ref().expect("digest produced");
+    assert_eq!(digest.members, 12);
+    assert_eq!(run.result.members.len(), 13);
+    let probe = run.result.member("probe").expect("probe kept");
+    assert!(probe.closed_loop.is_some());
+    assert!(probe.sweep.is_some());
+}

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use razorbus_artifact::{decode, encode, Artifact, Encoding};
 use razorbus_ctrl::GovernorSpec;
 use razorbus_scenario::{
-    AnalysisSpec, ControllerSpec, CornerSpec, DesignSpec, DmaProfile, IdleProfile, RunSpec,
-    ScenarioSet, ScenarioSetResult, ScenarioSpec, StormProfile, SweepAxis, TrafficRecipe,
+    AnalysisSpec, ControllerSpec, CornerSpec, DesignSpec, DmaProfile, IdleProfile, MixProfile,
+    RunSpec, ScenarioSet, ScenarioSetResult, ScenarioSpec, StormProfile, SweepAxis, TrafficRecipe,
     VoltageSweep, WorkloadSpec,
 };
 use razorbus_traces::Benchmark;
@@ -26,6 +26,23 @@ fn sample_result() -> &'static ScenarioSetResult {
             .run()
             .expect("valid spec")
             .result
+    })
+}
+
+/// One executed aggregate-mode set (two seeds folded into a campaign
+/// digest), shared across cases — the result-with-digest shape.
+fn aggregate_result() -> &'static ScenarioSetResult {
+    static RESULT: OnceLock<ScenarioSetResult> = OnceLock::new();
+    RESULT.get_or_init(|| {
+        // analysis_pick 2 → Aggregate, sweep_pick 3 → a two-seed sweep.
+        let spec = spec_from(0, 3, 0, 0, 2, 3, 1_000, 7, 100);
+        ScenarioSet {
+            name: "prop-agg".to_string(),
+            members: vec![spec],
+        }
+        .run()
+        .expect("valid spec")
+        .result
     })
 }
 
@@ -52,7 +69,7 @@ fn spec_from(
             razorbus_process::TechnologyNode::ALL[usize::from(design_pick) % 4],
         ),
     };
-    let workload = match workload_pick % 5 {
+    let workload = match workload_pick % 6 {
         0 => WorkloadSpec::Suite,
         1 => WorkloadSpec::Single(Benchmark::ALL[usize::from(workload_pick) % 10]),
         2 => WorkloadSpec::Recipe(TrafficRecipe::BurstyDma(DmaProfile {
@@ -63,8 +80,24 @@ fn spec_from(
         3 => WorkloadSpec::Recipe(TrafficRecipe::IdleDominated(IdleProfile {
             nonzero_permille: permille,
         })),
-        _ => WorkloadSpec::Recipe(TrafficRecipe::CrosstalkStorm(StormProfile {
+        4 => WorkloadSpec::Recipe(TrafficRecipe::CrosstalkStorm(StormProfile {
             aggression_permille: permille,
+        })),
+        _ => WorkloadSpec::Recipe(TrafficRecipe::Mixed(MixProfile {
+            dma: DmaProfile {
+                mean_burst: 1 + cycles % 5_000,
+                mean_idle: 1 + seed % 50_000,
+                housekeeping_permille: permille,
+            },
+            dma_words: 1 + u64::from(workload_pick) * 100,
+            idle: IdleProfile {
+                nonzero_permille: permille,
+            },
+            idle_words: 1 + seed % 10_000,
+            storm: StormProfile {
+                aggression_permille: permille,
+            },
+            storm_words: u64::from(workload_pick) % 2 * 4_000,
         })),
     };
     let governor = match governor_pick % 3 {
@@ -77,18 +110,21 @@ fn spec_from(
         1 => CornerSpec::Worst,
         _ => CornerSpec::Pvt(razorbus_process::PvtCorner::FIG5[usize::from(corner_pick) % 5]),
     };
-    let analysis = match analysis_pick % 3 {
+    let analysis = match analysis_pick % 4 {
         0 => AnalysisSpec::ClosedLoop,
         1 => AnalysisSpec::StaticSweep,
+        2 => AnalysisSpec::Aggregate,
         _ => AnalysisSpec::Full,
     };
-    let sweep = match sweep_pick % 4 {
+    let sweep = match sweep_pick % 6 {
         0 => vec![],
         1 => vec![SweepAxis::Corners(vec![CornerSpec::Worst, corner])],
         2 => vec![SweepAxis::Governors(vec![
             GovernorSpec::Threshold,
             GovernorSpec::Proportional,
         ])],
+        3 => vec![SweepAxis::Seeds(vec![seed, seed.wrapping_add(1)])],
+        4 => vec![SweepAxis::Cycles(vec![1 + cycles % 10_000, cycles])],
         _ => vec![SweepAxis::Voltages(VoltageSweep {
             from: Millivolts::new(900),
             to: Millivolts::new(1_000),
@@ -154,15 +190,27 @@ proptest! {
         assert_round_trip(sample_result());
     }
 
+    /// A result set carrying a campaign digest (aggregate-mode members)
+    /// round-trips bit-exactly in both encodings.
+    #[test]
+    fn aggregate_results_round_trip(_nonce in 0u8..4) {
+        let result = aggregate_result();
+        prop_assert!(result.digest.is_some());
+        assert_round_trip(result);
+    }
+
     /// Corruption contract for the result kind: any single-byte flip of
-    /// the framed artifact errors, never panics.
+    /// the framed artifact errors, never panics — with and without an
+    /// embedded campaign digest.
     #[test]
     fn any_result_byte_flip_is_detected(position in any::<usize>(), mask in 1u8..=255) {
-        let bytes = encode(ScenarioSetResult::KIND, Encoding::Binary, sample_result()).unwrap();
-        let mut corrupt = bytes;
-        let position = position % corrupt.len();
-        corrupt[position] ^= mask;
-        prop_assert!(decode::<ScenarioSetResult>(ScenarioSetResult::KIND, &corrupt).is_err());
+        for result in [sample_result(), aggregate_result()] {
+            let mut corrupt =
+                encode(ScenarioSetResult::KIND, Encoding::Binary, result).unwrap();
+            let position = position % corrupt.len();
+            corrupt[position] ^= mask;
+            prop_assert!(decode::<ScenarioSetResult>(ScenarioSetResult::KIND, &corrupt).is_err());
+        }
     }
 
     /// Corruption contract: every strict prefix of a framed spec
