@@ -12,14 +12,18 @@
 //!   inputs, same work, printing suppressed),
 //! * `components` — steady-state throughputs of the simulator's batched
 //!   loop, its cycle-at-a-time reference loop (their ratio is the
-//!   fast-path speedup), the sweep-engine collector, the wire analyzer,
-//!   the compile/replay split, and the executor's aggregate sweep
-//!   throughput at 1, 2 and N pool workers (`sweep_aggregate_w*` — the
-//!   multi-core scaling record; N and therefore the `w2`/`wmax` numbers
-//!   depend on the runner's core count),
+//!   fast-path speedup), the sweep-engine collector, the wire analyzer
+//!   (and its crosstalk-storm worst case, `analyze_cycle_storm`), the
+//!   compile/replay split, the parallel two-phase compile at 1, 2 and N
+//!   pool workers (`trace_compile_par_w*`), and the executor's
+//!   aggregate sweep throughput at 1, 2 and N pool workers
+//!   (`sweep_aggregate_w*` — the multi-core scaling record; N and
+//!   therefore the `w2`/`wmax` numbers depend on the runner's core
+//!   count),
 //! * environment echoes (`cycles_per_benchmark`, `threads` — the
-//!   resolved pool worker count) so numbers from different runners can
-//!   be compared honestly.
+//!   resolved pool worker count — and `component_threads`, the
+//!   resolved thread count behind each runner-bound component) so
+//!   numbers from different runners can be compared honestly.
 //!
 //! The JSON is produced by [`razorbus_bench::report::BenchReport`]
 //! through the `razorbus-artifact` writer. See README.md ("Benchmarks in
@@ -32,8 +36,8 @@ use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
 use razorbus_core::{experiments, BusSimulator, CompiledTrace, DvsBusDesign, TraceSummary};
 use razorbus_ctrl::ThresholdController;
 use razorbus_process::{ProcessCorner, PvtCorner};
-use razorbus_scenario::catalog;
-use razorbus_traces::{Benchmark, TraceSource};
+use razorbus_scenario::{catalog, PoolChunks};
+use razorbus_traces::{AdversarialCrosstalk, Benchmark, TraceSource};
 use std::time::Instant;
 
 /// Tolerance of the `--check` regression guard: component throughputs
@@ -198,6 +202,23 @@ fn main() {
         std::hint::black_box(acc);
         (words.len() - 1) as f64 / 1e6 / start.elapsed().as_secs_f64()
     });
+    // The analyzer's crosstalk-storm worst case: a 90 %-aggression
+    // adversarial stream keeps the opposing-neighbour residual path hot
+    // on nearly every cycle, so this leg tracks what the analyzer's
+    // cycle cache and per-wire fold memo buy on hostile traffic.
+    let analyze_storm = best_of_3(&mut || {
+        let mut trace = AdversarialCrosstalk::new(REPRO_SEED, 0.9);
+        let words = trace.take_words(65_536);
+        let bus = design.bus();
+        let mut analyzer = bus.analyzer();
+        let start = Instant::now();
+        let mut acc = 0.0f64;
+        for pair in words.windows(2) {
+            acc += analyzer.analyze(pair[0], pair[1]).worst_ceff_per_mm;
+        }
+        std::hint::black_box(acc);
+        (words.len() - 1) as f64 / 1e6 / start.elapsed().as_secs_f64()
+    });
     // Compile-vs-replay split on the same trace as the closed loop: the
     // compile pass is an analyze-dominated one-off, the replay is what
     // every additional sweep member pays.
@@ -207,6 +228,32 @@ fn main() {
         std::hint::black_box(c.cycles());
         comp_cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
     });
+    // The same compile through the chunked two-phase pipeline on the
+    // work-stealing pool at 1, 2 and N workers. A small explicit chunk
+    // keeps every worker fed even at the 200 k-cycle component size;
+    // the w1 leg prices the chunking overhead against `trace_compile`,
+    // the wmax leg records this runner's scaling ceiling (on a
+    // single-core runner it duplicates w1 by construction — see
+    // `component_threads`).
+    let max_workers = razorbus_scenario::worker_count(None);
+    let compile_par_at = |workers: usize| {
+        let runner = PoolChunks::new(workers);
+        best_of_3(&mut || {
+            let start = Instant::now();
+            let c = CompiledTrace::compile_chunked(
+                &design,
+                &mut Benchmark::Gap.trace(REPRO_SEED),
+                comp_cycles,
+                8_192,
+                &runner,
+            );
+            std::hint::black_box(c.cycles());
+            comp_cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
+        })
+    };
+    let compile_par_w1 = compile_par_at(1);
+    let compile_par_w2 = compile_par_at(2);
+    let compile_par_wmax = compile_par_at(max_workers);
     let compiled =
         CompiledTrace::compile(&design, &mut Benchmark::Gap.trace(REPRO_SEED), comp_cycles);
     let replay = best_of_3(&mut || {
@@ -217,7 +264,7 @@ fn main() {
         comp_cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
     });
     eprintln!(
-        "  components: batched {batched:.1} / reference {reference:.1} Mcyc/s (x{:.2}), collect {collect:.1}, analyze {analyze:.1}, compile {compile:.1}, replay {replay:.1}",
+        "  components: batched {batched:.1} / reference {reference:.1} Mcyc/s (x{:.2}), collect {collect:.1}, analyze {analyze:.1} (storm {analyze_storm:.1}), compile {compile:.1} (par w1 {compile_par_w1:.1} / w2 {compile_par_w2:.1} / w{max_workers} {compile_par_wmax:.1}), replay {replay:.1}",
         batched / reference
     );
 
@@ -244,7 +291,6 @@ fn main() {
     };
     let sweep_w1 = sweep_at(1);
     let sweep_w2 = sweep_at(2);
-    let max_workers = razorbus_scenario::worker_count(None);
     let sweep_wmax = sweep_at(max_workers);
     eprintln!(
         "  sweep aggregate: w1 {sweep_w1:.1} / w2 {sweep_w2:.1} / w{max_workers} {sweep_wmax:.1} Mcyc/s"
@@ -261,12 +307,24 @@ fn main() {
             ("batched_speedup", round2(batched / reference)),
             ("summary_collect", round2(collect)),
             ("analyze_cycle", round2(analyze)),
+            ("analyze_cycle_storm", round2(analyze_storm)),
             ("trace_compile", round2(compile)),
+            ("trace_compile_par_w1", round2(compile_par_w1)),
+            ("trace_compile_par_w2", round2(compile_par_w2)),
+            ("trace_compile_par_wmax", round2(compile_par_wmax)),
             ("compiled_replay", round2(replay)),
             ("replay_speedup", round2(replay / batched)),
             ("sweep_aggregate_w1", round2(sweep_w1)),
             ("sweep_aggregate_w2", round2(sweep_w2)),
             ("sweep_aggregate_wmax", round2(sweep_wmax)),
+        ],
+        component_threads: vec![
+            ("trace_compile_par_w1", resolved_threads(1)),
+            ("trace_compile_par_w2", resolved_threads(2)),
+            ("trace_compile_par_wmax", resolved_threads(max_workers)),
+            ("sweep_aggregate_w1", resolved_threads(1)),
+            ("sweep_aggregate_w2", resolved_threads(2)),
+            ("sweep_aggregate_wmax", resolved_threads(max_workers)),
         ],
     };
     let json = report.to_json().expect("render bench report");
@@ -302,6 +360,16 @@ fn run_check(paths: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// The thread count a `Some(workers)`-pinned pool leg actually gets to
+/// run on: the requested count capped by the runner's hardware
+/// parallelism. Recorded per component so `--check` can tell a real
+/// regression from a baseline recorded on a different-width runner
+/// (a 1-core runner's `w2` leg is a 1-thread measurement no matter
+/// what the pool was asked for).
+fn resolved_threads(requested: usize) -> usize {
+    requested.min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
 /// Rounds to one decimal (milliseconds keep the old `{:.1}` precision).

@@ -16,6 +16,11 @@
 //! cargo run -p razorbus-bench --bin repro --release -- scenario monte-carlo-dvs \
 //!     --save-digest --digest-csv
 //!
+//! # Combine digests of the same campaign recorded in separate runs
+//! # (e.g. seed-partitioned shards on different machines):
+//! cargo run -p razorbus-bench --bin repro --release -- digest-merge \
+//!     shard-a.rzba shard-b.rzba --out=combined.rzba
+//!
 //! # Collect the shared heavy inputs once, then reuse them (bit-identical):
 //! cargo run -p razorbus-bench --bin repro --release -- all --save-summaries
 //! cargo run -p razorbus-bench --bin repro --release -- all --load-summaries
@@ -40,7 +45,8 @@
 //!
 //! Artifacts: `fig4`, `fig5`, `fig6`, `fig8`, `table1`, `fig10`,
 //! `scaling`, `ablations`, `scenario <name>`, `scenarios` (list),
-//! `record <name>`, `replay <manifest>`, `golden`, or `all`.
+//! `record <name>`, `replay <manifest>`, `golden`,
+//! `digest-merge <digest...>`, or `all`.
 //! `RAZORBUS_CYCLES` sets the cycles per benchmark (default 2,000,000;
 //! the paper uses 10,000,000 — expect a few minutes at full scale).
 //! `replay` takes its geometry from the manifest and `golden` pins the
@@ -63,7 +69,10 @@
 //! `--save-digest[=PATH]` / `--digest-csv[=PATH]` (with `scenario`
 //! only) write an aggregate campaign's streaming digest as a framed
 //! `campaign-digest` artifact / a one-row-per-metric CSV; both fail if
-//! the set has no aggregate-mode members. `--no-compiled`
+//! the set has no aggregate-mode members. `digest-merge <digest...>
+//! --out=PATH` folds two or more saved digests of the *same campaign*
+//! into one combined digest (see [`CampaignDigest::merge`] for the
+//! exact/approximate contract). `--no-compiled`
 //! (with `scenario` or `all`) disables compiled-trace sharing inside
 //! the executor — the live-path baseline CI diffs the shared path
 //! against. `--threads=N` pins the executor's work-stealing pool to
@@ -75,14 +84,15 @@
 use razorbus_bench::cli::CliArgs;
 use razorbus_bench::defaults::{
     COMPILED_PATH, DIGEST_CSV_PATH, DIGEST_PATH, GOLDEN_CYCLES, GOLDEN_DIR, MANIFEST_PATH,
-    REPRO_ARTIFACTS, RESULT_PATH, SUMMARIES_PATH, TABLES_PATH,
+    MERGED_DIGEST_PATH, REPRO_ARTIFACTS, RESULT_PATH, SUMMARIES_PATH, TABLES_PATH,
 };
 use razorbus_bench::persist::{ReproCompiled, ReproSummaries, ReproTables};
 use razorbus_bench::{ablations, cycles_from_env, golden, REPRO_SEED};
 use razorbus_core::{experiments, DvsBusDesign};
 use razorbus_process::PvtCorner;
 use razorbus_scenario::{
-    catalog, paper, CampaignRecording, DesignSpec, ScenarioSetResult, ScenarioSetRun,
+    catalog, paper, CampaignDigest, CampaignRecording, DesignSpec, ScenarioSetResult,
+    ScenarioSetRun,
 };
 
 fn main() {
@@ -104,15 +114,19 @@ fn main() {
             "record",
             "dir",
             "threads",
+            "out",
         ],
     )
     .unwrap_or_else(|e| usage_error(&e));
 
-    let (what, operand) = match args.positionals() {
-        [] => ("all".to_string(), None),
-        [what] => (what.clone(), None),
+    // `digest-merge` is the one variadic subcommand: every positional
+    // after it is an input digest path.
+    let (what, operand, merge_inputs) = match args.positionals() {
+        [] => ("all".to_string(), None, Vec::new()),
+        [what, inputs @ ..] if what == "digest-merge" => (what.clone(), None, inputs.to_vec()),
+        [what] => (what.clone(), None, Vec::new()),
         [what, operand] if matches!(what.as_str(), "scenario" | "record" | "replay") => {
-            (what.clone(), Some(operand.clone()))
+            (what.clone(), Some(operand.clone()), Vec::new())
         }
         [what, _, extra, ..] if matches!(what.as_str(), "scenario" | "record" | "replay") => {
             usage_error(&format!("unexpected extra argument '{extra}'"))
@@ -141,6 +155,7 @@ fn main() {
     let manifest = args.valued_flag("manifest", MANIFEST_PATH);
     let golden_record = args.has("record");
     let golden_dir = args.valued_flag("dir", GOLDEN_DIR);
+    let merge_out = args.valued_flag("out", MERGED_DIGEST_PATH);
 
     if (save_path.is_some() || load_path.is_some()) && what != "all" {
         usage_error("--save-summaries/--load-summaries are only valid with `all`");
@@ -184,6 +199,9 @@ fn main() {
     if (golden_record || golden_dir.is_some()) && what != "golden" {
         usage_error("--record/--dir are only valid with `golden`");
     }
+    if merge_out.is_some() && what != "digest-merge" {
+        usage_error("--out is only valid with `digest-merge`");
+    }
     // `--threads=N` pins the executor pool for the whole process: the
     // env var is how every run path (scenario, record, golden, all)
     // reaches the pool, so the flag simply takes precedence over it.
@@ -204,6 +222,11 @@ fn main() {
         "replay" => eprintln!("# razorbus repro: replay (geometry from the manifest)"),
         "golden" => eprintln!(
             "# razorbus repro: golden ({GOLDEN_CYCLES} cycles/benchmark pinned, seed {REPRO_SEED})"
+        ),
+        // Pure artifact surgery — no simulation, no geometry to echo.
+        "digest-merge" => eprintln!(
+            "# razorbus repro: digest-merge ({} input digests)",
+            merge_inputs.len()
         ),
         _ => eprintln!("# razorbus repro: {what} ({cycles} cycles/benchmark, seed {REPRO_SEED})"),
     }
@@ -244,6 +267,10 @@ fn main() {
         "golden" => {
             let dir = golden_dir.unwrap_or_else(|| GOLDEN_DIR.to_string());
             run_golden(std::path::Path::new(&dir), golden_record);
+        }
+        "digest-merge" => {
+            let out = merge_out.unwrap_or_else(|| MERGED_DIGEST_PATH.to_string());
+            run_digest_merge(&merge_inputs, &out);
         }
         "all" => run_all(
             cycles,
@@ -458,6 +485,58 @@ fn run_replay(manifest_path: &str, no_compiled: bool) {
     }
 }
 
+/// Merges two or more saved `campaign-digest` artifacts of the same
+/// campaign into one combined digest, saved to `out_path` and printed.
+///
+/// This is [`CampaignDigest::merge`] on the CLI, with its contract:
+/// counts, totals, extrema, histograms and the quantile sketch's
+/// weight combine exactly; the running moments (mean/variance) combine
+/// by the numerically stable pooled formula, so they can differ in the
+/// last bits from a single-machine run over the same members. The
+/// merged artifact is therefore an honest cross-machine combination,
+/// *not* the canonical single-run digest — for a bit-reproducible
+/// digest, run the whole campaign in one process.
+fn run_digest_merge(inputs: &[String], out_path: &str) {
+    use razorbus_artifact::{Artifact, Encoding};
+    if inputs.len() < 2 {
+        usage_error("`digest-merge` needs at least two input digest paths");
+    }
+    let digests: Vec<(&String, CampaignDigest)> = inputs
+        .iter()
+        .map(|path| {
+            let digest = CampaignDigest::load_file(path)
+                .unwrap_or_else(|e| fail(&format!("cannot load campaign digest {path}: {e}")));
+            (path, digest)
+        })
+        .collect();
+    // Pre-validate what `CampaignDigest::merge` would otherwise panic
+    // on: every shard must come from the same campaign.
+    let (first_path, first) = &digests[0];
+    if let Some((path, other)) = digests[1..]
+        .iter()
+        .find(|(_, d)| d.campaign != first.campaign)
+    {
+        fail(&format!(
+            "digests are from different campaigns: {first_path} is `{}`, {path} is `{}`",
+            first.campaign, other.campaign
+        ));
+    }
+    let mut merged = first.clone();
+    for (path, digest) in &digests[1..] {
+        merged.merge(digest);
+        eprintln!("# merged {path} ({} members)", digest.members);
+    }
+    merged
+        .save_file(out_path, Encoding::Binary)
+        .unwrap_or_else(|e| fail(&format!("cannot save merged digest to {out_path}: {e}")));
+    eprintln!("# saved merged campaign digest to {out_path}");
+    print!("{}", merged.table());
+    println!(
+        "note: counts, totals, extrema, histograms and sketch weight merge exactly; \
+         means/stddevs are pooled (not bit-identical to a single-machine run)"
+    );
+}
+
 /// Replays (or, with `--record`, regenerates) the committed golden
 /// corpus. Replay exits 1 if any campaign diverged.
 fn run_golden(dir: &std::path::Path, record: bool) {
@@ -582,13 +661,15 @@ fn fail(msg: &str) -> ! {
 fn usage_error(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: repro [fig4|fig5|fig6|fig8|table1|fig10|scaling|ablations|\
-         scenario <name>|scenarios|record <name>|replay <manifest>|golden|all] \
+         scenario <name>|scenarios|record <name>|replay <manifest>|golden|\
+         digest-merge <digest...>|all] \
          [--save-summaries[=PATH] | --load-summaries[=PATH]] \
          [--save-tables[=PATH] | --load-tables[=PATH]] \
          [--save-compiled[=PATH] | --load-compiled[=PATH]] \
          [--save-result[=PATH] | --load-result[=PATH]] \
          [--save-digest[=PATH]] [--digest-csv[=PATH]] [--no-compiled] \
-         [--manifest[=PATH]] [--record] [--dir[=PATH]] [--threads=N]"
+         [--manifest[=PATH]] [--record] [--dir[=PATH]] [--threads=N] \
+         [--out[=PATH]]"
     );
     std::process::exit(2);
 }

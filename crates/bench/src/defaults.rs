@@ -30,6 +30,10 @@ pub const DIGEST_PATH: &str = "campaign-digest.rzba";
 /// aggregated metric, machine-readable).
 pub const DIGEST_CSV_PATH: &str = "campaign-digest.csv";
 
+/// Default path for `repro digest-merge`'s `--out` (the combined
+/// `campaign-digest` artifact).
+pub const MERGED_DIGEST_PATH: &str = "campaign-digest-merged.rzba";
+
 /// The committed golden-corpus directory (workspace-relative).
 pub const GOLDEN_DIR: &str = "GOLDEN_TESTS";
 
@@ -41,7 +45,7 @@ pub const GOLDEN_DIR: &str = "GOLDEN_TESTS";
 pub const GOLDEN_CYCLES: u64 = 20_000;
 
 /// The artifact names `repro` accepts (`all` is accepted on top).
-pub const REPRO_ARTIFACTS: [&str; 13] = [
+pub const REPRO_ARTIFACTS: [&str; 14] = [
     "fig4",
     "fig5",
     "fig6",
@@ -55,4 +59,5 @@ pub const REPRO_ARTIFACTS: [&str; 13] = [
     "record",
     "replay",
     "golden",
+    "digest-merge",
 ];

@@ -260,10 +260,14 @@ impl Artifact for ReproCompiled {
 }
 
 impl ReproCompiled {
-    /// Compiles both designs' suites, fanned out on scoped threads.
-    /// Delegates to [`fig8::compile_suite`] — the same compile the
-    /// scenario executor shares — so the persisted cache can never
-    /// drift from the in-memory protocol.
+    /// Compiles both designs' suites through the parallel compile
+    /// pipeline ([`fig8::compile_suite_with`] on a
+    /// [`razorbus_scenario::PoolChunks`] pool sized by
+    /// `--threads`/`RAZORBUS_THREADS`/the hardware) — the same compile
+    /// the scenario executor shares, so the persisted cache can never
+    /// drift from the in-memory protocol. Bit-identical at every
+    /// worker count and chunk size; CI's compile-determinism leg
+    /// `cmp`s the saved bytes at 1 vs N threads to prove it.
     #[must_use]
     pub fn compile(
         design: &DvsBusDesign,
@@ -271,25 +275,18 @@ impl ReproCompiled {
         cycles_per_benchmark: u64,
         seed: u64,
     ) -> Self {
+        let runner = razorbus_scenario::PoolChunks::new(razorbus_scenario::worker_count(None));
         let owned = |design: &DvsBusDesign| {
-            fig8::compile_suite(design, cycles_per_benchmark, seed)
+            fig8::compile_suite_with(design, cycles_per_benchmark, seed, &runner)
                 .into_iter()
                 .map(|trace| Arc::try_unwrap(trace).expect("freshly compiled, sole owner"))
                 .collect::<Vec<_>>()
         };
-        let (paper, modified_suite) = std::thread::scope(|s| {
-            let h_paper = s.spawn(|| owned(design));
-            let h_mod = s.spawn(|| owned(modified));
-            (
-                h_paper.join().expect("paper suite compile"),
-                h_mod.join().expect("modified suite compile"),
-            )
-        });
         Self {
             cycles_per_benchmark,
             seed,
-            paper,
-            modified: modified_suite,
+            paper: owned(design),
+            modified: owned(modified),
         }
     }
 

@@ -24,14 +24,22 @@ pub struct BenchReport {
     pub total_ms: f64,
     /// Steady-state component throughputs (Mcycles/s), best-of-3.
     pub components_mcycles_per_s: Vec<(&'static str, f64)>,
+    /// Resolved thread count per *runner-bound* component (requested
+    /// workers clamped to the recording machine's parallelism). A
+    /// multi-worker leg recorded on a one-core runner is flat by
+    /// construction, so [`check_components`] only gates a component
+    /// across reports whose resolved counts match — anything else is
+    /// skipped with a loud note instead of gating on noise.
+    /// Thread-independent components carry no entry and always gate.
+    pub component_threads: Vec<(&'static str, usize)>,
 }
 
 /// An ordered list of named measurements serialized as a JSON object —
 /// stage names are `&'static str`, which is exactly what the struct
 /// serializer's field keys require.
-struct NamedValues<'a>(&'a [(&'static str, f64)]);
+struct NamedValues<'a, T>(&'a [(&'static str, T)]);
 
-impl serde::Serialize for NamedValues<'_> {
+impl<T: serde::Serialize> serde::Serialize for NamedValues<'_, T> {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
         let mut state = serializer.serialize_struct("NamedValues", self.0.len())?;
@@ -45,7 +53,7 @@ impl serde::Serialize for NamedValues<'_> {
 impl serde::Serialize for BenchReport {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
-        let mut state = serializer.serialize_struct("BenchReport", 6)?;
+        let mut state = serializer.serialize_struct("BenchReport", 7)?;
         state.serialize_field("schema", SCHEMA)?;
         state.serialize_field("cycles_per_benchmark", &self.cycles_per_benchmark)?;
         state.serialize_field("threads", &self.threads)?;
@@ -55,6 +63,7 @@ impl serde::Serialize for BenchReport {
             "components_mcycles_per_s",
             &NamedValues(&self.components_mcycles_per_s),
         )?;
+        state.serialize_field("component_threads", &NamedValues(&self.component_threads))?;
         state.end()
     }
 }
@@ -109,6 +118,45 @@ pub fn parse_components(json: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Extracts the `component_threads` entries from a rendered report.
+/// Reports written before the field existed (≤ `BENCH_7.json`) have no
+/// object at all — that parses as the empty list, making every
+/// component thread-independent by default.
+///
+/// # Errors
+///
+/// Returns a description when a present object is unterminated or
+/// holds a non-integer thread count.
+pub fn parse_component_threads(json: &str) -> Result<Vec<(String, usize)>, String> {
+    let key = "\"component_threads\":";
+    let Some(start) = json.find(key) else {
+        return Ok(Vec::new());
+    };
+    let rest = &json[start + key.len()..];
+    let open = rest.find('{').ok_or("malformed component_threads object")?;
+    let close = rest[open..]
+        .find('}')
+        .ok_or("unterminated component_threads object")?
+        + open;
+    let mut out = Vec::new();
+    for entry in rest[open + 1..close].split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed component_threads entry `{entry}`"))?;
+        let name = name.trim().trim_matches('"').to_string();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-integer thread count for `{name}`: {}", value.trim()))?;
+        out.push((name, value));
+    }
+    Ok(out)
+}
+
 /// The bench-job regression guard: compares the component throughputs
 /// of `current` against the committed `baseline` report, allowing a
 /// multiplicative deviation of `tolerance` (0.40 = ±40 %) per
@@ -121,6 +169,12 @@ pub fn parse_components(json: &str) -> Result<Vec<(String, f64)>, String> {
 /// measurements need a baseline refresh to become binding); a component
 /// that disappeared fails.
 ///
+/// Runner-bound components (those with a `component_threads` entry —
+/// multi-worker sweep and compile legs) only gate when both reports
+/// resolved the same thread count; otherwise the throughputs measure
+/// different machines shapes, not a regression, and the comparison is
+/// skipped with a loud per-line and summary note.
+///
 /// Returns the rendered comparison table on success.
 ///
 /// # Errors
@@ -129,8 +183,15 @@ pub fn parse_components(json: &str) -> Result<Vec<(String, f64)>, String> {
 pub fn check_components(baseline: &str, current: &str, tolerance: f64) -> Result<String, String> {
     let base = parse_components(baseline).map_err(|e| format!("baseline: {e}"))?;
     let cur = parse_components(current).map_err(|e| format!("current: {e}"))?;
+    let base_threads = parse_component_threads(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur_threads = parse_component_threads(current).map_err(|e| format!("current: {e}"))?;
+    let threads_of = |list: &[(String, usize)], name: &str| {
+        list.iter().find(|(n, _)| n == name).map(|&(_, t)| t)
+    };
+    let render = |t: Option<usize>| t.map_or("unrecorded".to_string(), |t| format!("{t} threads"));
     let mut lines = Vec::new();
     let mut failed = false;
+    let mut skipped = 0usize;
     for (name, base_value) in &base {
         match cur.iter().find(|(n, _)| n == name) {
             None => {
@@ -138,6 +199,18 @@ pub fn check_components(baseline: &str, current: &str, tolerance: f64) -> Result
                 lines.push(format!("  {name:<24} {base_value:>8.2} -> MISSING  FAIL"));
             }
             Some((_, cur_value)) => {
+                let bt = threads_of(&base_threads, name);
+                let ct = threads_of(&cur_threads, name);
+                if bt != ct {
+                    skipped += 1;
+                    lines.push(format!(
+                        "  {name:<24} {base_value:>8.2} -> {cur_value:>8.2}  SKIPPED \
+                         (runner-bound: baseline {}, current {})",
+                        render(bt),
+                        render(ct)
+                    ));
+                    continue;
+                }
                 let lo = base_value * (1.0 - tolerance);
                 let hi = base_value * (1.0 + tolerance);
                 let ok = (lo..=hi).contains(cur_value);
@@ -156,6 +229,13 @@ pub fn check_components(baseline: &str, current: &str, tolerance: f64) -> Result
                 "  {name:<24}   (new)  -> {value:>8.2}  (not in baseline)"
             ));
         }
+    }
+    if skipped > 0 {
+        lines.push(format!(
+            "  NOTE: {skipped} runner-bound comparison(s) SKIPPED — resolved thread counts \
+             differ between the baseline and current runners, so those legs measure machine \
+             shape, not code. Re-record the baseline on a matching runner to re-arm them."
+        ));
     }
     let table = lines.join("\n");
     if failed {
@@ -181,19 +261,28 @@ mod tests {
             stages_ms: vec![("design_build", 0.5), ("fig8_typical+bank", 78.4)],
             total_ms: 78.9,
             components_mcycles_per_s: vec![("closed_loop_batched", 13.7)],
+            component_threads: vec![("sweep_aggregate_wmax", 8)],
         };
         let json = report.to_json().unwrap();
-        let expected = "{\n  \"schema\": \"razorbus-bench/v1\",\n  \"cycles_per_benchmark\": 50000,\n  \"threads\": 8,\n  \"stages_ms\": {\n    \"design_build\": 0.5,\n    \"fig8_typical+bank\": 78.4\n  },\n  \"total_ms\": 78.9,\n  \"components_mcycles_per_s\": {\n    \"closed_loop_batched\": 13.7\n  }\n}\n";
+        let expected = "{\n  \"schema\": \"razorbus-bench/v1\",\n  \"cycles_per_benchmark\": 50000,\n  \"threads\": 8,\n  \"stages_ms\": {\n    \"design_build\": 0.5,\n    \"fig8_typical+bank\": 78.4\n  },\n  \"total_ms\": 78.9,\n  \"components_mcycles_per_s\": {\n    \"closed_loop_batched\": 13.7\n  },\n  \"component_threads\": {\n    \"sweep_aggregate_wmax\": 8\n  }\n}\n";
         assert_eq!(json, expected);
     }
 
     fn report_with(components: Vec<(&'static str, f64)>) -> String {
+        report_with_threads(components, Vec::new())
+    }
+
+    fn report_with_threads(
+        components: Vec<(&'static str, f64)>,
+        component_threads: Vec<(&'static str, usize)>,
+    ) -> String {
         BenchReport {
             cycles_per_benchmark: 50_000,
             threads: 1,
             stages_ms: vec![("ablations", 100.0)],
             total_ms: 100.0,
             components_mcycles_per_s: components,
+            component_threads,
         }
         .to_json()
         .unwrap()
@@ -242,6 +331,44 @@ mod tests {
     }
 
     #[test]
+    fn runner_bound_legs_skip_across_thread_counts() {
+        // A wmax leg recorded at 8 threads compared against a 1-thread
+        // runner is machine shape, not a regression: the comparison
+        // must skip with a loud note even when the values differ by
+        // far more than the tolerance — while same-thread-count legs
+        // keep gating normally.
+        let base = report_with_threads(
+            vec![("analyze_cycle", 10.0), ("sweep_aggregate_wmax", 80.0)],
+            vec![("sweep_aggregate_wmax", 8)],
+        );
+        let cur = report_with_threads(
+            vec![("analyze_cycle", 10.5), ("sweep_aggregate_wmax", 11.0)],
+            vec![("sweep_aggregate_wmax", 1)],
+        );
+        let table = check_components(&base, &cur, 0.40).unwrap();
+        assert!(
+            table.contains("SKIPPED") && table.contains("NOTE:"),
+            "{table}"
+        );
+        // Same resolved count on both sides: the leg gates again.
+        let cur_same = report_with_threads(
+            vec![("analyze_cycle", 10.5), ("sweep_aggregate_wmax", 11.0)],
+            vec![("sweep_aggregate_wmax", 8)],
+        );
+        let err = check_components(&base, &cur_same, 0.40).unwrap_err();
+        assert!(
+            err.contains("sweep_aggregate_wmax") && err.contains("FAIL"),
+            "{err}"
+        );
+        // A baseline predating the field (no component_threads object,
+        // e.g. BENCH_7.json) vs a current that records one: skipped,
+        // not gated — the baseline cannot vouch for its thread count.
+        let old = report_with(vec![("sweep_aggregate_wmax", 80.0)]);
+        let table = check_components(&old, &cur, 0.40).unwrap();
+        assert!(table.contains("unrecorded"), "{table}");
+    }
+
+    #[test]
     fn non_finite_measurements_stay_visible() {
         // A pathological measurement must not silently vanish or crash
         // the report: the JSON writer spells it out as a string.
@@ -251,6 +378,7 @@ mod tests {
             stages_ms: vec![("bad", f64::NAN)],
             total_ms: 0.0,
             components_mcycles_per_s: vec![],
+            component_threads: vec![],
         };
         assert!(report.to_json().unwrap().contains("\"bad\": \"NaN\""));
     }

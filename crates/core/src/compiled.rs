@@ -26,6 +26,69 @@
 use crate::design::DvsBusDesign;
 use crate::summary::{bin_of, bucket_of, N_BUCKETS, N_CEFF_BINS};
 use razorbus_traces::TraceSource;
+use razorbus_wire::CycleAnalysis;
+use std::sync::Mutex;
+
+/// Default cycles per parallel-compile chunk.
+const DEFAULT_COMPILE_CHUNK: usize = 65_536;
+
+/// Cycles per chunk for the parallel compile pipeline
+/// (`RAZORBUS_COMPILE_CHUNK`, default 64k). Each chunk is one
+/// independent analysis sub-job; smaller chunks expose more parallelism
+/// at more per-chunk overhead.
+#[must_use]
+pub fn compile_chunk_cycles() -> usize {
+    std::env::var("RAZORBUS_COMPILE_CHUNK")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_COMPILE_CHUNK)
+}
+
+/// Executes the independent per-chunk analysis jobs of a parallel
+/// compile ([`CompiledTrace::compile_with`]). `razorbus-core` stays
+/// thread-pool-free: callers inject whatever execution resource they
+/// have — [`SerialChunks`] here, the scenario executor's work-stealing
+/// pool downstream.
+pub trait ChunkRunner {
+    /// Runs every job exactly once, in any order, possibly
+    /// concurrently, returning only after all of them finish. Jobs may
+    /// borrow from the caller's stack, so implementations must not
+    /// outlive the call (scoped threads are fine, detached ones are
+    /// not).
+    fn run_chunks<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>);
+}
+
+/// The no-parallelism [`ChunkRunner`]: runs chunk jobs in order on the
+/// calling thread.
+pub struct SerialChunks;
+
+impl ChunkRunner for SerialChunks {
+    fn run_chunks<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        for job in jobs {
+            job();
+        }
+    }
+}
+
+/// The classification of one contiguous cycle range, produced by
+/// [`CompiledTrace::analyze_chunk`] and assembled slot-ordered by
+/// [`CompiledTrace::from_chunks`]. Opaque on purpose: the only valid
+/// use is handing it back to `from_chunks` in cycle order.
+#[derive(Debug)]
+pub struct CompiledChunk {
+    toggles: Vec<u8>,
+    bins: Vec<u16>,
+    switched: Vec<f64>,
+}
+
+impl CompiledChunk {
+    /// Cycles classified in this chunk.
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.toggles.len()
+    }
+}
 
 /// A trace compiled against one bus design: per-cycle physical
 /// classification, ready to replay under any governor/corner/supply.
@@ -170,7 +233,7 @@ impl CompiledTrace {
     #[must_use]
     pub fn compile<S: TraceSource>(design: &DvsBusDesign, trace: &mut S, cycles: u64) -> Self {
         assert!(cycles > 0, "need at least one cycle");
-        let bus = design.bus();
+        let mut analyzer = design.bus().analyzer();
         let n = usize::try_from(cycles).expect("cycle count fits in memory");
         let mut toggles = Vec::with_capacity(n);
         let mut bins = Vec::with_capacity(n);
@@ -178,12 +241,171 @@ impl CompiledTrace {
         let mut prev = trace.next_word();
         for _ in 0..cycles {
             let cur = trace.next_word();
-            let a = bus.analyze_cycle(prev, cur);
+            let a = analyzer.analyze(prev, cur);
             prev = cur;
-            toggles.push(a.toggled_wires as u8);
-            bins.push(bin_of(a.worst_ceff_per_mm) as u16);
-            switched.push(a.switched_cap_per_mm);
+            let (t, b, s) = classify(&a);
+            toggles.push(t);
+            bins.push(b);
+            switched.push(s);
         }
+        Self::from_arrays(design, cycles, toggles, bins, switched)
+    }
+
+    /// Parallel compile with the chunk size from
+    /// [`compile_chunk_cycles`] (`RAZORBUS_COMPILE_CHUNK`): drains the
+    /// trace serially (RNG streams stay sequential, so seeds produce
+    /// the same words), then classifies fixed-size cycle chunks as
+    /// independent jobs on `runner`. Bit-identical to
+    /// [`CompiledTrace::compile`] for every chunk size and runner —
+    /// each cycle's classification is a pure function of its
+    /// `(prev, cur)` word pair, and assembly preserves cycle order —
+    /// pinned by differential and property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    #[must_use]
+    pub fn compile_with<S: TraceSource>(
+        design: &DvsBusDesign,
+        trace: &mut S,
+        cycles: u64,
+        runner: &dyn ChunkRunner,
+    ) -> Self {
+        Self::compile_chunked(design, trace, cycles, compile_chunk_cycles(), runner)
+    }
+
+    /// [`CompiledTrace::compile_with`] with an explicit chunk size —
+    /// the testing/benching entry point (no env coupling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0` or `chunk_cycles == 0`.
+    #[must_use]
+    pub fn compile_chunked<S: TraceSource>(
+        design: &DvsBusDesign,
+        trace: &mut S,
+        cycles: u64,
+        chunk_cycles: usize,
+        runner: &dyn ChunkRunner,
+    ) -> Self {
+        let words = Self::drain_words(trace, cycles);
+        assert!(chunk_cycles > 0, "need at least one cycle per chunk");
+        let n = words.len() - 1;
+        let n_chunks = n.div_ceil(chunk_cycles);
+        let slots: Vec<Mutex<Option<CompiledChunk>>> =
+            (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n_chunks)
+            .map(|k| {
+                let start = k * chunk_cycles;
+                let len = chunk_cycles.min(n - start);
+                let words = &words;
+                let slot = &slots[k];
+                Box::new(move || {
+                    let chunk = Self::analyze_chunk(design, words, start, len);
+                    *slot.lock().expect("chunk slot poisoned") = Some(chunk);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        runner.run_chunks(jobs);
+        let chunks = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("chunk slot poisoned")
+                    .expect("runner dropped a chunk job")
+            })
+            .collect();
+        Self::from_chunks(design, cycles, chunks)
+    }
+
+    /// Phase one of the parallel compile: drains `cycles + 1` words
+    /// from `trace` — the priming `prev` word plus one per cycle,
+    /// exactly the word protocol of [`CompiledTrace::compile`] — into a
+    /// buffer the analysis chunks index into (`words[c]`/`words[c + 1]`
+    /// are cycle `c`'s `(prev, cur)` pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    #[must_use]
+    pub fn drain_words<S: TraceSource>(trace: &mut S, cycles: u64) -> Vec<u32> {
+        assert!(cycles > 0, "need at least one cycle");
+        let n = usize::try_from(cycles).expect("cycle count fits in memory");
+        let mut words = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            words.push(trace.next_word());
+        }
+        words
+    }
+
+    /// Phase two of the parallel compile: classifies the `len` cycles
+    /// starting at `start` against `design`'s bus. Pure in
+    /// `(design, words, start, len)` — safe to run chunks in any order
+    /// on any thread. Each chunk gets its own residual-fold memo
+    /// (results are memo-invariant, so chunk boundaries cannot show).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len + 1 > words.len()`.
+    #[must_use]
+    pub fn analyze_chunk(
+        design: &DvsBusDesign,
+        words: &[u32],
+        start: usize,
+        len: usize,
+    ) -> CompiledChunk {
+        let mut analyzer = design.bus().analyzer();
+        let mut toggles = Vec::with_capacity(len);
+        let mut bins = Vec::with_capacity(len);
+        let mut switched = Vec::with_capacity(len);
+        for c in start..start + len {
+            let a = analyzer.analyze(words[c], words[c + 1]);
+            let (t, b, s) = classify(&a);
+            toggles.push(t);
+            bins.push(b);
+            switched.push(s);
+        }
+        CompiledChunk {
+            toggles,
+            bins,
+            switched,
+        }
+    }
+
+    /// Final phase of the parallel compile: concatenates slot-ordered
+    /// chunks into the struct-of-arrays layout. `chunks` must cover
+    /// exactly `cycles` cycles in cycle order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks' cycle counts do not sum to `cycles`.
+    #[must_use]
+    pub fn from_chunks(design: &DvsBusDesign, cycles: u64, chunks: Vec<CompiledChunk>) -> Self {
+        assert!(cycles > 0, "need at least one cycle");
+        let n = usize::try_from(cycles).expect("cycle count fits in memory");
+        let mut toggles = Vec::with_capacity(n);
+        let mut bins = Vec::with_capacity(n);
+        let mut switched = Vec::with_capacity(n);
+        for c in chunks {
+            toggles.extend_from_slice(&c.toggles);
+            bins.extend_from_slice(&c.bins);
+            switched.extend_from_slice(&c.switched);
+        }
+        assert_eq!(
+            toggles.len(),
+            n,
+            "assembled chunks do not cover the cycle count"
+        );
+        Self::from_arrays(design, cycles, toggles, bins, switched)
+    }
+
+    fn from_arrays(
+        design: &DvsBusDesign,
+        cycles: u64,
+        toggles: Vec<u8>,
+        bins: Vec<u16>,
+        switched: Vec<f64>,
+    ) -> Self {
         Self {
             cycles,
             toggles,
@@ -296,10 +518,101 @@ impl CompiledTrace {
     }
 }
 
+/// One cycle's analysis as the stored tuple. The narrowings are
+/// checked: a bus wider than `u8::MAX` wires or a histogram wider than
+/// `u16::MAX` bins must fail loudly here, not wrap into silently wrong
+/// replay results.
+fn classify(a: &CycleAnalysis) -> (u8, u16, f64) {
+    let t = u8::try_from(a.toggled_wires)
+        .expect("toggle count exceeds u8 — compiled layout caps the bus at 255 wires");
+    let bin = bin_of(a.worst_ceff_per_mm);
+    debug_assert!(bin < N_CEFF_BINS, "bin_of broke its {N_CEFF_BINS} bound");
+    let b = u16::try_from(bin)
+        .expect("load bin exceeds u16 — compiled layout caps N_CEFF_BINS at 65_535");
+    (t, b, a.switched_cap_per_mm)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use razorbus_traces::Benchmark;
+
+    #[test]
+    fn chunked_compile_matches_serial_bitwise() {
+        // The parallel pipeline's contract: any chunk size — one cycle
+        // per chunk, a prime that never divides the cycle count, the
+        // default, larger than the whole trace — assembles to exactly
+        // the serial compile, across designs and generator families
+        // (benchmark mixtures, adversarial storm traffic, uniform
+        // random). PartialEq covers every array element and stamp.
+        let cycles = 4_096u64;
+        for design in [
+            DvsBusDesign::paper_default(),
+            DvsBusDesign::modified_paper_bus(),
+        ] {
+            for chunk in [1usize, 7, 65_536, 5_000] {
+                let serial = CompiledTrace::compile(&design, &mut Benchmark::Gap.trace(11), cycles);
+                let chunked = CompiledTrace::compile_chunked(
+                    &design,
+                    &mut Benchmark::Gap.trace(11),
+                    cycles,
+                    chunk,
+                    &SerialChunks,
+                );
+                assert_eq!(serial, chunked, "Gap, chunk {chunk}");
+
+                let serial = CompiledTrace::compile(
+                    &design,
+                    &mut razorbus_traces::AdversarialCrosstalk::new(5, 0.9),
+                    cycles,
+                );
+                let chunked = CompiledTrace::compile_chunked(
+                    &design,
+                    &mut razorbus_traces::AdversarialCrosstalk::new(5, 0.9),
+                    cycles,
+                    chunk,
+                    &SerialChunks,
+                );
+                assert_eq!(serial, chunked, "storm, chunk {chunk}");
+
+                let serial = CompiledTrace::compile(
+                    &design,
+                    &mut razorbus_traces::RandomWords::new(17),
+                    cycles,
+                );
+                let chunked = CompiledTrace::compile_chunked(
+                    &design,
+                    &mut razorbus_traces::RandomWords::new(17),
+                    cycles,
+                    chunk,
+                    &SerialChunks,
+                );
+                assert_eq!(serial, chunked, "random, chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn compile_with_reads_the_chunk_knob_default() {
+        // compile_with (env-default chunk size) must agree with serial
+        // compile like every other chunking.
+        let d = DvsBusDesign::paper_default();
+        let serial = CompiledTrace::compile(&d, &mut Benchmark::Swim.trace(9), 3_000);
+        let auto =
+            CompiledTrace::compile_with(&d, &mut Benchmark::Swim.trace(9), 3_000, &SerialChunks);
+        assert_eq!(serial, auto);
+    }
+
+    #[test]
+    fn drain_words_primes_prev_like_the_serial_path() {
+        // words[0] primes prev; each cycle c reads (words[c], words[c+1]).
+        let words = CompiledTrace::drain_words(&mut Benchmark::Mcf.trace(3), 100);
+        assert_eq!(words.len(), 101);
+        let mut t = Benchmark::Mcf.trace(3);
+        for (c, &w) in words.iter().enumerate() {
+            assert_eq!(w, t.next_word(), "word {c}");
+        }
+    }
 
     #[test]
     fn summary_matches_collect_bitwise() {

@@ -43,7 +43,7 @@ mod lane;
 mod sim;
 mod summary;
 
-pub use compiled::CompiledTrace;
+pub use compiled::{compile_chunk_cycles, ChunkRunner, CompiledChunk, CompiledTrace, SerialChunks};
 pub use design::DvsBusDesign;
 pub use sim::{BusSimulator, SimReport, VoltageSample};
 pub use summary::{

@@ -128,14 +128,14 @@ impl TraceSummary {
     #[must_use]
     pub fn collect<S: TraceSource>(design: &DvsBusDesign, trace: &mut S, cycles: u64) -> Self {
         assert!(cycles > 0, "need at least one cycle");
-        let bus = design.bus();
+        let mut analyzer = design.bus().analyzer();
         let mut hist = vec![0u64; N_BUCKETS * N_CEFF_BINS];
         let mut total_cap = 0.0f64;
         let mut toggles = 0u64;
         let mut prev = trace.next_word();
         for _ in 0..cycles {
             let cur = trace.next_word();
-            let a = bus.analyze_cycle(prev, cur);
+            let a = analyzer.analyze(prev, cur);
             prev = cur;
             if a.toggled_wires == 0 {
                 continue;

@@ -45,7 +45,9 @@ use crate::pool;
 use crate::result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepData};
 use crate::spec::{ControllerSpec, DesignSpec, ScenarioSpec, WorkloadSpec};
 use razorbus_core::experiments::{fig8, SummaryBank};
-use razorbus_core::{BusSimulator, CompiledTrace, DvsBusDesign, TraceSummary};
+use razorbus_core::{
+    compile_chunk_cycles, BusSimulator, CompiledChunk, CompiledTrace, DvsBusDesign, TraceSummary,
+};
 use razorbus_ctrl::BoxedGovernor;
 use razorbus_process::PvtCorner;
 use razorbus_traces::{Benchmark, TraceSource};
@@ -120,18 +122,46 @@ enum CompiledWorkload {
     Stream(Arc<CompiledTrace>),
 }
 
+/// A chunked compile in flight: the serially drained word buffer plus
+/// the slot-ordered chunk assembly. `Compile`/`CompileBench` handlers
+/// build one of these when a stream spans more than one chunk, spawn a
+/// [`Job::CompileChunk`] per chunk, and the last chunk to finish
+/// assembles the trace and completes the compile exactly as the
+/// unchunked path would.
+struct ChunkJob {
+    /// Index into the plan's `compile_jobs`.
+    c: usize,
+    /// Suite benchmark slot for [`Job::CompileBench`] parents, `None`
+    /// for single-stream compiles.
+    bench: Option<usize>,
+    /// `cycles + 1` words: cycle `k` reads `(words[k], words[k + 1])`.
+    words: Vec<u32>,
+    /// Cycles per chunk (every chunk but the last).
+    chunk_cycles: usize,
+    /// Per-chunk assembly slots, filled in any order, taken whole by
+    /// the last finisher in chunk (= cycle) order.
+    slots: Mutex<BenchSlots<CompiledChunk>>,
+}
+
 /// One schedulable unit of a campaign, indexing into the plan's job
 /// vectors. The initial pool feed lists every compile first (suite
 /// compiles split per benchmark), then the live (unshared) `Loop`s and
 /// the summary passes (suite summaries likewise split); `Replay`s are
-/// continuations a finished compile spawns for each waiting loop index.
+/// continuations a finished compile spawns for each waiting loop index,
+/// and `CompileChunk`s are continuations a compile's serial drain
+/// spawns for each cycle chunk — both interleave with every other job
+/// on the pool.
 enum Job {
-    /// Compile `compile_jobs[i]`'s single-stream workload, then spawn
-    /// its replays.
+    /// Drain `compile_jobs[i]`'s single-stream workload and spawn its
+    /// analysis chunks (or finish directly when one chunk covers it).
     Compile(usize),
-    /// Compile benchmark `b` of suite compile job `c`; the last bench
-    /// to finish assembles the suite and spawns its replays.
+    /// Drain benchmark `b` of suite compile job `c` and spawn its
+    /// analysis chunks; the last bench to finish assembles the suite
+    /// and spawns its replays.
     CompileBench(usize, usize),
+    /// Analyze chunk `k` of an in-flight chunked compile; the last
+    /// chunk to finish assembles the trace and completes the compile.
+    CompileChunk(Arc<ChunkJob>, usize),
     /// Run `loop_jobs[i]` against the live trace.
     Loop(usize),
     /// Run single-stream `summary_jobs[i]` (a histogram-only pass no
@@ -356,6 +386,20 @@ impl ScenarioSet {
         prebuilt: Vec<(DesignSpec, DvsBusDesign)>,
         share_compiled: bool,
         workers: Option<usize>,
+    ) -> Result<ScenarioSetRun, String> {
+        self.run_full(prebuilt, share_compiled, workers, compile_chunk_cycles())
+    }
+
+    /// [`ScenarioSet::run_with_workers`] with an explicit compile chunk
+    /// size (the `RAZORBUS_COMPILE_CHUNK` default otherwise) — lets the
+    /// chunk-size differential tests run without mutating process
+    /// globals.
+    fn run_full(
+        &self,
+        prebuilt: Vec<(DesignSpec, DvsBusDesign)>,
+        share_compiled: bool,
+        workers: Option<usize>,
+        chunk_cycles: usize,
     ) -> Result<ScenarioSetRun, String> {
         let members = self.expand()?;
 
@@ -585,6 +629,64 @@ impl ScenarioSet {
             loops.lock().expect("loop results")[i] = Some(slot);
         };
 
+        // A materialized compiled stream: hand it to the suite assembly
+        // (bench compiles) or directly to the waiting replays.
+        let finish_compile =
+            |c: usize,
+             bench: Option<usize>,
+             compiled: Arc<CompiledTrace>,
+             spawner: &pool::Spawner<'_, Job>| match bench {
+                Some(b) => {
+                    let done = suite_compiles[c]
+                        .as_ref()
+                        .expect("suite compile assembly")
+                        .lock()
+                        .expect("suite compile slots")
+                        .fill(b, compiled);
+                    if let Some(per) = done {
+                        let workload = CompiledWorkload::Suite(per);
+                        for &i in &replayers[c] {
+                            spawner.spawn(Job::Replay(i, workload.clone()));
+                        }
+                    }
+                }
+                None => {
+                    let workload = CompiledWorkload::Stream(compiled);
+                    for &i in &replayers[c] {
+                        spawner.spawn(Job::Replay(i, workload.clone()));
+                    }
+                }
+            };
+
+        // A serially drained word buffer: classify it in one piece when
+        // a single chunk covers it (no assembly detour), otherwise
+        // spawn one `CompileChunk` continuation per chunk — stolen by
+        // idle workers like any other job.
+        let spawn_chunks =
+            |c: usize, bench: Option<usize>, words: Vec<u32>, spawner: &pool::Spawner<'_, Job>| {
+                let key = &compile_jobs[c];
+                let design = &designs[key.design_idx];
+                let n = words.len() - 1;
+                let n_chunks = n.div_ceil(chunk_cycles.max(1));
+                if n_chunks <= 1 {
+                    let chunk = CompiledTrace::analyze_chunk(design, &words, 0, n);
+                    let compiled =
+                        Arc::new(CompiledTrace::from_chunks(design, key.cycles, vec![chunk]));
+                    finish_compile(c, bench, compiled, spawner);
+                    return;
+                }
+                let job = Arc::new(ChunkJob {
+                    c,
+                    bench,
+                    words,
+                    chunk_cycles: chunk_cycles.max(1),
+                    slots: Mutex::new(BenchSlots::new(n_chunks)),
+                });
+                for k in 0..n_chunks {
+                    spawner.spawn(Job::CompileChunk(Arc::clone(&job), k));
+                }
+            };
+
         let mut initial: Vec<Job> = Vec::new();
         for (c, key) in compile_jobs.iter().enumerate() {
             match key.workload {
@@ -616,12 +718,8 @@ impl ScenarioSet {
             |job, spawner| match job {
                 Job::Compile(c) => {
                     let key = &compile_jobs[c];
-                    match compile_stream(&designs[key.design_idx], key) {
-                        Ok(workload) => {
-                            for &i in &replayers[c] {
-                                spawner.spawn(Job::Replay(i, workload.clone()));
-                            }
-                        }
+                    match drain_stream_words(key) {
+                        Ok(words) => spawn_chunks(c, None, words, spawner),
                         Err(e) => {
                             let mut slots = loops.lock().expect("loop results");
                             for &i in &replayers[c] {
@@ -632,22 +730,27 @@ impl ScenarioSet {
                 }
                 Job::CompileBench(c, b) => {
                     let key = &compile_jobs[c];
-                    let compiled = Arc::new(CompiledTrace::compile(
-                        &designs[key.design_idx],
+                    let words = CompiledTrace::drain_words(
                         &mut Benchmark::ALL[b].trace(key.seed),
                         key.cycles,
-                    ));
-                    let done = suite_compiles[c]
-                        .as_ref()
-                        .expect("suite compile assembly")
+                    );
+                    spawn_chunks(c, Some(b), words, spawner);
+                }
+                Job::CompileChunk(job, k) => {
+                    let key = &compile_jobs[job.c];
+                    let design = &designs[key.design_idx];
+                    let start = k * job.chunk_cycles;
+                    let len = job.chunk_cycles.min(job.words.len() - 1 - start);
+                    let chunk = CompiledTrace::analyze_chunk(design, &job.words, start, len);
+                    let done = job
+                        .slots
                         .lock()
-                        .expect("suite compile slots")
-                        .fill(b, compiled);
-                    if let Some(per) = done {
-                        let workload = CompiledWorkload::Suite(per);
-                        for &i in &replayers[c] {
-                            spawner.spawn(Job::Replay(i, workload.clone()));
-                        }
+                        .expect("chunk assembly slots")
+                        .fill(k, chunk);
+                    if let Some(chunks) = done {
+                        let compiled =
+                            Arc::new(CompiledTrace::from_chunks(design, key.cycles, chunks));
+                        finish_compile(job.c, job.bench, compiled, spawner);
                     }
                 }
                 Job::Loop(i) => {
@@ -757,20 +860,20 @@ impl ScenarioSet {
     }
 }
 
-/// Compiles one shared single-stream workload against its design
-/// (phase A of the executor fan-out). Suite workloads never reach
+/// Drains one shared single-stream workload's words (the serial phase
+/// of a chunked compile — RNG streams stay sequential, so seeds
+/// produce exactly the live path's words). Suite workloads never reach
 /// here — they split into per-benchmark [`Job::CompileBench`] jobs.
-fn compile_stream(design: &DvsBusDesign, key: &SummaryKey) -> Result<CompiledWorkload, String> {
+fn drain_stream_words(key: &SummaryKey) -> Result<Vec<u32>, String> {
     match &key.workload {
         WorkloadSpec::Suite => unreachable!("suite compiles split into per-benchmark jobs"),
-        WorkloadSpec::Single(benchmark) => Ok(CompiledWorkload::Stream(Arc::new(
-            CompiledTrace::compile(design, &mut benchmark.trace(key.seed), key.cycles),
-        ))),
+        WorkloadSpec::Single(benchmark) => Ok(CompiledTrace::drain_words(
+            &mut benchmark.trace(key.seed),
+            key.cycles,
+        )),
         WorkloadSpec::Recipe(recipe) => {
             let mut trace = recipe.build_trace(key.seed)?;
-            Ok(CompiledWorkload::Stream(Arc::new(CompiledTrace::compile(
-                design, &mut trace, key.cycles,
-            ))))
+            Ok(CompiledTrace::drain_words(&mut trace, key.cycles))
         }
     }
 }
@@ -1154,6 +1257,30 @@ mod tests {
         let many = set.run_with_workers(Vec::new(), true, None).unwrap();
         assert_eq!(one.result, two.result);
         assert_eq!(one.result, many.result);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_compile_chunk_sizes() {
+        // The chunked compile path must be invisible in campaign
+        // results: a chunk smaller than the trace (many CompileChunk
+        // continuations interleaving with replays), an awkward prime,
+        // and the 64k default (one chunk covers everything — the
+        // unchunked fast path) all assemble the same bytes, serial and
+        // pooled.
+        let mut spec = member("chunked", AnalysisSpec::Full, CornerSpec::Typical);
+        spec.run.cycles_per_benchmark = 2_000;
+        spec.sweep = vec![SweepAxis::Governors(vec![
+            GovernorSpec::Threshold,
+            GovernorSpec::Proportional,
+        ])];
+        let set = ScenarioSet::single(spec);
+        let baseline = set.run_full(Vec::new(), true, Some(1), 65_536).unwrap();
+        for chunk in [127usize, 500] {
+            for workers in [Some(1), Some(2), None] {
+                let run = set.run_full(Vec::new(), true, workers, chunk).unwrap();
+                assert_eq!(baseline.result, run.result, "chunk {chunk}, {workers:?}");
+            }
+        }
     }
 
     #[test]

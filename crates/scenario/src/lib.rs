@@ -63,6 +63,7 @@
 
 pub mod aggregate;
 pub mod catalog;
+mod compile;
 mod exec;
 pub mod paper;
 mod pool;
@@ -71,6 +72,7 @@ mod result;
 mod spec;
 
 pub use aggregate::{CampaignDigest, DigestBuilder, MemberMetrics, QuantileSketch, ScalarAgg};
+pub use compile::PoolChunks;
 pub use exec::{ScenarioSet, ScenarioSetRun};
 pub use pool::worker_count;
 pub use record::{CampaignRecording, Divergence, MemberRecord, ReplayReport};

@@ -48,5 +48,5 @@ pub use geometry::WireGeometry;
 pub use layout::{BusLayout, WirePosition};
 pub use line::{DelayCoefficients, RepeatedLine};
 pub use parasitics::WireParasitics;
-pub use physical::{BusPhysical, CycleAnalysis};
+pub use physical::{BusPhysical, CycleAnalysis, CycleAnalyzer};
 pub use sizing::{delay_optimal_width, size_repeater_for_delay, SizingError};
