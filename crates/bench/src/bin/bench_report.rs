@@ -15,15 +15,19 @@
 //!   fast-path speedup), the sweep-engine collector, the wire analyzer
 //!   (and its crosstalk-storm worst case, `analyze_cycle_storm`), the
 //!   compile/replay split, the parallel two-phase compile at 1, 2 and N
-//!   pool workers (`trace_compile_par_w*`), and the executor's
-//!   aggregate sweep throughput at 1, 2 and N pool workers
-//!   (`sweep_aggregate_w*` — the multi-core scaling record; N and
-//!   therefore the `w2`/`wmax` numbers depend on the runner's core
-//!   count),
+//!   pool workers (`trace_compile_par_w*`), the fused multi-member
+//!   replay at fan-in 1, 4 and 16 (`fused_replay_f*` — member-cycles
+//!   per second, growing with fan-in as one streaming pass judges more
+//!   members), and the executor's aggregate sweep throughput at 1, 2
+//!   and N pool workers (`sweep_aggregate_w*` — the multi-core scaling
+//!   record; N and therefore the `w2`/`wmax` numbers depend on the
+//!   runner's core count),
 //! * environment echoes (`cycles_per_benchmark`, `threads` — the
-//!   resolved pool worker count — and `component_threads`, the
-//!   resolved thread count behind each runner-bound component) so
-//!   numbers from different runners can be compared honestly.
+//!   resolved pool worker count — `component_threads`, the resolved
+//!   thread count behind each runner-bound component, and
+//!   `component_fanin`, the resolved group width behind each fused
+//!   replay leg) so numbers from different runners can be compared
+//!   honestly.
 //!
 //! The JSON is produced by [`razorbus_bench::report::BenchReport`]
 //! through the `razorbus-artifact` writer. See README.md ("Benchmarks in
@@ -33,11 +37,14 @@ use razorbus_bench::cli::CliArgs;
 use razorbus_bench::persist::collect_shared_inputs;
 use razorbus_bench::report::{check_components, BenchReport};
 use razorbus_bench::{ablations, cycles_from_env, REPRO_SEED};
-use razorbus_core::{experiments, BusSimulator, CompiledTrace, DvsBusDesign, TraceSummary};
+use razorbus_core::{
+    experiments, BusSimulator, CompiledTrace, DvsBusDesign, FusedOp, TraceSummary,
+};
 use razorbus_ctrl::ThresholdController;
 use razorbus_process::{ProcessCorner, PvtCorner};
 use razorbus_scenario::{catalog, PoolChunks};
 use razorbus_traces::{AdversarialCrosstalk, Benchmark, TraceSource};
+use razorbus_units::Millivolts;
 use std::time::Instant;
 
 /// Tolerance of the `--check` regression guard: component throughputs
@@ -263,8 +270,46 @@ fn main() {
         std::hint::black_box(r.errors);
         comp_cycles as f64 / 1e6 / start.elapsed().as_secs_f64()
     });
+    // Fused replay at fan-in 1, 4 and 16: one pass over the compiled
+    // trace judges F open-loop members (alternating corners, distinct
+    // supplies — the Monte-Carlo campaign shape). Throughput counts
+    // member-cycles (cycles × fan-in) per wall second, so the numbers
+    // grow with fan-in as the shared stream amortizes. The resolved
+    // fan-in (requested width capped by `RAZORBUS_REPLAY_FANIN`) is
+    // recorded in `component_fanin` so `--check` never gates a leg
+    // across different group widths.
+    let fanin_cap = razorbus_scenario::replay_fanin();
+    let resolved_fanin = |requested: usize| {
+        if fanin_cap == 0 {
+            requested
+        } else {
+            requested.min(fanin_cap)
+        }
+    };
+    let fused_at = |requested: usize| {
+        let fanin = resolved_fanin(requested);
+        let ops: Vec<FusedOp> = (0..fanin)
+            .map(|k| FusedOp {
+                pvt: if k % 2 == 0 {
+                    PvtCorner::TYPICAL
+                } else {
+                    PvtCorner::WORST
+                },
+                supply: Millivolts::new(920 + 20 * (k as i32 % 8)),
+            })
+            .collect();
+        best_of_3(&mut || {
+            let start = Instant::now();
+            let reports = compiled.replay_fused(&design, &ops, None);
+            std::hint::black_box(reports.len());
+            (comp_cycles * fanin as u64) as f64 / 1e6 / start.elapsed().as_secs_f64()
+        })
+    };
+    let fused_f1 = fused_at(1);
+    let fused_f4 = fused_at(4);
+    let fused_f16 = fused_at(16);
     eprintln!(
-        "  components: batched {batched:.1} / reference {reference:.1} Mcyc/s (x{:.2}), collect {collect:.1}, analyze {analyze:.1} (storm {analyze_storm:.1}), compile {compile:.1} (par w1 {compile_par_w1:.1} / w2 {compile_par_w2:.1} / w{max_workers} {compile_par_wmax:.1}), replay {replay:.1}",
+        "  components: batched {batched:.1} / reference {reference:.1} Mcyc/s (x{:.2}), collect {collect:.1}, analyze {analyze:.1} (storm {analyze_storm:.1}), compile {compile:.1} (par w1 {compile_par_w1:.1} / w2 {compile_par_w2:.1} / w{max_workers} {compile_par_wmax:.1}), replay {replay:.1} (fused f1 {fused_f1:.1} / f4 {fused_f4:.1} / f16 {fused_f16:.1})",
         batched / reference
     );
 
@@ -314,6 +359,9 @@ fn main() {
             ("trace_compile_par_wmax", round2(compile_par_wmax)),
             ("compiled_replay", round2(replay)),
             ("replay_speedup", round2(replay / batched)),
+            ("fused_replay_f1", round2(fused_f1)),
+            ("fused_replay_f4", round2(fused_f4)),
+            ("fused_replay_f16", round2(fused_f16)),
             ("sweep_aggregate_w1", round2(sweep_w1)),
             ("sweep_aggregate_w2", round2(sweep_w2)),
             ("sweep_aggregate_wmax", round2(sweep_wmax)),
@@ -325,6 +373,11 @@ fn main() {
             ("sweep_aggregate_w1", resolved_threads(1)),
             ("sweep_aggregate_w2", resolved_threads(2)),
             ("sweep_aggregate_wmax", resolved_threads(max_workers)),
+        ],
+        component_fanin: vec![
+            ("fused_replay_f1", resolved_fanin(1)),
+            ("fused_replay_f4", resolved_fanin(4)),
+            ("fused_replay_f16", resolved_fanin(16)),
         ],
     };
     let json = report.to_json().expect("render bench report");

@@ -75,7 +75,12 @@
 //! exact/approximate contract). `--no-compiled`
 //! (with `scenario` or `all`) disables compiled-trace sharing inside
 //! the executor — the live-path baseline CI diffs the shared path
-//! against. `--threads=N` pins the executor's work-stealing pool to
+//! against. `--no-fused` (same subcommands) keeps trace sharing but
+//! disables the fused multi-member replay, so every open-loop member
+//! replays solo — the one-pass-per-member baseline CI diffs the fused
+//! path against (sets `RAZORBUS_NO_FUSED`; `RAZORBUS_REPLAY_FANIN=N`
+//! instead caps fused group width without disabling fusion).
+//! `--threads=N` pins the executor's work-stealing pool to
 //! `N` workers for the whole run, overriding `RAZORBUS_THREADS`
 //! (default: available parallelism); `N` must be at least 1, and any
 //! worker count produces bit-identical results — the flag only trades
@@ -110,6 +115,7 @@ fn main() {
             "save-compiled",
             "load-compiled",
             "no-compiled",
+            "no-fused",
             "manifest",
             "record",
             "dir",
@@ -193,6 +199,10 @@ fn main() {
     if no_compiled && (save_compiled.is_some() || load_compiled.is_some()) {
         usage_error("--no-compiled contradicts --save-compiled/--load-compiled");
     }
+    let no_fused = args.has("no-fused");
+    if no_fused && !matches!(what, "scenario" | "all" | "record" | "replay") {
+        usage_error("--no-fused is only valid with `scenario`, `all`, `record` or `replay`");
+    }
     if manifest.is_some() && what != "record" {
         usage_error("--manifest is only valid with `record`");
     }
@@ -213,6 +223,12 @@ fn main() {
                 "--threads needs a positive integer worker count, got '{value}'"
             )),
         }
+    }
+    // `--no-fused` reaches the executor the same way: open-loop replay
+    // groups collapse back to one solo replay per member (bit-identical
+    // by construction — the flag only exists so CI can diff the paths).
+    if no_fused {
+        std::env::set_var("RAZORBUS_NO_FUSED", "1");
     }
 
     let cycles = cycles_from_env(2_000_000);
@@ -668,8 +684,8 @@ fn usage_error(msg: &str) -> ! {
          [--save-compiled[=PATH] | --load-compiled[=PATH]] \
          [--save-result[=PATH] | --load-result[=PATH]] \
          [--save-digest[=PATH]] [--digest-csv[=PATH]] [--no-compiled] \
-         [--manifest[=PATH]] [--record] [--dir[=PATH]] [--threads=N] \
-         [--out[=PATH]]"
+         [--no-fused] [--manifest[=PATH]] [--record] [--dir[=PATH]] \
+         [--threads=N] [--out[=PATH]]"
     );
     std::process::exit(2);
 }

@@ -32,6 +32,13 @@ pub struct BenchReport {
     /// skipped with a loud note instead of gating on noise.
     /// Thread-independent components carry no entry and always gate.
     pub component_threads: Vec<(&'static str, usize)>,
+    /// Resolved fan-in per *fused replay* component (requested group
+    /// width clamped by `RAZORBUS_REPLAY_FANIN`). Throughput scales
+    /// with how many members one pass judges, so [`check_components`]
+    /// only gates a fused leg across reports whose resolved fan-ins
+    /// match — mirroring the thread-count rule above. Non-fused
+    /// components carry no entry and always gate.
+    pub component_fanin: Vec<(&'static str, usize)>,
 }
 
 /// An ordered list of named measurements serialized as a JSON object —
@@ -53,7 +60,7 @@ impl<T: serde::Serialize> serde::Serialize for NamedValues<'_, T> {
 impl serde::Serialize for BenchReport {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
-        let mut state = serializer.serialize_struct("BenchReport", 7)?;
+        let mut state = serializer.serialize_struct("BenchReport", 8)?;
         state.serialize_field("schema", SCHEMA)?;
         state.serialize_field("cycles_per_benchmark", &self.cycles_per_benchmark)?;
         state.serialize_field("threads", &self.threads)?;
@@ -64,6 +71,7 @@ impl serde::Serialize for BenchReport {
             &NamedValues(&self.components_mcycles_per_s),
         )?;
         state.serialize_field("component_threads", &NamedValues(&self.component_threads))?;
+        state.serialize_field("component_fanin", &NamedValues(&self.component_fanin))?;
         state.end()
     }
 }
@@ -128,15 +136,32 @@ pub fn parse_components(json: &str) -> Result<Vec<(String, f64)>, String> {
 /// Returns a description when a present object is unterminated or
 /// holds a non-integer thread count.
 pub fn parse_component_threads(json: &str) -> Result<Vec<(String, usize)>, String> {
-    let key = "\"component_threads\":";
-    let Some(start) = json.find(key) else {
+    parse_named_usizes(json, "component_threads", "thread count")
+}
+
+/// Extracts the `component_fanin` entries from a rendered report.
+/// Reports written before fused replay existed (≤ `BENCH_9.json`) have
+/// no object at all — that parses as the empty list, making every
+/// component fan-in-independent by default.
+///
+/// # Errors
+///
+/// Returns a description when a present object is unterminated or
+/// holds a non-integer fan-in.
+pub fn parse_component_fanin(json: &str) -> Result<Vec<(String, usize)>, String> {
+    parse_named_usizes(json, "component_fanin", "fan-in")
+}
+
+fn parse_named_usizes(json: &str, field: &str, what: &str) -> Result<Vec<(String, usize)>, String> {
+    let key = format!("\"{field}\":");
+    let Some(start) = json.find(&key) else {
         return Ok(Vec::new());
     };
     let rest = &json[start + key.len()..];
-    let open = rest.find('{').ok_or("malformed component_threads object")?;
+    let open = rest.find('{').ok_or(format!("malformed {field} object"))?;
     let close = rest[open..]
         .find('}')
-        .ok_or("unterminated component_threads object")?
+        .ok_or(format!("unterminated {field} object"))?
         + open;
     let mut out = Vec::new();
     for entry in rest[open + 1..close].split(',') {
@@ -146,12 +171,12 @@ pub fn parse_component_threads(json: &str) -> Result<Vec<(String, usize)>, Strin
         }
         let (name, value) = entry
             .split_once(':')
-            .ok_or_else(|| format!("malformed component_threads entry `{entry}`"))?;
+            .ok_or_else(|| format!("malformed {field} entry `{entry}`"))?;
         let name = name.trim().trim_matches('"').to_string();
         let value: usize = value
             .trim()
             .parse()
-            .map_err(|_| format!("non-integer thread count for `{name}`: {}", value.trim()))?;
+            .map_err(|_| format!("non-integer {what} for `{name}`: {}", value.trim()))?;
         out.push((name, value));
     }
     Ok(out)
@@ -185,10 +210,14 @@ pub fn check_components(baseline: &str, current: &str, tolerance: f64) -> Result
     let cur = parse_components(current).map_err(|e| format!("current: {e}"))?;
     let base_threads = parse_component_threads(baseline).map_err(|e| format!("baseline: {e}"))?;
     let cur_threads = parse_component_threads(current).map_err(|e| format!("current: {e}"))?;
-    let threads_of = |list: &[(String, usize)], name: &str| {
+    let base_fanin = parse_component_fanin(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur_fanin = parse_component_fanin(current).map_err(|e| format!("current: {e}"))?;
+    let lookup = |list: &[(String, usize)], name: &str| {
         list.iter().find(|(n, _)| n == name).map(|&(_, t)| t)
     };
-    let render = |t: Option<usize>| t.map_or("unrecorded".to_string(), |t| format!("{t} threads"));
+    let render = |t: Option<usize>, unit: &str| {
+        t.map_or("unrecorded".to_string(), |t| format!("{t} {unit}"))
+    };
     let mut lines = Vec::new();
     let mut failed = false;
     let mut skipped = 0usize;
@@ -199,15 +228,29 @@ pub fn check_components(baseline: &str, current: &str, tolerance: f64) -> Result
                 lines.push(format!("  {name:<24} {base_value:>8.2} -> MISSING  FAIL"));
             }
             Some((_, cur_value)) => {
-                let bt = threads_of(&base_threads, name);
-                let ct = threads_of(&cur_threads, name);
+                let bt = lookup(&base_threads, name);
+                let ct = lookup(&cur_threads, name);
                 if bt != ct {
                     skipped += 1;
                     lines.push(format!(
                         "  {name:<24} {base_value:>8.2} -> {cur_value:>8.2}  SKIPPED \
                          (runner-bound: baseline {}, current {})",
-                        render(bt),
-                        render(ct)
+                        render(bt, "threads"),
+                        render(ct, "threads")
+                    ));
+                    continue;
+                }
+                let bf = lookup(&base_fanin, name);
+                let cf = lookup(&cur_fanin, name);
+                if bf != cf {
+                    let show =
+                        |f: Option<usize>| f.map_or("unrecorded".to_string(), |f| f.to_string());
+                    skipped += 1;
+                    lines.push(format!(
+                        "  {name:<24} {base_value:>8.2} -> {cur_value:>8.2}  SKIPPED \
+                         (fused leg: baseline fan-in {}, current fan-in {})",
+                        show(bf),
+                        show(cf)
                     ));
                     continue;
                 }
@@ -232,9 +275,10 @@ pub fn check_components(baseline: &str, current: &str, tolerance: f64) -> Result
     }
     if skipped > 0 {
         lines.push(format!(
-            "  NOTE: {skipped} runner-bound comparison(s) SKIPPED — resolved thread counts \
-             differ between the baseline and current runners, so those legs measure machine \
-             shape, not code. Re-record the baseline on a matching runner to re-arm them."
+            "  NOTE: {skipped} comparison(s) SKIPPED — resolved thread counts or replay \
+             fan-ins differ between the baseline and current runs, so those legs measure \
+             machine shape or group width, not code. Re-record the baseline on a matching \
+             configuration to re-arm them."
         ));
     }
     let table = lines.join("\n");
@@ -262,9 +306,10 @@ mod tests {
             total_ms: 78.9,
             components_mcycles_per_s: vec![("closed_loop_batched", 13.7)],
             component_threads: vec![("sweep_aggregate_wmax", 8)],
+            component_fanin: vec![("fused_replay_f4", 4)],
         };
         let json = report.to_json().unwrap();
-        let expected = "{\n  \"schema\": \"razorbus-bench/v1\",\n  \"cycles_per_benchmark\": 50000,\n  \"threads\": 8,\n  \"stages_ms\": {\n    \"design_build\": 0.5,\n    \"fig8_typical+bank\": 78.4\n  },\n  \"total_ms\": 78.9,\n  \"components_mcycles_per_s\": {\n    \"closed_loop_batched\": 13.7\n  },\n  \"component_threads\": {\n    \"sweep_aggregate_wmax\": 8\n  }\n}\n";
+        let expected = "{\n  \"schema\": \"razorbus-bench/v1\",\n  \"cycles_per_benchmark\": 50000,\n  \"threads\": 8,\n  \"stages_ms\": {\n    \"design_build\": 0.5,\n    \"fig8_typical+bank\": 78.4\n  },\n  \"total_ms\": 78.9,\n  \"components_mcycles_per_s\": {\n    \"closed_loop_batched\": 13.7\n  },\n  \"component_threads\": {\n    \"sweep_aggregate_wmax\": 8\n  },\n  \"component_fanin\": {\n    \"fused_replay_f4\": 4\n  }\n}\n";
         assert_eq!(json, expected);
     }
 
@@ -276,6 +321,14 @@ mod tests {
         components: Vec<(&'static str, f64)>,
         component_threads: Vec<(&'static str, usize)>,
     ) -> String {
+        report_with_extras(components, component_threads, Vec::new())
+    }
+
+    fn report_with_extras(
+        components: Vec<(&'static str, f64)>,
+        component_threads: Vec<(&'static str, usize)>,
+        component_fanin: Vec<(&'static str, usize)>,
+    ) -> String {
         BenchReport {
             cycles_per_benchmark: 50_000,
             threads: 1,
@@ -283,6 +336,7 @@ mod tests {
             total_ms: 100.0,
             components_mcycles_per_s: components,
             component_threads,
+            component_fanin,
         }
         .to_json()
         .unwrap()
@@ -379,7 +433,46 @@ mod tests {
             total_ms: 0.0,
             components_mcycles_per_s: vec![],
             component_threads: vec![],
+            component_fanin: vec![],
         };
         assert!(report.to_json().unwrap().contains("\"bad\": \"NaN\""));
+    }
+
+    #[test]
+    fn fused_legs_skip_across_fan_ins() {
+        // A fused replay leg recorded at fan-in 16 compared against a
+        // fan-in-2-capped run measures group width, not code: skipped
+        // with a loud note, exactly like the thread-count rule. A
+        // baseline predating the field (≤ BENCH_9.json) is likewise
+        // skipped, and matching fan-ins gate normally.
+        let base = report_with_extras(
+            vec![("analyze_cycle", 10.0), ("fused_replay_f16", 160.0)],
+            Vec::new(),
+            vec![("fused_replay_f16", 16)],
+        );
+        let capped = report_with_extras(
+            vec![("analyze_cycle", 10.5), ("fused_replay_f16", 21.0)],
+            Vec::new(),
+            vec![("fused_replay_f16", 2)],
+        );
+        let table = check_components(&base, &capped, 0.40).unwrap();
+        assert!(
+            table.contains("SKIPPED") && table.contains("fan-in") && table.contains("NOTE:"),
+            "{table}"
+        );
+        let old = report_with(vec![("fused_replay_f16", 160.0)]);
+        let table = check_components(&old, &capped, 0.40).unwrap();
+        assert!(table.contains("unrecorded"), "{table}");
+        // Same fan-in on both sides: the leg gates again.
+        let same = report_with_extras(
+            vec![("analyze_cycle", 10.5), ("fused_replay_f16", 21.0)],
+            Vec::new(),
+            vec![("fused_replay_f16", 16)],
+        );
+        let err = check_components(&base, &same, 0.40).unwrap_err();
+        assert!(
+            err.contains("fused_replay_f16") && err.contains("FAIL"),
+            "{err}"
+        );
     }
 }

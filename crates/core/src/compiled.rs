@@ -57,6 +57,18 @@ pub trait ChunkRunner {
     /// outlive the call (scoped threads are fine, detached ones are
     /// not).
     fn run_chunks<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>);
+
+    /// Whether this runner executes chunk jobs strictly one at a time
+    /// on the calling thread. An opt-in fast-path hint:
+    /// [`CompiledTrace::compile_chunked`] gains nothing from the
+    /// drain-then-chunk pipeline on a single-threaded runner, so it
+    /// routes to the streaming single-pass [`CompiledTrace::compile`]
+    /// instead (bit-identical — pinned by the chunk differentials).
+    /// [`SerialChunks`] deliberately keeps the default `false`: its job
+    /// is exercising the chunk pipeline itself in tests.
+    fn single_threaded(&self) -> bool {
+        false
+    }
 }
 
 /// The no-parallelism [`ChunkRunner`]: runs chunk jobs in order on the
@@ -288,8 +300,13 @@ impl CompiledTrace {
         chunk_cycles: usize,
         runner: &dyn ChunkRunner,
     ) -> Self {
-        let words = Self::drain_words(trace, cycles);
         assert!(chunk_cycles > 0, "need at least one cycle per chunk");
+        if runner.single_threaded() {
+            // No parallelism to exploit: skip the word buffer and chunk
+            // bookkeeping entirely and stream the compile in one pass.
+            return Self::compile(design, trace, cycles);
+        }
+        let words = Self::drain_words(trace, cycles);
         let n = words.len() - 1;
         let n_chunks = n.div_ceil(chunk_cycles);
         let slots: Vec<Mutex<Option<CompiledChunk>>> =

@@ -106,6 +106,19 @@ pub(crate) struct LaneAccum {
     pub wire_cap: f64,
 }
 
+/// Per-member integer counts of one fused chunk: the member-*dependent*
+/// half of [`LaneAccum`]. The toggle sum and capacitance accumulation
+/// are member-independent (they never consult a threshold table), so
+/// [`process_fused`] computes them once for the whole group and returns
+/// them alongside these per-member counts.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub(crate) struct FusedCounts {
+    /// Error (recovery) cycles in the chunk, for this member.
+    pub errors: u64,
+    /// Shadow-latch violations in the chunk, for this member.
+    pub shadow: u64,
+}
+
 /// Classifies `toggles.len()` cycles against `thr`, eight per iteration.
 ///
 /// Bit-identical to the scalar loop body over the same slices: the
@@ -167,6 +180,80 @@ pub(crate) fn process(
         acc.wire_cap += switched[c];
     }
     acc
+}
+
+/// The fused-replay kernel: classifies `toggles.len()` cycles against
+/// *every* member's thresholds in one pass, while each lane's words are
+/// hot in registers/L1. Returns the member-independent `(toggle sum,
+/// switched-capacitance sum)` pair and writes each member's
+/// error/violation counts into its `counts` slot.
+///
+/// Per member, the decisions are exactly [`process`]'s: the same packed
+/// bins compare against the member's own gathered thresholds with the
+/// same SWAR ops, the scalar tail evaluates the same comparisons, and
+/// the quiet-lane skip is member-independent (`err_bin[0]` is [`NEVER`]
+/// for every threshold table, and the capacitance elision is the same
+/// all-`+0.0` argument as in [`process`]) — so a fused member's counts
+/// are bit-identical to its solo run by construction, pinned by the
+/// differential test below and the replay differentials in `sim.rs`.
+pub(crate) fn process_fused(
+    toggles: &[u8],
+    bins: &[u16],
+    switched: &[f64],
+    thrs: &[LaneThresholds],
+    counts: &mut [FusedCounts],
+) -> (u64, f64) {
+    debug_assert_eq!(toggles.len(), bins.len());
+    debug_assert_eq!(toggles.len(), switched.len());
+    debug_assert_eq!(thrs.len(), counts.len());
+    for c in counts.iter_mut() {
+        *c = FusedCounts::default();
+    }
+    let mut toggle_sum = 0u64;
+    let mut wire_cap = 0.0f64;
+    let lanes = toggles.len() / LANE;
+    for lane in 0..lanes {
+        let base = lane * LANE;
+        let t8: [u8; LANE] = toggles[base..base + LANE].try_into().expect("lane width");
+        let t64 = u64::from_le_bytes(t8);
+        if t64 == 0 {
+            continue;
+        }
+        let pairs = (t64 & PAIR_MASK) + ((t64 >> 8) & PAIR_MASK);
+        toggle_sum += pairs.wrapping_mul(0x0001_0001_0001_0001) >> 48;
+
+        // One bin pack serves every member; the gathers and compares
+        // run per member against its own requantized tables.
+        let bins_lo = pack4(bins[base..base + 4].try_into().expect("lane half"));
+        let bins_hi = pack4(bins[base + 4..base + LANE].try_into().expect("lane half"));
+        for (thr, cnt) in thrs.iter().zip(counts.iter_mut()) {
+            let err_lo = gather4(&t8[0..4], &thr.err_bin);
+            let err_hi = gather4(&t8[4..LANE], &thr.err_bin);
+            let sh_lo = gather4(&t8[0..4], &thr.shadow_bin);
+            let sh_hi = gather4(&t8[4..LANE], &thr.shadow_bin);
+            let ge_err_lo = swar_ge4(bins_lo, err_lo);
+            let ge_err_hi = swar_ge4(bins_hi, err_hi);
+            cnt.errors += u64::from(ge_err_lo.count_ones() + ge_err_hi.count_ones());
+            cnt.shadow += u64::from(
+                (ge_err_lo & swar_ge4(bins_lo, sh_lo)).count_ones()
+                    + (ge_err_hi & swar_ge4(bins_hi, sh_hi)).count_ones(),
+            );
+        }
+
+        for &cap in &switched[base..base + LANE] {
+            wire_cap += cap;
+        }
+    }
+    for c in lanes * LANE..toggles.len() {
+        toggle_sum += u64::from(toggles[c]);
+        wire_cap += switched[c];
+        for (thr, cnt) in thrs.iter().zip(counts.iter_mut()) {
+            let error = bins[c] >= thr.err_bin[usize::from(toggles[c])];
+            cnt.errors += u64::from(error);
+            cnt.shadow += u64::from(error && bins[c] >= thr.shadow_bin[usize::from(toggles[c])]);
+        }
+    }
+    (toggle_sum, wire_cap)
 }
 
 /// Packs four 16-bit bins into one u64, field 0 in the low bits.
@@ -338,6 +425,40 @@ mod tests {
                     slow.wire_cap.to_bits(),
                     "n={n} quiet={quiet_permille}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_matches_solo_process_per_member() {
+        // One fused pass over K member threshold tables must reproduce
+        // each member's solo `process` exactly: integer counts equal,
+        // and the shared toggle/capacitance sums bit-equal to any solo
+        // member's (they are member-independent) — across fan-ins,
+        // lengths and traffic densities, tails and quiet lanes included.
+        let mut rng = Rng(0x000f_05ed);
+        for fan_in in [1usize, 3, 4, 16] {
+            for quiet_permille in [0, 300, 950, 1_000] {
+                for n in [0usize, 1, 7, 8, 9, 16, 1_000, 4_097] {
+                    let (toggles, bins, switched) = random_cycles(&mut rng, n, quiet_permille);
+                    let thrs: Vec<LaneThresholds> = (0..fan_in)
+                        .map(|_| {
+                            let (pass, shadow) = limits(&mut rng);
+                            LaneThresholds::from_limits(&pass, &shadow)
+                        })
+                        .collect();
+                    let mut counts = vec![FusedCounts::default(); fan_in];
+                    let (toggle_sum, wire_cap) =
+                        process_fused(&toggles, &bins, &switched, &thrs, &mut counts);
+                    for (m, (thr, cnt)) in thrs.iter().zip(&counts).enumerate() {
+                        let solo = process(&toggles, &bins, &switched, thr);
+                        let ctx = format!("member {m}/{fan_in}, n={n} quiet={quiet_permille}");
+                        assert_eq!(cnt.errors, solo.errors, "{ctx}");
+                        assert_eq!(cnt.shadow, solo.shadow, "{ctx}");
+                        assert_eq!(toggle_sum, solo.toggles, "{ctx}");
+                        assert_eq!(wire_cap.to_bits(), solo.wire_cap.to_bits(), "{ctx}");
+                    }
+                }
             }
         }
     }

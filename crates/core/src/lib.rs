@@ -45,7 +45,7 @@ mod summary;
 
 pub use compiled::{compile_chunk_cycles, ChunkRunner, CompiledChunk, CompiledTrace, SerialChunks};
 pub use design::DvsBusDesign;
-pub use sim::{BusSimulator, SimReport, VoltageSample};
+pub use sim::{BusSimulator, FusedOp, SimReport, VoltageSample};
 pub use summary::{
     bucket_of, TraceSummary, WindowedSummary, CEFF_BIN_WIDTH, N_BUCKETS, N_CEFF_BINS,
 };

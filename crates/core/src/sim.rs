@@ -690,6 +690,36 @@ fn run_stream<C: ChunkStream, G: VoltageGovernor>(
     }
 }
 
+/// One member of a fused replay group: an *open-loop* operating point —
+/// environment corner plus fixed supply — judged over a compiled trace
+/// in the same pass as every other member of its group
+/// ([`CompiledTrace::replay_fused`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedOp {
+    /// The true environment corner the member runs at.
+    pub pvt: PvtCorner,
+    /// The member's fixed supply (must be on the design grid).
+    pub supply: Millivolts,
+}
+
+/// Per-member running state of a fused replay: the member's hot row and
+/// nominal constants plus exactly the accumulators [`run_stream`] folds
+/// per chunk.
+struct FusedMember {
+    supply: Millivolts,
+    v_mv: f64,
+    row: VoltageRow,
+    v2_nominal: f64,
+    leak_nominal: f64,
+    errors: u64,
+    shadow: u64,
+    energy_fj: f64,
+    baseline_fj: f64,
+    mv_sum: f64,
+    window_errors: u64,
+    samples: Vec<VoltageSample>,
+}
+
 impl CompiledTrace {
     /// Replays the compiled stream through the batched closed-loop body
     /// — the exact loop [`BusSimulator::run`] executes, with the
@@ -768,6 +798,176 @@ impl CompiledTrace {
             self.cycles(),
         );
         (report, governor)
+    }
+
+    /// Replays *every* operating point of `ops` in **one pass** over the
+    /// compiled stream: the fused kernel (`lane.rs`) applies each
+    /// member's requantized integer thresholds to every 8-cycle lane
+    /// while the lane's words are hot in registers/L1, so a group of N
+    /// open-loop members streams the 11 B/cycle arrays once instead of
+    /// N times.
+    ///
+    /// Each member's report is **bit-identical** to its solo replay
+    /// under [`razorbus_ctrl::FixedVoltage`] at the same corner, supply
+    /// and sampling, by construction: a fixed supply is steady forever
+    /// (`steady_cycles` is `u64::MAX`), so the solo chunk sequence is
+    /// exactly the sampling windows (or one whole-trace chunk) — shared
+    /// by every member — and the fused loop folds each member's
+    /// accumulators per chunk in that same order, from the same
+    /// member-independent toggle/capacitance sums the solo kernel
+    /// produces. Pinned by `to_bits()` differential tests across
+    /// designs × corners × fan-ins.
+    ///
+    /// Closed-loop governors are *not* expressible here — their voltage
+    /// trajectories are feedback-driven, so their chunk boundaries
+    /// diverge per member; callers keep those on solo replays.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace's bus stamps do not match `design`, when
+    /// `sampling` is `Some(0)`, or when any member's supply is off the
+    /// design grid.
+    #[must_use]
+    pub fn replay_fused(
+        &self,
+        design: &DvsBusDesign,
+        ops: &[FusedOp],
+        sampling: Option<u64>,
+    ) -> Vec<SimReport> {
+        self.check_replay(design, sampling);
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let grid = design.grid();
+        let tables = design.tables();
+        let fe = design.flop_energy();
+        let n_flops = tables.n_bits();
+        let length_mm = design.bus().line().total_length().mm();
+        let rep_cap = tables.repeater_cap_per_toggle().ff();
+        let clock_cap = fe.clock_capacitance(n_flops).ff();
+        let data_cap = fe.data_capacitance().ff();
+        let recovery_cap = clock_cap + data_cap;
+        let nominal_idx = grid.index_of(design.nominal()).expect("nominal on grid");
+
+        // Row tables are per corner, not per member: a 2-corner ×
+        // 8-supply group builds two, exactly as two solo replays would.
+        let mut row_cache: Vec<(PvtCorner, Vec<VoltageRow>)> = Vec::new();
+        for op in ops {
+            if !row_cache.iter().any(|(p, _)| *p == op.pvt) {
+                row_cache.push((op.pvt, voltage_rows(design, op.pvt, recovery_cap)));
+            }
+        }
+        let mut thrs = Vec::with_capacity(ops.len());
+        let mut members: Vec<FusedMember> = Vec::with_capacity(ops.len());
+        for op in ops {
+            let rows = &row_cache
+                .iter()
+                .find(|(p, _)| *p == op.pvt)
+                .expect("cached above")
+                .1;
+            let vi = grid
+                .index_of(op.supply)
+                .unwrap_or_else(|| panic!("fused member supply {} off the design grid", op.supply));
+            let row = rows[vi];
+            thrs.push(LaneThresholds::from_limits(&row.pass, &row.shadow));
+            members.push(FusedMember {
+                supply: op.supply,
+                v_mv: f64::from(op.supply.mv()),
+                row,
+                v2_nominal: rows[nominal_idx].v2,
+                leak_nominal: rows[nominal_idx].leak_fj,
+                errors: 0,
+                shadow: 0,
+                energy_fj: 0.0,
+                baseline_fj: 0.0,
+                mv_sum: 0.0,
+                window_errors: 0,
+                samples: Vec::new(),
+            });
+        }
+
+        let (toggles, bins, switched) = self.arrays();
+        let cycles = self.cycles();
+        let mut counts = vec![lane::FusedCounts::default(); ops.len()];
+        let mut cycle = 0u64;
+        let mut window_cycles = 0u64;
+        let mut cursor = 0usize;
+        while cycle < cycles {
+            // A fixed supply is steady forever, so — exactly as in each
+            // member's solo replay — chunks are the sampling windows,
+            // or one whole-trace chunk without sampling.
+            let mut chunk = cycles - cycle;
+            if let Some(window) = sampling {
+                chunk = chunk.min(window - window_cycles);
+            }
+            let end = cursor + usize::try_from(chunk).expect("chunk fits in memory");
+            let (toggle_sum, wire_cap) = lane::process_fused(
+                &toggles[cursor..end],
+                &bins[cursor..end],
+                &switched[cursor..end],
+                &thrs,
+                &mut counts,
+            );
+            cursor = end;
+            let switched_cap = wire_cap * length_mm
+                + toggle_sum as f64 * (rep_cap + data_cap)
+                + chunk as f64 * clock_cap;
+            for (m, cnt) in members.iter_mut().zip(&counts) {
+                m.energy_fj += switched_cap * m.row.v2
+                    + chunk as f64 * m.row.leak_fj
+                    + cnt.errors as f64 * m.row.recovery_fj;
+                m.baseline_fj += switched_cap * m.v2_nominal + chunk as f64 * m.leak_nominal;
+                m.errors += cnt.errors;
+                m.shadow += cnt.shadow;
+                m.mv_sum += m.v_mv * chunk as f64;
+            }
+            cycle += chunk;
+            if let Some(window) = sampling {
+                window_cycles += chunk;
+                for (m, cnt) in members.iter_mut().zip(&counts) {
+                    m.window_errors += cnt.errors;
+                }
+                if window_cycles == window {
+                    for m in &mut members {
+                        m.samples.push(VoltageSample {
+                            cycle,
+                            voltage: m.supply,
+                            window_error_rate: m.window_errors as f64 / window as f64,
+                        });
+                        m.window_errors = 0;
+                    }
+                    window_cycles = 0;
+                }
+            }
+        }
+        if window_cycles > 0 {
+            for m in &mut members {
+                m.samples.push(VoltageSample {
+                    cycle: cycles,
+                    voltage: m.supply,
+                    window_error_rate: m.window_errors as f64 / window_cycles as f64,
+                });
+            }
+        }
+
+        members
+            .into_iter()
+            .map(|m| SimReport {
+                cycles,
+                errors: m.errors,
+                shadow_violations: m.shadow,
+                energy: Femtojoules::new(m.energy_fj),
+                baseline_energy: Femtojoules::new(m.baseline_fj),
+                mean_voltage_mv: if cycles == 0 {
+                    0.0
+                } else {
+                    m.mv_sum / cycles as f64
+                },
+                min_voltage: m.supply,
+                samples: m.samples,
+                summary: None,
+            })
+            .collect()
     }
 
     fn check_replay(&self, design: &DvsBusDesign, sampling: Option<u64>) {
@@ -1376,6 +1576,150 @@ mod tests {
         assert_eq!(fast.summary, slow.summary);
         assert_eq!(fast.energy.fj().to_bits(), slow.energy.fj().to_bits());
         assert_eq!(fast.samples, slow.samples);
+    }
+
+    /// Differential harness for the fused replay: one
+    /// [`CompiledTrace::replay_fused`] pass over an operating-point
+    /// matrix against each member's solo [`CompiledTrace::replay`]
+    /// under [`FixedVoltage`] — every reported number must match to the
+    /// bit, sampled trajectories included.
+    fn assert_fused_matches_solo(
+        d: &DvsBusDesign,
+        bench: Benchmark,
+        seed: u64,
+        ops: &[FusedOp],
+        cycles: u64,
+        sampling: Option<u64>,
+    ) {
+        let compiled = crate::CompiledTrace::compile(d, &mut bench.trace(seed), cycles);
+        let fused = compiled.replay_fused(d, ops, sampling);
+        assert_eq!(fused.len(), ops.len());
+        for (op, f) in ops.iter().zip(&fused) {
+            let (s, _) = compiled.replay(d, op.pvt, FixedVoltage::new(op.supply), sampling, false);
+            let ctx = format!(
+                "{bench} @ {} {}, fan-in {}, {cycles} cycles",
+                op.pvt,
+                op.supply,
+                ops.len()
+            );
+            assert_eq!(f.cycles, s.cycles, "{ctx}");
+            assert_eq!(f.errors, s.errors, "errors diverged: {ctx}");
+            assert_eq!(
+                f.shadow_violations, s.shadow_violations,
+                "violations diverged: {ctx}"
+            );
+            assert_eq!(
+                f.energy.fj().to_bits(),
+                s.energy.fj().to_bits(),
+                "energy not exact: {ctx}"
+            );
+            assert_eq!(
+                f.baseline_energy.fj().to_bits(),
+                s.baseline_energy.fj().to_bits(),
+                "baseline not exact: {ctx}"
+            );
+            assert_eq!(f.min_voltage, s.min_voltage, "{ctx}");
+            assert_eq!(
+                f.mean_voltage_mv.to_bits(),
+                s.mean_voltage_mv.to_bits(),
+                "mean V not exact: {ctx}"
+            );
+            assert_eq!(f.samples.len(), s.samples.len(), "{ctx}");
+            for (a, b) in f.samples.iter().zip(&s.samples) {
+                assert_eq!(a.cycle, b.cycle, "{ctx}");
+                assert_eq!(a.voltage, b.voltage, "{ctx}");
+                assert_eq!(
+                    a.window_error_rate.to_bits(),
+                    b.window_error_rate.to_bits(),
+                    "window rate not exact at cycle {}: {ctx}",
+                    a.cycle
+                );
+            }
+            assert!(f.summary.is_none(), "{ctx}");
+        }
+    }
+
+    /// The Monte-Carlo-shaped matrix: `corners × supplies`, supplies on
+    /// the 20 mV grid starting at 900 mV.
+    fn op_matrix(corners: &[PvtCorner], supplies: usize) -> Vec<FusedOp> {
+        corners
+            .iter()
+            .flat_map(|&pvt| {
+                (0..supplies).map(move |k| FusedOp {
+                    pvt,
+                    supply: Millivolts::new(900 + 20 * k as i32),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_replay_matches_solo_across_fan_ins() {
+        // Fan-in 1 (a singleton group still takes the fused path), 4
+        // and 16 (the monte-carlo-dvs shape: 2 corners × 8 supplies),
+        // with and without sampling, on an odd cycle count so the
+        // trailing partial window and the lane tail are both exercised.
+        let d = design();
+        let corners = [PvtCorner::TYPICAL, PvtCorner::WORST];
+        assert_fused_matches_solo(
+            &d,
+            Benchmark::Crafty,
+            5,
+            &op_matrix(&corners[..1], 1),
+            60_007,
+            Some(10_000),
+        );
+        assert_fused_matches_solo(
+            &d,
+            Benchmark::Mgrid,
+            8,
+            &op_matrix(&corners, 2),
+            60_007,
+            Some(10_000),
+        );
+        assert_fused_matches_solo(&d, Benchmark::Gap, 9, &op_matrix(&corners, 8), 60_007, None);
+        assert_fused_matches_solo(
+            &d,
+            Benchmark::Swim,
+            2,
+            &op_matrix(&corners, 8),
+            40_000,
+            Some(17_500),
+        );
+    }
+
+    #[test]
+    fn fused_replay_matches_solo_on_the_modified_design() {
+        // The modified bus rebuilds tables and stresses different bins;
+        // the fused row cache must key corners correctly there too.
+        let modified = DvsBusDesign::modified_paper_bus();
+        assert_fused_matches_solo(
+            &modified,
+            Benchmark::Vortex,
+            11,
+            &op_matrix(&[PvtCorner::TYPICAL, PvtCorner::WORST], 4),
+            60_000,
+            Some(10_000),
+        );
+    }
+
+    #[test]
+    fn fused_replay_of_no_ops_is_empty() {
+        let d = design();
+        let compiled = crate::CompiledTrace::compile(&d, &mut Benchmark::Crafty.trace(1), 1_000);
+        assert!(compiled.replay_fused(&d, &[], None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "off the design grid")]
+    fn fused_replay_refuses_an_off_grid_supply() {
+        let d = design();
+        let compiled = crate::CompiledTrace::compile(&d, &mut Benchmark::Crafty.trace(1), 1_000);
+        let ops = [FusedOp {
+            pvt: PvtCorner::TYPICAL,
+            supply: Millivolts::new(905),
+        }];
+        let _ = compiled.replay_fused(&d, &ops, None);
     }
 
     #[test]

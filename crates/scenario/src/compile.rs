@@ -35,6 +35,14 @@ impl ChunkRunner for PoolChunks {
     fn run_chunks<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
         crate::pool::run(self.workers, jobs, |job, _| job());
     }
+
+    /// A one-worker pool executes chunks strictly in order on one
+    /// thread, so the compile routes onto the streaming single-pass
+    /// path instead of paying for the word buffer and chunk assembly
+    /// (the measured ~8 % `trace_compile_par_w1` penalty).
+    fn single_threaded(&self) -> bool {
+        self.workers == 1
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +85,16 @@ mod tests {
                 assert_eq!(storm_serial, storm_pooled, "storm, workers {workers}");
             }
         }
+    }
+
+    #[test]
+    fn one_worker_pool_takes_the_streaming_fast_path() {
+        // The hint itself, plus the contract that the fast path cannot
+        // show in the output (the worker-count differential above
+        // already pins workers == 1 against the serial compile).
+        assert!(PoolChunks::new(1).single_threaded());
+        assert!(!PoolChunks::new(2).single_threaded());
+        assert!(!razorbus_core::SerialChunks.single_threaded());
     }
 
     #[test]

@@ -46,9 +46,10 @@ use crate::result::{LoopData, MemberResult, ScenarioSetResult, StreamRun, SweepD
 use crate::spec::{ControllerSpec, DesignSpec, ScenarioSpec, WorkloadSpec};
 use razorbus_core::experiments::{fig8, SummaryBank};
 use razorbus_core::{
-    compile_chunk_cycles, BusSimulator, CompiledChunk, CompiledTrace, DvsBusDesign, TraceSummary,
+    compile_chunk_cycles, BusSimulator, CompiledChunk, CompiledTrace, DvsBusDesign, FusedOp,
+    TraceSummary,
 };
-use razorbus_ctrl::BoxedGovernor;
+use razorbus_ctrl::{BoxedGovernor, GovernorSpec};
 use razorbus_process::PvtCorner;
 use razorbus_traces::{Benchmark, TraceSource};
 use std::collections::{HashMap, HashSet};
@@ -172,6 +173,90 @@ enum Job {
     SummaryBench(usize, usize),
     /// Replay `loop_jobs[i]` against its shared compiled workload.
     Replay(usize, CompiledWorkload),
+    /// Judge a whole group of open-loop loop jobs in one fused pass
+    /// over their shared compiled stream
+    /// ([`CompiledTrace::replay_fused`]).
+    FusedReplay(Vec<usize>, Arc<CompiledTrace>),
+}
+
+/// How one finished compile's waiting loop jobs replay: solo
+/// continuations, or fused groups judged in a single pass over the
+/// stream. Fixed before the pool starts, so grouping is independent of
+/// worker count and completion order.
+#[derive(Debug, Clone, PartialEq)]
+enum ReplayPlan {
+    /// One [`Job::Replay`] continuation — closed-loop governors (their
+    /// voltage trajectories are feedback-driven, so their chunk
+    /// boundaries diverge per member) and histogram riders (the
+    /// by-product's array increments must land in per-member collection
+    /// order).
+    Solo(usize),
+    /// One [`Job::FusedReplay`] over these loop indices — open-loop
+    /// fixed-supply members sharing the stream *and* the sampling
+    /// window (shared chunk boundaries are what make the fused fold
+    /// bit-identical to each solo replay).
+    Fused(Vec<usize>),
+}
+
+/// Partitions one compile's waiting loop indices into replay groups.
+///
+/// A loop job is fusable when fusing is enabled, the workload is a
+/// single stream (suite replays thread one governor across benchmarks),
+/// its governor is [`GovernorSpec::Fixed`] and it carries no histogram
+/// rider. Fusable jobs group by sampling window in replayer order;
+/// `fanin > 0` caps the group width (first-fit, so a capped group
+/// splits deterministically). Everything else replays solo, and a
+/// fusable singleton still takes the fused path — one code path to
+/// trust, whatever the group width.
+fn plan_replay_groups(
+    replayers: &[usize],
+    loop_jobs: &[LoopKey],
+    loop_hist: &[bool],
+    stream: bool,
+    fuse: bool,
+    fanin: usize,
+) -> Vec<ReplayPlan> {
+    let mut plans = Vec::new();
+    let mut groups: Vec<(Option<u64>, Vec<usize>)> = Vec::new();
+    for &i in replayers {
+        let job = &loop_jobs[i];
+        let open_loop = matches!(job.controller.governor, GovernorSpec::Fixed(_));
+        if !(fuse && stream && open_loop && !loop_hist[i]) {
+            plans.push(ReplayPlan::Solo(i));
+            continue;
+        }
+        let sampling = job.controller.sampling;
+        match groups
+            .iter_mut()
+            .find(|(s, g)| *s == sampling && (fanin == 0 || g.len() < fanin))
+        {
+            Some((_, group)) => group.push(i),
+            None => groups.push((sampling, vec![i])),
+        }
+    }
+    plans.extend(groups.into_iter().map(|(_, g)| ReplayPlan::Fused(g)));
+    plans
+}
+
+/// Group-width cap for fused replays (`RAZORBUS_REPLAY_FANIN`): `0` (or
+/// unset) leaves groups unbounded — the whole sweep sharing a stream is
+/// judged in one pass. CI pins a small value to exercise group
+/// splitting; `bench_report` reads it to label its fused components
+/// honestly.
+#[must_use]
+pub fn replay_fanin() -> usize {
+    std::env::var("RAZORBUS_REPLAY_FANIN")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+/// Whether fused replays are enabled (`RAZORBUS_NO_FUSED` unset, empty
+/// or `0`). `repro --no-fused` sets the variable, forcing every member
+/// onto its solo replay — the comparison baseline CI `cmp`s against the
+/// fused default.
+pub(crate) fn fused_replays_enabled() -> bool {
+    !matches!(std::env::var("RAZORBUS_NO_FUSED"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 /// Slot-ordered assembly of a suite's per-benchmark products: each
@@ -387,19 +472,30 @@ impl ScenarioSet {
         share_compiled: bool,
         workers: Option<usize>,
     ) -> Result<ScenarioSetRun, String> {
-        self.run_full(prebuilt, share_compiled, workers, compile_chunk_cycles())
+        self.run_full(
+            prebuilt,
+            share_compiled,
+            workers,
+            compile_chunk_cycles(),
+            None,
+            None,
+        )
     }
 
     /// [`ScenarioSet::run_with_workers`] with an explicit compile chunk
-    /// size (the `RAZORBUS_COMPILE_CHUNK` default otherwise) — lets the
-    /// chunk-size differential tests run without mutating process
-    /// globals.
+    /// size (the `RAZORBUS_COMPILE_CHUNK` default otherwise) and
+    /// explicit fused-replay controls (`fuse` overrides
+    /// `RAZORBUS_NO_FUSED`, `fanin` overrides `RAZORBUS_REPLAY_FANIN`)
+    /// — lets the chunk-size and fused/solo differential tests run
+    /// without mutating process globals.
     fn run_full(
         &self,
         prebuilt: Vec<(DesignSpec, DvsBusDesign)>,
         share_compiled: bool,
         workers: Option<usize>,
         chunk_cycles: usize,
+        fuse: Option<bool>,
+        fanin: Option<usize>,
     ) -> Result<ScenarioSetRun, String> {
         let members = self.expand()?;
 
@@ -565,6 +661,23 @@ impl ScenarioSet {
                 replayers[c].push(i);
             }
         }
+        // ... and how each compile's waiters replay: open-loop
+        // fixed-supply members fuse into single-pass groups, everything
+        // else keeps its solo continuation. Planned up front, so
+        // grouping never depends on scheduling.
+        let fuse = fuse.unwrap_or_else(fused_replays_enabled);
+        let fanin = fanin.unwrap_or_else(replay_fanin);
+        let replay_plans: Vec<Vec<ReplayPlan>> = compile_jobs
+            .iter()
+            .enumerate()
+            .map(|(c, key)| {
+                let stream = !matches!(key.workload, WorkloadSpec::Suite);
+                plan_replay_groups(&replayers[c], &loop_jobs, &loop_hist, stream, fuse, fanin)
+            })
+            .collect();
+        // Resolved once: a one-worker pool also routes compiles onto
+        // the streaming serial path (no chunk bookkeeping to win back).
+        let n_workers = pool::worker_count(workers);
 
         // Drain the plan on the work-stealing pool. Compiles feed the
         // injector first so shared workloads materialize while the live
@@ -651,9 +764,15 @@ impl ScenarioSet {
                     }
                 }
                 None => {
-                    let workload = CompiledWorkload::Stream(compiled);
-                    for &i in &replayers[c] {
-                        spawner.spawn(Job::Replay(i, workload.clone()));
+                    for plan in &replay_plans[c] {
+                        match plan {
+                            ReplayPlan::Solo(i) => spawner.spawn(Job::Replay(
+                                *i,
+                                CompiledWorkload::Stream(Arc::clone(&compiled)),
+                            )),
+                            ReplayPlan::Fused(group) => spawner
+                                .spawn(Job::FusedReplay(group.clone(), Arc::clone(&compiled))),
+                        }
                     }
                 }
             };
@@ -712,14 +831,16 @@ impl ScenarioSet {
             }
         }
 
-        pool::run(
-            pool::worker_count(workers),
-            initial,
-            |job, spawner| match job {
-                Job::Compile(c) => {
-                    let key = &compile_jobs[c];
-                    match drain_stream_words(key) {
-                        Ok(words) => spawn_chunks(c, None, words, spawner),
+        pool::run(n_workers, initial, |job, spawner| match job {
+            Job::Compile(c) => {
+                let key = &compile_jobs[c];
+                // One worker: no chunk parallelism to exploit, so
+                // stream the compile in a single pass (no word
+                // buffer, no chunk assembly) — bit-identical by the
+                // chunk differentials.
+                if n_workers == 1 {
+                    match compile_stream_serial(&designs[key.design_idx], key) {
+                        Ok(compiled) => finish_compile(c, None, Arc::new(compiled), spawner),
                         Err(e) => {
                             let mut slots = loops.lock().expect("loop results");
                             for &i in &replayers[c] {
@@ -727,79 +848,129 @@ impl ScenarioSet {
                             }
                         }
                     }
+                    return;
                 }
-                Job::CompileBench(c, b) => {
-                    let key = &compile_jobs[c];
-                    let words = CompiledTrace::drain_words(
+                match drain_stream_words(key) {
+                    Ok(words) => spawn_chunks(c, None, words, spawner),
+                    Err(e) => {
+                        let mut slots = loops.lock().expect("loop results");
+                        for &i in &replayers[c] {
+                            slots[i] = Some(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+            Job::CompileBench(c, b) => {
+                let key = &compile_jobs[c];
+                if n_workers == 1 {
+                    let compiled = CompiledTrace::compile(
+                        &designs[key.design_idx],
                         &mut Benchmark::ALL[b].trace(key.seed),
                         key.cycles,
                     );
-                    spawn_chunks(c, Some(b), words, spawner);
+                    finish_compile(c, Some(b), Arc::new(compiled), spawner);
+                    return;
                 }
-                Job::CompileChunk(job, k) => {
-                    let key = &compile_jobs[job.c];
-                    let design = &designs[key.design_idx];
-                    let start = k * job.chunk_cycles;
-                    let len = job.chunk_cycles.min(job.words.len() - 1 - start);
-                    let chunk = CompiledTrace::analyze_chunk(design, &job.words, start, len);
-                    let done = job
-                        .slots
-                        .lock()
-                        .expect("chunk assembly slots")
-                        .fill(k, chunk);
-                    if let Some(chunks) = done {
-                        let compiled =
-                            Arc::new(CompiledTrace::from_chunks(design, key.cycles, chunks));
-                        finish_compile(job.c, job.bench, compiled, spawner);
-                    }
+                let words =
+                    CompiledTrace::drain_words(&mut Benchmark::ALL[b].trace(key.seed), key.cycles);
+                spawn_chunks(c, Some(b), words, spawner);
+            }
+            Job::CompileChunk(job, k) => {
+                let key = &compile_jobs[job.c];
+                let design = &designs[key.design_idx];
+                let start = k * job.chunk_cycles;
+                let len = job.chunk_cycles.min(job.words.len() - 1 - start);
+                let chunk = CompiledTrace::analyze_chunk(design, &job.words, start, len);
+                let done = job
+                    .slots
+                    .lock()
+                    .expect("chunk assembly slots")
+                    .fill(k, chunk);
+                if let Some(chunks) = done {
+                    let compiled = Arc::new(CompiledTrace::from_chunks(design, key.cycles, chunks));
+                    finish_compile(job.c, job.bench, compiled, spawner);
                 }
-                Job::Loop(i) => {
-                    let job = &loop_jobs[i];
-                    let product = run_loop_job(
-                        &designs[job.design_idx],
-                        job,
-                        take_governor(i),
-                        loop_hist[i],
+            }
+            Job::Loop(i) => {
+                let job = &loop_jobs[i];
+                let product = run_loop_job(
+                    &designs[job.design_idx],
+                    job,
+                    take_governor(i),
+                    loop_hist[i],
+                );
+                finish_loop(i, product);
+            }
+            Job::Replay(i, workload) => {
+                let job = &loop_jobs[i];
+                let product = run_replay_job(
+                    &designs[job.design_idx],
+                    job,
+                    take_governor(i),
+                    loop_hist[i],
+                    &workload,
+                );
+                finish_loop(i, product);
+            }
+            Job::FusedReplay(group, trace) => {
+                // Every member in a fused group shares the sampling
+                // window and design (same compile job), differing
+                // only in corner and pinned supply; the fused kernel
+                // judges them all in one pass over the trace.
+                let lead = &loop_jobs[group[0]];
+                let design = &designs[lead.design_idx];
+                let ops: Vec<FusedOp> = group
+                    .iter()
+                    .map(|&i| {
+                        let job = &loop_jobs[i];
+                        match job.controller.governor {
+                            GovernorSpec::Fixed(supply) => FusedOp {
+                                pvt: job.corner,
+                                supply,
+                            },
+                            _ => unreachable!("fused groups hold only fixed-supply members"),
+                        }
+                    })
+                    .collect();
+                let reports = trace.replay_fused(design, &ops, lead.controller.sampling);
+                for (&i, report) in group.iter().zip(reports) {
+                    finish_loop(
+                        i,
+                        Ok(LoopProduct {
+                            data: LoopData::Stream(StreamRun {
+                                corner: loop_jobs[i].corner,
+                                report,
+                            }),
+                            sweep: None,
+                        }),
                     );
-                    finish_loop(i, product);
                 }
-                Job::Replay(i, workload) => {
-                    let job = &loop_jobs[i];
-                    let product = run_replay_job(
-                        &designs[job.design_idx],
-                        job,
-                        take_governor(i),
-                        loop_hist[i],
-                        &workload,
-                    );
-                    finish_loop(i, product);
-                }
-                Job::Summary(s) => {
-                    let job = &summary_jobs[s];
+            }
+            Job::Summary(s) => {
+                let job = &summary_jobs[s];
+                summaries.lock().expect("summary results")[s] =
+                    Some(run_summary_job(&designs[job.design_idx], job));
+            }
+            Job::SummaryBench(s, b) => {
+                let key = &summary_jobs[s];
+                let benchmark = Benchmark::ALL[b];
+                let summary = TraceSummary::collect(
+                    &designs[key.design_idx],
+                    &mut benchmark.trace(key.seed),
+                    key.cycles,
+                );
+                let done = suite_summaries[s]
+                    .as_ref()
+                    .expect("suite summary assembly")
+                    .lock()
+                    .expect("suite summary slots")
+                    .fill(b, (benchmark, summary));
+                if let Some(per) = done {
                     summaries.lock().expect("summary results")[s] =
-                        Some(run_summary_job(&designs[job.design_idx], job));
+                        Some(Ok(SweepData::Bank(SummaryBank::from_per_benchmark(per))));
                 }
-                Job::SummaryBench(s, b) => {
-                    let key = &summary_jobs[s];
-                    let benchmark = Benchmark::ALL[b];
-                    let summary = TraceSummary::collect(
-                        &designs[key.design_idx],
-                        &mut benchmark.trace(key.seed),
-                        key.cycles,
-                    );
-                    let done = suite_summaries[s]
-                        .as_ref()
-                        .expect("suite summary assembly")
-                        .lock()
-                        .expect("suite summary slots")
-                        .fill(b, (benchmark, summary));
-                    if let Some(per) = done {
-                        summaries.lock().expect("summary results")[s] =
-                            Some(Ok(SweepData::Bank(SummaryBank::from_per_benchmark(per))));
-                    }
-                }
-            },
-        );
+            }
+        });
 
         let loop_products = loops
             .into_inner()
@@ -874,6 +1045,25 @@ fn drain_stream_words(key: &SummaryKey) -> Result<Vec<u32>, String> {
         WorkloadSpec::Recipe(recipe) => {
             let mut trace = recipe.build_trace(key.seed)?;
             Ok(CompiledTrace::drain_words(&mut trace, key.cycles))
+        }
+    }
+}
+
+/// Compiles one single-stream workload in one streaming pass — the
+/// one-worker fast path, where chunk assembly buys nothing (pinned
+/// bit-identical to the chunked path by the differential tests in
+/// `compile.rs` and `razorbus-core`).
+fn compile_stream_serial(design: &DvsBusDesign, key: &SummaryKey) -> Result<CompiledTrace, String> {
+    match &key.workload {
+        WorkloadSpec::Suite => unreachable!("suite compiles split into per-benchmark jobs"),
+        WorkloadSpec::Single(benchmark) => Ok(CompiledTrace::compile(
+            design,
+            &mut benchmark.trace(key.seed),
+            key.cycles,
+        )),
+        WorkloadSpec::Recipe(recipe) => {
+            let mut trace = recipe.build_trace(key.seed)?;
+            Ok(CompiledTrace::compile(design, &mut trace, key.cycles))
         }
     }
 }
@@ -1274,10 +1464,14 @@ mod tests {
             GovernorSpec::Proportional,
         ])];
         let set = ScenarioSet::single(spec);
-        let baseline = set.run_full(Vec::new(), true, Some(1), 65_536).unwrap();
+        let baseline = set
+            .run_full(Vec::new(), true, Some(1), 65_536, None, None)
+            .unwrap();
         for chunk in [127usize, 500] {
             for workers in [Some(1), Some(2), None] {
-                let run = set.run_full(Vec::new(), true, workers, chunk).unwrap();
+                let run = set
+                    .run_full(Vec::new(), true, workers, chunk, None, None)
+                    .unwrap();
                 assert_eq!(baseline.result, run.result, "chunk {chunk}, {workers:?}");
             }
         }
@@ -1420,5 +1614,156 @@ mod tests {
             },
         ));
         assert!(ScenarioSet::single(spec).run().is_err());
+    }
+
+    #[test]
+    fn fused_replays_are_bit_identical_to_solo_replays() {
+        // The tentpole differential: a voltage sweep crossed with two
+        // corners over one compiled stream — six open-loop members
+        // sharing one trace — must produce the exact same bytes whether
+        // the executor judges them one fused pass, capped fused groups,
+        // or solo replays, at every worker count. Closed-loop members
+        // ride along to prove mixing fused and solo paths is safe.
+        let mut spec = member("fused", AnalysisSpec::ClosedLoop, CornerSpec::Typical);
+        spec.workload = WorkloadSpec::Single(razorbus_traces::Benchmark::Crafty);
+        spec.run.cycles_per_benchmark = 3_000;
+        spec.sweep = vec![
+            SweepAxis::Corners(vec![CornerSpec::Typical, CornerSpec::Worst]),
+            SweepAxis::Voltages(crate::spec::VoltageSweep {
+                from: razorbus_units::Millivolts::new(960),
+                to: razorbus_units::Millivolts::new(1_040),
+                step: razorbus_units::Millivolts::new(40),
+            }),
+        ];
+        let mut closed = member("closed", AnalysisSpec::ClosedLoop, CornerSpec::Typical);
+        closed.workload = WorkloadSpec::Single(razorbus_traces::Benchmark::Crafty);
+        closed.run.cycles_per_benchmark = 3_000;
+        let set = ScenarioSet {
+            name: "fused-vs-solo".to_string(),
+            members: vec![spec, closed],
+        };
+        let chunk = compile_chunk_cycles();
+        let solo = set
+            .run_full(Vec::new(), true, Some(1), chunk, Some(false), None)
+            .unwrap();
+        for fanin in [0usize, 1, 2] {
+            for workers in [Some(1), Some(2), None] {
+                let fused = set
+                    .run_full(Vec::new(), true, workers, chunk, Some(true), Some(fanin))
+                    .unwrap();
+                assert_eq!(
+                    solo.result, fused.result,
+                    "fan-in {fanin}, workers {workers:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_plans_partition_members_into_valid_groups() {
+        // Property test over randomized member sets: the planner must
+        // emit every replayer exactly once, keep closed-loop and
+        // histogram-carrying members solo, group only same-sampling
+        // open-loop members, and respect the fan-in cap.
+        struct Rng(u64);
+        impl Rng {
+            fn next(&mut self) -> u64 {
+                self.0 ^= self.0 << 13;
+                self.0 ^= self.0 >> 7;
+                self.0 ^= self.0 << 17;
+                self.0
+            }
+        }
+        let mut rng = Rng(0x9e37_79b9);
+        let samplings = [None, Some(500u64), Some(10_000)];
+        for _case in 0..200 {
+            let n = (rng.next() % 12) as usize + 1;
+            let mut loop_jobs = Vec::new();
+            let mut loop_hist = Vec::new();
+            for _ in 0..n {
+                let open = rng.next().is_multiple_of(2);
+                let governor = if open {
+                    GovernorSpec::Fixed(razorbus_units::Millivolts::new(1_000))
+                } else {
+                    GovernorSpec::Threshold
+                };
+                let sampling = samplings[(rng.next() % 3) as usize];
+                loop_jobs.push(LoopKey {
+                    design_idx: 0,
+                    corner: PvtCorner::TYPICAL,
+                    workload: WorkloadSpec::Single(razorbus_traces::Benchmark::Crafty),
+                    controller: ControllerSpec {
+                        governor,
+                        sampling,
+                        ..ControllerSpec::paper()
+                    },
+                    cycles: 1_000,
+                    seed: 3,
+                });
+                loop_hist.push(rng.next().is_multiple_of(4));
+            }
+            let replayers: Vec<usize> = (0..n).collect();
+            for fanin in [0usize, 1, 3] {
+                let plans =
+                    plan_replay_groups(&replayers, &loop_jobs, &loop_hist, true, true, fanin);
+                let mut seen = vec![0usize; n];
+                for plan in &plans {
+                    match plan {
+                        ReplayPlan::Solo(i) => seen[*i] += 1,
+                        ReplayPlan::Fused(group) => {
+                            assert!(!group.is_empty());
+                            if fanin > 0 {
+                                assert!(group.len() <= fanin, "fan-in cap violated");
+                            }
+                            let sampling = loop_jobs[group[0]].controller.sampling;
+                            for &i in group {
+                                seen[i] += 1;
+                                assert!(
+                                    matches!(
+                                        loop_jobs[i].controller.governor,
+                                        GovernorSpec::Fixed(_)
+                                    ),
+                                    "closed-loop member fused"
+                                );
+                                assert!(!loop_hist[i], "histogram member fused");
+                                assert_eq!(loop_jobs[i].controller.sampling, sampling);
+                            }
+                        }
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "not a partition: {seen:?}");
+                // Solo-only modes collapse everything to solo plans.
+                for no_fuse in [
+                    plan_replay_groups(&replayers, &loop_jobs, &loop_hist, true, false, fanin),
+                    plan_replay_groups(&replayers, &loop_jobs, &loop_hist, false, true, fanin),
+                ] {
+                    assert_eq!(no_fuse.len(), n);
+                    assert!(no_fuse.iter().all(|p| matches!(p, ReplayPlan::Solo(_))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_digest_is_identical_with_and_without_fusing() {
+        // The 1k Monte-Carlo campaign is the fused path's production
+        // shape: every member is an open-loop supply point sharing its
+        // seed's compiled trace. Its digest (the only output an
+        // Aggregate campaign keeps) must not move when fusing is
+        // disabled or the fan-in is pinned small.
+        let set = crate::catalog::by_name("monte-carlo-dvs-1k", 1_500, 7).unwrap();
+        let chunk = compile_chunk_cycles();
+        let fused = set
+            .run_full(Vec::new(), true, Some(2), chunk, Some(true), Some(0))
+            .unwrap();
+        let capped = set
+            .run_full(Vec::new(), true, Some(2), chunk, Some(true), Some(2))
+            .unwrap();
+        let solo = set
+            .run_full(Vec::new(), true, Some(2), chunk, Some(false), None)
+            .unwrap();
+        assert!(fused.result.digest.is_some());
+        assert_eq!(fused.result, solo.result);
+        assert_eq!(fused.result, capped.result);
     }
 }
